@@ -1,0 +1,142 @@
+//! Minimal CSV export (no external dependency needed for plain numeric
+//! experiment dumps).
+
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+
+/// Writes rows of simple values into a CSV file.
+///
+/// Values are escaped per RFC 4180: cells containing commas, quotes, or
+/// newlines are quoted, quotes are doubled.
+///
+/// # Example
+///
+/// ```no_run
+/// use le_analysis::CsvWriter;
+/// # fn main() -> std::io::Result<()> {
+/// let mut w = CsvWriter::create("results/exp.csv", &["n", "messages"])?;
+/// w.write_row(&["256", "12345"])?;
+/// w.finish()?;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct CsvWriter {
+    out: BufWriter<File>,
+    columns: usize,
+}
+
+impl CsvWriter {
+    /// Creates (or truncates) `path` and writes the header row. Parent
+    /// directories are created if missing.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from file creation or writing.
+    pub fn create<P: AsRef<Path>>(path: P, headers: &[&str]) -> io::Result<CsvWriter> {
+        if let Some(parent) = path.as_ref().parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let mut w = CsvWriter {
+            out: BufWriter::new(File::create(path)?),
+            columns: headers.len(),
+        };
+        w.write_row(headers)?;
+        Ok(w)
+    }
+
+    /// Writes one data row.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors; returns [`io::ErrorKind::InvalidInput`] if the
+    /// row length differs from the header length.
+    pub fn write_row<S: AsRef<str>>(&mut self, row: &[S]) -> io::Result<()> {
+        if row.len() != self.columns {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("row has {} cells, header has {}", row.len(), self.columns),
+            ));
+        }
+        let line = row
+            .iter()
+            .map(|c| escape(c.as_ref()))
+            .collect::<Vec<_>>()
+            .join(",");
+        writeln!(self.out, "{line}")
+    }
+
+    /// Flushes and closes the file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from flushing.
+    pub fn finish(mut self) -> io::Result<()> {
+        self.out.flush()
+    }
+}
+
+fn escape(cell: &str) -> String {
+    if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+        format!("\"{}\"", cell.replace('"', "\"\""))
+    } else {
+        cell.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("le-analysis-test-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn writes_header_and_rows() {
+        let path = tmp("basic.csv");
+        let mut w = CsvWriter::create(&path, &["n", "msgs"]).unwrap();
+        w.write_row(&["16", "240"]).unwrap();
+        w.write_row(&["32", "992"]).unwrap();
+        w.finish().unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text, "n,msgs\n16,240\n32,992\n");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn escapes_special_cells() {
+        let path = tmp("escape.csv");
+        let mut w = CsvWriter::create(&path, &["a", "b"]).unwrap();
+        w.write_row(&["x,y", "quote\"inside"]).unwrap();
+        w.finish().unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text, "a,b\n\"x,y\",\"quote\"\"inside\"\n");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn rejects_wrong_row_length() {
+        let path = tmp("wrong.csv");
+        let mut w = CsvWriter::create(&path, &["a", "b"]).unwrap();
+        let err = w.write_row(&["only"]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn creates_parent_directories() {
+        let mut dir = std::env::temp_dir();
+        dir.push(format!("le-analysis-nested-{}", std::process::id()));
+        let path = dir.join("deep/exp.csv");
+        let w = CsvWriter::create(&path, &["x"]).unwrap();
+        w.finish().unwrap();
+        assert!(path.exists());
+        std::fs::remove_dir_all(dir).ok();
+    }
+}

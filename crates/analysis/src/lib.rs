@@ -1,0 +1,41 @@
+//! Experiment analysis utilities for the *Improved Tradeoffs for Leader
+//! Election* reproduction.
+//!
+//! The experiment harness (`le-bench`) measures message counts, round
+//! counts, and asynchronous times across seeds and network sizes; this crate
+//! turns those raw measurements into the quantities the paper's claims are
+//! stated in:
+//!
+//! * [`stats`] — summary statistics over repeated seeded runs,
+//! * [`regression`] — least-squares fits, in particular log–log power-law
+//!   fits that estimate *scaling exponents* (the paper's claims are of the
+//!   form "messages grow as `n^{1+1/k}`": the exponent is the reproducible
+//!   quantity, not the constant),
+//! * [`table`] — ASCII tables shaped like the paper's Table 1,
+//! * [`csv`] — plain CSV export for plotting.
+//!
+//! # Example
+//!
+//! ```
+//! use le_analysis::regression::fit_power_law;
+//!
+//! // Perfect n^1.5 data recovers exponent 1.5.
+//! let ns: [f64; 4] = [256.0, 1024.0, 4096.0, 16384.0];
+//! let ys: Vec<f64> = ns.iter().map(|&n| 3.0 * n.powf(1.5)).collect();
+//! let fit = fit_power_law(&ns, &ys).unwrap();
+//! assert!((fit.exponent - 1.5).abs() < 1e-9);
+//! assert!((fit.r_squared - 1.0).abs() < 1e-9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod csv;
+pub mod regression;
+pub mod stats;
+pub mod table;
+
+pub use csv::CsvWriter;
+pub use regression::{fit_linear, fit_power_law, LinearFit, PowerLawFit};
+pub use stats::Summary;
+pub use table::Table;

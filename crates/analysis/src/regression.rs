@@ -1,0 +1,182 @@
+//! Least-squares fits for scaling experiments.
+//!
+//! The paper's quantitative claims are asymptotic: "the algorithm sends
+//! `O(ℓ·n^{1+2/(ℓ+1)})` messages", "any 2-round algorithm needs
+//! `Ω(n^{3/2})` messages". The reproducible observable is the *exponent*:
+//! measure messages at several `n`, fit `log y = a·log x + b`, and compare
+//! `a` against the theorem. [`fit_power_law`] does exactly that.
+
+/// An ordinary least-squares line fit `y ≈ slope·x + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearFit {
+    /// Slope of the fitted line.
+    pub slope: f64,
+    /// Intercept of the fitted line.
+    pub intercept: f64,
+    /// Coefficient of determination in `[0, 1]` (1 for an exact fit).
+    pub r_squared: f64,
+}
+
+impl LinearFit {
+    /// The fitted value at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.slope * x + self.intercept
+    }
+}
+
+/// A power-law fit `y ≈ coefficient · x^exponent`, obtained by a linear fit
+/// in log–log space.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerLawFit {
+    /// The scaling exponent (the paper's asymptotic claim).
+    pub exponent: f64,
+    /// The leading coefficient.
+    pub coefficient: f64,
+    /// `R²` of the underlying log–log linear fit.
+    pub r_squared: f64,
+}
+
+impl PowerLawFit {
+    /// The fitted value at `x > 0`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.coefficient * x.powf(self.exponent)
+    }
+}
+
+impl std::fmt::Display for PowerLawFit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:.3}·x^{:.3} (R² = {:.4})",
+            self.coefficient, self.exponent, self.r_squared
+        )
+    }
+}
+
+/// Ordinary least squares over `(xs, ys)` pairs.
+///
+/// Returns `None` when fewer than two points are given, when the slices have
+/// different lengths, when any value is non-finite, or when all `xs` are
+/// identical (vertical line).
+pub fn fit_linear(xs: &[f64], ys: &[f64]) -> Option<LinearFit> {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return None;
+    }
+    if xs.iter().chain(ys.iter()).any(|v| !v.is_finite()) {
+        return None;
+    }
+    let n = xs.len() as f64;
+    let mean_x = xs.iter().sum::<f64>() / n;
+    let mean_y = ys.iter().sum::<f64>() / n;
+    let sxx: f64 = xs.iter().map(|x| (x - mean_x).powi(2)).sum();
+    if sxx == 0.0 {
+        return None;
+    }
+    let sxy: f64 = xs
+        .iter()
+        .zip(ys)
+        .map(|(x, y)| (x - mean_x) * (y - mean_y))
+        .sum();
+    let slope = sxy / sxx;
+    let intercept = mean_y - slope * mean_x;
+    let ss_tot: f64 = ys.iter().map(|y| (y - mean_y).powi(2)).sum();
+    let ss_res: f64 = xs
+        .iter()
+        .zip(ys)
+        .map(|(x, y)| (y - (slope * x + intercept)).powi(2))
+        .sum();
+    let r_squared = if ss_tot == 0.0 {
+        1.0 // constant data, perfectly fit by the horizontal line
+    } else {
+        1.0 - ss_res / ss_tot
+    };
+    Some(LinearFit {
+        slope,
+        intercept,
+        r_squared,
+    })
+}
+
+/// Fits `y ≈ c·x^a` by least squares in log–log space.
+///
+/// Returns `None` under the same conditions as [`fit_linear`], or when any
+/// input is non-positive (logs must exist).
+pub fn fit_power_law(xs: &[f64], ys: &[f64]) -> Option<PowerLawFit> {
+    if xs.iter().chain(ys.iter()).any(|&v| v <= 0.0) {
+        return None;
+    }
+    let log_x: Vec<f64> = xs.iter().map(|x| x.ln()).collect();
+    let log_y: Vec<f64> = ys.iter().map(|y| y.ln()).collect();
+    let fit = fit_linear(&log_x, &log_y)?;
+    Some(PowerLawFit {
+        exponent: fit.slope,
+        coefficient: fit.intercept.exp(),
+        r_squared: fit.r_squared,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_recovered() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys: Vec<f64> = xs.iter().map(|x| 2.5 * x - 1.0).collect();
+        let fit = fit_linear(&xs, &ys).unwrap();
+        assert!((fit.slope - 2.5).abs() < 1e-12);
+        assert!((fit.intercept + 1.0).abs() < 1e-12);
+        assert!((fit.r_squared - 1.0).abs() < 1e-12);
+        assert!((fit.predict(10.0) - 24.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_line_has_sub_unit_r2() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let ys = [1.1, 1.9, 3.2, 3.8, 5.1];
+        let fit = fit_linear(&xs, &ys).unwrap();
+        assert!(fit.r_squared > 0.98 && fit.r_squared < 1.0);
+        assert!((fit.slope - 1.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn degenerate_inputs_rejected() {
+        assert!(fit_linear(&[1.0], &[1.0]).is_none());
+        assert!(fit_linear(&[1.0, 2.0], &[1.0]).is_none());
+        assert!(fit_linear(&[2.0, 2.0], &[1.0, 3.0]).is_none(), "vertical");
+        assert!(fit_linear(&[1.0, f64::NAN], &[1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn constant_data_fits_perfectly() {
+        let fit = fit_linear(&[1.0, 2.0, 3.0], &[4.0, 4.0, 4.0]).unwrap();
+        assert_eq!(fit.slope, 0.0);
+        assert_eq!(fit.r_squared, 1.0);
+    }
+
+    #[test]
+    fn power_law_recovers_exponent_three_halves() {
+        let xs: [f64; 5] = [256.0, 512.0, 1024.0, 2048.0, 4096.0];
+        let ys: Vec<f64> = xs.iter().map(|&x| 7.0 * x.powf(1.5)).collect();
+        let fit = fit_power_law(&xs, &ys).unwrap();
+        assert!((fit.exponent - 1.5).abs() < 1e-9);
+        assert!((fit.coefficient - 7.0).abs() < 1e-6);
+        assert!((fit.predict(100.0) - 7.0 * 1000.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn power_law_rejects_nonpositive() {
+        assert!(fit_power_law(&[1.0, 0.0], &[1.0, 2.0]).is_none());
+        assert!(fit_power_law(&[1.0, 2.0], &[-1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn power_law_display() {
+        let fit = PowerLawFit {
+            exponent: 1.5,
+            coefficient: 2.0,
+            r_squared: 0.999,
+        };
+        assert_eq!(fit.to_string(), "2.000·x^1.500 (R² = 0.9990)");
+    }
+}

@@ -1,0 +1,189 @@
+//! ASCII table rendering, shaped like the paper's Table 1.
+
+/// A simple ASCII table: a header row plus data rows, rendered with columns
+/// padded to their widest cell.
+///
+/// # Example
+///
+/// ```
+/// use le_analysis::Table;
+/// let mut t = Table::new(vec!["n", "messages"]);
+/// t.add_row(vec!["256".into(), "12_345".into()]);
+/// let text = t.to_string();
+/// assert!(text.contains("messages"));
+/// assert!(text.contains("12_345"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+    title: Option<String>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+            title: None,
+        }
+    }
+
+    /// Sets an optional title printed above the table.
+    pub fn title<S: Into<String>>(&mut self, title: S) -> &mut Self {
+        self.title = Some(title.into());
+        self
+    }
+
+    /// Appends a data row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row's length differs from the header's.
+    pub fn add_row(&mut self, row: Vec<String>) -> &mut Self {
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row has {} cells, table has {} columns",
+            row.len(),
+            self.headers.len()
+        );
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut w: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                w[i] = w[i].max(cell.chars().count());
+            }
+        }
+        w
+    }
+}
+
+impl std::fmt::Display for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let widths = self.widths();
+        if let Some(title) = &self.title {
+            writeln!(f, "{title}")?;
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:<width$}", c, width = widths[i]))
+                .collect::<Vec<_>>()
+                .join(" | ")
+        };
+        writeln!(f, "{}", fmt_row(&self.headers))?;
+        let rule: String = widths
+            .iter()
+            .map(|&w| "-".repeat(w))
+            .collect::<Vec<_>>()
+            .join("-+-");
+        writeln!(f, "{rule}")?;
+        for row in &self.rows {
+            writeln!(f, "{}", fmt_row(row))?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a float compactly for table cells: integers without decimals,
+/// large values with thousands separators, small values with 2 decimals.
+pub fn fmt_count(x: f64) -> String {
+    if !x.is_finite() {
+        return format!("{x}");
+    }
+    if x.abs() >= 1000.0 {
+        let rounded = x.round() as i128;
+        group_thousands(rounded)
+    } else if (x.fract()).abs() < 1e-9 {
+        format!("{}", x.round() as i64)
+    } else {
+        format!("{x:.2}")
+    }
+}
+
+fn group_thousands(mut v: i128) -> String {
+    let negative = v < 0;
+    if negative {
+        v = -v;
+    }
+    let digits = v.to_string();
+    let bytes = digits.as_bytes();
+    let mut out = String::with_capacity(digits.len() + digits.len() / 3 + 1);
+    for (i, b) in bytes.iter().enumerate() {
+        if i > 0 && (bytes.len() - i) % 3 == 0 {
+            out.push(',');
+        }
+        out.push(*b as char);
+    }
+    if negative {
+        format!("-{out}")
+    } else {
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(vec!["algo", "n", "msgs"]);
+        t.add_row(vec!["improved".into(), "1024".into(), "9000".into()]);
+        t.add_row(vec!["ag".into(), "16".into(), "1".into()]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4); // header, rule, 2 rows
+        // All rows have equal width.
+        assert_eq!(lines[0].len(), lines[2].len());
+        assert_eq!(lines[2].len(), lines[3].len());
+        assert!(lines[1].chars().all(|c| c == '-' || c == '+'));
+        assert_eq!(t.row_count(), 2);
+    }
+
+    #[test]
+    fn title_is_printed_first() {
+        let mut t = Table::new(vec!["x"]);
+        t.title("Theorem 3.10");
+        t.add_row(vec!["1".into()]);
+        assert!(t.to_string().starts_with("Theorem 3.10\n"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row has 1 cells")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.add_row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn fmt_count_variants() {
+        assert_eq!(fmt_count(12.0), "12");
+        assert_eq!(fmt_count(12.5), "12.50");
+        assert_eq!(fmt_count(1234.0), "1,234");
+        assert_eq!(fmt_count(1234567.0), "1,234,567");
+        assert_eq!(fmt_count(-1234567.0), "-1,234,567");
+        assert_eq!(fmt_count(999.0), "999");
+        assert_eq!(fmt_count(f64::INFINITY), "inf");
+    }
+
+    #[test]
+    fn unicode_headers_align() {
+        let mut t = Table::new(vec!["Θ(n·√n)", "x"]);
+        t.add_row(vec!["1".into(), "2".into()]);
+        let s = t.to_string();
+        assert!(s.contains("Θ(n·√n)"));
+    }
+}

@@ -1,0 +1,191 @@
+//! Adversarial message delay strategies.
+//!
+//! In the asynchronous model every message takes some amount of time in
+//! `(0, 1]` chosen by the adversary, where 1 is the *time unit* — the upper
+//! bound on any transmission time. Different strategies model different
+//! adversaries; the paper's time bounds (e.g. `k + 8` in Theorem 5.1) must
+//! hold for all of them.
+
+use clique_model::NodeIndex;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Chooses per-message delays.
+///
+/// Returned delays must lie in `(0, 1]`; the engine clamps and panics (in
+/// debug builds) on violations to surface buggy strategies.
+pub trait DelayStrategy {
+    /// The delay for a message sent by `src` to `dst` at time `now`.
+    fn delay(&mut self, src: NodeIndex, dst: NodeIndex, now: f64, rng: &mut SmallRng) -> f64;
+}
+
+/// Every message takes exactly `d` time units — `ConstDelay::new(1.0)` is
+/// the classic "synchronous-looking worst case" adversary.
+#[derive(Debug, Clone, Copy)]
+pub struct ConstDelay {
+    d: f64,
+}
+
+impl ConstDelay {
+    /// Creates a constant-delay strategy.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < d <= 1`.
+    pub fn new(d: f64) -> Self {
+        assert!(d > 0.0 && d <= 1.0, "delay must be in (0, 1], got {d}");
+        ConstDelay { d }
+    }
+
+    /// The maximal-delay adversary (every message takes a full unit).
+    pub fn max() -> Self {
+        ConstDelay { d: 1.0 }
+    }
+}
+
+impl DelayStrategy for ConstDelay {
+    fn delay(&mut self, _src: NodeIndex, _dst: NodeIndex, _now: f64, _rng: &mut SmallRng) -> f64 {
+        self.d
+    }
+}
+
+/// Delays drawn uniformly from `[lo, hi] ⊂ (0, 1]`, independently per
+/// message.
+#[derive(Debug, Clone, Copy)]
+pub struct UniformDelay {
+    lo: f64,
+    hi: f64,
+}
+
+impl UniformDelay {
+    /// Creates a uniform-delay strategy over `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < lo <= hi <= 1`.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(
+            lo > 0.0 && lo <= hi && hi <= 1.0,
+            "need 0 < lo <= hi <= 1, got [{lo}, {hi}]"
+        );
+        UniformDelay { lo, hi }
+    }
+
+    /// The full-range strategy `(0, 1]` (lower end clipped to 0.01 to keep
+    /// delays strictly positive).
+    pub fn full() -> Self {
+        UniformDelay { lo: 0.01, hi: 1.0 }
+    }
+}
+
+impl DelayStrategy for UniformDelay {
+    fn delay(&mut self, _src: NodeIndex, _dst: NodeIndex, _now: f64, rng: &mut SmallRng) -> f64 {
+        rng.gen_range(self.lo..=self.hi)
+    }
+}
+
+/// With probability `p_fast` a message is fast (`fast` units), otherwise
+/// slow (`slow` units).
+///
+/// This models the rushing adversary that races selected messages ahead of
+/// others — the behaviour that breaks naive translations of synchronous
+/// algorithms (Section 5.4's motivation: "the arbitrary delay of messages
+/// ... is the source of the increase in the time complexity").
+#[derive(Debug, Clone, Copy)]
+pub struct BimodalDelay {
+    p_fast: f64,
+    fast: f64,
+    slow: f64,
+}
+
+impl BimodalDelay {
+    /// Creates a bimodal strategy.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < fast <= slow <= 1` and `0 <= p_fast <= 1`.
+    pub fn new(p_fast: f64, fast: f64, slow: f64) -> Self {
+        assert!(
+            fast > 0.0 && fast <= slow && slow <= 1.0,
+            "need 0 < fast <= slow <= 1, got fast = {fast}, slow = {slow}"
+        );
+        assert!(
+            (0.0..=1.0).contains(&p_fast),
+            "p_fast must be a probability, got {p_fast}"
+        );
+        BimodalDelay { p_fast, fast, slow }
+    }
+}
+
+impl DelayStrategy for BimodalDelay {
+    fn delay(&mut self, _src: NodeIndex, _dst: NodeIndex, _now: f64, rng: &mut SmallRng) -> f64 {
+        if rng.gen::<f64>() < self.p_fast {
+            self.fast
+        } else {
+            self.slow
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clique_model::rng::rng_from_seed;
+
+    #[test]
+    fn const_delay_is_constant() {
+        let mut d = ConstDelay::new(0.5);
+        let mut rng = rng_from_seed(0);
+        for _ in 0..10 {
+            assert_eq!(d.delay(NodeIndex(0), NodeIndex(1), 3.0, &mut rng), 0.5);
+        }
+        assert_eq!(
+            ConstDelay::max().delay(NodeIndex(0), NodeIndex(1), 0.0, &mut rng),
+            1.0
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "delay must be in (0, 1]")]
+    fn const_delay_rejects_zero() {
+        let _ = ConstDelay::new(0.0);
+    }
+
+    #[test]
+    fn uniform_delay_stays_in_range() {
+        let mut d = UniformDelay::new(0.25, 0.75);
+        let mut rng = rng_from_seed(1);
+        for _ in 0..1000 {
+            let x = d.delay(NodeIndex(0), NodeIndex(1), 0.0, &mut rng);
+            assert!((0.25..=0.75).contains(&x));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "0 < lo <= hi <= 1")]
+    fn uniform_delay_rejects_inverted_range() {
+        let _ = UniformDelay::new(0.9, 0.1);
+    }
+
+    #[test]
+    fn bimodal_produces_both_modes() {
+        let mut d = BimodalDelay::new(0.5, 0.1, 1.0);
+        let mut rng = rng_from_seed(2);
+        let mut fast = 0;
+        let mut slow = 0;
+        for _ in 0..1000 {
+            match d.delay(NodeIndex(0), NodeIndex(1), 0.0, &mut rng) {
+                x if x == 0.1 => fast += 1,
+                x if x == 1.0 => slow += 1,
+                x => panic!("unexpected delay {x}"),
+            }
+        }
+        assert!(fast > 300 && slow > 300, "fast = {fast}, slow = {slow}");
+    }
+
+    #[test]
+    #[should_panic(expected = "p_fast must be a probability")]
+    fn bimodal_rejects_bad_probability() {
+        let _ = BimodalDelay::new(1.5, 0.1, 1.0);
+    }
+}

@@ -1,0 +1,72 @@
+//! Asynchronous event-driven engine for the KT0 clique.
+//!
+//! Implements the asynchronous model of *Improved Tradeoffs for Leader
+//! Election* (PODC 2023), Section 5:
+//!
+//! * the adversary chooses the port mapping *obliviously* (before any node
+//!   wakes, independent of algorithm coins) — modelled by resolving ports
+//!   with an RNG stream independent of the nodes' streams;
+//! * every message suffers an adversarial delay in `(0, 1]`, where one
+//!   *time unit* is an upper bound on any transmission time — modelled by a
+//!   pluggable [`DelayStrategy`];
+//! * links deliver in FIFO order;
+//! * the adversary wakes an arbitrary non-empty subset of nodes; everyone
+//!   else sleeps until a message arrives;
+//! * the *asynchronous time complexity* is the total time from the first
+//!   wake-up until the last message is received.
+//!
+//! # Example
+//!
+//! An echo protocol: the adversary wakes one node, which pings a port; the
+//! receiver wakes and decides.
+//!
+//! ```
+//! use clique_async::{AsyncContext, AsyncNode, AsyncSimBuilder, AsyncWakeSchedule, Received};
+//! use clique_model::ports::Port;
+//! use clique_model::{Decision, NodeIndex, WakeCause};
+//!
+//! struct Ping {
+//!     decision: Decision,
+//! }
+//!
+//! impl AsyncNode for Ping {
+//!     type Message = ();
+//!     fn on_wake(&mut self, ctx: &mut AsyncContext<'_, ()>, cause: WakeCause) {
+//!         if cause == WakeCause::Adversary {
+//!             ctx.send(Port(0), ());
+//!         }
+//!         self.decision = Decision::Leader; // placeholder decision
+//!     }
+//!     fn on_message(&mut self, _ctx: &mut AsyncContext<'_, ()>, _m: Received<()>) {}
+//!     fn decision(&self) -> Decision {
+//!         self.decision
+//!     }
+//! }
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let outcome = AsyncSimBuilder::new(4)
+//!     .seed(9)
+//!     .wake(AsyncWakeSchedule::single(NodeIndex(0)))
+//!     .build(|_, _| Ping { decision: Decision::Undecided })?
+//!     .run()?;
+//! assert_eq!(outcome.stats.total(), 1);
+//! assert!(outcome.time <= 1.0, "one message, at most one time unit");
+//! assert_eq!(outcome.awake_count(), 2);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod delay;
+pub mod engine;
+pub mod node;
+pub mod outcome;
+pub mod wakeup;
+
+pub use delay::{BimodalDelay, ConstDelay, DelayStrategy, UniformDelay};
+pub use engine::{AsyncSim, AsyncSimBuilder};
+pub use node::{AsyncContext, AsyncNode, Received};
+pub use outcome::{AsyncHaltReason, AsyncOutcome};
+pub use wakeup::AsyncWakeSchedule;

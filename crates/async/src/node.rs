@@ -1,0 +1,183 @@
+//! The node-side programming interface of the asynchronous engine.
+
+use clique_model::ids::Id;
+use clique_model::ports::Port;
+use clique_model::rng::sample_distinct;
+use clique_model::{Decision, WakeCause};
+use rand::rngs::SmallRng;
+
+/// A message delivered to a node, tagged with the local port it arrived on.
+///
+/// As in the synchronous engine, the port tag is the only routing handle a
+/// KT0 receiver gets; replying over `port` reaches the sender without ever
+/// learning its identity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Received<M> {
+    /// Local port the message arrived on.
+    pub port: Port,
+    /// The payload.
+    pub msg: M,
+}
+
+/// Per-activation view of an asynchronous node: its [`Id`], `n`, the current
+/// time, private coins, and its ports. Unlike the synchronous engine there
+/// is no send/receive phasing — a node may send whenever it is activated.
+#[derive(Debug)]
+pub struct AsyncContext<'a, M> {
+    pub(crate) id: Id,
+    pub(crate) n: usize,
+    pub(crate) time: f64,
+    pub(crate) rng: &'a mut SmallRng,
+    pub(crate) outbox: &'a mut Vec<(Port, M)>,
+}
+
+impl<'a, M> AsyncContext<'a, M> {
+    /// The node's own protocol identifier.
+    pub fn id(&self) -> Id {
+        self.id
+    }
+
+    /// Total number of nodes in the network.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of ports this node owns (`n - 1`).
+    pub fn port_count(&self) -> usize {
+        self.n - 1
+    }
+
+    /// The global time of the current activation.
+    ///
+    /// Exposed for instrumentation and tests; the algorithms of the paper
+    /// never read clocks (they are event-driven).
+    pub fn time(&self) -> f64 {
+        self.time
+    }
+
+    /// The node's private random coins.
+    pub fn rng(&mut self) -> &mut SmallRng {
+        self.rng
+    }
+
+    /// Sends a message over a local port (delivered after an adversarial
+    /// delay, in FIFO order per link).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `port` is out of range — an algorithm bug.
+    pub fn send(&mut self, port: Port, msg: M) {
+        assert!(
+            port.0 < self.n - 1,
+            "port {port} out of range for n = {}",
+            self.n
+        );
+        self.outbox.push((port, msg));
+    }
+
+    /// Iterator over all of this node's ports.
+    pub fn all_ports(&self) -> impl Iterator<Item = Port> {
+        (0..self.n - 1).map(Port)
+    }
+
+    /// Samples `k` distinct ports uniformly at random (without
+    /// replacement), as Algorithm 2 requires for wake-up and referee
+    /// selection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > n - 1`.
+    pub fn sample_ports(&mut self, k: usize) -> Vec<Port> {
+        sample_distinct(self.rng, self.n - 1, k)
+            .into_iter()
+            .map(Port)
+            .collect()
+    }
+}
+
+/// An asynchronous clique algorithm, written as one event-driven state
+/// machine per node.
+pub trait AsyncNode {
+    /// Payload type of this algorithm's messages.
+    type Message;
+
+    /// Called exactly once when the node wakes: either the adversary woke it
+    /// (at its scheduled time) or its first message arrived (in which case
+    /// [`AsyncNode::on_message`] follows immediately with that message).
+    fn on_wake(&mut self, ctx: &mut AsyncContext<'_, Self::Message>, cause: WakeCause);
+
+    /// Called for every delivered message (after `on_wake`, if the message
+    /// is what woke the node).
+    fn on_message(&mut self, ctx: &mut AsyncContext<'_, Self::Message>, m: Received<Self::Message>);
+
+    /// The node's current (irrevocable once non-undecided) output.
+    fn decision(&self) -> Decision;
+
+    /// Whether the node has halted and will ignore all further events.
+    ///
+    /// Defaults to `false`: in the paper's asynchronous algorithms nodes
+    /// keep serving as referees after deciding (Algorithm 2 line 12: "a
+    /// node responds to received compete-messages even if it has already
+    /// decided").
+    fn is_terminated(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clique_model::rng::rng_from_seed;
+
+    #[test]
+    fn context_accessors_and_send() {
+        let mut rng = rng_from_seed(0);
+        let mut outbox: Vec<(Port, u8)> = Vec::new();
+        let mut ctx = AsyncContext {
+            id: Id(3),
+            n: 6,
+            time: 2.5,
+            rng: &mut rng,
+            outbox: &mut outbox,
+        };
+        assert_eq!(ctx.id(), Id(3));
+        assert_eq!(ctx.n(), 6);
+        assert_eq!(ctx.port_count(), 5);
+        assert_eq!(ctx.time(), 2.5);
+        assert_eq!(ctx.all_ports().count(), 5);
+        ctx.send(Port(4), 9);
+        assert_eq!(outbox, vec![(Port(4), 9)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn send_rejects_bad_port() {
+        let mut rng = rng_from_seed(0);
+        let mut outbox: Vec<(Port, u8)> = Vec::new();
+        let mut ctx = AsyncContext {
+            id: Id(3),
+            n: 6,
+            time: 0.0,
+            rng: &mut rng,
+            outbox: &mut outbox,
+        };
+        ctx.send(Port(5), 1);
+    }
+
+    #[test]
+    fn sample_ports_distinct() {
+        let mut rng = rng_from_seed(5);
+        let mut outbox: Vec<(Port, u8)> = Vec::new();
+        let mut ctx = AsyncContext {
+            id: Id(1),
+            n: 10,
+            time: 0.0,
+            rng: &mut rng,
+            outbox: &mut outbox,
+        };
+        let mut ports = ctx.sample_ports(9);
+        ports.sort_unstable();
+        ports.dedup();
+        assert_eq!(ports.len(), 9);
+    }
+}

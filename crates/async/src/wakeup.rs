@@ -1,0 +1,138 @@
+//! Adversarial wake-up schedules for the asynchronous engine.
+
+use clique_model::NodeIndex;
+use rand::Rng;
+
+/// When the adversary wakes which nodes (times are in time units; the first
+/// wake-up defines time 0 for complexity accounting).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AsyncWakeSchedule {
+    /// `(time, node)` pairs, not necessarily sorted.
+    entries: Vec<(f64, NodeIndex)>,
+}
+
+impl AsyncWakeSchedule {
+    /// All `n` nodes wake at time 0 (the simultaneous regime assumed by the
+    /// asynchronized Afek–Gafni algorithm, Section 5.4).
+    pub fn simultaneous(n: usize) -> Self {
+        AsyncWakeSchedule {
+            entries: (0..n).map(|u| (0.0, NodeIndex(u))).collect(),
+        }
+    }
+
+    /// A single node wakes at time 0.
+    pub fn single(node: NodeIndex) -> Self {
+        AsyncWakeSchedule {
+            entries: vec![(0.0, node)],
+        }
+    }
+
+    /// An explicit subset wakes at time 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is empty (the adversary must wake someone).
+    pub fn subset(nodes: Vec<NodeIndex>) -> Self {
+        assert!(!nodes.is_empty(), "adversary must wake a non-empty set");
+        AsyncWakeSchedule {
+            entries: nodes.into_iter().map(|u| (0.0, u)).collect(),
+        }
+    }
+
+    /// A uniformly random `k`-subset wakes at time 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `k > n`.
+    pub fn random_subset(n: usize, k: usize, rng: &mut impl Rng) -> Self {
+        assert!(k >= 1 && k <= n, "need 1 <= k <= n, got k = {k}, n = {n}");
+        AsyncWakeSchedule::subset(
+            clique_model::rng::sample_distinct(rng, n, k)
+                .into_iter()
+                .map(NodeIndex)
+                .collect(),
+        )
+    }
+
+    /// Fully general `(time, node)` wake-ups.
+    ///
+    /// # Panics
+    ///
+    /// Panics if empty, if any time is negative, or if no wake-up happens at
+    /// time 0 (executions start at the first wake-up by definition).
+    pub fn staged(entries: Vec<(f64, NodeIndex)>) -> Self {
+        assert!(!entries.is_empty(), "adversary must wake a non-empty set");
+        assert!(
+            entries.iter().all(|&(t, _)| t >= 0.0),
+            "wake times must be non-negative"
+        );
+        assert!(
+            entries.iter().any(|&(t, _)| t == 0.0),
+            "some node must wake at time 0"
+        );
+        AsyncWakeSchedule { entries }
+    }
+
+    /// The scheduled wake-ups.
+    pub fn entries(&self) -> &[(f64, NodeIndex)] {
+        &self.entries
+    }
+
+    /// Number of adversarially woken nodes.
+    pub fn scheduled_count(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clique_model::rng::rng_from_seed;
+
+    #[test]
+    fn simultaneous_covers_everyone() {
+        let w = AsyncWakeSchedule::simultaneous(5);
+        assert_eq!(w.scheduled_count(), 5);
+        assert!(w.entries().iter().all(|&(t, _)| t == 0.0));
+    }
+
+    #[test]
+    fn single_and_subset() {
+        assert_eq!(
+            AsyncWakeSchedule::single(NodeIndex(3)).entries(),
+            &[(0.0, NodeIndex(3))]
+        );
+        assert_eq!(
+            AsyncWakeSchedule::subset(vec![NodeIndex(0), NodeIndex(2)]).scheduled_count(),
+            2
+        );
+    }
+
+    #[test]
+    fn random_subset_distinct() {
+        let mut rng = rng_from_seed(1);
+        let w = AsyncWakeSchedule::random_subset(20, 7, &mut rng);
+        let mut v: Vec<usize> = w.entries().iter().map(|&(_, u)| u.0).collect();
+        v.sort_unstable();
+        v.dedup();
+        assert_eq!(v.len(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn rejects_empty() {
+        let _ = AsyncWakeSchedule::subset(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "time 0")]
+    fn staged_requires_time_zero() {
+        let _ = AsyncWakeSchedule::staged(vec![(1.0, NodeIndex(0))]);
+    }
+
+    #[test]
+    fn staged_accepts_later_wakes() {
+        let w = AsyncWakeSchedule::staged(vec![(0.0, NodeIndex(0)), (2.5, NodeIndex(1))]);
+        assert_eq!(w.scheduled_count(), 2);
+    }
+}

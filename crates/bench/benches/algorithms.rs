@@ -1,0 +1,154 @@
+//! Criterion micro-benchmarks: one full election per algorithm of the
+//! paper at a fixed network size, so regressions in any state machine show
+//! up as wall-clock changes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use clique_async::{AsyncSimBuilder, AsyncWakeSchedule};
+use clique_model::ids::IdSpace;
+use clique_model::rng::rng_from_seed;
+use clique_model::NodeIndex;
+use clique_sync::{SyncSimBuilder, WakeSchedule};
+use leader_election::asynchronous::{afek_gafni as a_ag, tradeoff as a_tr};
+use leader_election::sync::{
+    afek_gafni, gossip_baseline, improved_tradeoff, las_vegas, small_id, sublinear_mc,
+    two_round_adversarial,
+};
+
+const N: usize = 256;
+
+fn bench_sync_algorithms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("election_sync_n256");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(3));
+
+    group.bench_function("improved_tradeoff_l5", |b| {
+        let cfg = improved_tradeoff::Config::with_rounds(5);
+        b.iter(|| {
+            SyncSimBuilder::new(N)
+                .seed(1)
+                .build(|id, n| improved_tradeoff::Node::new(id, n, cfg))
+                .unwrap()
+                .run()
+                .unwrap()
+        })
+    });
+
+    group.bench_function("afek_gafni_l4", |b| {
+        let cfg = afek_gafni::Config::with_rounds(4);
+        b.iter(|| {
+            SyncSimBuilder::new(N)
+                .seed(1)
+                .build(|id, n| afek_gafni::Node::new(id, n, cfg))
+                .unwrap()
+                .run()
+                .unwrap()
+        })
+    });
+
+    group.bench_function("small_id_sqrt_n", |b| {
+        let cfg = small_id::Config::new(16, 2);
+        let mut rng = rng_from_seed(1);
+        let ids = IdSpace::linear(N, 2).assign(N, &mut rng).unwrap();
+        b.iter(|| {
+            SyncSimBuilder::new(N)
+                .seed(1)
+                .ids(ids.clone())
+                .max_rounds(cfg.max_rounds(N) + 1)
+                .build(|id, n| small_id::Node::new(id, n, cfg))
+                .unwrap()
+                .run()
+                .unwrap()
+        })
+    });
+
+    group.bench_function("las_vegas", |b| {
+        b.iter(|| {
+            SyncSimBuilder::new(N)
+                .seed(1)
+                .build(|id, _| las_vegas::Node::new(id, las_vegas::Config::default()))
+                .unwrap()
+                .run()
+                .unwrap()
+        })
+    });
+
+    group.bench_function("sublinear_mc", |b| {
+        b.iter(|| {
+            SyncSimBuilder::new(N)
+                .seed(1)
+                .build(|_, _| sublinear_mc::Node::new(sublinear_mc::Config::default()))
+                .unwrap()
+                .run()
+                .unwrap()
+        })
+    });
+
+    group.bench_function("two_round_adversarial", |b| {
+        b.iter(|| {
+            SyncSimBuilder::new(N)
+                .seed(1)
+                .wake(WakeSchedule::single(NodeIndex(0)))
+                .max_rounds(2)
+                .build(|_, _| {
+                    two_round_adversarial::Node::new(two_round_adversarial::Config::new(0.0625))
+                })
+                .unwrap()
+                .run()
+                .unwrap()
+        })
+    });
+
+    group.bench_function("gossip_baseline", |b| {
+        let cfg = gossip_baseline::Config::default();
+        b.iter(|| {
+            SyncSimBuilder::new(N)
+                .seed(1)
+                .wake(WakeSchedule::single(NodeIndex(0)))
+                .max_rounds(cfg.total_rounds(N) + 2)
+                .build(|id, _| gossip_baseline::Node::new(id, cfg))
+                .unwrap()
+                .run()
+                .unwrap()
+        })
+    });
+
+    group.finish();
+}
+
+fn bench_async_algorithms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("election_async_n256");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(3));
+
+    for k in [2usize, 4] {
+        group.bench_function(format!("tradeoff_k{k}"), |b| {
+            b.iter(|| {
+                AsyncSimBuilder::new(N)
+                    .seed(1)
+                    .wake(AsyncWakeSchedule::single(NodeIndex(0)))
+                    .build(|_, _| a_tr::Node::new(a_tr::Config::new(k)))
+                    .unwrap()
+                    .run()
+                    .unwrap()
+            })
+        });
+    }
+
+    group.bench_function("afek_gafni_async", |b| {
+        b.iter(|| {
+            AsyncSimBuilder::new(N)
+                .seed(1)
+                .wake(AsyncWakeSchedule::simultaneous(N))
+                .build(|id, n| a_ag::Node::new(id, n))
+                .unwrap()
+                .run()
+                .unwrap()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_sync_algorithms, bench_async_algorithms);
+criterion_main!(benches);

@@ -1,0 +1,156 @@
+//! Criterion micro-benchmarks for the two engines and the port substrate:
+//! full-broadcast rounds (synchronous), flood executions (asynchronous),
+//! and lazy port resolution throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use clique_async::{AsyncContext, AsyncNode, AsyncSimBuilder, AsyncWakeSchedule};
+use clique_model::ids::Id;
+use clique_model::ports::{Port, PortMap, RandomResolver};
+use clique_model::rng::rng_from_seed;
+use clique_model::{Decision, NodeIndex, WakeCause};
+use clique_sync::{Context, Received, SyncNode, SyncSimBuilder};
+
+/// Round-1 full broadcast, elect the max: the engine's worst case per round.
+struct Broadcast {
+    me: Id,
+    best: Id,
+    decision: Decision,
+}
+
+impl SyncNode for Broadcast {
+    type Message = Id;
+    fn send_phase(&mut self, ctx: &mut Context<'_, Id>) {
+        if ctx.round() == 1 {
+            for p in ctx.all_ports() {
+                ctx.send(p, self.me);
+            }
+        }
+    }
+    fn receive_phase(&mut self, ctx: &mut Context<'_, Id>, inbox: &[Received<Id>]) {
+        for m in inbox {
+            self.best = self.best.max(m.msg);
+        }
+        if ctx.round() == 1 {
+            self.decision = if self.best == self.me {
+                Decision::Leader
+            } else {
+                Decision::non_leader()
+            };
+        }
+    }
+    fn decision(&self) -> Decision {
+        self.decision
+    }
+}
+
+/// Asynchronous flood: wake, broadcast once, decide after hearing everyone.
+struct Flood {
+    me: Id,
+    best: Id,
+    heard: usize,
+    n: usize,
+    decision: Decision,
+}
+
+impl AsyncNode for Flood {
+    type Message = Id;
+    fn on_wake(&mut self, ctx: &mut AsyncContext<'_, Id>, _cause: WakeCause) {
+        for p in ctx.all_ports() {
+            ctx.send(p, self.me);
+        }
+    }
+    fn on_message(&mut self, _ctx: &mut AsyncContext<'_, Id>, m: clique_async::Received<Id>) {
+        self.heard += 1;
+        self.best = self.best.max(m.msg);
+        if self.heard == self.n - 1 {
+            self.decision = if self.best == self.me {
+                Decision::Leader
+            } else {
+                Decision::non_leader()
+            };
+        }
+    }
+    fn decision(&self) -> Decision {
+        self.decision
+    }
+}
+
+fn bench_sync_broadcast(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sync_engine_broadcast");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for n in [64usize, 256] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                SyncSimBuilder::new(n)
+                    .seed(1)
+                    .build(|id, _| Broadcast {
+                        me: id,
+                        best: id,
+                        decision: Decision::Undecided,
+                    })
+                    .unwrap()
+                    .run()
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_async_flood(c: &mut Criterion) {
+    let mut group = c.benchmark_group("async_engine_flood");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for n in [64usize, 256] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                AsyncSimBuilder::new(n)
+                    .seed(1)
+                    .wake(AsyncWakeSchedule::simultaneous(n))
+                    .build(|id, n| Flood {
+                        me: id,
+                        best: id,
+                        heard: 0,
+                        n,
+                        decision: Decision::Undecided,
+                    })
+                    .unwrap()
+                    .run()
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_port_resolution(c: &mut Criterion) {
+    let mut group = c.benchmark_group("port_resolution_full_clique");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for n in [64usize, 256] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut map = PortMap::new(n).unwrap();
+                let mut r = RandomResolver;
+                let mut rng = rng_from_seed(3);
+                for u in 0..n {
+                    for p in 0..n - 1 {
+                        map.resolve(NodeIndex(u), Port(p), &mut r, &mut rng).unwrap();
+                    }
+                }
+                map.link_count()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sync_broadcast,
+    bench_async_flood,
+    bench_port_resolution
+);
+criterion_main!(benches);

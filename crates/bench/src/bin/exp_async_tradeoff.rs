@@ -1,0 +1,141 @@
+//! Reproduces Theorem 5.1: the asynchronous tradeoff algorithm
+//! (Algorithm 2) terminates within `k + 8` time units and sends
+//! `O(n^{1+1/k})` messages, for every `k` in `[2, O(log n / log log n)]`
+//! and under several adversarial delay strategies.
+//!
+//! Expected shape: measured time under the worst (unit-delay) adversary
+//! stays below `k + 8`; the fitted message exponent per `k` tracks
+//! `1 + 1/k`; `k = 2` matches the Ω(n^{3/2}) line of Theorem 4.2 and large
+//! `k` approaches the `O(n·log n)` of \[14\]-style algorithms.
+
+use clique_async::{AsyncSimBuilder, AsyncWakeSchedule, ConstDelay, DelayStrategy, UniformDelay};
+use clique_model::NodeIndex;
+use le_analysis::regression::fit_power_law;
+use le_analysis::stats::{success_rate, Summary};
+use le_analysis::table::fmt_count;
+use le_analysis::{CsvWriter, Table};
+use le_bench::{results_path, seeds, sweep};
+use le_bounds::formulas;
+use leader_election::asynchronous::tradeoff::{Config, Node};
+
+fn measure(n: usize, k: usize, seed: u64, delays: Box<dyn DelayStrategy>) -> (u64, f64, bool) {
+    let outcome = AsyncSimBuilder::new(n)
+        .seed(seed)
+        .wake(AsyncWakeSchedule::single(NodeIndex(0)))
+        .delays(delays)
+        .build(|_, _| Node::new(Config::new(k)))
+        .expect("valid configuration")
+        .run()
+        .expect("no resolver faults");
+    (
+        outcome.stats.total(),
+        outcome.time,
+        outcome.validate_implicit().is_ok(),
+    )
+}
+
+fn main() {
+    let ns = sweep(&[256usize, 1024, 4096, 8192], &[256, 1024]);
+    let ks = sweep(&[2usize, 3, 4, 6], &[2, 4]);
+    let seed_list = seeds(if le_bench::quick() { 5 } else { 10 });
+
+    let mut csv = CsvWriter::create(
+        results_path("exp_async_tradeoff.csv"),
+        &[
+            "n",
+            "k",
+            "delay",
+            "messages_mean",
+            "time_max",
+            "time_bound",
+            "messages_bound",
+            "success_rate",
+        ],
+    )
+    .expect("results/ is writable");
+
+    let mut per_k_points: std::collections::BTreeMap<usize, Vec<(f64, f64)>> =
+        std::collections::BTreeMap::new();
+
+    for &n in &ns {
+        let mut table = Table::new(vec![
+            "k",
+            "delay adversary",
+            "messages (mean)",
+            "time (max)",
+            "bound k+8",
+            "n^{1+1/k}",
+            "success",
+        ]);
+        table.title(format!(
+            "Asynchronous tradeoff (Theorem 5.1), n = {n} ({} seeds)",
+            seed_list.len()
+        ));
+        for &k in &ks {
+            if k > Config::max_k(n) {
+                continue;
+            }
+            for delay_name in ["uniform(0,1]", "const(1)"] {
+                let runs: Vec<(u64, f64, bool)> = seed_list
+                    .iter()
+                    .map(|&s| {
+                        let delays: Box<dyn DelayStrategy> = match delay_name {
+                            "uniform(0,1]" => Box::new(UniformDelay::full()),
+                            _ => Box::new(ConstDelay::max()),
+                        };
+                        measure(n, k, s, delays)
+                    })
+                    .collect();
+                let msgs =
+                    Summary::from_counts(&runs.iter().map(|r| r.0).collect::<Vec<_>>()).unwrap();
+                let time_max = runs.iter().map(|r| r.1).fold(0.0f64, f64::max);
+                let ok = success_rate(&runs.iter().map(|r| r.2).collect::<Vec<_>>());
+                let time_bound = formulas::thm51_time_upper_bound(k);
+                let msg_bound = formulas::thm51_message_upper_bound(n, k);
+                table.add_row(vec![
+                    k.to_string(),
+                    delay_name.into(),
+                    fmt_count(msgs.mean),
+                    format!("{time_max:.2}"),
+                    format!("{time_bound:.0}"),
+                    fmt_count(msg_bound),
+                    format!("{:.0}%", ok * 100.0),
+                ]);
+                csv.write_row(&[
+                    n.to_string(),
+                    k.to_string(),
+                    delay_name.into(),
+                    msgs.mean.to_string(),
+                    time_max.to_string(),
+                    time_bound.to_string(),
+                    msg_bound.to_string(),
+                    ok.to_string(),
+                ])
+                .expect("results/ is writable");
+                if delay_name == "uniform(0,1]" {
+                    per_k_points.entry(k).or_default().push((n as f64, msgs.mean));
+                }
+            }
+        }
+        println!("{table}");
+    }
+
+    println!("Fitted message exponents (uniform delays):");
+    for (k, points) in &per_k_points {
+        if points.len() < 2 {
+            continue;
+        }
+        let (xs, ys): (Vec<f64>, Vec<f64>) = points.iter().copied().unzip();
+        if let Some(fit) = fit_power_law(&xs, &ys) {
+            println!(
+                "  k = {k}: measured {fit} vs theory exponent {:.3}",
+                1.0 + 1.0 / *k as f64
+            );
+        }
+    }
+    csv.finish().expect("results/ is writable");
+    println!(
+        "CSV written to {}",
+        results_path("exp_async_tradeoff.csv").display()
+    );
+}

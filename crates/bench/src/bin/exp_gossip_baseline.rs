@@ -1,0 +1,123 @@
+//! Reproduces the Table 1 rows cited from \[14\] in *shape*, via the
+//! documented gossip substitute (DESIGN.md §4): a many-round algorithm
+//! under adversarial wake-up whose `O(n·log n)` message cost undercuts the
+//! Θ(n^{3/2}) two-round bound of Theorems 4.1/4.2 once `n` passes the
+//! crossover — the time-versus-messages gap Section 4 formalises.
+
+use clique_model::rng::rng_from_seed;
+use clique_sync::{SyncSimBuilder, WakeSchedule};
+use le_analysis::regression::fit_power_law;
+use le_analysis::stats::Summary;
+use le_analysis::table::fmt_count;
+use le_analysis::{CsvWriter, Table};
+use le_bench::{results_path, seeds, sweep};
+use le_bounds::formulas;
+use leader_election::sync::gossip_baseline;
+use leader_election::sync::two_round_adversarial;
+
+fn measure_gossip(n: usize, seed: u64) -> (u64, usize) {
+    let cfg = gossip_baseline::Config::default();
+    let mut wake_rng = rng_from_seed(seed ^ 0xF00D);
+    let outcome = SyncSimBuilder::new(n)
+        .seed(seed)
+        .wake(WakeSchedule::random_subset(n, 1, &mut wake_rng))
+        .max_rounds(cfg.total_rounds(n) + 2)
+        .build(|id, _| gossip_baseline::Node::new(id, cfg))
+        .expect("valid configuration")
+        .run()
+        .expect("no resolver faults");
+    outcome
+        .validate_explicit()
+        .expect("the gossip baseline never fails");
+    (outcome.stats.total(), outcome.rounds)
+}
+
+fn measure_two_round(n: usize, seed: u64) -> u64 {
+    let mut wake_rng = rng_from_seed(seed ^ 0xFEED);
+    let outcome = SyncSimBuilder::new(n)
+        .seed(seed)
+        .wake(WakeSchedule::random_subset(n, 1, &mut wake_rng))
+        .max_rounds(2)
+        .build(|_, _| two_round_adversarial::Node::new(two_round_adversarial::Config::new(0.0625)))
+        .expect("valid configuration")
+        .run()
+        .expect("no resolver faults");
+    outcome.stats.total()
+}
+
+fn main() {
+    let ns = sweep(&[256usize, 1024, 4096, 16384], &[256, 1024]);
+    let seed_list = seeds(if le_bench::quick() { 5 } else { 10 });
+
+    let mut csv = CsvWriter::create(
+        results_path("exp_gossip_baseline.csv"),
+        &[
+            "n",
+            "gossip_messages_mean",
+            "gossip_rounds",
+            "two_round_messages_mean",
+            "n_log_n",
+            "n_three_halves",
+        ],
+    )
+    .expect("results/ is writable");
+
+    let mut table = Table::new(vec![
+        "n",
+        "gossip msgs (mean)",
+        "gossip rounds",
+        "2-round msgs (mean)",
+        "n·log₂n",
+        "n^{3/2}",
+        "gossip wins?",
+    ]);
+    table.title(format!(
+        "Gossip stand-in for [14] vs the 2-round algorithm, single adversarial \
+         wake-up ({} seeds)",
+        seed_list.len()
+    ));
+
+    let mut points = Vec::new();
+    for &n in &ns {
+        let gossip: Vec<(u64, usize)> =
+            seed_list.iter().map(|&s| measure_gossip(n, s)).collect();
+        let two: Vec<u64> = seed_list.iter().map(|&s| measure_two_round(n, s)).collect();
+        let g_msgs =
+            Summary::from_counts(&gossip.iter().map(|r| r.0).collect::<Vec<_>>()).unwrap();
+        let g_rounds = gossip.iter().map(|r| r.1).max().unwrap();
+        let t_msgs = Summary::from_counts(&two).unwrap();
+        points.push((n as f64, g_msgs.mean));
+        table.add_row(vec![
+            n.to_string(),
+            fmt_count(g_msgs.mean),
+            g_rounds.to_string(),
+            fmt_count(t_msgs.mean),
+            fmt_count(n as f64 * formulas::log2(n)),
+            fmt_count((n as f64).powf(1.5)),
+            if g_msgs.mean < t_msgs.mean { "yes" } else { "not yet" }.into(),
+        ]);
+        csv.write_row(&[
+            n.to_string(),
+            g_msgs.mean.to_string(),
+            g_rounds.to_string(),
+            t_msgs.mean.to_string(),
+            (n as f64 * formulas::log2(n)).to_string(),
+            (n as f64).powf(1.5).to_string(),
+        ])
+        .expect("results/ is writable");
+    }
+    println!("{table}");
+
+    let (xs, ys): (Vec<f64>, Vec<f64>) = points.iter().copied().unzip();
+    if let Some(fit) = fit_power_law(&xs, &ys) {
+        println!(
+            "Gossip message scaling: {fit} — quasilinear (exponent ≈ 1 plus log drift); \
+             the paper's [14] achieves O(n), one log factor less (see EXPERIMENTS.md)"
+        );
+    }
+    csv.finish().expect("results/ is writable");
+    println!(
+        "CSV written to {}",
+        results_path("exp_gossip_baseline.csv").display()
+    );
+}

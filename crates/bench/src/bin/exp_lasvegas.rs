@@ -1,0 +1,125 @@
+//! Reproduces Theorem 3.16: the Θ(n) Las Vegas message complexity versus
+//! the Θ(√n·log^{3/2} n) Monte Carlo cost of \[16\] — a polynomial gap —
+//! plus the Las Vegas guarantees themselves (never fails, 3 rounds whp).
+//!
+//! Expected shape: the fitted scaling exponent of the Las Vegas algorithm
+//! approaches 1 (announcement-dominated), the Monte Carlo exponent stays
+//! near 1/2 (plus polylog drift), and the Las Vegas cost always clears the
+//! Ω(n) lower-bound line while the Monte Carlo cost dives under it.
+
+use clique_sync::SyncSimBuilder;
+use le_analysis::regression::fit_power_law;
+use le_analysis::stats::Summary;
+use le_analysis::table::fmt_count;
+use le_analysis::{CsvWriter, Table};
+use le_bench::{results_path, seeds, sweep};
+use le_bounds::formulas;
+use leader_election::sync::las_vegas;
+use leader_election::sync::sublinear_mc;
+
+fn measure_lv(n: usize, seed: u64) -> (u64, usize) {
+    let outcome = SyncSimBuilder::new(n)
+        .seed(seed)
+        .build(|id, _| las_vegas::Node::new(id, las_vegas::Config::default()))
+        .expect("valid configuration")
+        .run()
+        .expect("no resolver faults");
+    outcome
+        .validate_explicit()
+        .expect("Las Vegas algorithms never fail");
+    (outcome.stats.total(), outcome.rounds)
+}
+
+fn measure_mc(n: usize, seed: u64) -> (u64, bool) {
+    let outcome = SyncSimBuilder::new(n)
+        .seed(seed)
+        .build(|_, _| sublinear_mc::Node::new(sublinear_mc::Config::default()))
+        .expect("valid configuration")
+        .run()
+        .expect("no resolver faults");
+    (outcome.stats.total(), outcome.validate_implicit().is_ok())
+}
+
+fn main() {
+    let ns = sweep(&[256usize, 1024, 4096, 16384, 65536], &[256, 1024]);
+    let seed_list = seeds(if le_bench::quick() { 5 } else { 20 });
+
+    let mut csv = CsvWriter::create(
+        results_path("exp_lasvegas.csv"),
+        &[
+            "n",
+            "lv_messages_mean",
+            "lv_rounds_max",
+            "mc_messages_mean",
+            "mc_success_rate",
+            "lv_lower_bound",
+            "mc16_bound",
+        ],
+    )
+    .expect("results/ is writable");
+
+    let mut table = Table::new(vec![
+        "n",
+        "LV msgs (mean)",
+        "LV rounds (max)",
+        "MC msgs (mean)",
+        "MC success",
+        "Ω(n)/4 floor",
+        "√n·log^{3/2}n",
+    ]);
+    table.title(format!(
+        "Las Vegas vs Monte Carlo (Theorem 3.16 vs [16]; {} seeds per n)",
+        seed_list.len()
+    ));
+
+    let mut lv_points: Vec<(f64, f64)> = Vec::new();
+    let mut mc_points: Vec<(f64, f64)> = Vec::new();
+    for &n in &ns {
+        let lv: Vec<(u64, usize)> = seed_list.iter().map(|&s| measure_lv(n, s)).collect();
+        let mc: Vec<(u64, bool)> = seed_list.iter().map(|&s| measure_mc(n, s)).collect();
+        let lv_msgs = Summary::from_counts(&lv.iter().map(|r| r.0).collect::<Vec<_>>()).unwrap();
+        let lv_rounds_max = lv.iter().map(|r| r.1).max().unwrap();
+        let mc_msgs = Summary::from_counts(&mc.iter().map(|r| r.0).collect::<Vec<_>>()).unwrap();
+        let mc_ok = le_analysis::stats::success_rate(
+            &mc.iter().map(|r| r.1).collect::<Vec<_>>(),
+        );
+        let lv_floor = formulas::lasvegas_message_lower_bound(n);
+        assert!(
+            lv_msgs.min >= lv_floor,
+            "a Las Vegas run sent fewer than the Ω(n) floor"
+        );
+        lv_points.push((n as f64, lv_msgs.mean));
+        mc_points.push((n as f64, mc_msgs.mean));
+        table.add_row(vec![
+            n.to_string(),
+            fmt_count(lv_msgs.mean),
+            lv_rounds_max.to_string(),
+            fmt_count(mc_msgs.mean),
+            format!("{:.0}%", mc_ok * 100.0),
+            fmt_count(lv_floor),
+            fmt_count(formulas::mc16_message_upper_bound(n)),
+        ]);
+        csv.write_row(&[
+            n.to_string(),
+            lv_msgs.mean.to_string(),
+            lv_rounds_max.to_string(),
+            mc_msgs.mean.to_string(),
+            mc_ok.to_string(),
+            lv_floor.to_string(),
+            formulas::mc16_message_upper_bound(n).to_string(),
+        ])
+        .expect("results/ is writable");
+    }
+    println!("{table}");
+
+    let (xs, ys): (Vec<f64>, Vec<f64>) = lv_points.iter().copied().unzip();
+    if let Some(fit) = fit_power_law(&xs, &ys) {
+        println!("Las Vegas scaling: {fit} — expected exponent → 1 (linear)");
+    }
+    let (xs, ys): (Vec<f64>, Vec<f64>) = mc_points.iter().copied().unzip();
+    if let Some(fit) = fit_power_law(&xs, &ys) {
+        println!("Monte Carlo scaling: {fit} — expected exponent → 0.5 + polylog drift");
+    }
+    csv.finish().expect("results/ is writable");
+    println!("CSV written to {}", results_path("exp_lasvegas.csv").display());
+}

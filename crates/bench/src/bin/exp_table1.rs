@@ -1,0 +1,371 @@
+//! Regenerates **Table 1** of the paper: one row per result, with the
+//! paper's claimed time/messages next to this reproduction's measurements
+//! (mean over seeds at a fixed `n`). Lower-bound rows print the formula
+//! value at the chosen `n` — they are proofs, not algorithms — so the
+//! table shows each algorithm sitting above its matching floor.
+
+use clique_async::{AsyncSimBuilder, AsyncWakeSchedule};
+use clique_model::ids::IdSpace;
+use clique_model::rng::rng_from_seed;
+use clique_model::NodeIndex;
+use clique_sync::{SyncSimBuilder, WakeSchedule};
+use le_analysis::stats::{success_rate, Summary};
+use le_analysis::table::fmt_count;
+use le_analysis::{CsvWriter, Table};
+use le_bench::{results_path, seeds};
+use le_bounds::formulas;
+use leader_election::asynchronous::{afek_gafni as a_ag, tradeoff as a_tr};
+use leader_election::sync::{
+    afek_gafni, gossip_baseline, improved_tradeoff, las_vegas, small_id, sublinear_mc,
+    two_round_adversarial,
+};
+
+struct Row {
+    name: &'static str,
+    paper_time: String,
+    paper_messages: String,
+    measured_time: String,
+    measured_messages: String,
+    success: String,
+}
+
+fn summarize(rows: &mut Vec<Row>, name: &'static str, paper_time: &str, paper_msgs: f64, runs: &[(f64, u64, bool)]) {
+    let time = Summary::from_sample(&runs.iter().map(|r| r.0).collect::<Vec<_>>()).unwrap();
+    let msgs = Summary::from_counts(&runs.iter().map(|r| r.1).collect::<Vec<_>>()).unwrap();
+    let ok = success_rate(&runs.iter().map(|r| r.2).collect::<Vec<_>>());
+    rows.push(Row {
+        name,
+        paper_time: paper_time.to_string(),
+        paper_messages: fmt_count(paper_msgs),
+        measured_time: format!("{:.1}", time.mean),
+        measured_messages: fmt_count(msgs.mean),
+        success: format!("{:.0}%", ok * 100.0),
+    });
+}
+
+fn lower_bound_row(rows: &mut Vec<Row>, name: &'static str, time: &str, value: f64) {
+    rows.push(Row {
+        name,
+        paper_time: time.to_string(),
+        paper_messages: fmt_count(value),
+        measured_time: "—".into(),
+        measured_messages: "(formula)".into(),
+        success: "—".into(),
+    });
+}
+
+fn main() {
+    let n = if le_bench::quick() { 256 } else { 1024 };
+    let seed_list = seeds(if le_bench::quick() { 3 } else { 10 });
+    let mut rows: Vec<Row> = Vec::new();
+
+    // ---- Synchronous, deterministic, simultaneous wake-up ----
+    lower_bound_row(
+        &mut rows,
+        "LB Thm 3.8 (f=2 ⇒ rounds)",
+        &format!("≥{:.1}", formulas::thm38_round_lower_bound(n, 2.0)),
+        2.0 * n as f64,
+    );
+    lower_bound_row(
+        &mut rows,
+        "LB Thm 3.11 (time-bounded)",
+        "any T(n)",
+        formulas::thm311_message_lower_bound(n),
+    );
+    {
+        let ell = 5;
+        let cfg = improved_tradeoff::Config::with_rounds(ell);
+        let runs: Vec<(f64, u64, bool)> = seed_list
+            .iter()
+            .map(|&s| {
+                let o = SyncSimBuilder::new(n)
+                    .seed(s)
+                    .build(|id, n| improved_tradeoff::Node::new(id, n, cfg))
+                    .unwrap()
+                    .run()
+                    .unwrap();
+                (o.rounds as f64, o.stats.total(), o.validate_explicit().is_ok())
+            })
+            .collect();
+        summarize(
+            &mut rows,
+            "Alg Thm 3.10 (ℓ=5)",
+            "5",
+            formulas::thm310_message_upper_bound(n, 5),
+            &runs,
+        );
+    }
+    {
+        let g = 2u64;
+        let d = (n as f64).sqrt() as usize;
+        let cfg = small_id::Config::new(d, g);
+        let runs: Vec<(f64, u64, bool)> = seed_list
+            .iter()
+            .map(|&s| {
+                let mut rng = rng_from_seed(s);
+                let ids = IdSpace::linear(n, g).assign(n, &mut rng).unwrap();
+                let o = SyncSimBuilder::new(n)
+                    .seed(s)
+                    .ids(ids)
+                    .max_rounds(cfg.max_rounds(n) + 1)
+                    .build(|id, n| small_id::Node::new(id, n, cfg))
+                    .unwrap()
+                    .run()
+                    .unwrap();
+                (o.rounds as f64, o.stats.total(), o.validate_explicit().is_ok())
+            })
+            .collect();
+        summarize(
+            &mut rows,
+            "Alg Thm 3.15 (d=√n, g=2)",
+            "≤⌈n/d⌉",
+            formulas::thm315_messages(n, d, g),
+            &runs,
+        );
+    }
+
+    // ---- Synchronous, deterministic, adversarial wake-up ----
+    {
+        let ell = 4;
+        let cfg = afek_gafni::Config::with_rounds(ell);
+        let mut wake_rng = rng_from_seed(7);
+        let runs: Vec<(f64, u64, bool)> = seed_list
+            .iter()
+            .map(|&s| {
+                let wake = WakeSchedule::random_subset(n, n / 4, &mut wake_rng);
+                let o = SyncSimBuilder::new(n)
+                    .seed(s)
+                    .wake(wake)
+                    .build(|id, n| afek_gafni::Node::new(id, n, cfg))
+                    .unwrap()
+                    .run()
+                    .unwrap();
+                (o.rounds as f64, o.stats.total(), o.validate_explicit().is_ok())
+            })
+            .collect();
+        summarize(
+            &mut rows,
+            "Alg AG [1] (ℓ=4, adv. wake)",
+            "4",
+            formulas::afek_gafni_message_upper_bound(n, 4),
+            &runs,
+        );
+    }
+    lower_bound_row(
+        &mut rows,
+        "LB AG [1] (c=2)",
+        "≤½log₂n",
+        formulas::afek_gafni_message_lower_bound(n, 2.0),
+    );
+
+    // ---- Synchronous, randomized, simultaneous wake-up ----
+    {
+        let runs: Vec<(f64, u64, bool)> = seed_list
+            .iter()
+            .map(|&s| {
+                let o = SyncSimBuilder::new(n)
+                    .seed(s)
+                    .build(|id, _| las_vegas::Node::new(id, las_vegas::Config::default()))
+                    .unwrap()
+                    .run()
+                    .unwrap();
+                (o.rounds as f64, o.stats.total(), o.validate_explicit().is_ok())
+            })
+            .collect();
+        summarize(&mut rows, "Alg Thm 3.16 (Las Vegas)", "3 whp", n as f64, &runs);
+    }
+    lower_bound_row(
+        &mut rows,
+        "LB Thm 3.16 (Las Vegas)",
+        "any",
+        formulas::lasvegas_message_lower_bound(n),
+    );
+    {
+        let runs: Vec<(f64, u64, bool)> = seed_list
+            .iter()
+            .map(|&s| {
+                let o = SyncSimBuilder::new(n)
+                    .seed(s)
+                    .build(|_, _| sublinear_mc::Node::new(sublinear_mc::Config::default()))
+                    .unwrap()
+                    .run()
+                    .unwrap();
+                (o.rounds as f64, o.stats.total(), o.validate_implicit().is_ok())
+            })
+            .collect();
+        summarize(
+            &mut rows,
+            "Alg [16] (Monte Carlo)",
+            "2",
+            formulas::mc16_message_upper_bound(n),
+            &runs,
+        );
+    }
+    lower_bound_row(
+        &mut rows,
+        "LB [16] (const. error)",
+        "any",
+        formulas::mc16_message_lower_bound(n),
+    );
+
+    // ---- Synchronous, randomized, adversarial wake-up ----
+    {
+        let eps = 0.0625;
+        let mut wake_rng = rng_from_seed(11);
+        let runs: Vec<(f64, u64, bool)> = seed_list
+            .iter()
+            .map(|&s| {
+                let wake = WakeSchedule::random_subset(n, 1, &mut wake_rng);
+                let o = SyncSimBuilder::new(n)
+                    .seed(s)
+                    .wake(wake)
+                    .max_rounds(2)
+                    .build(|_, _| {
+                        two_round_adversarial::Node::new(two_round_adversarial::Config::new(eps))
+                    })
+                    .unwrap()
+                    .run()
+                    .unwrap();
+                (o.rounds as f64, o.stats.total(), o.validate_implicit().is_ok())
+            })
+            .collect();
+        summarize(
+            &mut rows,
+            "Alg Thm 4.1 (ε=1/16)",
+            "2",
+            formulas::thm41_message_upper_bound(n, eps),
+            &runs,
+        );
+    }
+    lower_bound_row(
+        &mut rows,
+        "LB Thm 4.2 (2 rounds)",
+        "≤2",
+        formulas::thm42_message_lower_bound(n),
+    );
+    {
+        let cfg = gossip_baseline::Config::default();
+        let mut wake_rng = rng_from_seed(13);
+        let runs: Vec<(f64, u64, bool)> = seed_list
+            .iter()
+            .map(|&s| {
+                let wake = WakeSchedule::random_subset(n, 1, &mut wake_rng);
+                let o = SyncSimBuilder::new(n)
+                    .seed(s)
+                    .wake(wake)
+                    .max_rounds(cfg.total_rounds(n) + 2)
+                    .build(|id, _| gossip_baseline::Node::new(id, cfg))
+                    .unwrap()
+                    .run()
+                    .unwrap();
+                (o.rounds as f64, o.stats.total(), o.validate_explicit().is_ok())
+            })
+            .collect();
+        summarize(
+            &mut rows,
+            "Gossip stand-in for [14]",
+            "O(log n)",
+            n as f64 * formulas::log2(n),
+            &runs,
+        );
+    }
+
+    // ---- Asynchronous ----
+    for k in [2usize, 4] {
+        let runs: Vec<(f64, u64, bool)> = seed_list
+            .iter()
+            .map(|&s| {
+                let o = AsyncSimBuilder::new(n)
+                    .seed(s)
+                    .wake(AsyncWakeSchedule::single(NodeIndex(0)))
+                    .build(|_, _| a_tr::Node::new(a_tr::Config::new(k)))
+                    .unwrap()
+                    .run()
+                    .unwrap();
+                (o.time, o.stats.total(), o.validate_implicit().is_ok())
+            })
+            .collect();
+        let name: &'static str = if k == 2 {
+            "Alg Thm 5.1 (k=2)"
+        } else {
+            "Alg Thm 5.1 (k=4)"
+        };
+        summarize(
+            &mut rows,
+            name,
+            &format!("≤{}", k + 8),
+            formulas::thm51_message_upper_bound(n, k),
+            &runs,
+        );
+    }
+    {
+        let runs: Vec<(f64, u64, bool)> = seed_list
+            .iter()
+            .map(|&s| {
+                let o = AsyncSimBuilder::new(n)
+                    .seed(s)
+                    .wake(AsyncWakeSchedule::simultaneous(n))
+                    .build(|id, n| a_ag::Node::new(id, n))
+                    .unwrap()
+                    .run()
+                    .unwrap();
+                (o.time, o.stats.total(), o.validate_implicit().is_ok())
+            })
+            .collect();
+        summarize(
+            &mut rows,
+            "Alg Thm 5.14 (async AG)",
+            "O(log n)",
+            formulas::thm514_message_upper_bound(n),
+            &runs,
+        );
+    }
+
+    // ---- Render ----
+    let mut table = Table::new(vec![
+        "Result",
+        "paper time",
+        "paper msgs @ n",
+        "measured time",
+        "measured msgs",
+        "success",
+    ]);
+    table.title(format!(
+        "Table 1 reproduction, n = {n} (mean of {} seeds; lower bounds print their formula value)",
+        seed_list.len()
+    ));
+    let mut csv = CsvWriter::create(
+        results_path("exp_table1.csv"),
+        &[
+            "result",
+            "paper_time",
+            "paper_messages",
+            "measured_time",
+            "measured_messages",
+            "success",
+        ],
+    )
+    .expect("results/ is writable");
+    for row in &rows {
+        table.add_row(vec![
+            row.name.to_string(),
+            row.paper_time.clone(),
+            row.paper_messages.clone(),
+            row.measured_time.clone(),
+            row.measured_messages.clone(),
+            row.success.clone(),
+        ]);
+        csv.write_row(&[
+            row.name,
+            &row.paper_time,
+            &row.paper_messages,
+            &row.measured_time,
+            &row.measured_messages,
+            &row.success,
+        ])
+        .expect("results/ is writable");
+    }
+    println!("{table}");
+    csv.finish().expect("results/ is writable");
+    println!("CSV written to {}", results_path("exp_table1.csv").display());
+}

@@ -1,0 +1,78 @@
+//! Shared plumbing for the experiment binaries that regenerate the paper's
+//! tables and tradeoff curves.
+//!
+//! Each binary (`exp_*`) reproduces one evaluation artifact of *Improved
+//! Tradeoffs for Leader Election* — see DESIGN.md §3 for the index and
+//! EXPERIMENTS.md for recorded results. Run one with
+//!
+//! ```text
+//! cargo run --release -p le-bench --bin exp_tradeoff_det
+//! ```
+//!
+//! Every binary prints a table to stdout and writes a CSV under
+//! `results/`. Set `LE_QUICK=1` to shrink the sweeps (used by the smoke
+//! tests).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::path::PathBuf;
+
+/// Whether the quick (CI-sized) sweep was requested via `LE_QUICK=1` or a
+/// `--quick` argument.
+pub fn quick() -> bool {
+    std::env::var_os("LE_QUICK").is_some_and(|v| v != "0")
+        || std::env::args().any(|a| a == "--quick")
+}
+
+/// Picks the full or quick variant of a sweep.
+pub fn sweep<T: Clone>(full: &[T], quick_variant: &[T]) -> Vec<T> {
+    if quick() {
+        quick_variant.to_vec()
+    } else {
+        full.to_vec()
+    }
+}
+
+/// Path under `results/` (directory created on demand).
+///
+/// # Panics
+///
+/// Panics if the directory cannot be created — experiments cannot proceed
+/// without their output sink.
+pub fn results_path(file: &str) -> PathBuf {
+    let dir = PathBuf::from("results");
+    std::fs::create_dir_all(&dir).expect("cannot create results/ directory");
+    dir.join(file)
+}
+
+/// The seed list for `count` repetitions.
+pub fn seeds(count: u64) -> Vec<u64> {
+    (0..count).collect()
+}
+
+/// Formats a ratio as e.g. `0.83×`.
+pub fn ratio(measured: f64, predicted: f64) -> String {
+    format!("{:.2}×", measured / predicted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_picks_by_mode() {
+        // Cannot toggle the env var reliably under parallel tests; exercise
+        // the pure parts.
+        let s = sweep(&[1, 2, 3], &[1]);
+        assert!(s == vec![1, 2, 3] || s == vec![1]);
+        assert_eq!(seeds(3), vec![0, 1, 2]);
+        assert_eq!(ratio(3.0, 4.0), "0.75×");
+    }
+
+    #[test]
+    fn results_path_creates_directory() {
+        let p = results_path("probe.csv");
+        assert!(p.parent().unwrap().exists());
+    }
+}

@@ -1,0 +1,376 @@
+//! The communication graph of Definition 3.1 and component capacities of
+//! Definition 3.2, built live from an execution.
+//!
+//! The round-`r` communication graph has a directed edge `(u, v)` iff `u`
+//! sent a message over a port connected to `v` in some round `r' < r`.
+//! Lemma 3.9's adversary and the Theorem 3.8 experiments reason about the
+//! *weakly connected components* of this graph: nodes in one component may
+//! have correlated states, nodes in different components provably behave
+//! independently.
+
+use clique_model::NodeIndex;
+use clique_sync::Observer;
+
+/// A time-stamped directed communication graph over `n` nodes.
+#[derive(Debug, Clone)]
+pub struct CommGraph {
+    n: usize,
+    /// `(round, src, dst)` per message, in send order.
+    edges: Vec<(usize, u32, u32)>,
+}
+
+impl CommGraph {
+    /// Creates an empty communication graph over `n` nodes.
+    pub fn new(n: usize) -> Self {
+        CommGraph {
+            n,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Records that `src` sent a message that reached `dst` during `round`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range.
+    pub fn record(&mut self, round: usize, src: NodeIndex, dst: NodeIndex) {
+        assert!(src.0 < self.n && dst.0 < self.n, "endpoint out of range");
+        self.edges.push((round, src.0 as u32, dst.0 as u32));
+    }
+
+    /// Total messages recorded.
+    pub fn message_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The weakly connected components of the round-`r` graph (edges from
+    /// rounds `< r` only, per Definition 3.1), as sorted node lists; the
+    /// result is sorted by each component's smallest node.
+    pub fn components_at(&self, round: usize) -> Vec<Vec<NodeIndex>> {
+        let mut dsu = Dsu::new(self.n);
+        for &(r, u, v) in &self.edges {
+            if r < round {
+                dsu.union(u as usize, v as usize);
+            }
+        }
+        dsu.components()
+    }
+
+    /// Size of the largest component of the round-`r` graph.
+    pub fn largest_component_at(&self, round: usize) -> usize {
+        self.components_at(round)
+            .iter()
+            .map(Vec::len)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The *capacity* (Definition 3.2) of a node set in the round-`r`
+    /// graph: the largest `λ` such that every member has at least `λ`
+    /// members it has no edge to or from. Returns 0 for sets of size ≤ 1.
+    pub fn capacity_at(&self, round: usize, members: &[NodeIndex]) -> usize {
+        if members.len() <= 1 {
+            return 0;
+        }
+        let in_set: std::collections::HashSet<u32> =
+            members.iter().map(|u| u.0 as u32).collect();
+        // Count, per member, how many *other* members it touches.
+        let mut touched: std::collections::HashMap<u32, std::collections::HashSet<u32>> =
+            std::collections::HashMap::new();
+        for &(r, u, v) in &self.edges {
+            if r < round && in_set.contains(&u) && in_set.contains(&v) {
+                touched.entry(u).or_default().insert(v);
+                touched.entry(v).or_default().insert(u);
+            }
+        }
+        members
+            .iter()
+            .map(|u| {
+                let t = touched.get(&(u.0 as u32)).map_or(0, |s| s.len());
+                members.len() - 1 - t
+            })
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Whether `members` is isolated in the round-`r` graph: no edge
+    /// connects a member to a non-member (in either direction).
+    pub fn is_isolated_at(&self, round: usize, members: &[NodeIndex]) -> bool {
+        let in_set: std::collections::HashSet<u32> =
+            members.iter().map(|u| u.0 as u32).collect();
+        self.edges.iter().all(|&(r, u, v)| {
+            r >= round || in_set.contains(&u) == in_set.contains(&v)
+        })
+    }
+
+    /// The last round with a recorded message (0 if none).
+    pub fn last_round(&self) -> usize {
+        self.edges.iter().map(|&(r, _, _)| r).max().unwrap_or(0)
+    }
+}
+
+/// Union–find over `0..n`.
+#[derive(Debug)]
+struct Dsu {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+}
+
+impl Dsu {
+    fn new(n: usize) -> Self {
+        Dsu {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+        }
+    }
+
+    fn find(&mut self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] as usize != root {
+            root = self.parent[root] as usize;
+        }
+        // Path compression.
+        let mut cur = x;
+        while cur != root {
+            let next = self.parent[cur] as usize;
+            self.parent[cur] = root as u32;
+            cur = next;
+        }
+        root
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return;
+        }
+        if self.size[ra] < self.size[rb] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb] = ra as u32;
+        self.size[ra] += self.size[rb];
+    }
+
+    fn components(&mut self) -> Vec<Vec<NodeIndex>> {
+        let n = self.parent.len();
+        let mut groups: std::collections::BTreeMap<usize, Vec<NodeIndex>> =
+            std::collections::BTreeMap::new();
+        for x in 0..n {
+            let root = self.find(x);
+            groups.entry(root).or_default().push(NodeIndex(x));
+        }
+        let mut out: Vec<Vec<NodeIndex>> = groups.into_values().collect();
+        out.sort_by_key(|c| c[0]);
+        out
+    }
+}
+
+/// An [`Observer`] that builds a [`CommGraph`] as the engine runs.
+///
+/// # Example
+///
+/// ```
+/// use clique_model::{Decision, Id};
+/// use clique_sync::{Context, Received, SyncNode, SyncSimBuilder};
+/// use le_bounds::GraphObserver;
+///
+/// struct Quiet;
+/// impl SyncNode for Quiet {
+///     type Message = ();
+///     fn send_phase(&mut self, _: &mut Context<'_, ()>) {}
+///     fn receive_phase(&mut self, _: &mut Context<'_, ()>, _: &[Received<()>]) {}
+///     fn decision(&self) -> Decision { Decision::Leader }
+/// }
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut obs = GraphObserver::new(8);
+/// SyncSimBuilder::new(8).build(|_, _| Quiet)?.run_observed(&mut obs)?;
+/// assert_eq!(obs.graph().message_count(), 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct GraphObserver {
+    graph: CommGraph,
+}
+
+impl GraphObserver {
+    /// Creates an observer for an `n`-node execution.
+    pub fn new(n: usize) -> Self {
+        GraphObserver {
+            graph: CommGraph::new(n),
+        }
+    }
+
+    /// The communication graph built so far.
+    pub fn graph(&self) -> &CommGraph {
+        &self.graph
+    }
+
+    /// Consumes the observer into its graph.
+    pub fn into_graph(self) -> CommGraph {
+        self.graph
+    }
+}
+
+impl Observer for GraphObserver {
+    fn on_message(
+        &mut self,
+        round: usize,
+        src: clique_model::ports::Endpoint,
+        dst: clique_model::ports::Endpoint,
+    ) {
+        self.graph.record(round, src.node, dst.node);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph_with(n: usize, edges: &[(usize, usize, usize)]) -> CommGraph {
+        let mut g = CommGraph::new(n);
+        for &(r, u, v) in edges {
+            g.record(r, NodeIndex(u), NodeIndex(v));
+        }
+        g
+    }
+
+    #[test]
+    fn round_one_graph_is_empty() {
+        // Definition 3.1: G_1 contains only edges sent strictly before
+        // round 1, i.e. none.
+        let g = graph_with(4, &[(1, 0, 1), (2, 1, 2)]);
+        let comps = g.components_at(1);
+        assert_eq!(comps.len(), 4, "G_1 must be all singletons");
+        assert_eq!(g.largest_component_at(1), 1);
+    }
+
+    #[test]
+    fn edges_appear_one_round_late() {
+        let g = graph_with(4, &[(1, 0, 1), (2, 1, 2)]);
+        // Round 2 sees only the round-1 edge.
+        let comps = g.components_at(2);
+        assert_eq!(comps.len(), 3);
+        assert_eq!(comps[0], vec![NodeIndex(0), NodeIndex(1)]);
+        // Round 3 sees both.
+        assert_eq!(g.largest_component_at(3), 3);
+    }
+
+    #[test]
+    fn weak_connectivity_ignores_direction() {
+        // Two directed edges into node 2 still merge all three nodes.
+        let g = graph_with(3, &[(1, 0, 2), (1, 1, 2)]);
+        assert_eq!(g.largest_component_at(2), 3);
+    }
+
+    #[test]
+    fn capacity_counts_untouched_members() {
+        // Component {0,1,2,3} with a single 0→1 edge: 0 and 1 each still
+        // have 2 untouched members; 2 and 3 have 3.
+        let g = graph_with(4, &[(1, 0, 1)]);
+        let members: Vec<NodeIndex> = (0..4).map(NodeIndex).collect();
+        assert_eq!(g.capacity_at(2, &members), 2);
+        // Before the edge exists the capacity is full.
+        assert_eq!(g.capacity_at(1, &members), 3);
+        // Duplicate and reverse edges do not double-count.
+        let g2 = graph_with(4, &[(1, 0, 1), (1, 1, 0), (1, 0, 1)]);
+        assert_eq!(g2.capacity_at(2, &members), 2);
+    }
+
+    #[test]
+    fn capacity_of_small_sets_is_zero() {
+        let g = graph_with(4, &[]);
+        assert_eq!(g.capacity_at(1, &[NodeIndex(0)]), 0);
+        assert_eq!(g.capacity_at(1, &[]), 0);
+    }
+
+    #[test]
+    fn isolation_detects_boundary_edges() {
+        let g = graph_with(5, &[(1, 0, 1), (2, 2, 3)]);
+        let left = [NodeIndex(0), NodeIndex(1)];
+        assert!(g.is_isolated_at(3, &left));
+        // {1, 2} is cut by both edges.
+        assert!(!g.is_isolated_at(3, &[NodeIndex(1), NodeIndex(2)]));
+        // At round 1 nothing has happened, so everything is isolated.
+        assert!(g.is_isolated_at(1, &[NodeIndex(1), NodeIndex(2)]));
+    }
+
+    #[test]
+    fn last_round_and_count() {
+        let g = graph_with(5, &[(1, 0, 1), (7, 2, 3)]);
+        assert_eq!(g.last_round(), 7);
+        assert_eq!(g.message_count(), 2);
+        assert_eq!(CommGraph::new(3).last_round(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_nodes() {
+        let mut g = CommGraph::new(2);
+        g.record(1, NodeIndex(0), NodeIndex(5));
+    }
+
+    #[test]
+    fn observer_builds_graph_from_execution() {
+        use clique_model::{Decision, Id};
+        use clique_sync::{Context, Received, SyncNode, SyncSimBuilder};
+
+        /// Round 1: everyone broadcasts its ID; elects max.
+        struct B {
+            me: Id,
+            best: Id,
+            d: Decision,
+        }
+        impl SyncNode for B {
+            type Message = Id;
+            fn send_phase(&mut self, ctx: &mut Context<'_, Id>) {
+                if ctx.round() == 1 {
+                    for p in ctx.all_ports() {
+                        ctx.send(p, self.me);
+                    }
+                }
+            }
+            fn receive_phase(&mut self, ctx: &mut Context<'_, Id>, inbox: &[Received<Id>]) {
+                for m in inbox {
+                    self.best = self.best.max(m.msg);
+                }
+                if ctx.round() == 1 {
+                    self.d = if self.best == self.me {
+                        Decision::Leader
+                    } else {
+                        Decision::non_leader()
+                    };
+                }
+            }
+            fn decision(&self) -> Decision {
+                self.d
+            }
+        }
+
+        let n = 6;
+        let mut obs = GraphObserver::new(n);
+        let outcome = SyncSimBuilder::new(n)
+            .seed(2)
+            .build(|id, _| B {
+                me: id,
+                best: id,
+                d: Decision::Undecided,
+            })
+            .unwrap()
+            .run_observed(&mut obs)
+            .unwrap();
+        outcome.validate_implicit().unwrap();
+        let g = obs.into_graph();
+        assert_eq!(g.message_count(), n * (n - 1));
+        // After the broadcast round the graph is fully connected.
+        assert_eq!(g.largest_component_at(2), n);
+        // ... but during round 1 it was still empty (Definition 3.1).
+        assert_eq!(g.largest_component_at(1), 1);
+    }
+}

@@ -1,0 +1,288 @@
+//! Every bound of Table 1 as a pure function.
+//!
+//! All functions return `f64` (the bounds are asymptotic envelopes, not
+//! exact counts) and take `n` as `usize`. Logarithms are base 2 unless the
+//! paper says otherwise, matching Section 3's convention.
+
+/// `log₂ n` as a float (`n ≥ 1`).
+pub fn log2(n: usize) -> f64 {
+    (n.max(1) as f64).log2()
+}
+
+/// Theorem 3.8 (tradeoff lower bound, simultaneous wake-up): any
+/// deterministic algorithm sending at most `n·f(n)` messages needs more
+/// than `(log₂ n − 1)/(log₂ f(n) + 1) + 1` rounds, for `f(n) > 1`.
+///
+/// # Panics
+///
+/// Panics if `f <= 1` (the theorem requires `f(n) > 1`).
+pub fn thm38_round_lower_bound(n: usize, f: f64) -> f64 {
+    assert!(f > 1.0, "Theorem 3.8 requires f(n) > 1, got {f}");
+    (log2(n) - 1.0) / (f.log2() + 1.0) + 1.0
+}
+
+/// Theorem 3.8, message form: any deterministic `k`-round algorithm
+/// (simultaneous wake-up) sends at least `(n/2)^{1 + 1/(k−1)}` messages.
+///
+/// # Panics
+///
+/// Panics if `k < 2` (1-round algorithms trivially need `Θ(n²)` messages).
+pub fn thm38_message_lower_bound(n: usize, k: usize) -> f64 {
+    assert!(k >= 2, "Theorem 3.8's message form needs k >= 2, got {k}");
+    (n as f64 / 2.0).powf(1.0 + 1.0 / (k as f64 - 1.0))
+}
+
+/// Theorem 3.10 (the paper's algorithm): `ℓ·n^{1+2/(ℓ+1)}` messages for any
+/// odd `ℓ ≥ 3` rounds.
+pub fn thm310_message_upper_bound(n: usize, ell: usize) -> f64 {
+    ell as f64 * (n as f64).powf(1.0 + 2.0 / (ell as f64 + 1.0))
+}
+
+/// Afek–Gafni \[1\] upper bound: `ℓ·n^{1+2/ℓ}` messages in `ℓ` rounds.
+pub fn afek_gafni_message_upper_bound(n: usize, ell: usize) -> f64 {
+    ell as f64 * (n as f64).powf(1.0 + 2.0 / ell as f64)
+}
+
+/// Afek–Gafni \[1\] lower bound (adversarial wake-up): algorithms finishing
+/// within `½·log_c n` rounds send at least `((c−1)/2)·n·log_c n` messages,
+/// for any `c ≥ 2`.
+pub fn afek_gafni_message_lower_bound(n: usize, c: f64) -> f64 {
+    assert!(c >= 2.0, "the Afek-Gafni bound requires c >= 2, got {c}");
+    (c - 1.0) / 2.0 * n as f64 * (n as f64).ln() / c.ln()
+}
+
+/// Theorem 3.11: any time-bounded deterministic algorithm (simultaneous
+/// wake-up, sufficiently large ID space) sends `Ω(n·log n)` messages. The
+/// constructive constant in the proof is `n/2` ports opened per doubling
+/// level, `log₂(n) − 1` levels.
+pub fn thm311_message_lower_bound(n: usize) -> f64 {
+    n as f64 / 2.0 * (log2(n) - 1.0).max(0.0)
+}
+
+/// Theorem 3.11's ID-space requirement, in **bits** (the size
+/// `n·log₂n·T(n)^{log₂n − 1}` itself overflows any integer type for
+/// interesting `n`): `log₂ |U| = log₂ n + log₂ log₂ n + (log₂ n − 1)·log₂ T`.
+pub fn thm311_id_space_bits(n: usize, t: f64) -> f64 {
+    assert!(t >= 1.0, "termination bound must be at least 1 round");
+    log2(n) + log2(n).log2().max(0.0) + (log2(n) - 1.0).max(0.0) * t.log2()
+}
+
+/// Theorem 3.15 (Algorithm 1): message budget `n·d·g` ...
+pub fn thm315_messages(n: usize, d: usize, g: u64) -> f64 {
+    n as f64 * d as f64 * g as f64
+}
+
+/// ... and round budget `⌈n/d⌉`.
+pub fn thm315_rounds(n: usize, d: usize) -> usize {
+    n.div_ceil(d)
+}
+
+/// Theorem 3.16: Las Vegas algorithms need `Ω(n)` messages (constant 1/4
+/// from the proof's isolated-half argument).
+pub fn lasvegas_message_lower_bound(n: usize) -> f64 {
+    n as f64 / 4.0
+}
+
+/// Kutten et al. \[16\] upper bound: `√n·log^{3/2} n` messages in 2 rounds
+/// (Monte Carlo, succeeds whp).
+pub fn mc16_message_upper_bound(n: usize) -> f64 {
+    (n as f64).sqrt() * log2(n).powf(1.5)
+}
+
+/// Kutten et al. \[16\] lower bound for small constant error probability:
+/// `Ω(√n)`.
+pub fn mc16_message_lower_bound(n: usize) -> f64 {
+    (n as f64).sqrt()
+}
+
+/// Theorem 4.1: expected messages `n^{3/2}·(1 + ln(1/ε))` for the 2-round
+/// algorithm under adversarial wake-up.
+pub fn thm41_message_upper_bound(n: usize, epsilon: f64) -> f64 {
+    assert!(
+        epsilon > 0.0 && epsilon < 1.0,
+        "failure probability must lie in (0, 1), got {epsilon}"
+    );
+    (n as f64).powf(1.5) * (1.0 + (1.0 / epsilon).ln())
+}
+
+/// Theorem 4.2: any 2-round algorithm (adversarial wake-up, constant
+/// success probability) sends `Ω(n^{3/2})` expected messages — even for the
+/// wake-up problem alone.
+pub fn thm42_message_lower_bound(n: usize) -> f64 {
+    (n as f64).powf(1.5)
+}
+
+/// Theorem 5.1: `n^{1+1/k}` messages ...
+pub fn thm51_message_upper_bound(n: usize, k: usize) -> f64 {
+    assert!(k >= 2, "Theorem 5.1 requires k >= 2, got {k}");
+    (n as f64).powf(1.0 + 1.0 / k as f64)
+}
+
+/// ... in `k + 8` asynchronous time units.
+pub fn thm51_time_upper_bound(k: usize) -> f64 {
+    k as f64 + 8.0
+}
+
+/// Theorem 5.14 (asynchronized Afek–Gafni): `n·log₂ n` messages ...
+pub fn thm514_message_upper_bound(n: usize) -> f64 {
+    n as f64 * log2(n)
+}
+
+/// ... in `O(log n)` time counted from the last spontaneous wake-up.
+pub fn thm514_time_upper_bound(n: usize) -> f64 {
+    log2(n)
+}
+
+/// Equation (1): `σ_r = (⌈log₂ f⌉ + 1)·(r − 1)`, the exponent of the
+/// component-size envelope `2^{σ_r}` maintained by Lemma 3.9's adversary.
+pub fn sigma(f: f64, r: usize) -> u32 {
+    assert!(f > 1.0 && r >= 1);
+    (log2_ceil_f(f) + 1) * (r as u32 - 1)
+}
+
+/// Equation (2): `μ_{r+1} = 2^{σ_r}·(2f − 1)`, the per-block message budget
+/// above which an ID assignment is *costly* and gets pruned.
+pub fn mu(f: f64, r: usize) -> f64 {
+    2f64.powi(sigma(f, r) as i32) * (2.0 * f - 1.0)
+}
+
+/// Equation (3): `t = 1 + ⌈log₂ f⌉`, the per-round block-merge factor
+/// exponent (each round merges `2^t` blocks into one).
+pub fn merge_exponent(f: f64) -> u32 {
+    1 + log2_ceil_f(f)
+}
+
+/// `⌈log₂ f⌉` for `f > 1`.
+fn log2_ceil_f(f: f64) -> u32 {
+    f.log2().ceil() as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thm38_round_bound_matches_hand_computation() {
+        // n = 2^10, f = 2: (10 − 1)/(1 + 1) + 1 = 5.5.
+        assert!((thm38_round_lower_bound(1024, 2.0) - 5.5).abs() < 1e-12);
+        // Larger message budgets permit fewer rounds.
+        assert!(thm38_round_lower_bound(1024, 8.0) < thm38_round_lower_bound(1024, 2.0));
+    }
+
+    #[test]
+    fn lower_bounds_sit_below_upper_bounds() {
+        // Sanity of the whole bound landscape: for every k, the Theorem 3.8
+        // lower bound is dominated by the Theorem 3.10 upper bound, which
+        // in turn beats Afek–Gafni's upper bound at the matching round
+        // budget.
+        for n in [1 << 10, 1 << 14, 1 << 20] {
+            for k in 2..10usize {
+                let ell = 2 * k - 3;
+                if ell < 3 {
+                    continue;
+                }
+                let lb = thm38_message_lower_bound(n, ell);
+                let ub = thm310_message_upper_bound(n, ell);
+                assert!(lb <= ub, "n = {n}, ℓ = {ell}: LB {lb} > UB {ub}");
+                let ag = afek_gafni_message_upper_bound(n, ell);
+                assert!(ub <= ag, "n = {n}, ℓ = {ell}: improved {ub} > AG {ag}");
+            }
+        }
+    }
+
+    #[test]
+    fn improved_lb_beats_ag_lb_for_constant_rounds() {
+        // Section 1.2: for constant-time algorithms the new bound improves
+        // polynomially over Afek–Gafni's Ω(k·n^{1+1/2k}).
+        let n = 1 << 20;
+        let k = 3usize;
+        let new_lb = thm38_message_lower_bound(n, k);
+        let ag_lb = k as f64 * (n as f64).powf(1.0 + 1.0 / (2 * k) as f64);
+        assert!(
+            new_lb > ag_lb,
+            "for constant k the new bound {new_lb} must exceed AG's {ag_lb}"
+        );
+    }
+
+    #[test]
+    fn ag_lb_wins_at_logarithmic_round_budgets() {
+        // Section 1.2's other direction: at k = Θ(log n), AG's bound is a
+        // Θ(log n) factor larger.
+        let n = 1 << 20;
+        let k = log2(n) as usize;
+        let new_lb = thm38_message_lower_bound(n, k);
+        let ag_lb = k as f64 * (n as f64).powf(1.0 + 1.0 / (2 * k) as f64);
+        assert!(ag_lb > new_lb);
+    }
+
+    #[test]
+    fn vegas_gap_below_monte_carlo_cost() {
+        // Theorem 3.16 vs [16]: the Las Vegas floor Ω(n) lies polynomially
+        // above the Monte Carlo cost for large n.
+        let n = 1 << 22;
+        assert!(lasvegas_message_lower_bound(n) > mc16_message_upper_bound(n));
+        assert!(mc16_message_lower_bound(n) < mc16_message_upper_bound(n));
+    }
+
+    #[test]
+    fn thm51_extremes_match_table1() {
+        let n = 1 << 12;
+        // k = 2 matches the n^{3/2} bound of Theorem 4.2.
+        assert!((thm51_message_upper_bound(n, 2) - thm42_message_lower_bound(n)).abs() < 1e-6);
+        // Large k approaches n·log n.
+        let k = 12; // ~ log n / log log n territory
+        assert!(thm51_message_upper_bound(n, k) < 4.0 * thm514_message_upper_bound(n));
+        assert_eq!(thm51_time_upper_bound(2), 10.0);
+    }
+
+    #[test]
+    fn sigma_recursion_matches_equation_1() {
+        // σ_{r+1} = σ_r + t (the inductive step of Lemma 3.9's Property B).
+        for f in [2.0, 3.0, 8.0, 100.0] {
+            for r in 1..6 {
+                assert_eq!(sigma(f, r + 1), sigma(f, r) + merge_exponent(f), "f={f}, r={r}");
+            }
+            assert_eq!(sigma(f, 1), 0, "components start as singletons");
+        }
+    }
+
+    #[test]
+    fn mu_matches_equation_2() {
+        // μ_{r+1} = 2^{σ_r}(2f − 1); at r = 1, μ = 2f − 1.
+        assert!((mu(2.0, 1) - 3.0).abs() < 1e-12);
+        assert!((mu(4.0, 2) - 2f64.powi(3) * 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn envelope_reaches_half_n_exactly_at_the_bound() {
+        // The proof of Theorem 3.8: after T = (log₂n − 1)/(log₂f + 1) + 1
+        // rounds, components have size 2^{σ_T} = 2^{log₂n − 1} = n/2.
+        let n = 1 << 13;
+        let f = 2.0;
+        let t_bound = thm38_round_lower_bound(n, f);
+        let sigma_at_bound = sigma(f, t_bound.floor() as usize);
+        assert!(2f64.powi(sigma_at_bound as i32) <= n as f64 / 2.0);
+    }
+
+    #[test]
+    fn id_space_bits_stay_polynomial_in_log_n() {
+        // For T(n) = log n the requirement is quasi-polynomial — the point
+        // of the paper's Section 6 discussion on CONGEST-compatible spaces.
+        let bits = thm311_id_space_bits(1 << 16, 16.0);
+        assert!(bits > 16.0 && bits < 100.0, "got {bits} bits");
+    }
+
+    #[test]
+    #[should_panic(expected = "f(n) > 1")]
+    fn thm38_rejects_f_of_one() {
+        let _ = thm38_round_lower_bound(64, 1.0);
+    }
+
+    #[test]
+    fn thm315_budgets() {
+        assert_eq!(thm315_rounds(100, 7), 15);
+        assert_eq!(thm315_messages(100, 7, 2), 1400.0);
+        assert!(thm311_message_lower_bound(1024) > 4000.0);
+        assert!(afek_gafni_message_lower_bound(1024, 2.0) > 0.0);
+    }
+}

@@ -1,0 +1,389 @@
+//! Restricted execution prefixes (Definition 3.4) and
+//! terminating-vs-expanding components (Definition 3.5), executable.
+//!
+//! The paper's Lemma 3.6 argument: if too many disjoint ID sets `B_i` form
+//! *terminating components* — their nodes decide without ever opening a
+//! port that must leave the set — then gluing the port mappings of several
+//! such sets yields one clique execution with **two leaders**, a
+//! contradiction. [`IsolationHarness`] makes both halves of that argument
+//! runnable:
+//!
+//! * [`IsolationHarness::run`] executes the nodes holding an ID set `B` in
+//!   isolation: a resolver keeps every opened port inside `B` while the
+//!   clique structure allows it, and reports whether the set *terminated*
+//!   (everyone decided while staying isolated) or is *expanding* (some
+//!   node had to open a port leaving the set, which is what Corollary 3.7
+//!   guarantees for correct algorithms on most ID sets);
+//! * [`IsolationHarness::glue`] runs two disjoint ID sets side by side in
+//!   one network — each confined to its own half of the port space — and
+//!   returns the combined decisions, which for a "terminating" algorithm
+//!   exhibits the double-leader contradiction concretely.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use clique_model::ids::{Id, IdAssignment};
+use clique_model::ports::{Port, PortResolver, PortView};
+use clique_model::{Decision, ModelError, NodeIndex};
+use clique_sync::{SyncNode, SyncSimBuilder};
+use rand::rngs::SmallRng;
+
+/// Resolver that keeps every resolution inside a fixed node set, tracking
+/// whether it ever had to give up (set saturated ⇒ the set is expanding).
+#[derive(Debug)]
+struct ConfiningResolver {
+    members: Vec<NodeIndex>,
+    escaped: Rc<RefCell<bool>>,
+}
+
+impl PortResolver for ConfiningResolver {
+    fn choose_peer(
+        &mut self,
+        view: PortView<'_>,
+        src: NodeIndex,
+        _src_port: Port,
+        _rng: &mut SmallRng,
+    ) -> NodeIndex {
+        if let Some(&peer) = self
+            .members
+            .iter()
+            .find(|&&m| m != src && !view.is_connected(src, m))
+        {
+            return peer;
+        }
+        // The set is saturated: the port must leave it. Record the escape
+        // and connect to the first available outsider.
+        *self.escaped.borrow_mut() = true;
+        (0..view.n())
+            .map(NodeIndex)
+            .find(|&v| v != src && !view.is_connected(src, v))
+            .expect("an unresolved port implies a free peer exists")
+    }
+
+    fn choose_peer_port(
+        &mut self,
+        view: PortView<'_>,
+        _src: NodeIndex,
+        _src_port: Port,
+        peer: NodeIndex,
+        _rng: &mut SmallRng,
+    ) -> Port {
+        (0..view.n() - 1)
+            .map(Port)
+            .find(|&p| !view.is_port_assigned(peer, p))
+            .expect("an unconnected peer always has a free port")
+    }
+}
+
+/// What happened when an ID set ran in isolation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IsolationVerdict {
+    /// Every member decided without any port leaving the set: the set
+    /// forms **terminating components** (Definition 3.5) under this
+    /// mapping — the red flag Lemma 3.6 exploits.
+    Terminating {
+        /// Decisions of the members, in member order.
+        decisions: Vec<Decision>,
+    },
+    /// Some member had to open a port leaving the set (or the round cap
+    /// fired first): the set forms **expanding components**, as
+    /// Corollary 3.7 guarantees for correct algorithms.
+    Expanding,
+}
+
+impl IsolationVerdict {
+    /// Whether the verdict is [`IsolationVerdict::Terminating`].
+    pub fn is_terminating(&self) -> bool {
+        matches!(self, IsolationVerdict::Terminating { .. })
+    }
+}
+
+/// Drives restricted execution prefixes of a synchronous algorithm.
+#[derive(Debug, Clone, Copy)]
+pub struct IsolationHarness {
+    /// The network size `n` every node believes in (nodes own `n − 1`
+    /// ports regardless of how many actually run — Definition 3.4).
+    pub n: usize,
+    /// Round cap for the prefix.
+    pub max_rounds: usize,
+}
+
+impl IsolationHarness {
+    /// Creates a harness for algorithms that believe the clique has `n`
+    /// nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 2, "cliques need at least two nodes");
+        IsolationHarness {
+            n,
+            max_rounds: 4 * n + 64,
+        }
+    }
+
+    /// Runs the nodes holding the IDs `set` (at the *front* of an `n`-node
+    /// network whose remaining nodes stay asleep) while confining their
+    /// ports to the set, and classifies the outcome per Definition 3.5.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ModelError`] from the engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set` is empty or larger than `n/2` (the definitions
+    /// require `|B| ≤ n/2`).
+    pub fn run<N, F>(&self, set: &[Id], factory: F) -> Result<IsolationVerdict, ModelError>
+    where
+        N: SyncNode,
+        F: FnMut(Id, usize) -> N,
+    {
+        assert!(!set.is_empty(), "the ID set must be non-empty");
+        assert!(
+            set.len() <= self.n / 2,
+            "Definition 3.5 requires |B| <= n/2"
+        );
+        let ids = self.padded_assignment(&[set])?;
+        let members: Vec<NodeIndex> = (0..set.len()).map(NodeIndex).collect();
+        let escaped = Rc::new(RefCell::new(false));
+        let resolver = ConfiningResolver {
+            members: members.clone(),
+            escaped: Rc::clone(&escaped),
+        };
+        let sim = SyncSimBuilder::new(self.n)
+            .ids(ids)
+            .wake(clique_sync::WakeSchedule::subset(members.clone()))
+            .resolver(Box::new(resolver))
+            .max_rounds(self.max_rounds)
+            .build(factory)?;
+        let outcome = sim.run()?;
+        let all_decided = members
+            .iter()
+            .all(|&u| outcome.decisions[u.0].is_decided());
+        if *escaped.borrow() || !all_decided {
+            return Ok(IsolationVerdict::Expanding);
+        }
+        Ok(IsolationVerdict::Terminating {
+            decisions: members.iter().map(|&u| outcome.decisions[u.0]).collect(),
+        })
+    }
+
+    /// Runs two disjoint ID sets side by side in one `n`-node execution,
+    /// each confined to its own members — the gluing step of Lemma 3.6 —
+    /// and returns each member's decision (first set, then second).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ModelError`] from the engine; rejects overlapping sets
+    /// via [`ModelError::DuplicateId`].
+    pub fn glue<N, F>(
+        &self,
+        set_a: &[Id],
+        set_b: &[Id],
+        factory: F,
+    ) -> Result<Vec<Decision>, ModelError>
+    where
+        N: SyncNode,
+        F: FnMut(Id, usize) -> N,
+    {
+        assert!(
+            set_a.len() + set_b.len() <= self.n,
+            "the union must fit in the network"
+        );
+        let ids = self.padded_assignment(&[set_a, set_b])?;
+        let members_a: Vec<NodeIndex> = (0..set_a.len()).map(NodeIndex).collect();
+        let members_b: Vec<NodeIndex> = (set_a.len()..set_a.len() + set_b.len())
+            .map(NodeIndex)
+            .collect();
+        let all: Vec<NodeIndex> = members_a.iter().chain(&members_b).copied().collect();
+        // Two confining resolvers glued: route by which half the sender
+        // belongs to.
+        struct Glued {
+            a: ConfiningResolver,
+            b: ConfiningResolver,
+            split: usize,
+        }
+        impl PortResolver for Glued {
+            fn choose_peer(
+                &mut self,
+                view: PortView<'_>,
+                src: NodeIndex,
+                port: Port,
+                rng: &mut SmallRng,
+            ) -> NodeIndex {
+                if src.0 < self.split {
+                    self.a.choose_peer(view, src, port, rng)
+                } else {
+                    self.b.choose_peer(view, src, port, rng)
+                }
+            }
+            fn choose_peer_port(
+                &mut self,
+                view: PortView<'_>,
+                src: NodeIndex,
+                port: Port,
+                peer: NodeIndex,
+                rng: &mut SmallRng,
+            ) -> Port {
+                self.a.choose_peer_port(view, src, port, peer, rng)
+            }
+        }
+        let escaped = Rc::new(RefCell::new(false));
+        let resolver = Glued {
+            a: ConfiningResolver {
+                members: members_a,
+                escaped: Rc::clone(&escaped),
+            },
+            b: ConfiningResolver {
+                members: members_b,
+                escaped,
+            },
+            split: set_a.len(),
+        };
+        let outcome = SyncSimBuilder::new(self.n)
+            .ids(ids)
+            .wake(clique_sync::WakeSchedule::subset(all.clone()))
+            .resolver(Box::new(resolver))
+            .max_rounds(self.max_rounds)
+            .build(factory)?
+            .run()?;
+        Ok(all.iter().map(|&u| outcome.decisions[u.0]).collect())
+    }
+
+    /// Builds an `n`-node assignment placing the given sets first and
+    /// fresh filler IDs (above every set ID) behind them.
+    fn padded_assignment(&self, sets: &[&[Id]]) -> Result<IdAssignment, ModelError> {
+        let mut ids: Vec<Id> = sets.iter().flat_map(|s| s.iter().copied()).collect();
+        let max = ids.iter().map(|i| i.0).max().unwrap_or(0);
+        let mut next = max + 1;
+        while ids.len() < self.n {
+            ids.push(Id(next));
+            next += 1;
+        }
+        IdAssignment::new(ids)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clique_sync::{Context, Received};
+    use leader_election::sync::improved_tradeoff;
+
+    /// A deliberately broken "local max" algorithm: talk to your first
+    /// three ports, elect yourself iff you beat everyone you heard from.
+    /// Its 4-node components terminate in isolation — exactly the failure
+    /// mode Lemma 3.6 forbids for correct algorithms.
+    struct LocalMax {
+        me: Id,
+        best: Id,
+        decision: Decision,
+    }
+
+    impl LocalMax {
+        fn new(me: Id) -> Self {
+            LocalMax {
+                me,
+                best: me,
+                decision: Decision::Undecided,
+            }
+        }
+    }
+
+    impl SyncNode for LocalMax {
+        type Message = Id;
+        fn send_phase(&mut self, ctx: &mut Context<'_, Id>) {
+            if ctx.round() == 1 {
+                for p in ctx.first_ports(3) {
+                    ctx.send(p, self.me);
+                }
+            }
+        }
+        fn receive_phase(&mut self, ctx: &mut Context<'_, Id>, inbox: &[Received<Id>]) {
+            for m in inbox {
+                self.best = self.best.max(m.msg);
+            }
+            if ctx.round() == 2 {
+                self.decision = if self.best == self.me {
+                    Decision::Leader
+                } else {
+                    Decision::non_leader()
+                };
+            }
+        }
+        fn decision(&self) -> Decision {
+            self.decision
+        }
+    }
+
+    #[test]
+    fn broken_algorithm_has_terminating_components() {
+        let harness = IsolationHarness::new(16);
+        let set: Vec<Id> = (1..=4).map(Id).collect();
+        let verdict = harness.run(&set, |id, _| LocalMax::new(id)).unwrap();
+        assert!(
+            verdict.is_terminating(),
+            "4 nodes exchanging 3 messages each decide without escaping"
+        );
+        if let IsolationVerdict::Terminating { decisions } = verdict {
+            let leaders = decisions.iter().filter(|d| d.is_leader()).count();
+            assert_eq!(leaders, 1, "the component elects its local max");
+        }
+    }
+
+    #[test]
+    fn gluing_terminating_components_yields_two_leaders() {
+        // The Lemma 3.6 contradiction, concretely: two disjoint
+        // terminating sets glued into one execution elect two leaders.
+        let harness = IsolationHarness::new(16);
+        let set_a: Vec<Id> = (1..=4).map(Id).collect();
+        let set_b: Vec<Id> = (10..=13).map(Id).collect();
+        let decisions = harness
+            .glue(&set_a, &set_b, |id, _| LocalMax::new(id))
+            .unwrap();
+        let leaders = decisions.iter().filter(|d| d.is_leader()).count();
+        assert_eq!(
+            leaders, 2,
+            "two isolated components each elect a leader — the contradiction"
+        );
+    }
+
+    #[test]
+    fn correct_algorithm_is_expanding() {
+        // Corollary 3.7's flip side: the paper's algorithm never lets a
+        // small set decide in isolation — its final round broadcasts to
+        // everyone, forcing ports out of the set.
+        let harness = IsolationHarness::new(16);
+        let cfg = improved_tradeoff::Config::with_rounds(3);
+        for size in [2usize, 4, 8] {
+            let set: Vec<Id> = (1..=size as u64).map(Id).collect();
+            let verdict = harness
+                .run(&set, |id, _| improved_tradeoff::Node::new(id, 16, cfg))
+                .unwrap();
+            assert_eq!(
+                verdict,
+                IsolationVerdict::Expanding,
+                "a set of {size} must expand"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "n/2")]
+    fn oversized_sets_rejected() {
+        let harness = IsolationHarness::new(8);
+        let set: Vec<Id> = (1..=5).map(Id).collect();
+        let _ = harness.run(&set, |id, _| LocalMax::new(id));
+    }
+
+    #[test]
+    fn glue_rejects_overlapping_sets() {
+        let harness = IsolationHarness::new(16);
+        let err = harness
+            .glue(&[Id(1), Id(2)], &[Id(2), Id(3)], |id, _| LocalMax::new(id))
+            .unwrap_err();
+        assert!(matches!(err, ModelError::DuplicateId { id: 2 }));
+    }
+}

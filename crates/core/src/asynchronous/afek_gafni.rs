@@ -1,0 +1,430 @@
+//! The asynchronized Afek–Gafni tradeoff algorithm (Theorem 5.14,
+//! Section 5.4).
+//!
+//! Afek and Gafni posed as an open problem whether their synchronous
+//! `O(n·log n)`-message tradeoff survives the move to asynchrony without a
+//! linear-time penalty. This algorithm answers it partially: under
+//! simultaneous wake-up (equivalently, counting time from the last
+//! spontaneous wake-up — see
+//! [`AsyncOutcome::time_since_last_spontaneous_wake`]), it elects a leader
+//! in `O(log n)` asynchronous time with `O(n·log n)` messages, against
+//! adversarial per-message delays.
+//!
+//! [`AsyncOutcome::time_since_last_spontaneous_wake`]:
+//!     clique_async::AsyncOutcome::time_since_last_spontaneous_wake
+//!
+//! # How it works
+//!
+//! Every node starts as a *candidate* at level 0. A candidate at level `i`
+//! holds acknowledgements from its first `2^i` neighbours (itself counted
+//! as neighbour number one) and climbs to level `i + 1` by requesting acks
+//! from the next batch of ports; it terminates as leader once all `n − 1`
+//! remote neighbours (plus itself) support it.
+//!
+//! A node acks the first request it sees. When a request from a candidate
+//! `z` arrives at a node already supporting `u`, the node sends `u` a
+//! **conditional cancel** carrying `z`'s level and ID: `u` *refuses* iff it
+//! already won, or it is still alive and `(level, ID)` beats the
+//! challenger's lexicographically — then the supporter kills `z`; otherwise
+//! `u` is killed (or was already dead) and the supporter switches to `z`.
+//! Lemmas 5.11–5.12: some candidate always advances, and at most `n/2^i`
+//! candidates ever reach level `i` — so levels cost `O(n)` messages each,
+//! `O(n·log n)` total over the `⌈log₂ n⌉` levels, each taking `O(1)`
+//! asynchronous time.
+//!
+//! ### Deviation from the paper's text
+//!
+//! The paper only specifies the cancel dance for a challenger with a
+//! *higher* ID than the stored owner ("if `v` did send an ack to some `u`
+//! and now receives a request from `w > u` ..."), leaving lower-ID
+//! challengers implicit. Rejecting them outright is unsound: a supporter
+//! whose stored owner has *died elsewhere* would keep killing lower-ID
+//! challengers on a dead owner's behalf, and in adversarial schedules every
+//! candidate can be extinguished that way, leaving no leader. We therefore
+//! consult the owner for **every** challenger; on the paper's covered case
+//! (higher-ID challenger) the lexicographic rule reduces exactly to the
+//! paper's "refuse iff `u` is already in a higher level", and dead owners
+//! always yield, which restores liveness.
+
+use std::collections::VecDeque;
+
+use clique_async::{AsyncContext, AsyncNode, Received};
+use clique_model::ids::Id;
+use clique_model::ports::Port;
+use clique_model::{Decision, WakeCause};
+
+/// Messages of the asynchronized Afek–Gafni algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Msg {
+    /// A candidate requesting support, carrying its ID and current level.
+    Request {
+        /// The requesting candidate's ID (the kill/cancel tie-breaker).
+        id: Id,
+        /// The requester's level when it sent the request.
+        level: u32,
+    },
+    /// A supporter's acknowledgement.
+    Ack,
+    /// A supporter informing a requester that its challenge failed: the
+    /// requester stops being a candidate.
+    Kill,
+    /// Conditional cancel: "a challenger wants your supporter — do you
+    /// yield?"
+    CancelQuery {
+        /// The level of the challenging candidate.
+        challenger_level: u32,
+        /// The ID of the challenging candidate (level tie-breaker).
+        challenger_id: Id,
+    },
+    /// The old candidate refuses to yield (it climbed higher, or already
+    /// won); the supporter kills the challenger.
+    CancelRefused,
+    /// The old candidate yields (and stops competing); the supporter
+    /// switches to the challenger.
+    CancelAccepted,
+}
+
+/// Per-node state machine of the asynchronized Afek–Gafni algorithm.
+///
+/// Intended for simultaneous wake-up ([`AsyncWakeSchedule::simultaneous`]);
+/// under staggered spontaneous wake-ups correctness is preserved but the
+/// `O(log n)` time bound is counted from the last wake-up (Theorem 5.14).
+///
+/// [`AsyncWakeSchedule::simultaneous`]:
+///     clique_async::AsyncWakeSchedule::simultaneous
+#[derive(Debug, Clone)]
+pub struct Node {
+    id: Id,
+    n: usize,
+    /// Candidate state.
+    alive: bool,
+    level: u32,
+    /// Remote acks required by the current level: `min(2^level, n) − 1`.
+    needed: usize,
+    acks: usize,
+    /// Ports already sent a request (a prefix of all ports).
+    requested: usize,
+    /// Supporter state: the candidate we currently back. A `None` port
+    /// means the owner is this node itself — every node is its own first
+    /// supporter ("v is its own neighbour number 1").
+    owner: Option<(Id, Option<Port>)>,
+    /// Requests queued while a cancel round-trip is in flight.
+    pending: VecDeque<(Port, Id, u32)>,
+    /// The request currently awaiting the owner's cancel reply.
+    cancel_in_flight: Option<(Port, Id, u32)>,
+    decision: Decision,
+}
+
+impl Node {
+    /// Creates the state machine for a node with identifier `id` in an
+    /// `n`-node clique.
+    pub fn new(id: Id, n: usize) -> Self {
+        Node {
+            id,
+            n,
+            alive: true,
+            level: 0,
+            needed: 0,
+            acks: 0,
+            requested: 0,
+            owner: None,
+            pending: VecDeque::new(),
+            cancel_in_flight: None,
+            decision: Decision::Undecided,
+        }
+    }
+
+    /// The candidate's current level.
+    pub fn level(&self) -> u32 {
+        self.level
+    }
+
+    /// Whether this node is still a live candidate.
+    pub fn is_alive(&self) -> bool {
+        self.alive
+    }
+
+    /// Remote acks required at `level`: `min(2^level, n) − 1`.
+    fn required(&self, level: u32) -> usize {
+        let span = 1usize.checked_shl(level).unwrap_or(usize::MAX).min(self.n);
+        span - 1
+    }
+
+    fn die(&mut self) {
+        self.alive = false;
+        if !self.decision.is_decided() {
+            self.decision = Decision::non_leader();
+        }
+    }
+
+    /// Climb as far as current acks allow, requesting the next batch of
+    /// supporters at each new level.
+    fn try_advance(&mut self, ctx: &mut AsyncContext<'_, Msg>) {
+        while self.alive && self.acks >= self.needed {
+            if self.needed == self.n - 1 {
+                // Everyone (including ourselves) supports us.
+                if !self.decision.is_decided() {
+                    self.decision = Decision::Leader;
+                }
+                return;
+            }
+            self.level += 1;
+            self.needed = self.required(self.level);
+            let from = self.requested;
+            for port in from..self.needed {
+                ctx.send(Port(port), Msg::Request {
+                    id: self.id,
+                    level: self.level,
+                });
+            }
+            self.requested = self.needed.max(self.requested);
+            if self.needed > self.acks {
+                return; // wait for the new batch
+            }
+        }
+    }
+
+    /// Supporter logic for one request; may defer behind an in-flight
+    /// cancel.
+    fn handle_request(&mut self, ctx: &mut AsyncContext<'_, Msg>, from: Port, id: Id, level: u32) {
+        if self.cancel_in_flight.is_some() {
+            self.pending.push_back((from, id, level));
+            return;
+        }
+        self.resolve_request(ctx, from, id, level);
+    }
+
+    fn resolve_request(&mut self, ctx: &mut AsyncContext<'_, Msg>, from: Port, id: Id, level: u32) {
+        match self.owner {
+            None => {
+                self.owner = Some((id, Some(from)));
+                ctx.send(from, Msg::Ack);
+            }
+            Some((owner_id, Some(owner_port))) => {
+                debug_assert_ne!(id, owner_id, "IDs are unique");
+                self.cancel_in_flight = Some((from, id, level));
+                ctx.send(
+                    owner_port,
+                    Msg::CancelQuery {
+                        challenger_level: level,
+                        challenger_id: id,
+                    },
+                );
+            }
+            Some((_, None)) => {
+                // We are our own stored owner: run the cancel decision
+                // locally, without messages.
+                if self.refuses_cancel(level, id) {
+                    ctx.send(from, Msg::Kill);
+                } else {
+                    self.die();
+                    self.owner = Some((id, Some(from)));
+                    ctx.send(from, Msg::Ack);
+                }
+            }
+        }
+    }
+
+    /// The conditional-cancel decision: refuse iff we already won, or we are
+    /// alive and beat the challenger lexicographically on `(level, ID)`.
+    /// Dead non-leaders always yield so that stale ownership records cannot
+    /// kill live candidates on a dead node's behalf.
+    fn refuses_cancel(&self, challenger_level: u32, challenger_id: Id) -> bool {
+        self.decision.is_leader()
+            || (self.alive && (self.level, self.id) > (challenger_level, challenger_id))
+    }
+
+    fn drain_pending(&mut self, ctx: &mut AsyncContext<'_, Msg>) {
+        while self.cancel_in_flight.is_none() {
+            let Some((port, id, level)) = self.pending.pop_front() else {
+                return;
+            };
+            self.resolve_request(ctx, port, id, level);
+        }
+    }
+}
+
+impl AsyncNode for Node {
+    type Message = Msg;
+
+    fn on_wake(&mut self, ctx: &mut AsyncContext<'_, Msg>, _cause: WakeCause) {
+        // Every node starts as its own supporter ("its own neighbour number
+        // one"); level 0 needs no remote support, so climb immediately.
+        if self.owner.is_none() {
+            self.owner = Some((self.id, None));
+        }
+        self.try_advance(ctx);
+    }
+
+    fn on_message(&mut self, ctx: &mut AsyncContext<'_, Msg>, m: Received<Msg>) {
+        match m.msg {
+            Msg::Request { id, level } => self.handle_request(ctx, m.port, id, level),
+            Msg::Ack => {
+                self.acks += 1;
+                self.try_advance(ctx);
+            }
+            Msg::Kill => self.die(),
+            Msg::CancelQuery {
+                challenger_level,
+                challenger_id,
+            } => {
+                if self.refuses_cancel(challenger_level, challenger_id) {
+                    ctx.send(m.port, Msg::CancelRefused);
+                } else {
+                    self.die();
+                    ctx.send(m.port, Msg::CancelAccepted);
+                }
+            }
+            Msg::CancelRefused => {
+                let (challenger_port, _, _) = self
+                    .cancel_in_flight
+                    .take()
+                    .expect("cancel replies only follow a cancel query");
+                ctx.send(challenger_port, Msg::Kill);
+                self.drain_pending(ctx);
+            }
+            Msg::CancelAccepted => {
+                let (challenger_port, challenger_id, _) = self
+                    .cancel_in_flight
+                    .take()
+                    .expect("cancel replies only follow a cancel query");
+                self.owner = Some((challenger_id, Some(challenger_port)));
+                ctx.send(challenger_port, Msg::Ack);
+                self.drain_pending(ctx);
+            }
+        }
+    }
+
+    fn decision(&self) -> Decision {
+        self.decision
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clique_async::{
+        AsyncHaltReason, AsyncSimBuilder, AsyncWakeSchedule, BimodalDelay, ConstDelay,
+        UniformDelay,
+    };
+
+    fn run(n: usize, seed: u64) -> clique_async::AsyncOutcome {
+        AsyncSimBuilder::new(n)
+            .seed(seed)
+            .wake(AsyncWakeSchedule::simultaneous(n))
+            .build(|id, n| Node::new(id, n))
+            .unwrap()
+            .run()
+            .unwrap()
+    }
+
+    #[test]
+    fn always_elects_exactly_one_leader() {
+        // Correctness here is deterministic (no coin flips): every run and
+        // every delay pattern must elect exactly one leader.
+        for n in [2usize, 3, 8, 17, 64] {
+            for seed in 0..5 {
+                let outcome = run(n, seed);
+                assert_eq!(outcome.halt, AsyncHaltReason::QueueDrained);
+                outcome.validate_implicit().unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn survives_adversarial_delay_strategies() {
+        for seed in 0..5 {
+            for delays in [
+                Box::new(ConstDelay::max()) as Box<dyn clique_async::DelayStrategy>,
+                Box::new(UniformDelay::new(0.01, 0.02)),
+                Box::new(BimodalDelay::new(0.3, 0.02, 1.0)),
+            ] {
+                let outcome = AsyncSimBuilder::new(32)
+                    .seed(seed)
+                    .wake(AsyncWakeSchedule::simultaneous(32))
+                    .delays(delays)
+                    .build(|id, n| Node::new(id, n))
+                    .unwrap()
+                    .run()
+                    .unwrap();
+                outcome.validate_implicit().unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn time_is_logarithmic_under_max_delays() {
+        // With unit delays every level costs at most ~4 time units
+        // (request, ack, and possibly a cancel round-trip), so the whole
+        // run fits comfortably in O(log n).
+        for n in [16usize, 64, 256] {
+            let outcome = AsyncSimBuilder::new(n)
+                .seed(1)
+                .wake(AsyncWakeSchedule::simultaneous(n))
+                .delays(Box::new(ConstDelay::max()))
+                .build(|id, n| Node::new(id, n))
+                .unwrap()
+                .run()
+                .unwrap();
+            outcome.validate_implicit().unwrap();
+            let log2n = (n as f64).log2();
+            assert!(
+                outcome.time <= 6.0 * log2n + 8.0,
+                "n = {n}: {} time units exceeds O(log n)",
+                outcome.time
+            );
+        }
+    }
+
+    #[test]
+    fn messages_are_quasilinear() {
+        for n in [64usize, 256, 1024] {
+            let outcome = run(n, 3);
+            outcome.validate_implicit().unwrap();
+            let measured = outcome.stats.total() as f64;
+            let envelope = 8.0 * n as f64 * ((n as f64).log2() + 1.0);
+            assert!(
+                measured <= envelope,
+                "n = {n}: {measured} messages exceed 8·n·log n = {envelope}"
+            );
+        }
+    }
+
+    #[test]
+    fn staggered_wakeups_still_elect_uniquely() {
+        // Theorem 5.14 counts time from the last spontaneous wake-up but
+        // correctness must hold regardless of the wake pattern, as long as
+        // every node eventually wakes spontaneously (the algorithm has no
+        // wake-up phase of its own).
+        let n = 24;
+        let entries: Vec<(f64, clique_model::NodeIndex)> = (0..n)
+            .map(|u| (u as f64 * 0.25, clique_model::NodeIndex(u)))
+            .collect();
+        let outcome = AsyncSimBuilder::new(n)
+            .seed(4)
+            .wake(AsyncWakeSchedule::staged(entries))
+            .build(|id, n| Node::new(id, n))
+            .unwrap()
+            .run()
+            .unwrap();
+        outcome.validate_implicit().unwrap();
+        assert!(outcome.last_adversarial_wake > 0.0);
+        assert!(outcome.time_since_last_spontaneous_wake() <= outcome.time);
+    }
+
+    #[test]
+    fn leader_is_reachable_state_probe() {
+        let node = Node::new(Id(3), 8);
+        assert!(node.is_alive());
+        assert_eq!(node.level(), 0);
+    }
+
+    #[test]
+    fn two_node_clique_elects_immediately() {
+        let outcome = run(2, 0);
+        outcome.validate_implicit().unwrap();
+        // Each node requests the other; the higher ID wins.
+        let leader = outcome.unique_leader().unwrap();
+        assert_eq!(outcome.ids.id_of(leader), outcome.ids.max_id());
+    }
+}

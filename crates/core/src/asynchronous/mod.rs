@@ -1,0 +1,4 @@
+//! Asynchronous clique algorithms (paper, Section 5).
+
+pub mod afek_gafni;
+pub mod tradeoff;

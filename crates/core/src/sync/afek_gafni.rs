@@ -1,0 +1,355 @@
+//! The deterministic tradeoff baseline of Afek and Gafni \[1\].
+//!
+//! For any even `ℓ = 2k ≥ 2`, elects a leader in `ℓ` rounds while sending
+//! `O(ℓ·n^{1+2/ℓ})` messages. This is the algorithm the paper improves on:
+//! Theorem 3.10 ([`improved_tradeoff`](super::improved_tradeoff)) achieves
+//! exponent `1 + 2/(ℓ+1)` instead of `1 + 2/ℓ` by making the final
+//! iteration a single broadcast round and re-basing the referee schedule.
+//!
+//! # How it works
+//!
+//! The algorithm runs `k` two-round iterations. Nodes awake in round 1 are
+//! the *candidates*; everyone else participates only as a *referee* (so the
+//! algorithm also works under adversarial wake-up, provided the adversary
+//! wakes its chosen set in round 1 — the assumption the paper also adopts in
+//! Section 4). In iteration `i`, every surviving candidate sends its ID to
+//! its first `⌈n^{i/k}⌉` ports; each node that received bids responds to the
+//! highest bid and discards the rest; a candidate survives iff every
+//! contacted referee responded to it. The final iteration contacts all
+//! `n − 1` ports, so every node hears every remaining bid, exactly one
+//! candidate (the one with the maximum ID) collects all `n − 1` responses,
+//! and every node learns the winner's ID.
+
+use clique_model::ids::Id;
+use clique_model::ports::Port;
+use clique_model::{Decision, WakeCause};
+use clique_sync::{Context, Received, SyncNode};
+
+use super::referee_count;
+
+/// Messages of the Afek–Gafni baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Msg {
+    /// A candidate's bid for iteration `iteration` (1-based).
+    Candidate {
+        /// Which two-round iteration the bid belongs to.
+        iteration: usize,
+        /// The bidding candidate's ID.
+        id: Id,
+    },
+    /// A referee's response to the winning bid of one iteration.
+    Response,
+}
+
+/// Parameters of the Afek–Gafni baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Config {
+    /// Number of two-round iterations `k ≥ 1` (`ℓ = 2k` rounds total).
+    k: usize,
+}
+
+impl Config {
+    /// Configures the algorithm by its iteration count `k ≥ 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn with_k(k: usize) -> Self {
+        assert!(k >= 1, "iteration count must satisfy k >= 1");
+        Config { k }
+    }
+
+    /// Configures the algorithm by its round budget: any even `ℓ ≥ 2`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ℓ` is odd or zero.
+    pub fn with_rounds(ell: usize) -> Self {
+        assert!(
+            ell >= 2 && ell % 2 == 0,
+            "round budget must be an even integer >= 2, got {ell}"
+        );
+        Config::with_k(ell / 2)
+    }
+
+    /// The iteration count `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of rounds the algorithm takes: `ℓ = 2k`.
+    pub fn rounds(&self) -> usize {
+        2 * self.k
+    }
+
+    /// Referees contacted by each surviving candidate in iteration
+    /// `i ∈ [1, k]`: `⌈n^{i/k}⌉`, clamped to `n − 1` (the final iteration
+    /// always contacts everyone).
+    pub fn referees_in_iteration(&self, n: usize, i: usize) -> usize {
+        referee_count(n, i as u32, self.k as u32)
+    }
+
+    /// The `O(ℓ·n^{1+2/ℓ})` message bound (constant 1), for comparing
+    /// measurements against theory.
+    pub fn predicted_messages(&self, n: usize) -> f64 {
+        let ell = self.rounds() as f64;
+        ell * (n as f64).powf(1.0 + 2.0 / ell)
+    }
+}
+
+/// Per-node state machine of the Afek–Gafni baseline.
+#[derive(Debug, Clone)]
+pub struct Node {
+    id: Id,
+    n: usize,
+    cfg: Config,
+    /// A candidate is a node the adversary woke in round 1; it stays a
+    /// candidate while it survives eliminations.
+    candidate: bool,
+    contacted: usize,
+    responses: usize,
+    /// As referee: best bid of the current iteration and its return port.
+    best_bid: Option<(Id, Port)>,
+    /// Highest final-iteration bid seen (including our own, if we bid).
+    final_best: Option<Id>,
+    decision: Decision,
+}
+
+impl Node {
+    /// Creates the state machine for a node with identifier `id` in an
+    /// `n`-node clique.
+    pub fn new(id: Id, n: usize, cfg: Config) -> Self {
+        Node {
+            id,
+            n,
+            cfg,
+            candidate: false,
+            contacted: 0,
+            responses: 0,
+            best_bid: None,
+            final_best: None,
+            decision: Decision::Undecided,
+        }
+    }
+
+    /// Whether this node is a still-surviving candidate.
+    pub fn is_candidate(&self) -> bool {
+        self.candidate
+    }
+}
+
+impl SyncNode for Node {
+    type Message = Msg;
+
+    fn on_wake(&mut self, ctx: &mut Context<'_, Msg>, cause: WakeCause) {
+        // Only nodes spontaneously awake from the start compete; nodes woken
+        // by a message (or by a late adversary) serve as referees only.
+        if cause == WakeCause::Adversary && ctx.round() == 1 {
+            self.candidate = true;
+        }
+    }
+
+    fn send_phase(&mut self, ctx: &mut Context<'_, Msg>) {
+        let round = ctx.round();
+        if round > self.cfg.rounds() {
+            return;
+        }
+        if round % 2 == 1 {
+            // Bid step of iteration (round + 1)/2.
+            let iteration = (round + 1) / 2;
+            if self.candidate {
+                self.contacted = self.cfg.referees_in_iteration(self.n, iteration);
+                self.responses = 0;
+                if iteration == self.cfg.k {
+                    self.final_best = Some(self.id);
+                }
+                for port in ctx.first_ports(self.contacted) {
+                    ctx.send(
+                        port,
+                        Msg::Candidate {
+                            iteration,
+                            id: self.id,
+                        },
+                    );
+                }
+            }
+        } else {
+            // Response step: answer the iteration's best bid.
+            if let Some((_, port)) = self.best_bid.take() {
+                ctx.send(port, Msg::Response);
+            }
+        }
+    }
+
+    fn receive_phase(&mut self, ctx: &mut Context<'_, Msg>, inbox: &[Received<Msg>]) {
+        let round = ctx.round();
+        for m in inbox {
+            match m.msg {
+                Msg::Candidate { iteration, id } => {
+                    debug_assert_eq!(round, 2 * iteration - 1, "bids arrive in odd rounds");
+                    if self.best_bid.is_none_or(|(best, _)| id > best) {
+                        self.best_bid = Some((id, m.port));
+                    }
+                    if iteration == self.cfg.k && self.final_best.is_none_or(|best| id > best) {
+                        self.final_best = Some(id);
+                    }
+                }
+                Msg::Response => self.responses += 1,
+            }
+        }
+
+        if round % 2 == 0 && self.candidate {
+            if self.responses < self.contacted {
+                self.candidate = false;
+            }
+        }
+        if round == self.cfg.rounds() {
+            // `final_best` is the maximum surviving bid, which is exactly
+            // the candidate that collected all n-1 responses.
+            let leader = self
+                .final_best
+                .expect("the final iteration broadcasts to every node");
+            self.decision = if self.candidate && leader == self.id {
+                debug_assert_eq!(self.responses, self.n - 1);
+                Decision::Leader
+            } else {
+                Decision::non_leader_knowing(leader)
+            };
+        }
+    }
+
+    fn decision(&self) -> Decision {
+        self.decision
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clique_model::NodeIndex;
+    use clique_sync::{SyncSimBuilder, WakeSchedule};
+
+    fn run_simultaneous(n: usize, ell: usize, seed: u64) -> clique_sync::Outcome {
+        let cfg = Config::with_rounds(ell);
+        SyncSimBuilder::new(n)
+            .seed(seed)
+            .build(|id, n| Node::new(id, n, cfg))
+            .unwrap()
+            .run()
+            .unwrap()
+    }
+
+    #[test]
+    fn config_validates() {
+        assert_eq!(Config::with_rounds(2).k(), 1);
+        assert_eq!(Config::with_rounds(8), Config::with_k(4));
+        assert_eq!(Config::with_k(3).rounds(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "even integer")]
+    fn odd_round_budget_rejected() {
+        let _ = Config::with_rounds(5);
+    }
+
+    #[test]
+    fn elects_max_id_under_simultaneous_wakeup() {
+        for ell in [2usize, 4, 6] {
+            for seed in 0..3 {
+                let outcome = run_simultaneous(32, ell, seed);
+                outcome.validate_explicit().unwrap();
+                assert_eq!(outcome.rounds, ell);
+                let leader = outcome.unique_leader().unwrap();
+                assert_eq!(outcome.ids.id_of(leader), outcome.ids.max_id());
+            }
+        }
+    }
+
+    #[test]
+    fn works_under_adversarial_wakeup() {
+        // Wake only three nodes: they are the candidates; the max-ID *woken*
+        // node must win, and everyone must still learn the winner.
+        let cfg = Config::with_rounds(4);
+        let woken = vec![NodeIndex(0), NodeIndex(3), NodeIndex(5)];
+        let outcome = SyncSimBuilder::new(16)
+            .seed(9)
+            .wake(WakeSchedule::subset(woken.clone()))
+            .build(|id, n| Node::new(id, n, cfg))
+            .unwrap()
+            .run()
+            .unwrap();
+        outcome.validate_explicit().unwrap();
+        let leader = outcome.unique_leader().unwrap();
+        assert!(woken.contains(&leader), "leader must be a woken node");
+        let max_woken = woken
+            .iter()
+            .map(|&u| outcome.ids.id_of(u))
+            .max()
+            .unwrap();
+        assert_eq!(outcome.ids.id_of(leader), max_woken);
+    }
+
+    #[test]
+    fn single_woken_node_becomes_leader() {
+        let cfg = Config::with_rounds(2);
+        let outcome = SyncSimBuilder::new(8)
+            .seed(1)
+            .wake(WakeSchedule::single(NodeIndex(4)))
+            .build(|id, n| Node::new(id, n, cfg))
+            .unwrap()
+            .run()
+            .unwrap();
+        outcome.validate_explicit().unwrap();
+        assert_eq!(outcome.unique_leader(), Some(NodeIndex(4)));
+    }
+
+    #[test]
+    fn message_complexity_within_theory_envelope() {
+        for ell in [2usize, 4, 8] {
+            let n = 256;
+            let outcome = run_simultaneous(n, ell, 2);
+            let predicted = Config::with_rounds(ell).predicted_messages(n);
+            let measured = outcome.stats.total() as f64;
+            assert!(
+                measured <= 4.0 * predicted,
+                "ℓ = {ell}: measured {measured} > 4 × predicted {predicted}"
+            );
+        }
+    }
+
+    #[test]
+    fn improved_variant_beats_baseline_at_matched_budget() {
+        // Theorem 3.10's point: at round budgets ℓ (odd) vs ℓ+1 (even,
+        // baseline), the improved algorithm sends asymptotically fewer
+        // messages. Compare ℓ = 5 (improved) against ℓ = 4 (baseline gets
+        // one round LESS, i.e. an advantage) and ℓ = 6.
+        let n = 1024;
+        let improved = {
+            let cfg = super::super::improved_tradeoff::Config::with_rounds(5);
+            SyncSimBuilder::new(n)
+                .seed(7)
+                .build(|id, n| super::super::improved_tradeoff::Node::new(id, n, cfg))
+                .unwrap()
+                .run()
+                .unwrap()
+                .stats
+                .total()
+        };
+        let baseline6 = run_simultaneous(n, 6, 7).stats.total();
+        assert!(
+            improved < baseline6,
+            "improved(ℓ=5) = {improved} should beat baseline(ℓ=6) = {baseline6}"
+        );
+    }
+
+    #[test]
+    fn two_round_instance_is_full_broadcast() {
+        let n = 8;
+        let outcome = run_simultaneous(n, 2, 0);
+        // Iteration 1 = final: every candidate broadcasts; every node then
+        // responds once to the best bid it received (the max-ID node also
+        // responds — to the second-best bid, which it received).
+        assert_eq!(outcome.stats.in_round(1), (n * (n - 1)) as u64);
+        assert_eq!(outcome.stats.in_round(2), n as u64);
+    }
+}

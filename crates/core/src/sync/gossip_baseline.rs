@@ -1,0 +1,286 @@
+//! A gossip-based many-round baseline under adversarial wake-up — the
+//! repository's documented stand-in for the singularly-optimal algorithm of
+//! Kutten, Moses Jr., Pandurangan, and Peleg \[14\].
+//!
+//! Table 1 cites \[14\] as related work: a randomized algorithm with `O(n)`
+//! messages and `O(log² n)` time (asynchronous), or 9 rounds / `O(n)`
+//! messages (synchronous). Reimplementing that paper is outside the scope
+//! of this reproduction (see DESIGN.md §4 *Substitutions*); what the
+//! comparison *needs* is a many-round algorithm whose message complexity
+//! beats the Θ(n^{3/2}) 2-round bound of Theorems 4.1/4.2, exhibiting the
+//! time-versus-messages gap that Section 4 formalises. This gossip baseline
+//! provides that: `O(log n)` rounds and `O(n·log n)` messages whp under
+//! adversarial wake-up — one log factor above \[14\], as documented in
+//! EXPERIMENTS.md.
+//!
+//! # How it works
+//!
+//! For `T = 2·⌈log₂ n⌉ + 4` rounds, every awake node pushes its best-known
+//! ID over a few random ports per round (waking sleepers as a side effect).
+//! In round `T + 1`, every node that never heard an ID above its own
+//! *claims* leadership by broadcasting its ID. The node with the maximum ID
+//! among awake nodes always claims (it can never learn a larger ID), every
+//! node receives every claim, and all nodes elect the maximum claimed ID —
+//! so exactly one leader emerges in *every* execution; randomness only
+//! affects the message count (whp `O(n·log n)`: the claim set is small
+//! because the maximum ID spreads in `O(log n)` rounds whp).
+
+use clique_model::ids::Id;
+use clique_model::Decision;
+use clique_sync::{Context, Received, SyncNode};
+
+/// Messages of the gossip baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Msg {
+    /// A push-gossip rumor carrying the best ID the sender knows.
+    Rumor(Id),
+    /// A leadership claim after the gossip phase.
+    Claim(Id),
+}
+
+/// Parameters of the gossip baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Config {
+    /// Random ports pushed to per round (default 3).
+    fanout: usize,
+    /// Gossip rounds before the claim round: `T = phase_factor·⌈log₂ n⌉ + 4`
+    /// with `phase_factor` defaulting to 2.
+    phase_factor: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            fanout: 2,
+            phase_factor: 2,
+        }
+    }
+}
+
+impl Config {
+    /// Creates a configuration with explicit fan-out and phase factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either parameter is zero.
+    pub fn new(fanout: usize, phase_factor: usize) -> Self {
+        assert!(fanout >= 1, "fan-out must be at least 1");
+        assert!(phase_factor >= 1, "phase factor must be at least 1");
+        Config {
+            fanout,
+            phase_factor,
+        }
+    }
+
+    /// Number of gossip rounds `T` for an `n`-node clique.
+    pub fn gossip_rounds(&self, n: usize) -> usize {
+        self.phase_factor * (usize::BITS - (n.max(2) - 1).leading_zeros()) as usize + 4
+    }
+
+    /// Total rounds including the claim round.
+    pub fn total_rounds(&self, n: usize) -> usize {
+        self.gossip_rounds(n) + 1
+    }
+
+    /// The `O(n·log n)` message envelope (gossip pushes plus one claim
+    /// broadcast), for comparing measurements against theory.
+    pub fn predicted_messages(&self, n: usize) -> f64 {
+        (n * self.fanout * self.gossip_rounds(n) + n) as f64
+    }
+}
+
+/// Per-node state machine of the gossip baseline.
+///
+/// Works under adversarial wake-up restricted to round 1 (the regime the
+/// paper also adopts in Section 4): all spontaneous wake-ups happen in
+/// round 1, so every awake node can recover the global round from the
+/// engine clock or, equivalently, from rumor timestamps.
+#[derive(Debug, Clone)]
+pub struct Node {
+    id: Id,
+    cfg: Config,
+    best: Id,
+    claimed: bool,
+    best_claim: Option<Id>,
+    decision: Decision,
+}
+
+impl Node {
+    /// Creates the state machine for a node with identifier `id`.
+    pub fn new(id: Id, cfg: Config) -> Self {
+        Node {
+            id,
+            cfg,
+            best: id,
+            claimed: false,
+            best_claim: None,
+            decision: Decision::Undecided,
+        }
+    }
+
+    /// The best ID this node currently knows.
+    pub fn best_known(&self) -> Id {
+        self.best
+    }
+}
+
+impl SyncNode for Node {
+    type Message = Msg;
+
+    fn send_phase(&mut self, ctx: &mut Context<'_, Msg>) {
+        let round = ctx.round();
+        let gossip_rounds = self.cfg.gossip_rounds(ctx.n());
+        if round <= gossip_rounds {
+            let fanout = self.cfg.fanout.min(ctx.n() - 1);
+            let best = self.best;
+            for port in ctx.sample_ports(fanout) {
+                ctx.send(port, Msg::Rumor(best));
+            }
+        } else if round == gossip_rounds + 1 && self.best == self.id {
+            // Nobody ever outranked us: claim leadership.
+            self.claimed = true;
+            self.best_claim = Some(self.id);
+            for port in ctx.all_ports() {
+                ctx.send(port, Msg::Claim(self.id));
+            }
+        }
+    }
+
+    fn receive_phase(&mut self, ctx: &mut Context<'_, Msg>, inbox: &[Received<Msg>]) {
+        for m in inbox {
+            match m.msg {
+                Msg::Rumor(id) => self.best = self.best.max(id),
+                Msg::Claim(id) => {
+                    if self.best_claim.is_none_or(|c| id > c) {
+                        self.best_claim = Some(id);
+                    }
+                }
+            }
+        }
+        if ctx.round() == self.cfg.total_rounds(ctx.n()) {
+            let leader = self
+                .best_claim
+                .expect("the maximum awake ID always claims and broadcasts");
+            self.decision = if self.claimed && leader == self.id {
+                Decision::Leader
+            } else {
+                Decision::non_leader_knowing(leader)
+            };
+        }
+    }
+
+    fn decision(&self) -> Decision {
+        self.decision
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clique_model::rng::rng_from_seed;
+    use clique_model::NodeIndex;
+    use clique_sync::{SyncSimBuilder, WakeSchedule};
+
+    fn run(n: usize, seed: u64, wake: WakeSchedule) -> clique_sync::Outcome {
+        let cfg = Config::default();
+        SyncSimBuilder::new(n)
+            .seed(seed)
+            .wake(wake)
+            .max_rounds(cfg.total_rounds(n) + 2)
+            .build(|id, _| Node::new(id, cfg))
+            .unwrap()
+            .run()
+            .unwrap()
+    }
+
+    #[test]
+    fn always_elects_exactly_one_leader() {
+        // Correctness is deterministic (only the message count is random):
+        // every run under every wake-up pattern must validate.
+        let mut rng = rng_from_seed(5);
+        for n in [16usize, 64, 100] {
+            for k in [1usize, 3, n] {
+                for seed in 0..3 {
+                    let wake = WakeSchedule::random_subset(n, k, &mut rng);
+                    let outcome = run(n, seed, wake);
+                    outcome.validate_explicit().unwrap();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn leader_is_max_awake_id_under_full_wakeup() {
+        let outcome = run(64, 2, WakeSchedule::simultaneous(64));
+        outcome.validate_explicit().unwrap();
+        let leader = outcome.unique_leader().unwrap();
+        assert_eq!(outcome.ids.id_of(leader), outcome.ids.max_id());
+    }
+
+    #[test]
+    fn rounds_are_logarithmic() {
+        let cfg = Config::default();
+        for n in [64usize, 1024, 65536] {
+            let rounds = cfg.total_rounds(n);
+            let log2n = (n as f64).log2();
+            assert!(
+                rounds as f64 <= 2.0 * log2n + 6.0,
+                "n = {n}: {rounds} rounds"
+            );
+        }
+        let outcome = run(256, 3, WakeSchedule::single(NodeIndex(0)));
+        assert_eq!(outcome.rounds, cfg.total_rounds(256));
+    }
+
+    #[test]
+    fn messages_are_quasilinear() {
+        let n = 1024;
+        let cfg = Config::default();
+        for seed in 0..3 {
+            let outcome = run(n, seed, WakeSchedule::single(NodeIndex(1)));
+            outcome.validate_explicit().unwrap();
+            let measured = outcome.stats.total() as f64;
+            // Claims are rare whp, so 2× the deterministic envelope is ample.
+            assert!(
+                measured <= 2.0 * cfg.predicted_messages(n),
+                "{measured} messages exceed the n·log n envelope"
+            );
+        }
+    }
+
+    #[test]
+    fn beats_the_two_round_bound_beyond_the_crossover() {
+        // The point of the substitution: a many-round algorithm undercuts
+        // the Θ(n^{3/2}) 2-round cost once n·log n < n^{3/2}. With the
+        // default constants the crossover sits near n = 4096.
+        let n = 4096;
+        let outcome = run(n, 1, WakeSchedule::single(NodeIndex(0)));
+        outcome.validate_explicit().unwrap();
+        assert!(
+            (outcome.stats.total() as f64) < (n as f64).powf(1.5),
+            "{} messages did not undercut n^{{3/2}} = {}",
+            outcome.stats.total(),
+            (n as f64).powf(1.5)
+        );
+    }
+
+    #[test]
+    fn single_root_wakes_the_whole_network() {
+        let outcome = run(128, 9, WakeSchedule::single(NodeIndex(7)));
+        assert!(outcome.all_awake());
+    }
+
+    #[test]
+    fn config_accessors() {
+        let cfg = Config::new(2, 3);
+        assert_eq!(cfg.gossip_rounds(2), 3 + 4);
+        assert!(cfg.total_rounds(16) == 3 * 4 + 5);
+        assert!(Config::default().predicted_messages(100) > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "fan-out")]
+    fn rejects_zero_fanout() {
+        let _ = Config::new(0, 2);
+    }
+}

@@ -1,0 +1,376 @@
+//! The paper's improved deterministic tradeoff algorithm (Theorem 3.10).
+//!
+//! For any odd `ℓ = 2k − 3 ≥ 3`, the algorithm elects a leader in `ℓ`
+//! rounds of the synchronous clique under simultaneous wake-up while
+//! sending `O(ℓ·n^{1+2/(ℓ+1)})` messages — polynomially better than the
+//! `O(ℓ·n^{1+2/ℓ})` of Afek and Gafni for constant `ℓ`
+//! ([`afek_gafni`](super::afek_gafni)).
+//!
+//! # How it works (paper, Section 3.3)
+//!
+//! The algorithm runs `k − 2` two-round *iterations* followed by one final
+//! broadcast round. Every node starts as a **survivor**. In round 1 of
+//! iteration `i`, each survivor sends its ID to `⌈n^{i/(k−1)}⌉` **referees**
+//! (its first that-many ports). In round 2, each referee responds to the
+//! highest ID it received this iteration and discards the rest; a survivor
+//! stays in the race iff *every* referee it contacted responded. Since a
+//! referee responds at most once per iteration, at most `n / n^{i/(k−1)}`
+//! survivors can survive iteration `i`. In the final round the (at most
+//! `n^{1/(k−1)}`) remaining survivors broadcast to everyone, and the highest
+//! broadcast ID wins.
+//!
+//! The survivor holding the globally largest ID always survives — every
+//! referee it contacts responds to it — so the final round always elects
+//! exactly one leader, and every node learns the leader's ID (explicit
+//! election).
+
+use clique_model::ids::Id;
+use clique_model::Decision;
+use clique_sync::{Context, Received, SyncNode};
+
+use super::referee_count;
+
+/// Messages of the improved tradeoff algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Msg {
+    /// A survivor's bid for iteration `iteration` (1-based), carrying its ID.
+    Candidate {
+        /// Which two-round iteration the bid belongs to.
+        iteration: usize,
+        /// The survivor's ID.
+        id: Id,
+    },
+    /// A referee's response to the winning survivor of one iteration.
+    Response,
+    /// A final-round broadcast carrying a surviving node's ID.
+    Final(Id),
+}
+
+/// Parameters of the improved tradeoff algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Config {
+    /// Phase parameter `k ≥ 3`: the algorithm runs `k − 2` two-round
+    /// iterations plus a final broadcast round, `2k − 3` rounds total.
+    k: usize,
+}
+
+impl Config {
+    /// Configures the algorithm by its phase parameter `k ≥ 3`
+    /// (`ℓ = 2k − 3` rounds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k < 3`.
+    pub fn with_k(k: usize) -> Self {
+        assert!(k >= 3, "phase parameter must satisfy k >= 3, got {k}");
+        Config { k }
+    }
+
+    /// Configures the algorithm by its round budget: any odd `ℓ ≥ 3`
+    /// (Theorem 3.10's parametrisation; `k = (ℓ + 3)/2`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ℓ` is even or `ℓ < 3`.
+    pub fn with_rounds(ell: usize) -> Self {
+        assert!(
+            ell >= 3 && ell % 2 == 1,
+            "round budget must be an odd integer >= 3, got {ell}"
+        );
+        Config::with_k((ell + 3) / 2)
+    }
+
+    /// The phase parameter `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of rounds the algorithm takes: `ℓ = 2k − 3`.
+    pub fn rounds(&self) -> usize {
+        2 * self.k - 3
+    }
+
+    /// Referees contacted by each survivor in iteration `i ∈ [1, k−2]`:
+    /// `⌈n^{i/(k−1)}⌉`, clamped to `n − 1`.
+    pub fn referees_in_iteration(&self, n: usize, i: usize) -> usize {
+        referee_count(n, i as u32, (self.k - 1) as u32)
+    }
+
+    /// The paper's bound on the total number of messages,
+    /// `O(ℓ·n^{1+2/(ℓ+1)})` (constant 1), for comparing measurements
+    /// against theory.
+    pub fn predicted_messages(&self, n: usize) -> f64 {
+        let ell = self.rounds() as f64;
+        ell * (n as f64).powf(1.0 + 2.0 / (ell + 1.0))
+    }
+}
+
+/// Per-node state machine of the improved tradeoff algorithm.
+///
+/// Requires simultaneous wake-up (Section 3's regime): every node must be
+/// awake from round 1.
+#[derive(Debug, Clone)]
+pub struct Node {
+    id: Id,
+    n: usize,
+    cfg: Config,
+    /// Still in the race?
+    survivor: bool,
+    /// Referees contacted in the current iteration.
+    contacted: usize,
+    /// Responses received in the current iteration.
+    responses: usize,
+    /// As referee: best bid seen in the current iteration and the port to
+    /// respond over.
+    best_bid: Option<(Id, clique_model::ports::Port)>,
+    /// Highest final-round ID seen (including our own, if we broadcast).
+    final_best: Option<Id>,
+    decision: Decision,
+}
+
+impl Node {
+    /// Creates the state machine for a node with identifier `id` in an
+    /// `n`-node clique.
+    pub fn new(id: Id, n: usize, cfg: Config) -> Self {
+        Node {
+            id,
+            n,
+            cfg,
+            survivor: true,
+            contacted: 0,
+            responses: 0,
+            best_bid: None,
+            final_best: None,
+            decision: Decision::Undecided,
+        }
+    }
+
+    /// Whether this node is still a surviving candidate.
+    pub fn is_survivor(&self) -> bool {
+        self.survivor
+    }
+
+    /// Maps a round to `(iteration, is_second_round)`;
+    /// the final round maps to `(k - 1, false)`.
+    fn phase_of(&self, round: usize) -> (usize, bool) {
+        ((round + 1) / 2, round % 2 == 0)
+    }
+}
+
+impl SyncNode for Node {
+    type Message = Msg;
+
+    fn send_phase(&mut self, ctx: &mut Context<'_, Msg>) {
+        let round = ctx.round();
+        if round > self.cfg.rounds() {
+            return;
+        }
+        let (iteration, second_round) = self.phase_of(round);
+        if second_round {
+            // Referee response step: answer the iteration's best bid.
+            if let Some((_, port)) = self.best_bid.take() {
+                ctx.send(port, Msg::Response);
+            }
+        } else if iteration <= self.cfg.k - 2 {
+            // Iteration bid step.
+            if self.survivor {
+                self.contacted = self.cfg.referees_in_iteration(self.n, iteration);
+                self.responses = 0;
+                for port in ctx.first_ports(self.contacted) {
+                    ctx.send(
+                        port,
+                        Msg::Candidate {
+                            iteration,
+                            id: self.id,
+                        },
+                    );
+                }
+            }
+        } else {
+            // Final broadcast round.
+            if self.survivor {
+                self.final_best = Some(self.id);
+                for port in ctx.all_ports() {
+                    ctx.send(port, Msg::Final(self.id));
+                }
+            }
+        }
+    }
+
+    fn receive_phase(&mut self, ctx: &mut Context<'_, Msg>, inbox: &[Received<Msg>]) {
+        let round = ctx.round();
+        for m in inbox {
+            match m.msg {
+                Msg::Candidate { iteration, id } => {
+                    debug_assert_eq!(round, 2 * iteration - 1, "bids arrive in odd rounds");
+                    if self.best_bid.is_none_or(|(best, _)| id > best) {
+                        self.best_bid = Some((id, m.port));
+                    }
+                }
+                Msg::Response => {
+                    self.responses += 1;
+                }
+                Msg::Final(id) => {
+                    if self.final_best.is_none_or(|best| id > best) {
+                        self.final_best = Some(id);
+                    }
+                }
+            }
+        }
+
+        let (_, second_round) = self.phase_of(round);
+        if second_round && self.survivor {
+            // End of an iteration: did every referee respond to us?
+            if self.responses < self.contacted {
+                self.survivor = false;
+            }
+        }
+        if round == self.cfg.rounds() {
+            let leader = self
+                .final_best
+                .expect("at least one survivor broadcasts in the final round");
+            self.decision = if self.survivor && leader == self.id {
+                Decision::Leader
+            } else {
+                Decision::non_leader_knowing(leader)
+            };
+        }
+    }
+
+    fn decision(&self) -> Decision {
+        self.decision
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clique_model::ids::IdAssignment;
+    use clique_model::ports::RoundRobinResolver;
+    use clique_sync::{HaltReason, SyncSimBuilder};
+
+    fn run(n: usize, ell: usize, seed: u64) -> clique_sync::Outcome {
+        let cfg = Config::with_rounds(ell);
+        SyncSimBuilder::new(n)
+            .seed(seed)
+            .build(|id, n| Node::new(id, n, cfg))
+            .unwrap()
+            .run()
+            .unwrap()
+    }
+
+    #[test]
+    fn config_parametrisations_agree() {
+        assert_eq!(Config::with_rounds(3), Config::with_k(3));
+        assert_eq!(Config::with_rounds(5), Config::with_k(4));
+        assert_eq!(Config::with_rounds(11), Config::with_k(7));
+        assert_eq!(Config::with_k(5).rounds(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "odd integer")]
+    fn even_round_budget_rejected() {
+        let _ = Config::with_rounds(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "k >= 3")]
+    fn tiny_k_rejected() {
+        let _ = Config::with_k(2);
+    }
+
+    #[test]
+    fn elects_max_id_in_exactly_ell_rounds() {
+        for ell in [3usize, 5, 7] {
+            for seed in 0..3 {
+                let outcome = run(64, ell, seed);
+                outcome.validate_explicit().unwrap();
+                assert_eq!(outcome.rounds, ell, "ℓ = {ell}, seed = {seed}");
+                assert_eq!(outcome.halt, HaltReason::Quiescent);
+                let leader = outcome.unique_leader().unwrap();
+                assert_eq!(
+                    outcome.ids.id_of(leader),
+                    outcome.ids.max_id(),
+                    "the max-ID node must win (it can never be eliminated)"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn works_on_non_power_of_two_sizes() {
+        for n in [5usize, 17, 100, 127] {
+            let outcome = run(n, 5, 1);
+            outcome.validate_explicit().unwrap();
+        }
+    }
+
+    #[test]
+    fn works_under_adversarial_port_mapping() {
+        let cfg = Config::with_rounds(5);
+        let outcome = SyncSimBuilder::new(32)
+            .seed(3)
+            .resolver(Box::new(RoundRobinResolver))
+            .build(|id, n| Node::new(id, n, cfg))
+            .unwrap()
+            .run()
+            .unwrap();
+        outcome.validate_explicit().unwrap();
+    }
+
+    #[test]
+    fn message_complexity_within_theory_envelope() {
+        // Measured messages should be below the paper's bound with constant
+        // 4 (bids + responses + final broadcast) and above a trivial floor.
+        for ell in [3usize, 5, 9] {
+            let n = 256;
+            let outcome = run(n, ell, 2);
+            let predicted = Config::with_rounds(ell).predicted_messages(n);
+            let measured = outcome.stats.total() as f64;
+            assert!(
+                measured <= 4.0 * predicted,
+                "ℓ = {ell}: measured {measured} > 4 × predicted {predicted}"
+            );
+            assert!(
+                measured >= n as f64,
+                "ℓ = {ell}: fewer messages than nodes is impossible here"
+            );
+        }
+    }
+
+    #[test]
+    fn more_rounds_means_fewer_messages() {
+        // The tradeoff itself: message counts decrease (weakly) as the round
+        // budget grows.
+        let n = 512;
+        let m3 = run(n, 3, 5).stats.total();
+        let m7 = run(n, 7, 5).stats.total();
+        let m11 = run(n, 11, 5).stats.total();
+        assert!(m3 > m7, "ℓ=3 sent {m3}, ℓ=7 sent {m7}");
+        assert!(m7 > m11, "ℓ=7 sent {m7}, ℓ=11 sent {m11}");
+    }
+
+    #[test]
+    fn explicit_ids_make_the_winner_predictable() {
+        let ids = IdAssignment::new(vec![Id(10), Id(99), Id(42), Id(7)]).unwrap();
+        let cfg = Config::with_rounds(3);
+        let outcome = SyncSimBuilder::new(4)
+            .ids(ids)
+            .build(|id, n| Node::new(id, n, cfg))
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(
+            outcome.unique_leader(),
+            Some(clique_model::NodeIndex(1)),
+            "node holding ID 99 must win"
+        );
+    }
+
+    #[test]
+    fn survivor_probe_is_accessible() {
+        let cfg = Config::with_rounds(3);
+        let node = Node::new(Id(5), 8, cfg);
+        assert!(node.is_survivor());
+    }
+}

@@ -1,0 +1,324 @@
+//! The Las Vegas algorithm of Theorem 3.16: `O(n)` messages whp,
+//! terminates in 3 rounds whp, and **never** elects a wrong number of
+//! leaders.
+//!
+//! Theorem 3.16 shows Ω(n) messages are necessary for *any* Las Vegas
+//! algorithm — a polynomial gap below the `O(√n·log^{3/2} n)` Monte Carlo
+//! algorithm of \[16\] ([`sublinear_mc`](super::sublinear_mc)). This module
+//! is the matching upper bound, obtained (as the paper sketches) by adding
+//! an announcement round to the Monte Carlo competition and restarting on
+//! silence.
+//!
+//! # How it works
+//!
+//! The execution proceeds in 3-round *attempts*:
+//!
+//! 1. candidates (probability `a·ln n / n`, fresh coins per attempt) draw a
+//!    rank and bid to `⌈b·√(n·ln n)⌉` random referees;
+//! 2. referees reply with the maximum rank they received;
+//! 3. every candidate whose replies all match its own rank **announces**
+//!    `(rank, ID)` to all `n − 1` ports.
+//!
+//! At the end of round 3, every node has received the *same* announcement
+//! set (each announcer broadcast to everyone), so all nodes consistently
+//! elect the announcer with the lexicographically largest `(rank, ID)` —
+//! IDs break rank ties, so the choice is unique and the algorithm can never
+//! produce zero or two leaders once somebody announces. If *no* announcement
+//! was made (no candidate arose — probability `n^{−Θ(1)}`), every node
+//! silently begins the next attempt. Expected attempts: `1 + o(1)`.
+
+use clique_model::ids::{rank_universe, Id};
+use clique_model::ports::Port;
+use clique_model::rng::coin;
+use clique_model::Decision;
+use clique_sync::{Context, Received, SyncNode};
+use rand::Rng;
+
+pub use super::sublinear_mc::Config;
+
+/// Messages of the Las Vegas algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Msg {
+    /// A candidate's bid carrying its random rank.
+    Bid(u64),
+    /// A referee's reply carrying the maximum rank it received.
+    MaxSeen(u64),
+    /// A tentative winner's announcement.
+    Announce {
+        /// The announcer's winning rank.
+        rank: u64,
+        /// The announcer's ID (rank tie-breaker).
+        id: Id,
+    },
+}
+
+/// Per-node state machine of the Las Vegas algorithm.
+///
+/// Requires simultaneous wake-up. Solves *explicit* leader election.
+#[derive(Debug, Clone)]
+pub struct Node {
+    id: Id,
+    cfg: Config,
+    /// Candidate state for the current attempt.
+    rank: Option<u64>,
+    contacted: usize,
+    replies: usize,
+    winning_replies: usize,
+    referee_replies: Vec<(Port, u64)>,
+    /// Whether we announce in the current attempt's third round.
+    announcing: bool,
+    /// Best `(rank, id)` announcement seen this attempt (ours included).
+    best_announcement: Option<(u64, Id)>,
+    /// Attempts completed (for experiments: 0 whp after one attempt).
+    attempts_finished: u32,
+    decision: Decision,
+}
+
+impl Node {
+    /// Creates the state machine for a node with identifier `id`.
+    pub fn new(id: Id, cfg: Config) -> Self {
+        Node {
+            id,
+            cfg,
+            rank: None,
+            contacted: 0,
+            replies: 0,
+            winning_replies: 0,
+            referee_replies: Vec::new(),
+            announcing: false,
+            best_announcement: None,
+            attempts_finished: 0,
+            decision: Decision::Undecided,
+        }
+    }
+
+    /// How many whole (failed) attempts this node has lived through.
+    pub fn attempts_finished(&self) -> u32 {
+        self.attempts_finished
+    }
+
+    /// Position within the 3-round attempt: 1, 2, or 3.
+    fn attempt_round(round: usize) -> usize {
+        (round - 1) % 3 + 1
+    }
+}
+
+impl SyncNode for Node {
+    type Message = Msg;
+
+    fn send_phase(&mut self, ctx: &mut Context<'_, Msg>) {
+        match Self::attempt_round(ctx.round()) {
+            1 => {
+                // Fresh attempt: reset per-attempt state, flip the
+                // candidacy coin.
+                let n = ctx.n();
+                self.rank = None;
+                self.contacted = 0;
+                self.replies = 0;
+                self.winning_replies = 0;
+                self.announcing = false;
+                self.best_announcement = None;
+                if coin(ctx.rng(), self.cfg.candidate_probability(n)) {
+                    let rank = ctx.rng().gen_range(0..rank_universe(n));
+                    self.rank = Some(rank);
+                    let referees = self.cfg.referee_count(n);
+                    self.contacted = referees;
+                    for port in ctx.sample_ports(referees) {
+                        ctx.send(port, Msg::Bid(rank));
+                    }
+                }
+            }
+            2 => {
+                for (port, max_rank) in self.referee_replies.drain(..) {
+                    ctx.send(port, Msg::MaxSeen(max_rank));
+                }
+            }
+            3 => {
+                if self.announcing {
+                    let rank = self.rank.expect("announcers are candidates");
+                    for port in ctx.all_ports() {
+                        ctx.send(port, Msg::Announce { rank, id: self.id });
+                    }
+                    self.best_announcement = Some((rank, self.id));
+                }
+            }
+            _ => unreachable!("attempt rounds are 1..=3"),
+        }
+    }
+
+    fn receive_phase(&mut self, ctx: &mut Context<'_, Msg>, inbox: &[Received<Msg>]) {
+        match Self::attempt_round(ctx.round()) {
+            1 => {
+                let max_rank = inbox
+                    .iter()
+                    .filter_map(|m| match m.msg {
+                        Msg::Bid(r) => Some(r),
+                        _ => None,
+                    })
+                    .max();
+                if let Some(max_rank) = max_rank {
+                    for m in inbox {
+                        if matches!(m.msg, Msg::Bid(_)) {
+                            self.referee_replies.push((m.port, max_rank));
+                        }
+                    }
+                }
+            }
+            2 => {
+                for m in inbox {
+                    if let Msg::MaxSeen(r) = m.msg {
+                        self.replies += 1;
+                        if Some(r) == self.rank {
+                            self.winning_replies += 1;
+                        }
+                    }
+                }
+                self.announcing = self.rank.is_some()
+                    && self.replies == self.contacted
+                    && self.winning_replies == self.contacted;
+            }
+            3 => {
+                for m in inbox {
+                    if let Msg::Announce { rank, id } = m.msg {
+                        if self.best_announcement.is_none_or(|best| (rank, id) > best) {
+                            self.best_announcement = Some((rank, id));
+                        }
+                    }
+                }
+                match self.best_announcement {
+                    Some((_, leader_id)) => {
+                        self.decision = if leader_id == self.id {
+                            Decision::Leader
+                        } else {
+                            Decision::non_leader_knowing(leader_id)
+                        };
+                    }
+                    None => {
+                        // Silent attempt: restart. Every node observes the
+                        // same silence, so attempts stay aligned.
+                        self.attempts_finished += 1;
+                    }
+                }
+            }
+            _ => unreachable!("attempt rounds are 1..=3"),
+        }
+    }
+
+    fn decision(&self) -> Decision {
+        self.decision
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clique_sync::{HaltReason, SyncSimBuilder};
+
+    fn run(n: usize, seed: u64, cfg: Config) -> clique_sync::Outcome {
+        SyncSimBuilder::new(n)
+            .seed(seed)
+            .build(|id, _| Node::new(id, cfg))
+            .unwrap()
+            .run()
+            .unwrap()
+    }
+
+    #[test]
+    fn never_fails_across_many_seeds() {
+        // Las Vegas: every run must produce exactly one leader that every
+        // node agrees on — no exceptions, only the running time varies.
+        for seed in 0..40 {
+            let outcome = run(64, seed, Config::default());
+            outcome.validate_explicit().unwrap();
+            assert_eq!(outcome.halt, HaltReason::Quiescent);
+            assert_eq!(outcome.rounds % 3, 0, "attempts are 3 rounds each");
+        }
+    }
+
+    #[test]
+    fn three_rounds_with_high_probability() {
+        let mut first_try = 0;
+        let trials = 30;
+        for seed in 100..100 + trials {
+            let outcome = run(128, seed, Config::default());
+            outcome.validate_explicit().unwrap();
+            if outcome.rounds == 3 {
+                first_try += 1;
+            }
+        }
+        assert!(
+            first_try >= trials - 1,
+            "only {first_try}/{trials} runs finished in one attempt"
+        );
+    }
+
+    #[test]
+    fn message_complexity_is_announcement_plus_competition() {
+        // O(n) whp asymptotically: the Θ(n) announcement plus the
+        // o(n)-asymptotic competition of [16] (whose polylog factors still
+        // dominate at small n — EXPERIMENTS.md tracks the crossover).
+        let n = 1024;
+        for seed in 0..5 {
+            let outcome = run(n, seed, Config::default());
+            outcome.validate_explicit().unwrap();
+            let measured = outcome.stats.total() as f64;
+            assert!(
+                measured >= (n - 1) as f64,
+                "the winner must announce to everyone"
+            );
+            let envelope = 2.0 * n as f64 + 3.0 * Config::default().predicted_messages(n);
+            assert!(
+                measured <= envelope,
+                "{measured} messages exceed announce + competition = {envelope}"
+            );
+        }
+    }
+
+    #[test]
+    fn restart_happens_when_no_candidate_arises() {
+        // Force candidacy probability 0 for the sanity check that silence
+        // loops attempts; cap the rounds so the run halts.
+        let cfg = Config {
+            candidate_factor: 0.0,
+            referee_factor: 2.0,
+        };
+        let outcome = SyncSimBuilder::new(16)
+            .seed(5)
+            .max_rounds(9)
+            .build(|id, _| Node::new(id, cfg))
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(outcome.halt, HaltReason::MaxRounds);
+        assert!(outcome.validate_implicit().is_err());
+        assert_eq!(outcome.stats.total(), 0);
+    }
+
+    #[test]
+    fn ties_on_rank_are_broken_by_id() {
+        // With a single possible rank value every candidate collides; the
+        // algorithm must still elect exactly one leader (highest ID among
+        // announcers) because announcements carry IDs.
+        // rank_universe(n) ≥ 16, so we cannot force collisions directly via
+        // n; instead run many small networks where collisions are likely
+        // (universe 16, several candidates whp) and check no run ever
+        // produces two leaders.
+        let cfg = Config {
+            candidate_factor: 40.0, // almost everyone is a candidate
+            referee_factor: 2.0,
+        };
+        for seed in 0..30 {
+            let outcome = run(8, seed, cfg);
+            outcome.validate_explicit().unwrap();
+        }
+    }
+
+    #[test]
+    fn attempt_round_arithmetic() {
+        assert_eq!(Node::attempt_round(1), 1);
+        assert_eq!(Node::attempt_round(2), 2);
+        assert_eq!(Node::attempt_round(3), 3);
+        assert_eq!(Node::attempt_round(4), 1);
+        assert_eq!(Node::attempt_round(7), 1);
+    }
+}

@@ -1,0 +1,48 @@
+//! Synchronous clique algorithms (paper, Sections 3 and 4).
+
+pub mod afek_gafni;
+pub mod gossip_baseline;
+pub mod improved_tradeoff;
+pub mod las_vegas;
+pub mod small_id;
+pub mod sublinear_mc;
+pub mod two_round_adversarial;
+
+/// `⌈n^{num/den}⌉` clamped to `[1, n-1]`, the referee-count schedule shared
+/// by the deterministic tradeoff algorithms: iteration `i` of a `k`-phase
+/// algorithm contacts `⌈n^{i/(k-1)}⌉` (Theorem 3.10) or `⌈n^{i/k}⌉`
+/// (Afek–Gafni) referees.
+pub(crate) fn referee_count(n: usize, num: u32, den: u32) -> usize {
+    debug_assert!(den > 0);
+    let exact = (n as f64).powf(f64::from(num) / f64::from(den));
+    // Guard against floating point landing a hair under an integer (e.g.
+    // 4^{2/2} = 3.9999...): nudge before taking the ceiling.
+    let count = (exact - 1e-9).ceil() as usize;
+    count.clamp(1, n - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::referee_count;
+
+    #[test]
+    fn referee_count_matches_theory() {
+        assert_eq!(referee_count(16, 1, 2), 4); // 16^{1/2}
+        assert_eq!(referee_count(16, 2, 2), 15); // 16^{1} clamped to n-1
+        assert_eq!(referee_count(1024, 1, 4), 6); // ⌈1024^{0.25}⌉ = ⌈5.66⌉
+        assert_eq!(referee_count(4, 2, 2), 3); // exact power, clamped
+        assert_eq!(referee_count(2, 1, 3), 1); // tiny n clamps to 1
+    }
+
+    #[test]
+    fn referee_count_is_monotone_in_exponent() {
+        for n in [8usize, 64, 1000] {
+            let mut prev = 0;
+            for i in 1..=6u32 {
+                let c = referee_count(n, i, 6);
+                assert!(c >= prev, "n={n}, i={i}");
+                prev = c;
+            }
+        }
+    }
+}

@@ -1,0 +1,249 @@
+//! Algorithm 1: deterministic election for small ID universes
+//! (Theorem 3.15).
+//!
+//! When the ID universe is `{1, ..., n·g(n)}`, the Ω(n·log n) message lower
+//! bound of Theorem 3.11 does *not* apply: this algorithm elects a leader in
+//! `⌈n/d⌉` rounds sending at most `n·d·g(n)` messages, for any trade-off
+//! parameter `d ≤ n`. With `g(n) = O(1)` and `d = o(log n)` it sends
+//! `o(n·log n)` messages in sublinear time — showing the large-ID-space
+//! assumption in Theorem 3.11 is necessary.
+//!
+//! # How it works
+//!
+//! Round `i` is reserved for the ID window `[(i−1)·d·g + 1, i·d·g]`: every
+//! node whose ID falls in the window broadcasts its ID to everyone. The
+//! first round in which *any* node broadcasts is the window of the globally
+//! smallest ID; at the end of that round every node has seen the same
+//! non-empty set of IDs and elects the minimum. At most `d·g` nodes can
+//! occupy one window, hence at most `n·d·g` messages.
+
+use clique_model::ids::Id;
+use clique_model::Decision;
+use clique_sync::{Context, Received, SyncNode};
+
+/// Parameters of Algorithm 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Config {
+    /// Trade-off parameter `1 ≤ d ≤ n`: larger `d` means fewer rounds but
+    /// more messages.
+    d: usize,
+    /// ID-universe density `g ≥ 1`: IDs come from `{1, ..., n·g}`.
+    g: u64,
+}
+
+impl Config {
+    /// Creates a configuration with trade-off parameter `d` and universe
+    /// density `g` (IDs must come from `{1, ..., n·g}`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d == 0` or `g == 0`.
+    pub fn new(d: usize, g: u64) -> Self {
+        assert!(d >= 1, "trade-off parameter d must be at least 1");
+        assert!(g >= 1, "universe density g must be at least 1");
+        Config { d, g }
+    }
+
+    /// The trade-off parameter `d`.
+    pub fn d(&self) -> usize {
+        self.d
+    }
+
+    /// The universe density `g`.
+    pub fn g(&self) -> u64 {
+        self.g
+    }
+
+    /// Worst-case round count, `⌈n/d⌉`.
+    pub fn max_rounds(&self, n: usize) -> usize {
+        n.div_ceil(self.d)
+    }
+
+    /// The `n·d·g` message bound of Theorem 3.15.
+    pub fn predicted_messages(&self, n: usize) -> u64 {
+        (n as u64) * (self.d as u64) * self.g
+    }
+
+    /// The ID window scanned in round `i` (1-based): `[(i−1)·d·g + 1, i·d·g]`.
+    pub fn window(&self, i: usize) -> std::ops::RangeInclusive<u64> {
+        let width = self.d as u64 * self.g;
+        ((i as u64 - 1) * width + 1)..=(i as u64 * width)
+    }
+}
+
+/// Per-node state machine of Algorithm 1.
+///
+/// Requires simultaneous wake-up and IDs drawn from `{1, ..., n·g}`
+/// ([`clique_model::ids::IdSpace::linear`]).
+#[derive(Debug, Clone)]
+pub struct Node {
+    id: Id,
+    cfg: Config,
+    sent: bool,
+    decision: Decision,
+}
+
+impl Node {
+    /// Creates the state machine for a node with identifier `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` lies outside the universe `{1, ..., n·g}` the
+    /// configuration promises.
+    pub fn new(id: Id, n: usize, cfg: Config) -> Self {
+        assert!(
+            id.0 >= 1 && id.0 <= n as u64 * cfg.g,
+            "ID {id} outside the configured universe {{1, ..., {}}}",
+            n as u64 * cfg.g
+        );
+        Node {
+            id,
+            cfg,
+            sent: false,
+            decision: Decision::Undecided,
+        }
+    }
+}
+
+impl SyncNode for Node {
+    type Message = Id;
+
+    fn send_phase(&mut self, ctx: &mut Context<'_, Id>) {
+        if self.cfg.window(ctx.round()).contains(&self.id.0) {
+            self.sent = true;
+            for port in ctx.all_ports() {
+                ctx.send(port, self.id);
+            }
+        }
+    }
+
+    fn receive_phase(&mut self, _ctx: &mut Context<'_, Id>, inbox: &[Received<Id>]) {
+        if inbox.is_empty() && !self.sent {
+            return;
+        }
+        let mut best = inbox.iter().map(|m| m.msg).min();
+        if self.sent {
+            best = Some(best.map_or(self.id, |b| b.min(self.id)));
+        }
+        let leader = best.expect("some ID was sent or received this round");
+        self.decision = if leader == self.id {
+            Decision::Leader
+        } else {
+            Decision::non_leader_knowing(leader)
+        };
+    }
+
+    fn decision(&self) -> Decision {
+        self.decision
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clique_model::ids::{IdAssignment, IdSpace};
+    use clique_model::rng::rng_from_seed;
+    use clique_sync::SyncSimBuilder;
+
+    fn run(n: usize, d: usize, g: u64, seed: u64) -> clique_sync::Outcome {
+        let cfg = Config::new(d, g);
+        let mut rng = rng_from_seed(seed);
+        let ids = IdSpace::linear(n, g).assign(n, &mut rng).unwrap();
+        SyncSimBuilder::new(n)
+            .seed(seed)
+            .ids(ids)
+            .max_rounds(cfg.max_rounds(n) + 1)
+            .build(|id, n| Node::new(id, n, cfg))
+            .unwrap()
+            .run()
+            .unwrap()
+    }
+
+    #[test]
+    fn elects_min_id_within_round_and_message_budget() {
+        for (n, d, g) in [(32usize, 4usize, 1u64), (100, 10, 2), (64, 64, 1), (33, 5, 3)] {
+            for seed in 0..3 {
+                let cfg = Config::new(d, g);
+                let outcome = run(n, d, g, seed);
+                outcome.validate_explicit().unwrap();
+                let leader = outcome.unique_leader().unwrap();
+                assert_eq!(
+                    outcome.ids.id_of(leader),
+                    outcome.ids.min_id(),
+                    "Algorithm 1 elects the minimum ID"
+                );
+                assert!(outcome.rounds <= cfg.max_rounds(n));
+                assert!(outcome.stats.total() <= cfg.predicted_messages(n));
+            }
+        }
+    }
+
+    #[test]
+    fn terminates_in_window_of_min_id() {
+        // Min ID 1 is always in window 1: a single round suffices.
+        let n = 16;
+        let cfg = Config::new(2, 1);
+        let ids = IdAssignment::new((1..=n as u64).map(Id).collect()).unwrap();
+        let outcome = SyncSimBuilder::new(n)
+            .ids(ids)
+            .build(|id, n| Node::new(id, n, cfg))
+            .unwrap()
+            .run()
+            .unwrap();
+        outcome.validate_explicit().unwrap();
+        assert_eq!(outcome.rounds, 1);
+        // Window 1 holds IDs {1, 2}: both broadcast.
+        assert_eq!(outcome.stats.total(), 2 * (n as u64 - 1));
+    }
+
+    #[test]
+    fn late_window_costs_more_rounds() {
+        // An adversary placing all IDs deep in the universe forces many
+        // silent rounds before the minimum's window fires.
+        let n = 16;
+        let g = 5; // universe {1, ..., 80}
+        let cfg = Config::new(1, g); // window width 5
+        let ids = IdAssignment::new((50..50 + n as u64).map(Id).collect()).unwrap();
+        let outcome = SyncSimBuilder::new(n)
+            .ids(ids)
+            .max_rounds(cfg.max_rounds(n) + 1)
+            .build(|id, n| Node::new(id, n, cfg))
+            .unwrap()
+            .run()
+            .unwrap();
+        outcome.validate_explicit().unwrap();
+        // Min ID 50 sits in window ⌈50/5⌉ = 10.
+        assert_eq!(outcome.rounds, 10);
+    }
+
+    #[test]
+    fn window_arithmetic() {
+        let cfg = Config::new(3, 2);
+        assert_eq!(cfg.window(1), 1..=6);
+        assert_eq!(cfg.window(2), 7..=12);
+        assert_eq!(cfg.max_rounds(10), 4);
+        assert_eq!(cfg.predicted_messages(10), 60);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the configured universe")]
+    fn rejects_out_of_universe_id() {
+        let _ = Node::new(Id(100), 8, Config::new(2, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn rejects_zero_d() {
+        let _ = Config::new(0, 1);
+    }
+
+    #[test]
+    fn dense_universe_single_round_sublinear_messages() {
+        // With g = 1 (IDs are a permutation of 1..n), window 1 always fires:
+        // d·g senders, n·d messages — and d = 1 gives n−1 messages total.
+        let n = 64;
+        let outcome = run(n, 1, 1, 3);
+        assert_eq!(outcome.rounds, 1);
+        assert_eq!(outcome.stats.total(), (n - 1) as u64);
+    }
+}

@@ -1,0 +1,261 @@
+//! The sublinear Monte Carlo baseline of Kutten, Pandurangan, Peleg,
+//! Robinson, and Trehan \[16\].
+//!
+//! Elects a leader (implicitly) in **2 rounds** sending
+//! `O(√n·log^{3/2} n)` messages, succeeding with high probability. The
+//! paper cites it as the Monte Carlo counterpoint to the Ω(n) Las Vegas
+//! lower bound of Theorem 3.16: the √n-vs-n message gap is exactly what
+//! [`las_vegas`](super::las_vegas) vs this module demonstrates.
+//!
+//! # How it works
+//!
+//! * Round 1: each node independently becomes a **candidate** with
+//!   probability `a·ln n / n` (so `Θ(log n)` candidates exist whp, and at
+//!   least one whp). A candidate draws a uniform *rank* from `[n⁴]` and
+//!   sends it to `⌈b·√(n·ln n)⌉` uniformly random ports — its *referees*.
+//! * Round 2: every referee replies to each bid it received with the
+//!   maximum rank it saw. A candidate elects itself iff every reply equals
+//!   its own rank.
+//!
+//! Two candidates' referee sets of size `Θ(√(n·log n))` intersect with
+//! probability `1 − n^{−Ω(1)}` (birthday bound), and the shared referee
+//! informs the lower-ranked one of the higher rank. The maximum-rank
+//! candidate always wins; all others lose whp. Failure modes (no candidate,
+//! disjoint referee sets, rank collision) each have polynomially small
+//! probability.
+
+use clique_model::ids::rank_universe;
+use clique_model::ports::Port;
+use clique_model::rng::coin;
+use clique_model::Decision;
+use clique_sync::{Context, Received, SyncNode};
+use rand::Rng;
+
+/// Messages of the sublinear Monte Carlo algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Msg {
+    /// A candidate's bid carrying its random rank.
+    Bid(u64),
+    /// A referee's reply carrying the maximum rank it received.
+    MaxSeen(u64),
+}
+
+/// Parameters of the sublinear Monte Carlo algorithm.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Config {
+    /// Candidate probability is `candidate_factor·ln n / n`.
+    pub candidate_factor: f64,
+    /// Referee count is `⌈referee_factor·√(n·ln n)⌉`.
+    pub referee_factor: f64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            candidate_factor: 8.0,
+            referee_factor: 2.0,
+        }
+    }
+}
+
+impl Config {
+    /// The probability with which a node becomes a candidate.
+    pub fn candidate_probability(&self, n: usize) -> f64 {
+        (self.candidate_factor * (n as f64).ln() / n as f64).min(1.0)
+    }
+
+    /// The number of referees each candidate contacts (clamped to `n − 1`).
+    pub fn referee_count(&self, n: usize) -> usize {
+        let exact = self.referee_factor * (n as f64 * (n as f64).ln()).sqrt();
+        (exact.ceil() as usize).clamp(1, n - 1)
+    }
+
+    /// The `O(√n·log^{3/2} n)` bound of \[16\] with the configured
+    /// constants: expected candidates × referees each, counting both bids
+    /// and replies.
+    pub fn predicted_messages(&self, n: usize) -> f64 {
+        let expected_candidates = self.candidate_factor * (n as f64).ln();
+        2.0 * expected_candidates * self.referee_count(n) as f64
+    }
+}
+
+/// Per-node state machine of the sublinear Monte Carlo algorithm.
+///
+/// Requires simultaneous wake-up. Solves *implicit* leader election: nodes
+/// output leader/non-leader bits but not the leader's identity.
+#[derive(Debug, Clone)]
+pub struct Node {
+    cfg: Config,
+    rank: Option<u64>,
+    contacted: usize,
+    winning_replies: usize,
+    replies: usize,
+    /// As referee: `(return port, max rank seen)` replies queued for round 2.
+    referee_replies: Vec<(Port, u64)>,
+    decision: Decision,
+}
+
+impl Node {
+    /// Creates the state machine for one node (the ID is unused: the
+    /// algorithm is rank-based and works even on anonymous cliques).
+    pub fn new(cfg: Config) -> Self {
+        Node {
+            cfg,
+            rank: None,
+            contacted: 0,
+            winning_replies: 0,
+            replies: 0,
+            referee_replies: Vec::new(),
+            decision: Decision::Undecided,
+        }
+    }
+
+    /// This node's sampled rank, if it became a candidate.
+    pub fn rank(&self) -> Option<u64> {
+        self.rank
+    }
+}
+
+impl SyncNode for Node {
+    type Message = Msg;
+
+    fn send_phase(&mut self, ctx: &mut Context<'_, Msg>) {
+        match ctx.round() {
+            1 => {
+                let n = ctx.n();
+                if coin(ctx.rng(), self.cfg.candidate_probability(n)) {
+                    let rank = ctx.rng().gen_range(0..rank_universe(n));
+                    self.rank = Some(rank);
+                    let referees = self.cfg.referee_count(n);
+                    self.contacted = referees;
+                    for port in ctx.sample_ports(referees) {
+                        ctx.send(port, Msg::Bid(rank));
+                    }
+                }
+            }
+            2 => {
+                // Referee step: reply to every bid with the max rank seen.
+                for (port, max_rank) in self.referee_replies.drain(..) {
+                    ctx.send(port, Msg::MaxSeen(max_rank));
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn receive_phase(&mut self, ctx: &mut Context<'_, Msg>, inbox: &[Received<Msg>]) {
+        match ctx.round() {
+            1 => {
+                let max_rank = inbox
+                    .iter()
+                    .filter_map(|m| match m.msg {
+                        Msg::Bid(r) => Some(r),
+                        _ => None,
+                    })
+                    .max();
+                if let Some(max_rank) = max_rank {
+                    for m in inbox {
+                        if matches!(m.msg, Msg::Bid(_)) {
+                            self.referee_replies.push((m.port, max_rank));
+                        }
+                    }
+                }
+            }
+            2 => {
+                for m in inbox {
+                    if let Msg::MaxSeen(r) = m.msg {
+                        self.replies += 1;
+                        if Some(r) == self.rank {
+                            self.winning_replies += 1;
+                        }
+                    }
+                }
+                self.decision = if self.rank.is_some()
+                    && self.replies == self.contacted
+                    && self.winning_replies == self.contacted
+                {
+                    Decision::Leader
+                } else {
+                    Decision::non_leader()
+                };
+            }
+            _ => {}
+        }
+    }
+
+    fn decision(&self) -> Decision {
+        self.decision
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clique_sync::SyncSimBuilder;
+
+    fn run(n: usize, seed: u64) -> clique_sync::Outcome {
+        SyncSimBuilder::new(n)
+            .seed(seed)
+            .build(|_, _| Node::new(Config::default()))
+            .unwrap()
+            .run()
+            .unwrap()
+    }
+
+    #[test]
+    fn two_rounds_and_high_success_rate() {
+        let mut successes = 0;
+        let trials = 25;
+        for seed in 0..trials {
+            let outcome = run(128, seed);
+            assert!(outcome.rounds <= 2);
+            if outcome.validate_implicit().is_ok() {
+                successes += 1;
+            }
+        }
+        assert!(
+            successes >= trials - 1,
+            "whp algorithm failed {} of {trials} trials",
+            trials - successes
+        );
+    }
+
+    #[test]
+    fn message_complexity_is_within_theory_envelope() {
+        for n in [1024usize, 4096] {
+            let outcome = run(n, 3);
+            let bound = 3.0 * Config::default().predicted_messages(n);
+            assert!(
+                (outcome.stats.total() as f64) < bound,
+                "n = {n}: {} messages exceed the √n·log^{{3/2}} n envelope {bound}",
+                outcome.stats.total()
+            );
+        }
+    }
+
+    #[test]
+    fn message_growth_scales_like_sqrt_n() {
+        // Quadrupling n should roughly double the message count (times a
+        // polylog factor), far below the 4× of linear growth. Average over
+        // seeds to tame candidate-count noise.
+        let avg = |n: usize| -> f64 {
+            (0..8).map(|s| run(n, s).stats.total()).sum::<u64>() as f64 / 8.0
+        };
+        let m_small = avg(1024);
+        let m_big = avg(4096);
+        let ratio = m_big / m_small;
+        assert!(
+            ratio < 3.2,
+            "4× the nodes grew messages by {ratio:.2}× — not √n-like"
+        );
+        assert!(ratio > 1.2, "messages should still grow with n, got {ratio:.2}×");
+    }
+
+    #[test]
+    fn referee_count_clamps_to_clique_size() {
+        let cfg = Config::default();
+        assert_eq!(cfg.referee_count(4), 3);
+        assert!(cfg.referee_count(10_000) < 9_999);
+        assert!(cfg.candidate_probability(2) <= 1.0);
+    }
+}

@@ -1,0 +1,102 @@
+//! The output of a node in a leader election execution.
+
+use crate::ids::Id;
+
+/// A node's irrevocable leader election output.
+///
+/// The paper distinguishes *implicit* leader election (each node outputs one
+/// bit: leader or not) from *explicit* leader election (every node outputs
+/// the leader's ID). [`Decision::NonLeader`] carries an optional leader ID so
+/// both variants share one type: implicit algorithms leave it `None`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Decision {
+    /// The node has not decided yet.
+    #[default]
+    Undecided,
+    /// The node decided it is the leader.
+    Leader,
+    /// The node decided it is not the leader; for explicit leader election
+    /// it also learned who is.
+    NonLeader {
+        /// The elected leader's ID, if the algorithm is explicit.
+        leader: Option<Id>,
+    },
+}
+
+impl Decision {
+    /// Whether the node has committed to an output.
+    pub fn is_decided(&self) -> bool {
+        !matches!(self, Decision::Undecided)
+    }
+
+    /// Whether the node elected itself.
+    pub fn is_leader(&self) -> bool {
+        matches!(self, Decision::Leader)
+    }
+
+    /// The leader ID this node learned, if any.
+    pub fn known_leader(&self) -> Option<Id> {
+        match self {
+            Decision::NonLeader { leader } => *leader,
+            _ => None,
+        }
+    }
+
+    /// Convenience constructor for a non-leader that learned the leader.
+    pub fn non_leader_knowing(leader: Id) -> Self {
+        Decision::NonLeader {
+            leader: Some(leader),
+        }
+    }
+
+    /// Convenience constructor for an implicit non-leader.
+    pub fn non_leader() -> Self {
+        Decision::NonLeader { leader: None }
+    }
+}
+
+impl std::fmt::Display for Decision {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Decision::Undecided => write!(f, "undecided"),
+            Decision::Leader => write!(f, "leader"),
+            Decision::NonLeader { leader: Some(id) } => write!(f, "non-leader (leader {id})"),
+            Decision::NonLeader { leader: None } => write!(f, "non-leader"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predicates() {
+        assert!(!Decision::Undecided.is_decided());
+        assert!(Decision::Leader.is_decided());
+        assert!(Decision::Leader.is_leader());
+        assert!(Decision::non_leader().is_decided());
+        assert!(!Decision::non_leader().is_leader());
+    }
+
+    #[test]
+    fn known_leader_roundtrip() {
+        assert_eq!(
+            Decision::non_leader_knowing(Id(42)).known_leader(),
+            Some(Id(42))
+        );
+        assert_eq!(Decision::non_leader().known_leader(), None);
+        assert_eq!(Decision::Leader.known_leader(), None);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Decision::Undecided.to_string(), "undecided");
+        assert_eq!(Decision::Leader.to_string(), "leader");
+        assert_eq!(Decision::non_leader().to_string(), "non-leader");
+        assert_eq!(
+            Decision::non_leader_knowing(Id(7)).to_string(),
+            "non-leader (leader #7)"
+        );
+    }
+}

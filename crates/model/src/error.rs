@@ -1,0 +1,103 @@
+//! Shared error types for the clique model.
+
+use crate::{NodeIndex, Port};
+
+/// Errors produced while constructing or manipulating model primitives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// The network must contain at least two nodes for leader election to be
+    /// non-trivial and for every node to own at least one port.
+    NetworkTooSmall {
+        /// The offending node count.
+        n: usize,
+    },
+    /// A port index was not in `0..n-1`.
+    PortOutOfRange {
+        /// Node owning the port.
+        node: NodeIndex,
+        /// The offending port.
+        port: Port,
+        /// Number of ports each node owns (`n - 1`).
+        ports_per_node: usize,
+    },
+    /// A node index was not in `0..n`.
+    NodeOutOfRange {
+        /// The offending node.
+        node: NodeIndex,
+        /// The network size.
+        n: usize,
+    },
+    /// The ID universe is too small to assign `n` distinct IDs.
+    UniverseTooSmall {
+        /// Universe cardinality.
+        universe: u64,
+        /// Requested assignment size.
+        n: usize,
+    },
+    /// A resolver returned a peer that is already connected to the source,
+    /// the source itself, or out of range.
+    InvalidResolution {
+        /// Source node whose port was being resolved.
+        node: NodeIndex,
+        /// Port being resolved.
+        port: Port,
+        /// Human-readable description of the violation.
+        reason: &'static str,
+    },
+    /// An ID assignment contained a duplicate identifier.
+    DuplicateId {
+        /// The duplicated identifier value.
+        id: u64,
+    },
+}
+
+impl std::fmt::Display for ModelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelError::NetworkTooSmall { n } => {
+                write!(f, "network must contain at least 2 nodes, got {n}")
+            }
+            ModelError::PortOutOfRange {
+                node,
+                port,
+                ports_per_node,
+            } => write!(
+                f,
+                "port {port} of {node} out of range (each node has {ports_per_node} ports)"
+            ),
+            ModelError::NodeOutOfRange { node, n } => {
+                write!(f, "{node} out of range for network of {n} nodes")
+            }
+            ModelError::UniverseTooSmall { universe, n } => write!(
+                f,
+                "ID universe of size {universe} cannot provide {n} distinct IDs"
+            ),
+            ModelError::InvalidResolution { node, port, reason } => {
+                write!(f, "invalid resolution for {node} port {port}: {reason}")
+            }
+            ModelError::DuplicateId { id } => write!(f, "duplicate ID {id} in assignment"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_concise() {
+        let e = ModelError::NetworkTooSmall { n: 1 };
+        assert_eq!(e.to_string(), "network must contain at least 2 nodes, got 1");
+        let e = ModelError::DuplicateId { id: 9 };
+        assert_eq!(e.to_string(), "duplicate ID 9 in assignment");
+    }
+
+    #[test]
+    fn error_is_std_error_send_sync() {
+        fn assert_err<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<ModelError>();
+    }
+}

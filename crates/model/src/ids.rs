@@ -1,0 +1,409 @@
+//! Protocol identifiers, ID universes, and ID assignments.
+//!
+//! The paper's deterministic results are sensitive to the *size* of the ID
+//! universe the adversary may draw node IDs from:
+//!
+//! * Theorem 3.8 (tradeoff lower bound) needs a universe of size at least
+//!   `2 n log2(n) + n` — [`IdSpace::quasilinear`];
+//! * Theorem 3.11 (Ω(n log n) messages for time-bounded algorithms) needs
+//!   size `n · log2(n) · T(n)^{log2(n) - 1}` — [`IdSpace::polynomial`]
+//!   approximates the polynomially-large case;
+//! * Theorem 3.15 (Algorithm 1) assumes IDs come from `{1, ..., n·g(n)}` —
+//!   [`IdSpace::linear`].
+
+use rand::Rng;
+
+use crate::error::ModelError;
+use crate::rng::sample_distinct;
+use crate::NodeIndex;
+
+/// A protocol-level node identifier, unique within an execution.
+///
+/// IDs are the only initial knowledge a node has besides `n` (KT0 model).
+/// Comparisons are meaningful: several algorithms elect the maximum or
+/// minimum ID.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Id(pub u64);
+
+impl Id {
+    /// Returns the raw identifier value.
+    #[inline]
+    pub fn value(self) -> u64 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for Id {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+impl From<u64> for Id {
+    fn from(v: u64) -> Self {
+        Id(v)
+    }
+}
+
+/// A description of the universe node IDs are drawn from.
+///
+/// The adversary picks an `n`-subset of the universe as the ID assignment
+/// (paper, Section 3.1); [`IdSpace::assign`] plays that adversary with a
+/// seeded RNG, and [`IdSpace::assign_first`] plays the canonical adversary
+/// that picks the numerically smallest IDs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IdSpace {
+    /// Smallest ID in the universe.
+    start: u64,
+    /// Number of IDs in the universe (IDs are `start .. start + size`).
+    size: u64,
+}
+
+impl IdSpace {
+    /// A universe of exactly `size` consecutive IDs starting at 1.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use clique_model::ids::IdSpace;
+    /// let u = IdSpace::contiguous(100);
+    /// assert_eq!(u.size(), 100);
+    /// assert!(u.contains(clique_model::Id(1)) && u.contains(clique_model::Id(100)));
+    /// ```
+    pub fn contiguous(size: u64) -> Self {
+        IdSpace { start: 1, size }
+    }
+
+    /// A universe `{1, ..., n·g}` of linear size, as assumed by Algorithm 1
+    /// (Theorem 3.15) where `g = g(n) ≥ 1` is the density parameter.
+    pub fn linear(n: usize, g: u64) -> Self {
+        IdSpace {
+            start: 1,
+            size: (n as u64).saturating_mul(g.max(1)),
+        }
+    }
+
+    /// A universe of size `2·n·⌈log2 n⌉ + n`, the threshold required by the
+    /// tradeoff lower bound (Theorem 3.8).
+    pub fn quasilinear(n: usize) -> Self {
+        let n64 = n as u64;
+        IdSpace {
+            start: 1,
+            size: 2 * n64 * log2_ceil(n64.max(2)) + n64,
+        }
+    }
+
+    /// A universe of size `n^k`, approximating the "sufficiently large"
+    /// universes of Theorem 3.11 while staying CONGEST-friendly
+    /// (polynomial, so IDs fit in `O(log n)` bits).
+    pub fn polynomial(n: usize, k: u32) -> Self {
+        let size = (n as u64).saturating_pow(k);
+        IdSpace { start: 1, size }
+    }
+
+    /// A universe of `size` IDs starting at `start`.
+    pub fn with_start(start: u64, size: u64) -> Self {
+        IdSpace { start, size }
+    }
+
+    /// Number of IDs in the universe.
+    pub fn size(&self) -> u64 {
+        self.size
+    }
+
+    /// Smallest ID of the universe.
+    pub fn min_id(&self) -> Id {
+        Id(self.start)
+    }
+
+    /// Largest ID of the universe.
+    pub fn max_id(&self) -> Id {
+        Id(self.start + self.size.saturating_sub(1))
+    }
+
+    /// Whether `id` belongs to the universe.
+    pub fn contains(&self, id: Id) -> bool {
+        id.0 >= self.start && id.0 < self.start + self.size
+    }
+
+    /// Draws a uniformly random `n`-subset of the universe as the ID
+    /// assignment (the adversary of Section 3.1 with random coins).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::UniverseTooSmall`] if the universe holds fewer
+    /// than `n` IDs.
+    pub fn assign(&self, n: usize, rng: &mut impl Rng) -> Result<IdAssignment, ModelError> {
+        if (self.size as u128) < n as u128 {
+            return Err(ModelError::UniverseTooSmall {
+                universe: self.size,
+                n,
+            });
+        }
+        // Sample offsets without materialising the universe.
+        let offsets = if self.size <= usize::MAX as u64 {
+            sample_distinct(rng, self.size as usize, n)
+        } else {
+            // Astronomically large universe: rejection sampling cannot
+            // realistically collide.
+            let mut seen = std::collections::HashSet::with_capacity(n);
+            let mut v = Vec::with_capacity(n);
+            while v.len() < n {
+                let x = rng.gen_range(0..self.size) as usize;
+                if seen.insert(x) {
+                    v.push(x);
+                }
+            }
+            v
+        };
+        let ids = offsets
+            .into_iter()
+            .map(|off| Id(self.start + off as u64))
+            .collect();
+        IdAssignment::new(ids)
+    }
+
+    /// Deterministically assigns the `n` smallest IDs of the universe in
+    /// ascending order (a canonical adversary, useful for reproducible
+    /// deterministic-algorithm experiments).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::UniverseTooSmall`] if the universe holds fewer
+    /// than `n` IDs.
+    pub fn assign_first(&self, n: usize) -> Result<IdAssignment, ModelError> {
+        if (self.size as u128) < n as u128 {
+            return Err(ModelError::UniverseTooSmall {
+                universe: self.size,
+                n,
+            });
+        }
+        let ids = (0..n as u64).map(|i| Id(self.start + i)).collect();
+        IdAssignment::new(ids)
+    }
+
+    /// Deterministically assigns `n` maximally spread-out IDs (stride
+    /// `size / n`), modelling an adversary that avoids the dense prefix —
+    /// the worst case for Algorithm 1's round count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::UniverseTooSmall`] if the universe holds fewer
+    /// than `n` IDs.
+    pub fn assign_spread(&self, n: usize) -> Result<IdAssignment, ModelError> {
+        if (self.size as u128) < n as u128 {
+            return Err(ModelError::UniverseTooSmall {
+                universe: self.size,
+                n,
+            });
+        }
+        let stride = (self.size / n as u64).max(1);
+        let ids = (0..n as u64)
+            .map(|i| Id(self.start + (self.size - 1).min(i * stride + stride - 1)))
+            .collect();
+        IdAssignment::new(ids)
+    }
+}
+
+/// Ceil of log2 for `x ≥ 1`.
+pub(crate) fn log2_ceil(x: u64) -> u64 {
+    debug_assert!(x >= 1);
+    64 - (x - 1).leading_zeros() as u64
+}
+
+/// An assignment of distinct IDs to the `n` nodes of the network, indexed by
+/// [`NodeIndex`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IdAssignment {
+    ids: Vec<Id>,
+}
+
+impl IdAssignment {
+    /// Builds an assignment from explicit IDs (node `i` gets `ids[i]`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::DuplicateId`] if two nodes would share an ID.
+    pub fn new(ids: Vec<Id>) -> Result<Self, ModelError> {
+        let mut seen = std::collections::HashSet::with_capacity(ids.len());
+        for id in &ids {
+            if !seen.insert(id.0) {
+                return Err(ModelError::DuplicateId { id: id.0 });
+            }
+        }
+        Ok(IdAssignment { ids })
+    }
+
+    /// Number of nodes covered by the assignment.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the assignment is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// The ID of node `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn id_of(&self, node: NodeIndex) -> Id {
+        self.ids[node.0]
+    }
+
+    /// The node holding `id`, if any (linear scan; intended for tests and
+    /// outcome validation, not hot paths).
+    pub fn node_of(&self, id: Id) -> Option<NodeIndex> {
+        self.ids.iter().position(|&x| x == id).map(NodeIndex)
+    }
+
+    /// Iterates over `(node, id)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeIndex, Id)> + '_ {
+        self.ids.iter().enumerate().map(|(i, &id)| (NodeIndex(i), id))
+    }
+
+    /// The maximum ID in the assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assignment is empty.
+    pub fn max_id(&self) -> Id {
+        *self.ids.iter().max().expect("assignment must be non-empty")
+    }
+
+    /// The minimum ID in the assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assignment is empty.
+    pub fn min_id(&self) -> Id {
+        *self.ids.iter().min().expect("assignment must be non-empty")
+    }
+
+    /// All IDs as a slice, indexed by node.
+    pub fn as_slice(&self) -> &[Id] {
+        &self.ids
+    }
+}
+
+impl std::ops::Index<NodeIndex> for IdAssignment {
+    type Output = Id;
+    fn index(&self, node: NodeIndex) -> &Id {
+        &self.ids[node.0]
+    }
+}
+
+/// The rank universe `[n^4]` used by the paper's randomized algorithms
+/// (Theorems 4.1 and 5.1): drawing uniform ranks from a range of this size
+/// makes all ranks distinct with probability `1 - O(1/n²)`.
+pub fn rank_universe(n: usize) -> u64 {
+    (n as u64).saturating_pow(4).max(16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::rng_from_seed;
+
+    #[test]
+    fn log2_ceil_matches_reference() {
+        assert_eq!(log2_ceil(1), 0);
+        assert_eq!(log2_ceil(2), 1);
+        assert_eq!(log2_ceil(3), 2);
+        assert_eq!(log2_ceil(4), 2);
+        assert_eq!(log2_ceil(5), 3);
+        assert_eq!(log2_ceil(1024), 10);
+        assert_eq!(log2_ceil(1025), 11);
+    }
+
+    #[test]
+    fn quasilinear_size_meets_theorem_3_8_threshold() {
+        for n in [4usize, 16, 1024, 4096] {
+            let u = IdSpace::quasilinear(n);
+            let needed = 2 * (n as u64) * log2_ceil(n as u64) + n as u64;
+            assert!(u.size() >= needed, "n={n}: {} < {needed}", u.size());
+        }
+    }
+
+    #[test]
+    fn linear_universe_has_exact_size() {
+        let u = IdSpace::linear(100, 3);
+        assert_eq!(u.size(), 300);
+        assert_eq!(u.min_id(), Id(1));
+        assert_eq!(u.max_id(), Id(300));
+    }
+
+    #[test]
+    fn assign_produces_distinct_in_universe_ids() {
+        let mut rng = rng_from_seed(2);
+        let u = IdSpace::contiguous(50);
+        let a = u.assign(50, &mut rng).unwrap();
+        assert_eq!(a.len(), 50);
+        let mut vals: Vec<u64> = a.as_slice().iter().map(|i| i.0).collect();
+        vals.sort_unstable();
+        vals.dedup();
+        assert_eq!(vals.len(), 50);
+        for (_, id) in a.iter() {
+            assert!(u.contains(id));
+        }
+    }
+
+    #[test]
+    fn assign_rejects_small_universe() {
+        let mut rng = rng_from_seed(2);
+        let u = IdSpace::contiguous(3);
+        assert_eq!(
+            u.assign(4, &mut rng),
+            Err(ModelError::UniverseTooSmall { universe: 3, n: 4 })
+        );
+    }
+
+    #[test]
+    fn assign_first_is_ascending_prefix() {
+        let u = IdSpace::with_start(10, 100);
+        let a = u.assign_first(5).unwrap();
+        assert_eq!(
+            a.as_slice(),
+            &[Id(10), Id(11), Id(12), Id(13), Id(14)]
+        );
+    }
+
+    #[test]
+    fn assign_spread_spans_universe() {
+        let u = IdSpace::contiguous(1000);
+        let a = u.assign_spread(10).unwrap();
+        assert!(a.max_id().0 >= 900, "spread assignment should reach the tail");
+        let mut vals: Vec<u64> = a.as_slice().iter().map(|i| i.0).collect();
+        vals.sort_unstable();
+        vals.dedup();
+        assert_eq!(vals.len(), 10);
+    }
+
+    #[test]
+    fn duplicate_ids_rejected() {
+        assert_eq!(
+            IdAssignment::new(vec![Id(1), Id(2), Id(1)]),
+            Err(ModelError::DuplicateId { id: 1 })
+        );
+    }
+
+    #[test]
+    fn node_of_inverts_id_of() {
+        let a = IdAssignment::new(vec![Id(5), Id(9), Id(2)]).unwrap();
+        for (node, id) in a.iter() {
+            assert_eq!(a.node_of(id), Some(node));
+        }
+        assert_eq!(a.node_of(Id(77)), None);
+        assert_eq!(a.max_id(), Id(9));
+        assert_eq!(a.min_id(), Id(2));
+        assert_eq!(a[NodeIndex(1)], Id(9));
+    }
+
+    #[test]
+    fn rank_universe_is_n_fourth() {
+        assert_eq!(rank_universe(10), 10_000);
+        assert!(rank_universe(2) >= 16);
+    }
+}

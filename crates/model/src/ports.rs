@@ -1,0 +1,727 @@
+//! Lazily-resolved bijective port mappings (the KT0 "clean network" model).
+//!
+//! Formally (paper, Section 2) a port mapping `p` maps each pair `(u, i)` —
+//! node `u`, port `i` — to some pair `(v, j)` with `p((v, j)) = (u, i)`:
+//! a message sent by `u` over port `i` is received by `v` over port `j`.
+//! Neither endpoint knows where a port leads until a message crosses it.
+//!
+//! # Lazy resolution
+//!
+//! Materialising the full mapping costs `Θ(n²)` memory, so [`PortMap`] keeps
+//! a *partial port mapping* (paper, Section 2) and extends it on first use.
+//! The extension strategy is a [`PortResolver`]:
+//!
+//! * [`RandomResolver`] — each unused port leads to a uniformly random node
+//!   among those the sender is not yet connected to. For randomized
+//!   algorithms this is distributionally equivalent to the oblivious
+//!   pre-committed uniform mapping the paper assumes (each fresh port is a
+//!   uniform sample without replacement over peers, which is the only
+//!   property the analyses of Theorems 4.1 and 5.1 use).
+//! * [`RoundRobinResolver`] — a deterministic canonical mapping for tests.
+//! * The adaptive adversary of the lower bounds (Lemma 3.3 / Lemma 3.9)
+//!   lives in the `le-bounds` crate and implements the same trait: for
+//!   deterministic algorithms the model explicitly allows choosing the
+//!   mapping of unused ports adaptively.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+use std::collections::HashMap;
+
+use crate::error::ModelError;
+use crate::NodeIndex;
+
+/// A port number local to one node, in `0 .. n-1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Port(pub usize);
+
+impl Port {
+    /// Returns the underlying port number.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl std::fmt::Display for Port {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// One end of a link: a `(node, port)` pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Endpoint {
+    /// The node owning the port.
+    pub node: NodeIndex,
+    /// The port local to `node`.
+    pub port: Port,
+}
+
+impl std::fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.node, self.port)
+    }
+}
+
+/// Read-only view of the partial port mapping handed to resolvers.
+///
+/// Exposes exactly what an adaptive adversary may condition on: the current
+/// connectivity structure (which is determined by the execution so far), not
+/// private node state.
+#[derive(Debug)]
+pub struct PortView<'a> {
+    map: &'a PortMap,
+}
+
+impl<'a> PortView<'a> {
+    /// Number of nodes in the network.
+    pub fn n(&self) -> usize {
+        self.map.n
+    }
+
+    /// Whether a link between `u` and `v` has already been fixed.
+    pub fn is_connected(&self, u: NodeIndex, v: NodeIndex) -> bool {
+        self.map.connected(u, v)
+    }
+
+    /// Number of already-fixed links incident to `u`.
+    pub fn degree(&self, u: NodeIndex) -> usize {
+        self.map.degree(u)
+    }
+
+    /// Whether port `p` of node `u` has already been mapped.
+    pub fn is_port_assigned(&self, u: NodeIndex, p: Port) -> bool {
+        self.map.peer(u, p).is_some()
+    }
+
+    /// Iterates over the peers already connected to `u`.
+    pub fn peers_of(&self, u: NodeIndex) -> impl Iterator<Item = NodeIndex> + '_ {
+        self.map.peers[u.0].keys().map(|&v| NodeIndex(v as usize))
+    }
+}
+
+/// Strategy deciding where an unused port leads when it is first used.
+///
+/// Implementations must return a peer `v ≠ u` that is not already connected
+/// to `u`; [`PortMap::resolve`] validates this and errors otherwise.
+pub trait PortResolver {
+    /// Chooses the destination node for the first message sent by `src` over
+    /// `src_port`.
+    fn choose_peer(
+        &mut self,
+        view: PortView<'_>,
+        src: NodeIndex,
+        src_port: Port,
+        rng: &mut SmallRng,
+    ) -> NodeIndex;
+
+    /// Chooses which of `peer`'s free ports receives the link.
+    ///
+    /// The default picks a uniformly random free port, which no algorithm in
+    /// the KT0 model can distinguish from any other rule.
+    fn choose_peer_port(
+        &mut self,
+        view: PortView<'_>,
+        _src: NodeIndex,
+        _src_port: Port,
+        peer: NodeIndex,
+        rng: &mut SmallRng,
+    ) -> Port {
+        uniform_free_port(&view, peer, rng)
+    }
+}
+
+/// Picks a uniformly random unassigned port of `node`.
+///
+/// Uses rejection sampling while the node is sparsely connected and falls
+/// back to an explicit scan once more than half the ports are taken.
+pub fn uniform_free_port(view: &PortView<'_>, node: NodeIndex, rng: &mut SmallRng) -> Port {
+    let ports = view.n() - 1;
+    let taken = view.degree(node);
+    assert!(taken < ports, "node {node} has no free ports left");
+    if taken * 2 < ports {
+        loop {
+            let p = Port(rng.gen_range(0..ports));
+            if !view.is_port_assigned(node, p) {
+                return p;
+            }
+        }
+    } else {
+        let free: Vec<Port> = (0..ports)
+            .map(Port)
+            .filter(|&p| !view.is_port_assigned(node, p))
+            .collect();
+        free[rng.gen_range(0..free.len())]
+    }
+}
+
+/// Resolver drawing each fresh port's destination uniformly among the nodes
+/// not yet connected to the sender.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RandomResolver;
+
+impl PortResolver for RandomResolver {
+    fn choose_peer(
+        &mut self,
+        view: PortView<'_>,
+        src: NodeIndex,
+        _src_port: Port,
+        rng: &mut SmallRng,
+    ) -> NodeIndex {
+        let n = view.n();
+        let connected = view.degree(src);
+        debug_assert!(connected < n - 1, "{src} is already connected to everyone");
+        if connected * 2 < n - 1 {
+            loop {
+                let v = NodeIndex(rng.gen_range(0..n));
+                if v != src && !view.is_connected(src, v) {
+                    return v;
+                }
+            }
+        } else {
+            let candidates: Vec<NodeIndex> = (0..n)
+                .map(NodeIndex)
+                .filter(|&v| v != src && !view.is_connected(src, v))
+                .collect();
+            candidates[rng.gen_range(0..candidates.len())]
+        }
+    }
+}
+
+/// Deterministic canonical resolver: port `i` of node `u` prefers node
+/// `(u + i + 1) mod n`, skipping forward over already-connected peers.
+///
+/// Useful for reproducible unit tests and as a "benign" mapping contrasting
+/// with adversarial ones. Peer ports are assigned lowest-free-first.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RoundRobinResolver;
+
+impl PortResolver for RoundRobinResolver {
+    fn choose_peer(
+        &mut self,
+        view: PortView<'_>,
+        src: NodeIndex,
+        src_port: Port,
+        _rng: &mut SmallRng,
+    ) -> NodeIndex {
+        let n = view.n();
+        let mut v = (src.0 + src_port.0 + 1) % n;
+        for _ in 0..n {
+            if v != src.0 && !view.is_connected(src, NodeIndex(v)) {
+                return NodeIndex(v);
+            }
+            v = (v + 1) % n;
+        }
+        unreachable!("{src} is already connected to everyone");
+    }
+
+    fn choose_peer_port(
+        &mut self,
+        view: PortView<'_>,
+        _src: NodeIndex,
+        _src_port: Port,
+        peer: NodeIndex,
+        _rng: &mut SmallRng,
+    ) -> Port {
+        (0..view.n() - 1)
+            .map(Port)
+            .find(|&p| !view.is_port_assigned(peer, p))
+            .expect("peer has no free ports left")
+    }
+}
+
+/// The closed-form circulant mapping: port `i` of node `u` connects to node
+/// `(u + i + 1) mod n`, arriving on that node's port `n − i − 2`.
+///
+/// Unlike [`RandomResolver`] and [`RoundRobinResolver`], the outcome does
+/// not depend on the *order* in which ports are resolved — the full mapping
+/// is fixed in advance (an *oblivious* adversary). This makes it the right
+/// mapping for experiments that must compare two executions that resolve
+/// ports in different orders, such as the Lemma 3.12 single-send
+/// simulation in `le-bounds`.
+///
+/// The mapping is a valid port mapping: symmetric
+/// (`p(p(u, i)) = (u, i)`), self-loop-free (a self-loop would need
+/// `i = n − 1`, which is not a port), and port-bijective.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CirculantResolver;
+
+impl PortResolver for CirculantResolver {
+    fn choose_peer(
+        &mut self,
+        view: PortView<'_>,
+        src: NodeIndex,
+        src_port: Port,
+        _rng: &mut SmallRng,
+    ) -> NodeIndex {
+        NodeIndex((src.0 + src_port.0 + 1) % view.n())
+    }
+
+    fn choose_peer_port(
+        &mut self,
+        view: PortView<'_>,
+        _src: NodeIndex,
+        src_port: Port,
+        _peer: NodeIndex,
+        _rng: &mut SmallRng,
+    ) -> Port {
+        Port(view.n() - src_port.0 - 2)
+    }
+}
+
+/// A partial, lazily-extended, bijective port mapping over `n` nodes.
+///
+/// Invariants maintained at all times (checked by [`PortMap::validate`]):
+///
+/// 1. **Symmetry**: `p((u, i)) = (v, j)` iff `p((v, j)) = (u, i)`.
+/// 2. **Simplicity**: at most one link between any pair of nodes, never a
+///    self-link.
+/// 3. **Port-injectivity**: each port of each node is used by at most one
+///    link.
+#[derive(Debug, Clone)]
+pub struct PortMap {
+    n: usize,
+    /// `forward[u][i] = (v, j)` for each assigned port `i` of `u`.
+    forward: Vec<HashMap<u32, (u32, u32)>>,
+    /// `peers[u][v] = i` iff `u`'s port `i` connects to `v`.
+    peers: Vec<HashMap<u32, u32>>,
+    /// Total number of links fixed so far.
+    links: usize,
+}
+
+impl PortMap {
+    /// Creates an empty partial mapping for an `n`-node clique.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::NetworkTooSmall`] if `n < 2`.
+    pub fn new(n: usize) -> Result<Self, ModelError> {
+        if n < 2 {
+            return Err(ModelError::NetworkTooSmall { n });
+        }
+        Ok(PortMap {
+            n,
+            forward: vec![HashMap::new(); n],
+            peers: vec![HashMap::new(); n],
+            links: 0,
+        })
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of ports per node (`n - 1`).
+    pub fn ports_per_node(&self) -> usize {
+        self.n - 1
+    }
+
+    /// Number of links fixed so far.
+    pub fn link_count(&self) -> usize {
+        self.links
+    }
+
+    /// Number of links incident to `u`.
+    pub fn degree(&self, u: NodeIndex) -> usize {
+        self.peers[u.0].len()
+    }
+
+    /// Whether `u` and `v` are already connected by a fixed link.
+    pub fn connected(&self, u: NodeIndex, v: NodeIndex) -> bool {
+        self.peers[u.0].contains_key(&(v.0 as u32))
+    }
+
+    /// The endpoint reached from `u`'s port `p`, if that port is assigned.
+    pub fn peer(&self, u: NodeIndex, p: Port) -> Option<Endpoint> {
+        self.forward[u.0].get(&(p.0 as u32)).map(|&(v, j)| Endpoint {
+            node: NodeIndex(v as usize),
+            port: Port(j as usize),
+        })
+    }
+
+    /// The port of `u` that connects to `v`, if such a link is fixed.
+    pub fn port_to(&self, u: NodeIndex, v: NodeIndex) -> Option<Port> {
+        self.peers[u.0].get(&(v.0 as u32)).map(|&i| Port(i as usize))
+    }
+
+    /// Read-only view for resolvers and observers.
+    pub fn view(&self) -> PortView<'_> {
+        PortView { map: self }
+    }
+
+    /// Resolves `(u, port)`: returns the existing destination if the port is
+    /// already mapped, otherwise asks `resolver` where it leads and fixes
+    /// both directions.
+    ///
+    /// # Errors
+    ///
+    /// * [`ModelError::NodeOutOfRange`] / [`ModelError::PortOutOfRange`] on
+    ///   invalid coordinates;
+    /// * [`ModelError::InvalidResolution`] if the resolver picks the sender
+    ///   itself, an already-connected peer, or a taken peer port.
+    pub fn resolve(
+        &mut self,
+        u: NodeIndex,
+        port: Port,
+        resolver: &mut dyn PortResolver,
+        rng: &mut SmallRng,
+    ) -> Result<Endpoint, ModelError> {
+        if u.0 >= self.n {
+            return Err(ModelError::NodeOutOfRange { node: u, n: self.n });
+        }
+        if port.0 >= self.n - 1 {
+            return Err(ModelError::PortOutOfRange {
+                node: u,
+                port,
+                ports_per_node: self.n - 1,
+            });
+        }
+        if let Some(dest) = self.peer(u, port) {
+            return Ok(dest);
+        }
+        let v = resolver.choose_peer(self.view(), u, port, rng);
+        if v.0 >= self.n {
+            return Err(ModelError::InvalidResolution {
+                node: u,
+                port,
+                reason: "resolver chose an out-of-range peer",
+            });
+        }
+        if v == u {
+            return Err(ModelError::InvalidResolution {
+                node: u,
+                port,
+                reason: "resolver chose the sender itself",
+            });
+        }
+        if self.connected(u, v) {
+            return Err(ModelError::InvalidResolution {
+                node: u,
+                port,
+                reason: "resolver chose an already-connected peer",
+            });
+        }
+        let j = resolver.choose_peer_port(self.view(), u, port, v, rng);
+        if j.0 >= self.n - 1 {
+            return Err(ModelError::InvalidResolution {
+                node: u,
+                port,
+                reason: "resolver chose an out-of-range peer port",
+            });
+        }
+        if self.peer(v, j).is_some() {
+            return Err(ModelError::InvalidResolution {
+                node: u,
+                port,
+                reason: "resolver chose a taken peer port",
+            });
+        }
+        self.insert_link(u, port, v, j);
+        Ok(Endpoint { node: v, port: j })
+    }
+
+    /// Fixes a link explicitly (used by tests and by adversaries that
+    /// pre-wire part of the network).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`PortMap::resolve`], plus
+    /// [`ModelError::InvalidResolution`] if `(u, port)` is already assigned.
+    pub fn connect(
+        &mut self,
+        u: NodeIndex,
+        pu: Port,
+        v: NodeIndex,
+        pv: Port,
+    ) -> Result<(), ModelError> {
+        if u.0 >= self.n || v.0 >= self.n {
+            let node = if u.0 >= self.n { u } else { v };
+            return Err(ModelError::NodeOutOfRange { node, n: self.n });
+        }
+        for (node, port) in [(u, pu), (v, pv)] {
+            if port.0 >= self.n - 1 {
+                return Err(ModelError::PortOutOfRange {
+                    node,
+                    port,
+                    ports_per_node: self.n - 1,
+                });
+            }
+        }
+        if u == v {
+            return Err(ModelError::InvalidResolution {
+                node: u,
+                port: pu,
+                reason: "cannot connect a node to itself",
+            });
+        }
+        if self.connected(u, v) {
+            return Err(ModelError::InvalidResolution {
+                node: u,
+                port: pu,
+                reason: "nodes already connected",
+            });
+        }
+        if self.peer(u, pu).is_some() || self.peer(v, pv).is_some() {
+            return Err(ModelError::InvalidResolution {
+                node: u,
+                port: pu,
+                reason: "endpoint port already taken",
+            });
+        }
+        self.insert_link(u, pu, v, pv);
+        Ok(())
+    }
+
+    fn insert_link(&mut self, u: NodeIndex, pu: Port, v: NodeIndex, pv: Port) {
+        self.forward[u.0].insert(pu.0 as u32, (v.0 as u32, pv.0 as u32));
+        self.forward[v.0].insert(pv.0 as u32, (u.0 as u32, pu.0 as u32));
+        self.peers[u.0].insert(v.0 as u32, pu.0 as u32);
+        self.peers[v.0].insert(u.0 as u32, pv.0 as u32);
+        self.links += 1;
+    }
+
+    /// Exhaustively checks the bijectivity invariants; intended for tests.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidResolution`] describing the first
+    /// violated invariant.
+    pub fn validate(&self) -> Result<(), ModelError> {
+        let mut counted = 0usize;
+        for u in 0..self.n {
+            for (&i, &(v, j)) in &self.forward[u] {
+                counted += 1;
+                let back = self.forward[v as usize].get(&j);
+                if back != Some(&(u as u32, i)) {
+                    return Err(ModelError::InvalidResolution {
+                        node: NodeIndex(u),
+                        port: Port(i as usize),
+                        reason: "asymmetric link",
+                    });
+                }
+                if self.peers[u].get(&v) != Some(&i) {
+                    return Err(ModelError::InvalidResolution {
+                        node: NodeIndex(u),
+                        port: Port(i as usize),
+                        reason: "peer index out of sync",
+                    });
+                }
+            }
+            if self.forward[u].len() != self.peers[u].len() {
+                return Err(ModelError::InvalidResolution {
+                    node: NodeIndex(u),
+                    port: Port(0),
+                    reason: "duplicate links to one peer",
+                });
+            }
+        }
+        if counted != 2 * self.links {
+            return Err(ModelError::InvalidResolution {
+                node: NodeIndex(0),
+                port: Port(0),
+                reason: "link count out of sync",
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::rng_from_seed;
+
+    #[test]
+    fn rejects_tiny_network() {
+        assert!(matches!(
+            PortMap::new(1),
+            Err(ModelError::NetworkTooSmall { n: 1 })
+        ));
+    }
+
+    #[test]
+    fn resolve_is_idempotent() {
+        let mut map = PortMap::new(8).unwrap();
+        let mut r = RandomResolver;
+        let mut rng = rng_from_seed(1);
+        let d1 = map.resolve(NodeIndex(0), Port(2), &mut r, &mut rng).unwrap();
+        let d2 = map.resolve(NodeIndex(0), Port(2), &mut r, &mut rng).unwrap();
+        assert_eq!(d1, d2);
+        assert_eq!(map.link_count(), 1);
+        map.validate().unwrap();
+    }
+
+    #[test]
+    fn reverse_direction_is_fixed() {
+        let mut map = PortMap::new(8).unwrap();
+        let mut r = RandomResolver;
+        let mut rng = rng_from_seed(2);
+        let d = map.resolve(NodeIndex(3), Port(0), &mut r, &mut rng).unwrap();
+        // Sending back over the destination port must reach (3, 0).
+        let back = map.resolve(d.node, d.port, &mut r, &mut rng).unwrap();
+        assert_eq!(
+            back,
+            Endpoint {
+                node: NodeIndex(3),
+                port: Port(0)
+            }
+        );
+        assert_eq!(map.link_count(), 1);
+    }
+
+    #[test]
+    fn full_resolution_forms_clique() {
+        let n = 10;
+        let mut map = PortMap::new(n).unwrap();
+        let mut r = RandomResolver;
+        let mut rng = rng_from_seed(3);
+        for u in 0..n {
+            for p in 0..n - 1 {
+                map.resolve(NodeIndex(u), Port(p), &mut r, &mut rng).unwrap();
+            }
+        }
+        assert_eq!(map.link_count(), n * (n - 1) / 2);
+        map.validate().unwrap();
+        for u in 0..n {
+            for v in 0..n {
+                assert_eq!(map.connected(NodeIndex(u), NodeIndex(v)), u != v);
+            }
+        }
+    }
+
+    #[test]
+    fn round_robin_is_deterministic() {
+        let build = || {
+            let mut map = PortMap::new(6).unwrap();
+            let mut r = RoundRobinResolver;
+            let mut rng = rng_from_seed(9);
+            let mut dests = Vec::new();
+            for p in 0..5 {
+                dests.push(map.resolve(NodeIndex(0), Port(p), &mut r, &mut rng).unwrap());
+            }
+            (map.link_count(), dests)
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn round_robin_prefers_offset_neighbor() {
+        let mut map = PortMap::new(6).unwrap();
+        let mut r = RoundRobinResolver;
+        let mut rng = rng_from_seed(9);
+        let d = map.resolve(NodeIndex(2), Port(1), &mut r, &mut rng).unwrap();
+        assert_eq!(d.node, NodeIndex(4)); // (2 + 1 + 1) mod 6
+    }
+
+    #[test]
+    fn connect_rejects_conflicts() {
+        let mut map = PortMap::new(5).unwrap();
+        map.connect(NodeIndex(0), Port(0), NodeIndex(1), Port(0)).unwrap();
+        // same pair again
+        assert!(map
+            .connect(NodeIndex(0), Port(1), NodeIndex(1), Port(1))
+            .is_err());
+        // taken port
+        assert!(map
+            .connect(NodeIndex(0), Port(0), NodeIndex(2), Port(0))
+            .is_err());
+        // self link
+        assert!(map
+            .connect(NodeIndex(3), Port(0), NodeIndex(3), Port(1))
+            .is_err());
+        map.validate().unwrap();
+    }
+
+    #[test]
+    fn port_to_finds_the_link() {
+        let mut map = PortMap::new(5).unwrap();
+        map.connect(NodeIndex(0), Port(3), NodeIndex(4), Port(1)).unwrap();
+        assert_eq!(map.port_to(NodeIndex(0), NodeIndex(4)), Some(Port(3)));
+        assert_eq!(map.port_to(NodeIndex(4), NodeIndex(0)), Some(Port(1)));
+        assert_eq!(map.port_to(NodeIndex(0), NodeIndex(1)), None);
+    }
+
+    #[test]
+    fn random_resolver_is_roughly_uniform() {
+        // Port 0 of node 0 should hit each of the other 9 nodes ~1/9 of the
+        // time across many fresh maps.
+        let n = 10;
+        let trials = 18_000;
+        let mut counts = vec![0usize; n];
+        let mut rng = rng_from_seed(77);
+        for _ in 0..trials {
+            let mut map = PortMap::new(n).unwrap();
+            let mut r = RandomResolver;
+            let d = map.resolve(NodeIndex(0), Port(0), &mut r, &mut rng).unwrap();
+            counts[d.node.0] += 1;
+        }
+        assert_eq!(counts[0], 0);
+        for &c in &counts[1..] {
+            let freq = c as f64 / trials as f64;
+            assert!(
+                (freq - 1.0 / 9.0).abs() < 0.02,
+                "frequency {freq} too far from 1/9"
+            );
+        }
+    }
+
+    #[test]
+    fn circulant_mapping_is_order_independent_and_valid() {
+        // Resolve in two very different orders; the mapping must coincide
+        // and satisfy all invariants.
+        let n = 9;
+        let resolve_all = |order: &mut dyn Iterator<Item = (usize, usize)>| {
+            let mut map = PortMap::new(n).unwrap();
+            let mut r = CirculantResolver;
+            let mut rng = rng_from_seed(0);
+            for (u, p) in order {
+                map.resolve(NodeIndex(u), Port(p), &mut r, &mut rng).unwrap();
+            }
+            map.validate().unwrap();
+            map
+        };
+        let forward = resolve_all(&mut (0..n).flat_map(|u| (0..n - 1).map(move |p| (u, p))));
+        let backward =
+            resolve_all(&mut (0..n).rev().flat_map(|u| (0..n - 1).rev().map(move |p| (u, p))));
+        for u in 0..n {
+            for p in 0..n - 1 {
+                assert_eq!(
+                    forward.peer(NodeIndex(u), Port(p)),
+                    backward.peer(NodeIndex(u), Port(p))
+                );
+            }
+        }
+        assert_eq!(forward.link_count(), n * (n - 1) / 2);
+    }
+
+    #[test]
+    fn circulant_mapping_is_symmetric() {
+        let n = 6;
+        let mut map = PortMap::new(n).unwrap();
+        let mut r = CirculantResolver;
+        let mut rng = rng_from_seed(0);
+        let d = map.resolve(NodeIndex(1), Port(2), &mut r, &mut rng).unwrap();
+        assert_eq!(d.node, NodeIndex(4)); // (1 + 2 + 1) mod 6
+        assert_eq!(d.port, Port(2)); // 6 - 2 - 2
+        let back = map.resolve(d.node, d.port, &mut r, &mut rng).unwrap();
+        assert_eq!(back.node, NodeIndex(1));
+        assert_eq!(back.port, Port(2));
+        assert_eq!(map.link_count(), 1);
+    }
+
+    #[test]
+    fn out_of_range_errors() {
+        let mut map = PortMap::new(4).unwrap();
+        let mut r = RandomResolver;
+        let mut rng = rng_from_seed(0);
+        assert!(matches!(
+            map.resolve(NodeIndex(7), Port(0), &mut r, &mut rng),
+            Err(ModelError::NodeOutOfRange { .. })
+        ));
+        assert!(matches!(
+            map.resolve(NodeIndex(0), Port(3), &mut r, &mut rng),
+            Err(ModelError::PortOutOfRange { .. })
+        ));
+    }
+}

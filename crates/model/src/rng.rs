@@ -1,0 +1,182 @@
+//! Deterministic randomness utilities.
+//!
+//! Every run of the simulators is reproducible from a single `u64` master
+//! seed. Independent random streams (one per node, one for the port
+//! resolver, one for the delay scheduler, ...) are derived from the master
+//! seed with a SplitMix64 mixer so that streams do not overlap and adding a
+//! consumer never perturbs the others.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Creates a small, fast, deterministic RNG from a 64-bit seed.
+///
+/// # Example
+///
+/// ```
+/// use clique_model::rng::rng_from_seed;
+/// use rand::Rng;
+/// let mut a = rng_from_seed(42);
+/// let mut b = rng_from_seed(42);
+/// assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+/// ```
+pub fn rng_from_seed(seed: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed)
+}
+
+/// SplitMix64 finalizer: a bijective 64-bit mixer with good avalanche.
+#[inline]
+pub fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Derives a child seed for stream `stream` from `master`.
+///
+/// Distinct `(master, stream)` pairs give (for practical purposes)
+/// independent streams; the same pair always gives the same stream.
+///
+/// # Example
+///
+/// ```
+/// use clique_model::rng::derive_seed;
+/// assert_ne!(derive_seed(1, 0), derive_seed(1, 1));
+/// assert_eq!(derive_seed(7, 3), derive_seed(7, 3));
+/// ```
+#[inline]
+pub fn derive_seed(master: u64, stream: u64) -> u64 {
+    splitmix64(master ^ splitmix64(stream.wrapping_mul(0xA24B_AED4_963E_E407)))
+}
+
+/// Samples `k` distinct values uniformly from `0..universe` without
+/// materialising the universe (partial Fisher–Yates on a sparse map).
+///
+/// The result is in sampling order (itself a uniform random `k`-permutation
+/// of a uniform random `k`-subset).
+///
+/// # Panics
+///
+/// Panics if `k > universe`.
+///
+/// # Example
+///
+/// ```
+/// use clique_model::rng::{rng_from_seed, sample_distinct};
+/// let mut rng = rng_from_seed(3);
+/// let s = sample_distinct(&mut rng, 1_000_000, 5);
+/// assert_eq!(s.len(), 5);
+/// let mut t = s.clone();
+/// t.sort_unstable();
+/// t.dedup();
+/// assert_eq!(t.len(), 5, "samples are distinct");
+/// ```
+pub fn sample_distinct(rng: &mut impl Rng, universe: usize, k: usize) -> Vec<usize> {
+    assert!(
+        k <= universe,
+        "cannot sample {k} distinct values from a universe of {universe}"
+    );
+    // Sparse Fisher–Yates: conceptually shuffle [0..universe) but only touch
+    // the first k positions; `moved` records displaced entries.
+    let mut moved: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+    let mut out = Vec::with_capacity(k);
+    for i in 0..k {
+        let j = rng.gen_range(i..universe);
+        let value_j = *moved.get(&j).unwrap_or(&j);
+        let value_i = *moved.get(&i).unwrap_or(&i);
+        moved.insert(j, value_i);
+        out.push(value_j);
+    }
+    out
+}
+
+/// Returns `true` with probability `p` (clamped to `[0, 1]`).
+///
+/// # Example
+///
+/// ```
+/// use clique_model::rng::{rng_from_seed, coin};
+/// let mut rng = rng_from_seed(11);
+/// assert!(coin(&mut rng, 1.5), "p >= 1 always succeeds");
+/// assert!(!coin(&mut rng, -0.2), "p <= 0 never succeeds");
+/// ```
+pub fn coin(rng: &mut impl Rng, p: f64) -> bool {
+    if p >= 1.0 {
+        return true;
+    }
+    if p <= 0.0 {
+        return false;
+    }
+    rng.gen::<f64>() < p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_bijective_on_samples() {
+        // Not a full bijectivity proof, but distinct inputs must give
+        // distinct outputs on a decent sample.
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000u64 {
+            assert!(seen.insert(splitmix64(i)));
+        }
+    }
+
+    #[test]
+    fn derived_streams_differ() {
+        let a = derive_seed(99, 0);
+        let b = derive_seed(99, 1);
+        let c = derive_seed(100, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn sample_distinct_exhausts_universe() {
+        let mut rng = rng_from_seed(5);
+        let mut s = sample_distinct(&mut rng, 10, 10);
+        s.sort_unstable();
+        assert_eq!(s, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sample_distinct_is_unbiased_enough() {
+        // Each element of 0..10 should appear roughly 1/10 of the time in
+        // position 0 over many trials.
+        let mut rng = rng_from_seed(17);
+        let mut counts = [0usize; 10];
+        let trials = 20_000;
+        for _ in 0..trials {
+            let s = sample_distinct(&mut rng, 10, 1);
+            counts[s[0]] += 1;
+        }
+        for &c in &counts {
+            let freq = c as f64 / trials as f64;
+            assert!((freq - 0.1).abs() < 0.02, "frequency {freq} too far from 0.1");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot sample")]
+    fn sample_distinct_panics_when_oversampling() {
+        let mut rng = rng_from_seed(1);
+        let _ = sample_distinct(&mut rng, 3, 4);
+    }
+
+    #[test]
+    fn coin_respects_extremes_and_is_calibrated() {
+        let mut rng = rng_from_seed(23);
+        let mut hits = 0;
+        let trials = 50_000;
+        for _ in 0..trials {
+            if coin(&mut rng, 0.3) {
+                hits += 1;
+            }
+        }
+        let freq = hits as f64 / trials as f64;
+        assert!((freq - 0.3).abs() < 0.02, "frequency {freq} too far from 0.3");
+    }
+}

@@ -1,0 +1,622 @@
+//! The synchronous round engine.
+
+use clique_model::ids::{Id, IdAssignment, IdSpace};
+use clique_model::metrics::MessageStats;
+use clique_model::ports::{Endpoint, PortMap, PortResolver, RandomResolver};
+use clique_model::rng::{derive_seed, rng_from_seed};
+use clique_model::{Decision, ModelError, NodeIndex};
+use rand::rngs::SmallRng;
+
+use crate::node::{Context, Received, SyncNode, WakeCause};
+use crate::observer::{NullObserver, Observer};
+use crate::outcome::{HaltReason, Outcome};
+use crate::wakeup::WakeSchedule;
+
+/// Seed stream tags, so every consumer of randomness gets an independent
+/// deterministic stream derived from the master seed.
+const STREAM_RESOLVER: u64 = u64::MAX;
+const STREAM_IDS: u64 = u64::MAX - 1;
+const STREAM_NODE_BASE: u64 = 0;
+
+/// Configures and constructs a [`SyncSim`].
+///
+/// Obtained from [`SyncSimBuilder::new`]. All settings have defaults:
+/// master seed 0, quasilinear ID universe (randomly assigned), simultaneous
+/// wake-up, uniform random port resolution, and a round cap of `4n + 64`.
+pub struct SyncSimBuilder {
+    n: usize,
+    seed: u64,
+    ids: Option<IdAssignment>,
+    wake: Option<WakeSchedule>,
+    resolver: Option<Box<dyn PortResolver>>,
+    max_rounds: Option<usize>,
+}
+
+impl std::fmt::Debug for SyncSimBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SyncSimBuilder")
+            .field("n", &self.n)
+            .field("seed", &self.seed)
+            .field("ids", &self.ids.as_ref().map(|a| a.len()))
+            .field("wake", &self.wake)
+            .field("max_rounds", &self.max_rounds)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SyncSimBuilder {
+    /// Starts configuring a simulation of an `n`-node clique.
+    pub fn new(n: usize) -> Self {
+        SyncSimBuilder {
+            n,
+            seed: 0,
+            ids: None,
+            wake: None,
+            resolver: None,
+            max_rounds: None,
+        }
+    }
+
+    /// Sets the master seed; everything (IDs, port mapping, node coins) is a
+    /// deterministic function of it and the other settings.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Uses an explicit ID assignment instead of sampling one.
+    pub fn ids(mut self, ids: IdAssignment) -> Self {
+        self.ids = Some(ids);
+        self
+    }
+
+    /// Sets the wake-up schedule (default: simultaneous).
+    pub fn wake(mut self, wake: WakeSchedule) -> Self {
+        self.wake = Some(wake);
+        self
+    }
+
+    /// Sets the port resolution strategy (default: [`RandomResolver`]).
+    pub fn resolver(mut self, resolver: Box<dyn PortResolver>) -> Self {
+        self.resolver = Some(resolver);
+        self
+    }
+
+    /// Sets the round cap guarding against non-terminating algorithms
+    /// (default `4n + 64`).
+    pub fn max_rounds(mut self, max_rounds: usize) -> Self {
+        self.max_rounds = Some(max_rounds);
+        self
+    }
+
+    /// Instantiates the simulation, creating one node per network position
+    /// via `factory(id, n)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError`] if `n < 2` or the default ID universe cannot
+    /// cover `n` nodes.
+    pub fn build<N, F>(self, mut factory: F) -> Result<SyncSim<N>, ModelError>
+    where
+        N: SyncNode,
+        F: FnMut(Id, usize) -> N,
+    {
+        let n = self.n;
+        if n < 2 {
+            return Err(ModelError::NetworkTooSmall { n });
+        }
+        let ids = match self.ids {
+            Some(ids) => ids,
+            None => {
+                let mut id_rng = rng_from_seed(derive_seed(self.seed, STREAM_IDS));
+                IdSpace::quasilinear(n).assign(n, &mut id_rng)?
+            }
+        };
+        if ids.len() != n {
+            return Err(ModelError::NodeOutOfRange {
+                node: NodeIndex(ids.len()),
+                n,
+            });
+        }
+        let nodes: Vec<N> = ids.as_slice().iter().map(|&id| factory(id, n)).collect();
+        let node_rngs: Vec<SmallRng> = (0..n)
+            .map(|u| rng_from_seed(derive_seed(self.seed, STREAM_NODE_BASE + u as u64)))
+            .collect();
+        Ok(SyncSim {
+            n,
+            round: 0,
+            ids,
+            nodes,
+            node_rngs,
+            ports: PortMap::new(n)?,
+            resolver: self.resolver.unwrap_or_else(|| Box::new(RandomResolver)),
+            resolver_rng: rng_from_seed(derive_seed(self.seed, STREAM_RESOLVER)),
+            wake: self.wake.unwrap_or_else(|| WakeSchedule::simultaneous(n)),
+            max_rounds: self.max_rounds.unwrap_or(4 * n + 64),
+            awake: vec![false; n],
+            stats: MessageStats::new(n),
+            pending: (0..n).map(|_| Vec::new()).collect(),
+            outbox: Vec::new(),
+            last_decisions: vec![Decision::Undecided; n],
+            messages_to_terminated: 0,
+            last_activity_round: 0,
+        })
+    }
+}
+
+/// A synchronous execution in progress.
+///
+/// Drive it with [`SyncSim::run`] (to quiescence) or [`SyncSim::step`]
+/// (round by round, e.g. for lower-bound experiments that truncate
+/// executions).
+pub struct SyncSim<N: SyncNode> {
+    n: usize,
+    round: usize,
+    ids: IdAssignment,
+    nodes: Vec<N>,
+    node_rngs: Vec<SmallRng>,
+    ports: PortMap,
+    resolver: Box<dyn PortResolver>,
+    resolver_rng: SmallRng,
+    wake: WakeSchedule,
+    max_rounds: usize,
+    awake: Vec<bool>,
+    stats: MessageStats,
+    pending: Vec<Vec<Received<N::Message>>>,
+    outbox: Vec<(clique_model::ports::Port, N::Message)>,
+    last_decisions: Vec<Decision>,
+    messages_to_terminated: u64,
+    last_activity_round: usize,
+}
+
+impl<N: SyncNode> std::fmt::Debug for SyncSim<N> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SyncSim")
+            .field("n", &self.n)
+            .field("round", &self.round)
+            .field("messages", &self.stats.total())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<N: SyncNode> SyncSim<N> {
+    /// The current round (0 before the first step).
+    pub fn round(&self) -> usize {
+        self.round
+    }
+
+    /// The ID assignment in use.
+    pub fn ids(&self) -> &IdAssignment {
+        &self.ids
+    }
+
+    /// Message statistics so far.
+    pub fn stats(&self) -> &MessageStats {
+        &self.stats
+    }
+
+    /// Immutable access to a node's algorithm state (for tests and
+    /// experiment probes).
+    pub fn node(&self, u: NodeIndex) -> &N {
+        &self.nodes[u.0]
+    }
+
+    /// Whether `u` has woken up.
+    pub fn is_awake(&self, u: NodeIndex) -> bool {
+        self.awake[u.0]
+    }
+
+    /// The partial port mapping fixed so far.
+    pub fn ports(&self) -> &PortMap {
+        &self.ports
+    }
+
+    /// Runs to quiescence (or the round cap) without observation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ModelError`] from port resolution (only possible with a
+    /// faulty custom resolver).
+    pub fn run(self) -> Result<Outcome, ModelError> {
+        let mut obs = NullObserver;
+        self.run_observed(&mut obs)
+    }
+
+    /// Runs to quiescence (or the round cap) reporting events to `observer`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ModelError`] from port resolution.
+    pub fn run_observed(mut self, observer: &mut dyn Observer) -> Result<Outcome, ModelError> {
+        while self.round < self.max_rounds {
+            if !self.step(observer)? {
+                return Ok(self.into_outcome(HaltReason::Quiescent));
+            }
+        }
+        Ok(self.into_outcome(HaltReason::MaxRounds))
+    }
+
+    /// Executes one full round; returns `false` once the execution is
+    /// quiescent (no awake unterminated node remains and no wake-ups are
+    /// pending).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ModelError`] from port resolution.
+    pub fn step(&mut self, observer: &mut dyn Observer) -> Result<bool, ModelError> {
+        self.round += 1;
+        let round = self.round;
+
+        // Phase 1: adversarial wake-ups scheduled for this round.
+        for &u in self.wake.woken_at(round) {
+            if !self.awake[u.0] {
+                self.awake[u.0] = true;
+                let mut outbox = std::mem::take(&mut self.outbox);
+                let mut ctx = Context {
+                    id: self.ids.id_of(u),
+                    n: self.n,
+                    round,
+                    rng: &mut self.node_rngs[u.0],
+                    outbox: &mut outbox,
+                    sends_allowed: false,
+                };
+                self.nodes[u.0].on_wake(&mut ctx, WakeCause::Adversary);
+                self.outbox = outbox;
+                observer.on_wake(round, u);
+                self.last_activity_round = round;
+            }
+        }
+
+        // Phase 2: send phase for awake, unterminated nodes.
+        for u in 0..self.n {
+            if !self.awake[u] || self.nodes[u].is_terminated() {
+                continue;
+            }
+            let mut outbox = std::mem::take(&mut self.outbox);
+            outbox.clear();
+            {
+                let mut ctx = Context {
+                    id: self.ids.id_of(NodeIndex(u)),
+                    n: self.n,
+                    round,
+                    rng: &mut self.node_rngs[u],
+                    outbox: &mut outbox,
+                    sends_allowed: true,
+                };
+                self.nodes[u].send_phase(&mut ctx);
+            }
+            for (port, msg) in outbox.drain(..) {
+                let dst = self.ports.resolve(
+                    NodeIndex(u),
+                    port,
+                    self.resolver.as_mut(),
+                    &mut self.resolver_rng,
+                )?;
+                self.stats.record(round, NodeIndex(u));
+                self.last_activity_round = round;
+                observer.on_message(
+                    round,
+                    Endpoint {
+                        node: NodeIndex(u),
+                        port,
+                    },
+                    dst,
+                );
+                if self.nodes[dst.node.0].is_terminated() {
+                    self.messages_to_terminated += 1;
+                } else {
+                    self.pending[dst.node.0].push(Received {
+                        port: dst.port,
+                        msg,
+                    });
+                }
+            }
+            self.outbox = outbox;
+        }
+
+        // Phase 3: receive phase; asleep nodes with mail wake up.
+        for v in 0..self.n {
+            let inbox = std::mem::take(&mut self.pending[v]);
+            if self.nodes[v].is_terminated() {
+                debug_assert!(inbox.is_empty(), "terminated nodes receive nothing");
+                continue;
+            }
+            let woke_by_message = !self.awake[v] && !inbox.is_empty();
+            if !self.awake[v] && !woke_by_message {
+                continue;
+            }
+            let mut outbox = std::mem::take(&mut self.outbox);
+            {
+                let mut ctx = Context {
+                    id: self.ids.id_of(NodeIndex(v)),
+                    n: self.n,
+                    round,
+                    rng: &mut self.node_rngs[v],
+                    outbox: &mut outbox,
+                    sends_allowed: false,
+                };
+                if woke_by_message {
+                    self.awake[v] = true;
+                    self.nodes[v].on_wake(&mut ctx, WakeCause::Message);
+                    observer.on_wake(round, NodeIndex(v));
+                    self.last_activity_round = round;
+                }
+                self.nodes[v].receive_phase(&mut ctx, &inbox);
+            }
+            self.outbox = outbox;
+        }
+
+        // Track decision changes (and enforce irrevocability).
+        for u in 0..self.n {
+            let d = self.nodes[u].decision();
+            if d != self.last_decisions[u] {
+                assert!(
+                    !self.last_decisions[u].is_decided(),
+                    "node {u} revoked its decision ({:?} -> {d:?})",
+                    self.last_decisions[u]
+                );
+                self.last_decisions[u] = d;
+                observer.on_decision(round, NodeIndex(u), d);
+                self.last_activity_round = round;
+            }
+        }
+
+        observer.on_round_end(round);
+
+        let pending_wakes = self.wake.last_scheduled_round() > round;
+        let any_active = (0..self.n).any(|u| self.awake[u] && !self.nodes[u].is_terminated());
+        Ok(pending_wakes || any_active)
+    }
+
+    /// Consumes the simulation into its measurable [`Outcome`].
+    pub fn into_outcome(self, halt: HaltReason) -> Outcome {
+        Outcome {
+            n: self.n,
+            rounds: self.last_activity_round,
+            stats: self.stats,
+            decisions: self.last_decisions,
+            awake: self.awake,
+            ids: self.ids,
+            messages_to_terminated: self.messages_to_terminated,
+            halt,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::Received;
+    use clique_model::ports::Port;
+
+    /// Elects the max ID by full broadcast in round 1.
+    struct MaxBroadcast {
+        me: Id,
+        best: Id,
+        decision: Decision,
+    }
+
+    impl SyncNode for MaxBroadcast {
+        type Message = Id;
+        fn send_phase(&mut self, ctx: &mut Context<'_, Id>) {
+            if ctx.round() == 1 {
+                for p in ctx.all_ports() {
+                    ctx.send(p, self.me);
+                }
+            }
+        }
+        fn receive_phase(&mut self, ctx: &mut Context<'_, Id>, inbox: &[Received<Id>]) {
+            for m in inbox {
+                self.best = self.best.max(m.msg);
+            }
+            if ctx.round() == 1 {
+                self.decision = if self.best == self.me {
+                    Decision::Leader
+                } else {
+                    Decision::non_leader_knowing(self.best)
+                };
+            }
+        }
+        fn decision(&self) -> Decision {
+            self.decision
+        }
+    }
+
+    fn max_broadcast(id: Id, _n: usize) -> MaxBroadcast {
+        MaxBroadcast {
+            me: id,
+            best: id,
+            decision: Decision::Undecided,
+        }
+    }
+
+    #[test]
+    fn broadcast_elects_max_in_one_round() {
+        let outcome = SyncSimBuilder::new(16)
+            .seed(3)
+            .build(max_broadcast)
+            .unwrap()
+            .run()
+            .unwrap();
+        outcome.validate_explicit().unwrap();
+        assert_eq!(outcome.rounds, 1);
+        assert_eq!(outcome.stats.total(), 16 * 15);
+        let leader = outcome.unique_leader().unwrap();
+        assert_eq!(outcome.ids.id_of(leader), outcome.ids.max_id());
+        assert_eq!(outcome.halt, HaltReason::Quiescent);
+    }
+
+    #[test]
+    fn executions_are_deterministic_per_seed() {
+        let run = |seed| {
+            let o = SyncSimBuilder::new(12)
+                .seed(seed)
+                .build(max_broadcast)
+                .unwrap()
+                .run()
+                .unwrap();
+            (o.rounds, o.stats.total(), o.unique_leader())
+        };
+        assert_eq!(run(5), run(5));
+    }
+
+    /// A node that wakes on a message and forwards one message over a fresh
+    /// port (one past the port it received on) the next round, then halts.
+    /// Used to test wake propagation.
+    struct Relay {
+        hops_left: u32,
+        send_port: Port,
+        should_forward: bool,
+        decision: Decision,
+    }
+
+    impl SyncNode for Relay {
+        type Message = u32;
+        fn on_wake(&mut self, _ctx: &mut Context<'_, u32>, cause: WakeCause) {
+            if cause == WakeCause::Adversary {
+                self.should_forward = true;
+                self.hops_left = 3;
+                self.send_port = Port(0);
+            }
+        }
+        fn send_phase(&mut self, ctx: &mut Context<'_, u32>) {
+            if self.should_forward {
+                if self.hops_left > 0 {
+                    ctx.send(self.send_port, self.hops_left - 1);
+                }
+                self.should_forward = false;
+                self.decision = Decision::Leader; // decide to halt (content irrelevant)
+            }
+        }
+        fn receive_phase(&mut self, _ctx: &mut Context<'_, u32>, inbox: &[Received<u32>]) {
+            for m in inbox {
+                self.should_forward = true;
+                self.hops_left = m.msg;
+                // Forward over a port we have definitely not used: the one
+                // after the port the message arrived on.
+                self.send_port = Port(m.port.0 + 1);
+            }
+        }
+        fn decision(&self) -> Decision {
+            self.decision
+        }
+        fn is_terminated(&self) -> bool {
+            self.decision.is_decided() && !self.should_forward
+        }
+    }
+
+    #[test]
+    fn message_wakeups_propagate_round_by_round() {
+        let outcome = SyncSimBuilder::new(8)
+            .seed(1)
+            .wake(WakeSchedule::single(NodeIndex(0)))
+            .resolver(Box::new(clique_model::ports::RoundRobinResolver))
+            .build(|_, _| Relay {
+                hops_left: 0,
+                send_port: Port(0),
+                should_forward: false,
+                decision: Decision::Undecided,
+            })
+            .unwrap()
+            .run()
+            .unwrap();
+        // Chain: adversary wakes node in round 1, it sends in round 1;
+        // receiver wakes at end of round 1, sends in round 2; etc.
+        // hops 3, 2, 1 then the last message carries 0 and stops.
+        assert_eq!(outcome.stats.total(), 3);
+        assert_eq!(outcome.awake_count(), 4); // origin + 3 woken by message
+        assert_eq!(outcome.rounds, 4);
+    }
+
+    /// A node that never decides but also never sends — the engine must not
+    /// spin forever.
+    struct Stubborn;
+    impl SyncNode for Stubborn {
+        type Message = ();
+        fn send_phase(&mut self, _ctx: &mut Context<'_, ()>) {}
+        fn receive_phase(&mut self, _ctx: &mut Context<'_, ()>, _inbox: &[Received<()>]) {}
+        fn decision(&self) -> Decision {
+            Decision::Undecided
+        }
+    }
+
+    #[test]
+    fn round_cap_halts_stubborn_algorithms() {
+        let outcome = SyncSimBuilder::new(4)
+            .max_rounds(10)
+            .build(|_, _| Stubborn)
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(outcome.halt, HaltReason::MaxRounds);
+        assert!(outcome.validate_implicit().is_err());
+    }
+
+    #[test]
+    fn asleep_nodes_never_activate() {
+        // Node 0 wakes and immediately terminates without sending: everyone
+        // else must stay asleep, and the run is quiescent after round 1.
+        struct Quit {
+            decision: Decision,
+        }
+        impl SyncNode for Quit {
+            type Message = ();
+            fn send_phase(&mut self, _ctx: &mut Context<'_, ()>) {
+                self.decision = Decision::Leader;
+            }
+            fn receive_phase(&mut self, _ctx: &mut Context<'_, ()>, _inbox: &[Received<()>]) {}
+            fn decision(&self) -> Decision {
+                self.decision
+            }
+        }
+        let outcome = SyncSimBuilder::new(6)
+            .wake(WakeSchedule::single(NodeIndex(2)))
+            .build(|_, _| Quit {
+                decision: Decision::Undecided,
+            })
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(outcome.awake_count(), 1);
+        assert_eq!(outcome.stats.total(), 0);
+        assert_eq!(outcome.halt, HaltReason::Quiescent);
+        assert_eq!(outcome.rounds, 1);
+    }
+
+    #[test]
+    fn staged_wakeups_fire_later() {
+        let outcome = SyncSimBuilder::new(6)
+            .wake(WakeSchedule::staged(vec![
+                (1, vec![NodeIndex(0)]),
+                (3, vec![NodeIndex(1)]),
+            ]))
+            .build(max_broadcast)
+            .unwrap()
+            .run()
+            .unwrap();
+        // Node 0 broadcasts in its round 1 and wakes everyone; node 1 is
+        // already awake by message before its scheduled round-3 wake, which
+        // must therefore be a no-op.
+        assert!(outcome.awake_count() == 6);
+    }
+
+    #[test]
+    fn builder_rejects_tiny_network() {
+        assert!(matches!(
+            SyncSimBuilder::new(1).build(max_broadcast),
+            Err(ModelError::NetworkTooSmall { n: 1 })
+        ));
+    }
+
+    #[test]
+    fn explicit_ids_are_used() {
+        let ids = IdAssignment::new(vec![Id(10), Id(30), Id(20)]).unwrap();
+        let outcome = SyncSimBuilder::new(3)
+            .ids(ids)
+            .build(max_broadcast)
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(outcome.unique_leader(), Some(NodeIndex(1)));
+    }
+}

@@ -1,0 +1,113 @@
+//! Execution observers.
+//!
+//! Observers watch an execution without influencing it. The lower-bound
+//! machinery of the `le-bounds` crate uses one to build the round-`r`
+//! communication graphs of Definition 3.1; experiments use them for tracing.
+
+use clique_model::ports::Endpoint;
+use clique_model::{Decision, NodeIndex};
+
+/// Callbacks fired by the engine as the execution unfolds.
+///
+/// All methods default to no-ops, so implementations override only what
+/// they need.
+pub trait Observer {
+    /// A message crossed the link `src → dst` during `round`'s send phase.
+    fn on_message(&mut self, round: usize, src: Endpoint, dst: Endpoint) {
+        let _ = (round, src, dst);
+    }
+
+    /// `node` woke up (adversarially at the start of `round`, or by message
+    /// at the end of `round`).
+    fn on_wake(&mut self, round: usize, node: NodeIndex) {
+        let _ = (round, node);
+    }
+
+    /// `node`'s decision changed to `decision` during `round`.
+    fn on_decision(&mut self, round: usize, node: NodeIndex, decision: Decision) {
+        let _ = (round, node, decision);
+    }
+
+    /// Round `round` completed (all phases done).
+    fn on_round_end(&mut self, round: usize) {
+        let _ = round;
+    }
+}
+
+/// The do-nothing observer.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullObserver;
+
+impl Observer for NullObserver {}
+
+/// An observer that records every event, for tests and debugging.
+#[derive(Debug, Clone, Default)]
+pub struct RecordingObserver {
+    /// `(round, src, dst)` per message.
+    pub messages: Vec<(usize, Endpoint, Endpoint)>,
+    /// `(round, node)` per wake-up.
+    pub wakes: Vec<(usize, NodeIndex)>,
+    /// `(round, node, decision)` per decision change.
+    pub decisions: Vec<(usize, NodeIndex, Decision)>,
+    /// Completed rounds.
+    pub rounds: Vec<usize>,
+}
+
+impl Observer for RecordingObserver {
+    fn on_message(&mut self, round: usize, src: Endpoint, dst: Endpoint) {
+        self.messages.push((round, src, dst));
+    }
+
+    fn on_wake(&mut self, round: usize, node: NodeIndex) {
+        self.wakes.push((round, node));
+    }
+
+    fn on_decision(&mut self, round: usize, node: NodeIndex, decision: Decision) {
+        self.decisions.push((round, node, decision));
+    }
+
+    fn on_round_end(&mut self, round: usize) {
+        self.rounds.push(round);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clique_model::ports::Port;
+
+    #[test]
+    fn null_observer_ignores_everything() {
+        let mut o = NullObserver;
+        let e = Endpoint {
+            node: NodeIndex(0),
+            port: Port(0),
+        };
+        o.on_message(1, e, e);
+        o.on_wake(1, NodeIndex(0));
+        o.on_decision(1, NodeIndex(0), Decision::Leader);
+        o.on_round_end(1);
+    }
+
+    #[test]
+    fn recording_observer_records() {
+        let mut o = RecordingObserver::default();
+        let a = Endpoint {
+            node: NodeIndex(0),
+            port: Port(1),
+        };
+        let b = Endpoint {
+            node: NodeIndex(2),
+            port: Port(0),
+        };
+        o.on_message(1, a, b);
+        o.on_wake(1, NodeIndex(2));
+        o.on_decision(2, NodeIndex(0), Decision::Leader);
+        o.on_round_end(1);
+        o.on_round_end(2);
+        assert_eq!(o.messages, vec![(1, a, b)]);
+        assert_eq!(o.wakes, vec![(1, NodeIndex(2))]);
+        assert_eq!(o.decisions, vec![(2, NodeIndex(0), Decision::Leader)]);
+        assert_eq!(o.rounds, vec![1, 2]);
+    }
+}

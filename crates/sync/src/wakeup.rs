@@ -1,0 +1,164 @@
+//! Wake-up schedules: who starts executing, and when.
+//!
+//! The paper studies two regimes. Under *simultaneous wake-up* (Section 3)
+//! every node starts in round 1. Under *adversarial wake-up* (Section 4) the
+//! adversary wakes an arbitrary non-empty subset in round 1 (and, in the
+//! general model, possibly more nodes later); every other node sleeps until
+//! a message reaches it.
+
+use clique_model::NodeIndex;
+use rand::Rng;
+use std::collections::BTreeMap;
+
+/// When the adversary wakes which nodes.
+///
+/// Nodes not covered by the schedule wake only upon receiving a message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WakeSchedule {
+    /// round -> nodes woken at the start of that round (rounds are 1-based).
+    by_round: BTreeMap<usize, Vec<NodeIndex>>,
+}
+
+impl WakeSchedule {
+    /// All `n` nodes wake at the start of round 1 (Section 3's regime).
+    pub fn simultaneous(n: usize) -> Self {
+        WakeSchedule {
+            by_round: BTreeMap::from([(1, (0..n).map(NodeIndex).collect())]),
+        }
+    }
+
+    /// Exactly one chosen node wakes in round 1 — the hardest single-source
+    /// case for wake-up-style arguments (Theorem 4.2's `Γ` execution).
+    pub fn single(node: NodeIndex) -> Self {
+        WakeSchedule {
+            by_round: BTreeMap::from([(1, vec![node])]),
+        }
+    }
+
+    /// An explicit subset wakes in round 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is empty: the adversary must wake a non-empty set
+    /// (paper, Section 4).
+    pub fn subset(nodes: Vec<NodeIndex>) -> Self {
+        assert!(!nodes.is_empty(), "adversary must wake a non-empty set");
+        WakeSchedule {
+            by_round: BTreeMap::from([(1, nodes)]),
+        }
+    }
+
+    /// A uniformly random `k`-subset wakes in round 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `k > n`.
+    pub fn random_subset(n: usize, k: usize, rng: &mut impl Rng) -> Self {
+        assert!(k >= 1 && k <= n, "need 1 <= k <= n, got k = {k}, n = {n}");
+        let nodes = clique_model::rng::sample_distinct(rng, n, k)
+            .into_iter()
+            .map(NodeIndex)
+            .collect();
+        WakeSchedule::subset(nodes)
+    }
+
+    /// A fully general schedule: `(round, nodes)` pairs; rounds are 1-based.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no node is woken in round 1 (executions start when the
+    /// first node wakes) or if any round is 0.
+    pub fn staged(stages: Vec<(usize, Vec<NodeIndex>)>) -> Self {
+        let mut by_round: BTreeMap<usize, Vec<NodeIndex>> = BTreeMap::new();
+        for (round, nodes) in stages {
+            assert!(round >= 1, "rounds are 1-based");
+            by_round.entry(round).or_default().extend(nodes);
+        }
+        assert!(
+            by_round.get(&1).is_some_and(|v| !v.is_empty()),
+            "some node must wake in round 1"
+        );
+        WakeSchedule { by_round }
+    }
+
+    /// Nodes the adversary wakes at the start of `round`.
+    pub fn woken_at(&self, round: usize) -> &[NodeIndex] {
+        self.by_round.get(&round).map_or(&[], Vec::as_slice)
+    }
+
+    /// The last round with a scheduled wake-up.
+    pub fn last_scheduled_round(&self) -> usize {
+        self.by_round.keys().next_back().copied().unwrap_or(0)
+    }
+
+    /// Total number of adversarially woken nodes.
+    pub fn scheduled_count(&self) -> usize {
+        self.by_round.values().map(Vec::len).sum()
+    }
+
+    /// Whether this is the simultaneous-wake-up schedule for an `n`-clique.
+    pub fn is_simultaneous(&self, n: usize) -> bool {
+        self.by_round.len() == 1 && self.woken_at(1).len() == n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clique_model::rng::rng_from_seed;
+
+    #[test]
+    fn simultaneous_wakes_everyone_in_round_one() {
+        let w = WakeSchedule::simultaneous(4);
+        assert_eq!(w.woken_at(1).len(), 4);
+        assert!(w.woken_at(2).is_empty());
+        assert!(w.is_simultaneous(4));
+        assert_eq!(w.scheduled_count(), 4);
+        assert_eq!(w.last_scheduled_round(), 1);
+    }
+
+    #[test]
+    fn single_and_subset() {
+        let w = WakeSchedule::single(NodeIndex(2));
+        assert_eq!(w.woken_at(1), &[NodeIndex(2)]);
+        assert!(!w.is_simultaneous(4));
+
+        let w = WakeSchedule::subset(vec![NodeIndex(0), NodeIndex(3)]);
+        assert_eq!(w.scheduled_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_subset_rejected() {
+        let _ = WakeSchedule::subset(vec![]);
+    }
+
+    #[test]
+    fn random_subset_has_k_distinct() {
+        let mut rng = rng_from_seed(4);
+        let w = WakeSchedule::random_subset(10, 4, &mut rng);
+        let mut v: Vec<usize> = w.woken_at(1).iter().map(|x| x.0).collect();
+        v.sort_unstable();
+        v.dedup();
+        assert_eq!(v.len(), 4);
+        assert!(v.iter().all(|&x| x < 10));
+    }
+
+    #[test]
+    fn staged_merges_rounds() {
+        let w = WakeSchedule::staged(vec![
+            (1, vec![NodeIndex(0)]),
+            (3, vec![NodeIndex(1)]),
+            (1, vec![NodeIndex(2)]),
+        ]);
+        assert_eq!(w.woken_at(1), &[NodeIndex(0), NodeIndex(2)]);
+        assert_eq!(w.woken_at(3), &[NodeIndex(1)]);
+        assert_eq!(w.last_scheduled_round(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "round 1")]
+    fn staged_requires_round_one_wake() {
+        let _ = WakeSchedule::staged(vec![(2, vec![NodeIndex(0)])]);
+    }
+}

@@ -1,0 +1,61 @@
+//! # improved-le
+//!
+//! A from-scratch Rust reproduction of *Improved Tradeoffs for Leader
+//! Election* (Kutten, Robinson, Tan, Zhu — PODC 2023, arXiv:2301.08235):
+//! the KT0 clique network model, synchronous and asynchronous simulation
+//! engines, every algorithm the paper contributes, the baselines it
+//! compares against, and executable machinery for its lower bounds.
+//!
+//! This umbrella crate re-exports the workspace members:
+//!
+//! * [`model`] — IDs, ID universes, lazily-resolved bijective port
+//!   mappings, deterministic randomness, decisions, message accounting;
+//! * [`sync`] — the synchronous lock-step round engine (simultaneous and
+//!   adversarial wake-up);
+//! * [`asynchronous`] — the asynchronous event engine (adversarial delays
+//!   in `(0, 1]`, FIFO links, oblivious port mapping);
+//! * [`algorithms`] — the paper's algorithms and baselines;
+//! * [`bounds`] — Table 1's bound formulas, communication graphs,
+//!   the Lemma 3.9 adversary, and the Lemma 3.12 single-send simulation;
+//! * [`analysis`] — scaling-exponent regression, summary statistics,
+//!   tables, CSV export.
+//!
+//! # Quickstart
+//!
+//! Run the paper's improved deterministic tradeoff (Theorem 3.10) in
+//! `ℓ = 5` rounds:
+//!
+//! ```
+//! use improved_le::algorithms::sync::improved_tradeoff::{Config, Node};
+//! use improved_le::sync::SyncSimBuilder;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let cfg = Config::with_rounds(5);
+//! let outcome = SyncSimBuilder::new(128)
+//!     .seed(42)
+//!     .build(|id, n| Node::new(id, n, cfg))?
+//!     .run()?;
+//! outcome.validate_explicit()?;
+//! println!(
+//!     "elected {} in {} rounds with {} messages",
+//!     outcome.ids.id_of(outcome.unique_leader().unwrap()),
+//!     outcome.rounds,
+//!     outcome.stats.total(),
+//! );
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! See `examples/` for runnable scenarios and `crates/bench/src/bin/` for
+//! the experiment harness that regenerates the paper's Table 1 and
+//! tradeoff curves.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use clique_async as asynchronous;
+pub use clique_model as model;
+pub use clique_sync as sync;
+pub use le_analysis as analysis;
+pub use le_bounds as bounds;
+pub use leader_election as algorithms;

@@ -1,0 +1,239 @@
+//! Cross-crate integration: every algorithm of the paper, driven through
+//! the public umbrella API, elects exactly one leader under its intended
+//! regime, across network sizes and seeds.
+
+use improved_le::algorithms::asynchronous::{afek_gafni as a_ag, tradeoff as a_tr};
+use improved_le::algorithms::sync::{
+    afek_gafni, gossip_baseline, improved_tradeoff, las_vegas, small_id, sublinear_mc,
+    two_round_adversarial,
+};
+use improved_le::asynchronous::{AsyncSimBuilder, AsyncWakeSchedule};
+use improved_le::model::ids::IdSpace;
+use improved_le::model::rng::rng_from_seed;
+use improved_le::model::NodeIndex;
+use improved_le::sync::{SyncSimBuilder, WakeSchedule};
+
+const SIZES: [usize; 4] = [4, 16, 63, 128];
+
+#[test]
+fn improved_tradeoff_elects_on_all_sizes() {
+    for &n in &SIZES {
+        for ell in [3usize, 5] {
+            for seed in 0..2 {
+                let cfg = improved_tradeoff::Config::with_rounds(ell);
+                let outcome = SyncSimBuilder::new(n)
+                    .seed(seed)
+                    .build(|id, n| improved_tradeoff::Node::new(id, n, cfg))
+                    .unwrap()
+                    .run()
+                    .unwrap();
+                outcome
+                    .validate_explicit()
+                    .unwrap_or_else(|e| panic!("n={n}, ℓ={ell}, seed={seed}: {e}"));
+            }
+        }
+    }
+}
+
+#[test]
+fn afek_gafni_elects_under_both_wakeup_regimes() {
+    let mut wake_rng = rng_from_seed(5);
+    for &n in &SIZES {
+        for seed in 0..2 {
+            let cfg = afek_gafni::Config::with_rounds(4);
+            // Simultaneous.
+            SyncSimBuilder::new(n)
+                .seed(seed)
+                .build(|id, n| afek_gafni::Node::new(id, n, cfg))
+                .unwrap()
+                .run()
+                .unwrap()
+                .validate_explicit()
+                .unwrap();
+            // Adversarial round-1 subset.
+            let k = 1 + (seed as usize) % n.min(3);
+            let outcome = SyncSimBuilder::new(n)
+                .seed(seed)
+                .wake(WakeSchedule::random_subset(n, k, &mut wake_rng))
+                .build(|id, n| afek_gafni::Node::new(id, n, cfg))
+                .unwrap()
+                .run()
+                .unwrap();
+            outcome.validate_explicit().unwrap();
+        }
+    }
+}
+
+#[test]
+fn small_id_elects_with_linear_universe() {
+    for &n in &SIZES {
+        let g = 3;
+        let d = (n / 2).max(1);
+        let cfg = small_id::Config::new(d, g);
+        let mut rng = rng_from_seed(9);
+        let ids = IdSpace::linear(n, g).assign(n, &mut rng).unwrap();
+        let outcome = SyncSimBuilder::new(n)
+            .seed(1)
+            .ids(ids)
+            .max_rounds(cfg.max_rounds(n) + 1)
+            .build(|id, n| small_id::Node::new(id, n, cfg))
+            .unwrap()
+            .run()
+            .unwrap();
+        outcome.validate_explicit().unwrap();
+    }
+}
+
+#[test]
+fn las_vegas_never_fails_anywhere() {
+    for &n in &SIZES {
+        for seed in 0..4 {
+            let outcome = SyncSimBuilder::new(n)
+                .seed(seed)
+                .build(|id, _| las_vegas::Node::new(id, las_vegas::Config::default()))
+                .unwrap()
+                .run()
+                .unwrap();
+            outcome
+                .validate_explicit()
+                .unwrap_or_else(|e| panic!("Las Vegas failed at n={n}, seed={seed}: {e}"));
+        }
+    }
+}
+
+#[test]
+fn monte_carlo_succeeds_with_high_rate() {
+    let mut ok = 0;
+    let mut total = 0;
+    for &n in &[64usize, 128, 256] {
+        for seed in 0..10 {
+            let outcome = SyncSimBuilder::new(n)
+                .seed(seed)
+                .build(|_, _| sublinear_mc::Node::new(sublinear_mc::Config::default()))
+                .unwrap()
+                .run()
+                .unwrap();
+            total += 1;
+            if outcome.validate_implicit().is_ok() {
+                ok += 1;
+            }
+        }
+    }
+    assert!(ok * 10 >= total * 9, "MC succeeded only {ok}/{total}");
+}
+
+#[test]
+fn two_round_adversarial_succeeds_with_high_rate() {
+    let mut wake_rng = rng_from_seed(2);
+    let mut ok = 0;
+    let mut total = 0;
+    for &n in &[64usize, 144, 256] {
+        for seed in 0..10 {
+            let outcome = SyncSimBuilder::new(n)
+                .seed(seed)
+                .wake(WakeSchedule::random_subset(n, 1 + seed as usize % 4, &mut wake_rng))
+                .max_rounds(2)
+                .build(|_, _| {
+                    two_round_adversarial::Node::new(two_round_adversarial::Config::new(0.05))
+                })
+                .unwrap()
+                .run()
+                .unwrap();
+            total += 1;
+            if outcome.validate_implicit().is_ok() {
+                ok += 1;
+            }
+        }
+    }
+    assert!(ok * 10 >= total * 8, "2-round succeeded only {ok}/{total}");
+}
+
+#[test]
+fn gossip_baseline_always_elects() {
+    let mut wake_rng = rng_from_seed(3);
+    for &n in &SIZES {
+        for seed in 0..2 {
+            let cfg = gossip_baseline::Config::default();
+            let outcome = SyncSimBuilder::new(n)
+                .seed(seed)
+                .wake(WakeSchedule::random_subset(n, 1, &mut wake_rng))
+                .max_rounds(cfg.total_rounds(n) + 2)
+                .build(|id, _| gossip_baseline::Node::new(id, cfg))
+                .unwrap()
+                .run()
+                .unwrap();
+            outcome.validate_explicit().unwrap();
+        }
+    }
+}
+
+#[test]
+fn async_tradeoff_succeeds_with_high_rate() {
+    let mut ok = 0;
+    let mut total = 0;
+    for &n in &[64usize, 128, 256] {
+        for k in [2usize, 3] {
+            for seed in 0..5 {
+                let outcome = AsyncSimBuilder::new(n)
+                    .seed(seed)
+                    .wake(AsyncWakeSchedule::single(NodeIndex(seed as usize % n)))
+                    .build(|_, _| a_tr::Node::new(a_tr::Config::new(k)))
+                    .unwrap()
+                    .run()
+                    .unwrap();
+                total += 1;
+                if outcome.validate_implicit().is_ok() {
+                    ok += 1;
+                }
+            }
+        }
+    }
+    assert!(ok * 10 >= total * 9, "async tradeoff succeeded only {ok}/{total}");
+}
+
+#[test]
+fn async_afek_gafni_never_fails() {
+    for &n in &SIZES {
+        for seed in 0..3 {
+            let outcome = AsyncSimBuilder::new(n)
+                .seed(seed)
+                .wake(AsyncWakeSchedule::simultaneous(n))
+                .build(|id, n| a_ag::Node::new(id, n))
+                .unwrap()
+                .run()
+                .unwrap();
+            outcome
+                .validate_implicit()
+                .unwrap_or_else(|e| panic!("async AG failed at n={n}, seed={seed}: {e}"));
+        }
+    }
+}
+
+#[test]
+fn two_node_cliques_work_everywhere_applicable() {
+    // The smallest legal network: n = 2.
+    let cfg = improved_tradeoff::Config::with_rounds(3);
+    SyncSimBuilder::new(2)
+        .build(|id, n| improved_tradeoff::Node::new(id, n, cfg))
+        .unwrap()
+        .run()
+        .unwrap()
+        .validate_explicit()
+        .unwrap();
+    let cfg = afek_gafni::Config::with_rounds(2);
+    SyncSimBuilder::new(2)
+        .build(|id, n| afek_gafni::Node::new(id, n, cfg))
+        .unwrap()
+        .run()
+        .unwrap()
+        .validate_explicit()
+        .unwrap();
+    AsyncSimBuilder::new(2)
+        .wake(AsyncWakeSchedule::simultaneous(2))
+        .build(|id, n| a_ag::Node::new(id, n))
+        .unwrap()
+        .run()
+        .unwrap()
+        .validate_implicit()
+        .unwrap();
+}

@@ -1,0 +1,110 @@
+//! Every simulation is a deterministic function of its master seed — the
+//! property that makes every number in EXPERIMENTS.md reproducible.
+
+use improved_le::algorithms::asynchronous::{afek_gafni as a_ag, tradeoff as a_tr};
+use improved_le::algorithms::sync::{improved_tradeoff, las_vegas, two_round_adversarial};
+use improved_le::asynchronous::{AsyncSimBuilder, AsyncWakeSchedule};
+use improved_le::model::NodeIndex;
+use improved_le::sync::{SyncSimBuilder, WakeSchedule};
+
+fn sync_fingerprint(outcome: &improved_le::sync::Outcome) -> (usize, u64, Option<NodeIndex>, Vec<u64>) {
+    (
+        outcome.rounds,
+        outcome.stats.total(),
+        outcome.unique_leader(),
+        outcome.stats.rounds().to_vec(),
+    )
+}
+
+#[test]
+fn improved_tradeoff_is_seed_deterministic() {
+    let run = |seed| {
+        let cfg = improved_tradeoff::Config::with_rounds(5);
+        let o = SyncSimBuilder::new(64)
+            .seed(seed)
+            .build(|id, n| improved_tradeoff::Node::new(id, n, cfg))
+            .unwrap()
+            .run()
+            .unwrap();
+        sync_fingerprint(&o)
+    };
+    for seed in [0u64, 1, 99] {
+        assert_eq!(run(seed), run(seed));
+    }
+    // Different seeds draw different IDs (quasilinear universe), so
+    // fingerprints differ with overwhelming probability.
+    assert_ne!(run(0), run(1));
+}
+
+#[test]
+fn randomized_sync_algorithms_are_seed_deterministic() {
+    let lv = |seed| {
+        let o = SyncSimBuilder::new(64)
+            .seed(seed)
+            .build(|id, _| las_vegas::Node::new(id, las_vegas::Config::default()))
+            .unwrap()
+            .run()
+            .unwrap();
+        sync_fingerprint(&o)
+    };
+    assert_eq!(lv(7), lv(7));
+
+    let tr = |seed| {
+        let o = SyncSimBuilder::new(64)
+            .seed(seed)
+            .wake(WakeSchedule::single(NodeIndex(0)))
+            .max_rounds(2)
+            .build(|_, _| {
+                two_round_adversarial::Node::new(two_round_adversarial::Config::new(0.1))
+            })
+            .unwrap()
+            .run()
+            .unwrap();
+        sync_fingerprint(&o)
+    };
+    assert_eq!(tr(3), tr(3));
+}
+
+#[test]
+fn async_algorithms_are_seed_deterministic() {
+    let tr = |seed| {
+        let o = AsyncSimBuilder::new(48)
+            .seed(seed)
+            .wake(AsyncWakeSchedule::single(NodeIndex(0)))
+            .build(|_, _| a_tr::Node::new(a_tr::Config::new(2)))
+            .unwrap()
+            .run()
+            .unwrap();
+        (o.time.to_bits(), o.stats.total(), o.unique_leader())
+    };
+    assert_eq!(tr(5), tr(5));
+
+    let ag = |seed| {
+        let o = AsyncSimBuilder::new(48)
+            .seed(seed)
+            .wake(AsyncWakeSchedule::simultaneous(48))
+            .build(|id, n| a_ag::Node::new(id, n))
+            .unwrap()
+            .run()
+            .unwrap();
+        (o.time.to_bits(), o.stats.total(), o.unique_leader())
+    };
+    assert_eq!(ag(5), ag(5));
+}
+
+#[test]
+fn seed_isolation_between_components() {
+    // Changing only the wake schedule must not change the ID assignment
+    // (streams are independent).
+    let cfg = improved_tradeoff::Config::with_rounds(3);
+    let a = SyncSimBuilder::new(32)
+        .seed(11)
+        .build(|id, n| improved_tradeoff::Node::new(id, n, cfg))
+        .unwrap();
+    let b = SyncSimBuilder::new(32)
+        .seed(11)
+        .wake(WakeSchedule::simultaneous(32))
+        .build(|id, n| improved_tradeoff::Node::new(id, n, cfg))
+        .unwrap();
+    assert_eq!(a.ids(), b.ids());
+}

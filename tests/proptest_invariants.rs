@@ -1,0 +1,150 @@
+//! Property-based tests over the substrate invariants: port-map
+//! bijectivity under arbitrary interleavings, adversary block containment,
+//! engine determinism, and election-spec preservation under the
+//! single-send transformation.
+
+use improved_le::algorithms::sync::improved_tradeoff;
+use improved_le::bounds::adversary::ComponentAdversary;
+use improved_le::bounds::single_send::SingleSend;
+use improved_le::model::ids::{Id, IdAssignment};
+use improved_le::model::ports::{Port, PortMap, RandomResolver};
+use improved_le::model::rng::{rng_from_seed, sample_distinct};
+use improved_le::model::NodeIndex;
+use improved_le::sync::SyncSimBuilder;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any sequence of resolutions keeps the port map a valid partial
+    /// bijection with the random resolver.
+    #[test]
+    fn port_map_stays_bijective(
+        n in 2usize..24,
+        ops in prop::collection::vec((0usize..24, 0usize..23), 1..60),
+        seed in 0u64..1000,
+    ) {
+        let mut map = PortMap::new(n).unwrap();
+        let mut resolver = RandomResolver;
+        let mut rng = rng_from_seed(seed);
+        for (u, p) in ops {
+            let u = u % n;
+            let p = p % (n - 1);
+            let d = map.resolve(NodeIndex(u), Port(p), &mut resolver, &mut rng).unwrap();
+            // Symmetry: the reverse port maps back.
+            prop_assert_eq!(
+                map.peer(d.node, d.port),
+                Some(improved_le::model::ports::Endpoint {
+                    node: NodeIndex(u),
+                    port: Port(p)
+                })
+            );
+        }
+        map.validate().unwrap();
+    }
+
+    /// The Lemma 3.9 adversary also keeps the map valid, and every link it
+    /// creates stays inside one of its blocks.
+    #[test]
+    fn adversary_links_stay_in_blocks(
+        n in 4usize..32,
+        f in 2u32..16,
+        ops in prop::collection::vec((0usize..32, 0usize..31), 1..60),
+    ) {
+        let (mut adv, probe) = ComponentAdversary::new(n, f as f64);
+        let mut map = PortMap::new(n).unwrap();
+        let mut rng = rng_from_seed(1);
+        for (u, p) in ops {
+            let u = u % n;
+            let p = p % (n - 1);
+            let d = map.resolve(NodeIndex(u), Port(p), &mut adv, &mut rng).unwrap();
+            prop_assert!(probe.same_block(NodeIndex(u), d.node));
+        }
+        map.validate().unwrap();
+    }
+
+    /// `sample_distinct` always returns distinct in-range values.
+    #[test]
+    fn sample_distinct_is_distinct(
+        universe in 1usize..500,
+        k_frac in 0.0f64..1.0,
+        seed in 0u64..10_000,
+    ) {
+        let k = ((universe as f64) * k_frac) as usize;
+        let mut rng = rng_from_seed(seed);
+        let mut s = sample_distinct(&mut rng, universe, k);
+        prop_assert_eq!(s.len(), k);
+        prop_assert!(s.iter().all(|&x| x < universe));
+        s.sort_unstable();
+        s.dedup();
+        prop_assert_eq!(s.len(), k);
+    }
+
+    /// The improved tradeoff elects the maximum ID for *every* ID
+    /// assignment and seed — deterministic algorithms admit no luck.
+    #[test]
+    fn improved_tradeoff_elects_max_for_any_assignment(
+        raw_ids in prop::collection::hash_set(1u64..1_000_000, 4..24),
+        seed in 0u64..500,
+    ) {
+        let ids: Vec<Id> = raw_ids.into_iter().map(Id).collect();
+        let n = ids.len();
+        let assignment = IdAssignment::new(ids).unwrap();
+        let max = assignment.max_id();
+        let cfg = improved_tradeoff::Config::with_rounds(3);
+        let outcome = SyncSimBuilder::new(n)
+            .seed(seed)
+            .ids(assignment)
+            .build(|id, n| improved_tradeoff::Node::new(id, n, cfg))
+            .unwrap()
+            .run()
+            .unwrap();
+        outcome.validate_explicit().unwrap();
+        let leader = outcome.unique_leader().unwrap();
+        prop_assert_eq!(outcome.ids.id_of(leader), max);
+    }
+
+    /// Lemma 3.12: wrapping in the single-send simulation never changes the
+    /// elected leader (same fixed circulant port mapping on both sides).
+    #[test]
+    fn single_send_preserves_leader(
+        n in 4usize..16,
+        seed in 0u64..200,
+    ) {
+        let cfg = improved_tradeoff::Config::with_rounds(3);
+        let plain = SyncSimBuilder::new(n)
+            .seed(seed)
+            .resolver(Box::new(improved_le::model::CirculantResolver))
+            .build(|id, n| improved_tradeoff::Node::new(id, n, cfg))
+            .unwrap()
+            .run()
+            .unwrap();
+        let wrapped = SyncSimBuilder::new(n)
+            .seed(seed)
+            .max_rounds(4 * n)
+            .resolver(Box::new(improved_le::model::CirculantResolver))
+            .build(|id, n| SingleSend::new(improved_tradeoff::Node::new(id, n, cfg), id, n))
+            .unwrap()
+            .run()
+            .unwrap();
+        prop_assert_eq!(plain.unique_leader(), wrapped.unique_leader());
+        prop_assert_eq!(plain.stats.total(), wrapped.stats.total());
+    }
+
+    /// The synchronous engine is a pure function of (n, seed, config) —
+    /// re-running never diverges.
+    #[test]
+    fn engine_runs_are_reproducible(n in 2usize..32, seed in 0u64..1000) {
+        let fingerprint = || {
+            let cfg = improved_tradeoff::Config::with_rounds(3);
+            let o = SyncSimBuilder::new(n)
+                .seed(seed)
+                .build(|id, n| improved_tradeoff::Node::new(id, n, cfg))
+                .unwrap()
+                .run()
+                .unwrap();
+            (o.rounds, o.stats.total(), o.unique_leader())
+        };
+        prop_assert_eq!(fingerprint(), fingerprint());
+    }
+}
