@@ -76,6 +76,34 @@ impl std::fmt::Display for Summary {
     }
 }
 
+/// The `q`-quantile of a sample, `q ∈ [0, 1]`, with linear interpolation
+/// between order statistics (type-7 / NumPy default).
+///
+/// Returns `None` for an empty sample, a non-finite value in the sample, or
+/// `q` outside `[0, 1]`.
+///
+/// # Example
+///
+/// ```
+/// use le_analysis::stats::quantile;
+/// let sample = [1.0, 2.0, 3.0, 4.0];
+/// assert_eq!(quantile(&sample, 0.0), Some(1.0));
+/// assert_eq!(quantile(&sample, 0.5), Some(2.5));
+/// assert_eq!(quantile(&sample, 1.0), Some(4.0));
+/// ```
+pub fn quantile(sample: &[f64], q: f64) -> Option<f64> {
+    if sample.is_empty() || sample.iter().any(|x| !x.is_finite()) || !(0.0..=1.0).contains(&q) {
+        return None;
+    }
+    let mut sorted = sample.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    Some(sorted[lo] + (sorted[hi] - sorted[lo]) * frac)
+}
+
 /// The empirical success rate of a repeated boolean experiment.
 ///
 /// # Example

@@ -122,7 +122,7 @@ fn group_thousands(mut v: i128) -> String {
     let bytes = digits.as_bytes();
     let mut out = String::with_capacity(digits.len() + digits.len() / 3 + 1);
     for (i, b) in bytes.iter().enumerate() {
-        if i > 0 && (bytes.len() - i) % 3 == 0 {
+        if i > 0 && (bytes.len() - i).is_multiple_of(3) {
             out.push(',');
         }
         out.push(*b as char);
@@ -146,7 +146,7 @@ mod tests {
         let s = t.to_string();
         let lines: Vec<&str> = s.lines().collect();
         assert_eq!(lines.len(), 4); // header, rule, 2 rows
-        // All rows have equal width.
+                                    // All rows have equal width.
         assert_eq!(lines[0].len(), lines[2].len());
         assert_eq!(lines[2].len(), lines[3].len());
         assert!(lines[1].chars().all(|c| c == '-' || c == '+'));

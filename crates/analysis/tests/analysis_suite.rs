@@ -1,0 +1,199 @@
+//! Integration coverage for the analysis crate: quantiles and means over
+//! known samples, scaling-exponent recovery on synthetic `y = c·n^k` data
+//! (the quantity every experiment binary reports), and a CSV round-trip.
+
+use le_analysis::regression::{fit_linear, fit_power_law};
+use le_analysis::stats::{geometric_mean, quantile, success_rate, Summary};
+use le_analysis::CsvWriter;
+
+#[test]
+fn quantiles_interpolate_between_order_statistics() {
+    let sample = [10.0, 20.0, 30.0, 40.0, 50.0];
+    assert_eq!(quantile(&sample, 0.0), Some(10.0));
+    assert_eq!(quantile(&sample, 0.25), Some(20.0));
+    assert_eq!(quantile(&sample, 0.5), Some(30.0));
+    assert_eq!(quantile(&sample, 0.9), Some(46.0));
+    assert_eq!(quantile(&sample, 1.0), Some(50.0));
+}
+
+#[test]
+fn quantiles_are_order_independent_and_match_median() {
+    let shuffled = [9.0, 1.0, 5.0, 3.0, 7.0, 2.0, 8.0, 4.0, 6.0];
+    let summary = Summary::from_sample(&shuffled).unwrap();
+    assert_eq!(quantile(&shuffled, 0.5), Some(summary.median));
+    assert_eq!(quantile(&shuffled, 0.5), Some(5.0));
+}
+
+#[test]
+fn quantile_rejects_bad_inputs() {
+    assert_eq!(quantile(&[], 0.5), None);
+    assert_eq!(quantile(&[1.0, f64::NAN], 0.5), None);
+    assert_eq!(quantile(&[1.0, 2.0], -0.1), None);
+    assert_eq!(quantile(&[1.0, 2.0], 1.1), None);
+}
+
+#[test]
+fn quantile_of_singleton_is_the_value() {
+    for q in [0.0, 0.3, 1.0] {
+        assert_eq!(quantile(&[42.0], q), Some(42.0));
+    }
+}
+
+#[test]
+fn means_over_message_counts() {
+    // Means the way the experiment harness computes them: u64 message
+    // counts summarised as floats.
+    let counts: Vec<u64> = (1..=100).collect();
+    let s = Summary::from_counts(&counts).unwrap();
+    assert!((s.mean - 50.5).abs() < 1e-12);
+    assert!((s.median - 50.5).abs() < 1e-12);
+    assert_eq!(s.min, 1.0);
+    assert_eq!(s.max, 100.0);
+
+    // Geometric mean of a geometric sequence is the middle term.
+    let g = geometric_mean(&[1.0, 2.0, 4.0, 8.0, 16.0]).unwrap();
+    assert!((g - 4.0).abs() < 1e-12);
+
+    assert_eq!(success_rate(&[true, false, true, true]), 0.75);
+}
+
+#[test]
+fn scaling_exponent_recovered_from_synthetic_power_law() {
+    // The experiment binaries' core claim: measuring y = c·n^k at the
+    // paper's sweep sizes and fitting log-log recovers (c, k).
+    for (c, k) in [(3.0, 1.5), (0.5, 1.25), (12.0, 2.0), (7.0, 1.0)] {
+        let ns: Vec<f64> = [64usize, 256, 1024, 4096, 16384]
+            .iter()
+            .map(|&n| n as f64)
+            .collect();
+        let ys: Vec<f64> = ns.iter().map(|&n| c * n.powf(k)).collect();
+        let fit = fit_power_law(&ns, &ys).unwrap();
+        assert!(
+            (fit.exponent - k).abs() < 1e-9,
+            "exponent {} for (c, k) = ({c}, {k})",
+            fit.exponent
+        );
+        assert!(
+            (fit.coefficient - c).abs() / c < 1e-6,
+            "coefficient {} for (c, k) = ({c}, {k})",
+            fit.coefficient
+        );
+        assert!((fit.r_squared - 1.0).abs() < 1e-9);
+        // Prediction inverts the fit at an unseen size.
+        let probe = 512.0;
+        assert!((fit.predict(probe) - c * probe.powf(k)).abs() / (c * probe.powf(k)) < 1e-6);
+    }
+}
+
+#[test]
+fn noisy_power_law_still_close() {
+    // ±5% deterministic "noise" must not move the exponent materially.
+    let ns: Vec<f64> = [256usize, 512, 1024, 2048, 4096]
+        .iter()
+        .map(|&n| n as f64)
+        .collect();
+    let ys: Vec<f64> = ns
+        .iter()
+        .enumerate()
+        .map(|(i, &n)| 2.0 * n.powf(1.5) * if i % 2 == 0 { 1.05 } else { 0.95 })
+        .collect();
+    let fit = fit_power_law(&ns, &ys).unwrap();
+    assert!(
+        (fit.exponent - 1.5).abs() < 0.05,
+        "exponent {}",
+        fit.exponent
+    );
+    assert!(fit.r_squared > 0.99);
+}
+
+#[test]
+fn linear_fit_feeds_power_law_consistently() {
+    // fit_power_law is exactly fit_linear in log-log space.
+    let xs = [1.0f64, std::f64::consts::E, std::f64::consts::E.powi(2)];
+    let ys = [2.0f64, 2.0 * 3.0f64, 2.0 * 9.0f64];
+    let log_x: Vec<f64> = xs.iter().map(|x| x.ln()).collect();
+    let log_y: Vec<f64> = ys.iter().map(|y| y.ln()).collect();
+    let linear = fit_linear(&log_x, &log_y).unwrap();
+    let power = fit_power_law(&xs, &ys).unwrap();
+    assert!((linear.slope - power.exponent).abs() < 1e-12);
+    assert!((linear.intercept.exp() - power.coefficient).abs() < 1e-12);
+}
+
+#[test]
+fn csv_round_trip_preserves_experiment_rows() {
+    let mut path = std::env::temp_dir();
+    path.push(format!("le-analysis-roundtrip-{}.csv", std::process::id()));
+
+    let header = ["n", "algorithm", "messages", "note"];
+    let rows = vec![
+        vec![
+            "256".to_string(),
+            "improved,l=5".into(),
+            "1234".into(),
+            "plain".into(),
+        ],
+        vec![
+            "1024".into(),
+            "two_round".into(),
+            "55555".into(),
+            "says \"hi\"".into(),
+        ],
+        vec![
+            "4096".into(),
+            "gossip".into(),
+            "99".into(),
+            "multi\nline".into(),
+        ],
+    ];
+
+    let mut w = CsvWriter::create(&path, &header).unwrap();
+    for row in &rows {
+        w.write_row(row).unwrap();
+    }
+    w.finish().unwrap();
+
+    let text = std::fs::read_to_string(&path).unwrap();
+    let parsed = parse_csv(&text);
+    assert_eq!(parsed[0], header.to_vec());
+    for (i, row) in rows.iter().enumerate() {
+        assert_eq!(&parsed[i + 1], row, "row {i} corrupted by round-trip");
+    }
+    std::fs::remove_file(path).ok();
+}
+
+/// A tiny RFC 4180 reader — quoted cells, doubled quotes, embedded
+/// newlines — enough to verify the writer's escaping end-to-end.
+fn parse_csv(text: &str) -> Vec<Vec<String>> {
+    let mut rows = Vec::new();
+    let mut row = Vec::new();
+    let mut cell = String::new();
+    let mut chars = text.chars().peekable();
+    let mut quoted = false;
+    while let Some(c) = chars.next() {
+        if quoted {
+            match c {
+                '"' if chars.peek() == Some(&'"') => {
+                    chars.next();
+                    cell.push('"');
+                }
+                '"' => quoted = false,
+                _ => cell.push(c),
+            }
+        } else {
+            match c {
+                '"' => quoted = true,
+                ',' => row.push(std::mem::take(&mut cell)),
+                '\n' => {
+                    row.push(std::mem::take(&mut cell));
+                    rows.push(std::mem::take(&mut row));
+                }
+                _ => cell.push(c),
+            }
+        }
+    }
+    if !cell.is_empty() || !row.is_empty() {
+        row.push(cell);
+        rows.push(row);
+    }
+    rows
+}

@@ -174,10 +174,13 @@ mod tests {
         let mut fast = 0;
         let mut slow = 0;
         for _ in 0..1000 {
-            match d.delay(NodeIndex(0), NodeIndex(1), 0.0, &mut rng) {
-                x if x == 0.1 => fast += 1,
-                x if x == 1.0 => slow += 1,
-                x => panic!("unexpected delay {x}"),
+            let x = d.delay(NodeIndex(0), NodeIndex(1), 0.0, &mut rng);
+            if x == 0.1 {
+                fast += 1;
+            } else if x == 1.0 {
+                slow += 1;
+            } else {
+                panic!("unexpected delay {x}");
             }
         }
         assert!(fast > 300 && slow > 300, "fast = {fast}, slow = {slow}");

@@ -219,7 +219,9 @@ impl AsyncSimBuilder {
             queue,
             seq,
             fifo_front: HashMap::new(),
-            max_events: self.max_events.unwrap_or(64 * (n as u64) * (n as u64) + 4096),
+            max_events: self
+                .max_events
+                .unwrap_or(64 * (n as u64) * (n as u64) + 4096),
             awake: vec![false; n],
             stats: MessageStats::new(n),
             outbox: Vec::new(),
@@ -521,7 +523,7 @@ mod tests {
         let outcome = AsyncSimBuilder::new(n)
             .seed(5)
             .wake(AsyncWakeSchedule::single(NodeIndex(3)))
-            .build(|id, n| Flood::new(id, n))
+            .build(Flood::new)
             .unwrap()
             .run()
             .unwrap();
@@ -542,7 +544,7 @@ mod tests {
             let o = AsyncSimBuilder::new(9)
                 .seed(seed)
                 .wake(AsyncWakeSchedule::single(NodeIndex(0)))
-                .build(|id, n| Flood::new(id, n))
+                .build(Flood::new)
                 .unwrap()
                 .run()
                 .unwrap();
@@ -561,7 +563,7 @@ mod tests {
             .seed(2)
             .wake(AsyncWakeSchedule::single(NodeIndex(0)))
             .delays(Box::new(ConstDelay::max()))
-            .build(|id, n| Flood::new(id, n))
+            .build(Flood::new)
             .unwrap()
             .run()
             .unwrap();

@@ -140,7 +140,7 @@ fn bench_async_algorithms(c: &mut Criterion) {
             AsyncSimBuilder::new(N)
                 .seed(1)
                 .wake(AsyncWakeSchedule::simultaneous(N))
-                .build(|id, n| a_ag::Node::new(id, n))
+                .build(a_ag::Node::new)
                 .unwrap()
                 .run()
                 .unwrap()

@@ -137,7 +137,8 @@ fn bench_port_resolution(c: &mut Criterion) {
                 let mut rng = rng_from_seed(3);
                 for u in 0..n {
                     for p in 0..n - 1 {
-                        map.resolve(NodeIndex(u), Port(p), &mut r, &mut rng).unwrap();
+                        map.resolve(NodeIndex(u), Port(p), &mut r, &mut rng)
+                            .unwrap();
                     }
                 }
                 map.link_count()

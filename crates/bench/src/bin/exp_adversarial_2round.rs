@@ -104,9 +104,7 @@ fn main() {
 
     let (xs, ys): (Vec<f64>, Vec<f64>) = scale_points.iter().copied().unzip();
     if let Some(fit) = fit_power_law(&xs, &ys) {
-        println!(
-            "Message scaling at full wake-up: {fit} — Theorems 4.1/4.2 predict exponent 3/2"
-        );
+        println!("Message scaling at full wake-up: {fit} — Theorems 4.1/4.2 predict exponent 3/2");
     }
     csv.finish().expect("results/ is writable");
     println!(

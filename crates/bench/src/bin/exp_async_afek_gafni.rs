@@ -22,7 +22,7 @@ fn measure(n: usize, seed: u64, delays: Box<dyn DelayStrategy>) -> (u64, f64) {
         .seed(seed)
         .wake(AsyncWakeSchedule::simultaneous(n))
         .delays(delays)
-        .build(|id, n| Node::new(id, n))
+        .build(Node::new)
         .expect("valid configuration")
         .run()
         .expect("no resolver faults");

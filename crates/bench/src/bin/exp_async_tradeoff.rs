@@ -113,7 +113,10 @@ fn main() {
                 ])
                 .expect("results/ is writable");
                 if delay_name == "uniform(0,1]" {
-                    per_k_points.entry(k).or_default().push((n as f64, msgs.mean));
+                    per_k_points
+                        .entry(k)
+                        .or_default()
+                        .push((n as f64, msgs.mean));
                 }
             }
         }

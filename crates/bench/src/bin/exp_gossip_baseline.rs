@@ -79,11 +79,9 @@ fn main() {
 
     let mut points = Vec::new();
     for &n in &ns {
-        let gossip: Vec<(u64, usize)> =
-            seed_list.iter().map(|&s| measure_gossip(n, s)).collect();
+        let gossip: Vec<(u64, usize)> = seed_list.iter().map(|&s| measure_gossip(n, s)).collect();
         let two: Vec<u64> = seed_list.iter().map(|&s| measure_two_round(n, s)).collect();
-        let g_msgs =
-            Summary::from_counts(&gossip.iter().map(|r| r.0).collect::<Vec<_>>()).unwrap();
+        let g_msgs = Summary::from_counts(&gossip.iter().map(|r| r.0).collect::<Vec<_>>()).unwrap();
         let g_rounds = gossip.iter().map(|r| r.1).max().unwrap();
         let t_msgs = Summary::from_counts(&two).unwrap();
         points.push((n as f64, g_msgs.mean));
@@ -94,7 +92,12 @@ fn main() {
             fmt_count(t_msgs.mean),
             fmt_count(n as f64 * formulas::log2(n)),
             fmt_count((n as f64).powf(1.5)),
-            if g_msgs.mean < t_msgs.mean { "yes" } else { "not yet" }.into(),
+            if g_msgs.mean < t_msgs.mean {
+                "yes"
+            } else {
+                "not yet"
+            }
+            .into(),
         ]);
         csv.write_row(&[
             n.to_string(),

@@ -80,9 +80,7 @@ fn main() {
         let lv_msgs = Summary::from_counts(&lv.iter().map(|r| r.0).collect::<Vec<_>>()).unwrap();
         let lv_rounds_max = lv.iter().map(|r| r.1).max().unwrap();
         let mc_msgs = Summary::from_counts(&mc.iter().map(|r| r.0).collect::<Vec<_>>()).unwrap();
-        let mc_ok = le_analysis::stats::success_rate(
-            &mc.iter().map(|r| r.1).collect::<Vec<_>>(),
-        );
+        let mc_ok = le_analysis::stats::success_rate(&mc.iter().map(|r| r.1).collect::<Vec<_>>());
         let lv_floor = formulas::lasvegas_message_lower_bound(n);
         assert!(
             lv_msgs.min >= lv_floor,
@@ -121,5 +119,8 @@ fn main() {
         println!("Monte Carlo scaling: {fit} — expected exponent → 0.5 + polylog drift");
     }
     csv.finish().expect("results/ is writable");
-    println!("CSV written to {}", results_path("exp_lasvegas.csv").display());
+    println!(
+        "CSV written to {}",
+        results_path("exp_lasvegas.csv").display()
+    );
 }

@@ -71,8 +71,7 @@ fn main() {
                 let envelope = 2f64.powi(formulas::sigma(f, round + 1) as i32);
                 // Property A: every component is contained in one block.
                 let within = graph.components_at(round + 1).iter().all(|comp| {
-                    comp.windows(2)
-                        .all(|w| probe.same_block(w[0], w[1]))
+                    comp.windows(2).all(|w| probe.same_block(w[0], w[1]))
                         && comp
                             .first()
                             .is_none_or(|&u| probe.same_block(u, *comp.last().unwrap()))
@@ -82,7 +81,11 @@ fn main() {
                     largest.to_string(),
                     fmt_count(envelope.min(n as f64)),
                     probe.max_block_size().to_string(),
-                    if within { "yes".into() } else { "VIOLATED".into() },
+                    if within {
+                        "yes".into()
+                    } else {
+                        "VIOLATED".into()
+                    },
                 ]);
                 csv.write_row(&[
                     n.to_string(),
@@ -122,5 +125,8 @@ fn main() {
         }
     }
     csv.finish().expect("results/ is writable");
-    println!("CSV written to {}", results_path("exp_lb_tradeoff.csv").display());
+    println!(
+        "CSV written to {}",
+        results_path("exp_lb_tradeoff.csv").display()
+    );
 }

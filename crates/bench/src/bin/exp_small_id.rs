@@ -77,9 +77,8 @@ fn main() {
             let runs: Vec<(u64, usize)> = seed_list.iter().map(|&s| measure(n, d, g, s)).collect();
             let msgs = Summary::from_counts(&runs.iter().map(|r| r.0).collect::<Vec<_>>())
                 .expect("non-empty");
-            let rounds =
-                Summary::from_sample(&runs.iter().map(|r| r.1 as f64).collect::<Vec<_>>())
-                    .expect("non-empty");
+            let rounds = Summary::from_sample(&runs.iter().map(|r| r.1 as f64).collect::<Vec<_>>())
+                .expect("non-empty");
             let budget_msgs = formulas::thm315_messages(n, d, g);
             let budget_rounds = formulas::thm315_rounds(n, d);
             assert!(msgs.max <= budget_msgs, "message budget breached");
@@ -114,5 +113,8 @@ fn main() {
         );
     }
     csv.finish().expect("results/ is writable");
-    println!("CSV written to {}", results_path("exp_small_id.csv").display());
+    println!(
+        "CSV written to {}",
+        results_path("exp_small_id.csv").display()
+    );
 }

@@ -29,7 +29,13 @@ struct Row {
     success: String,
 }
 
-fn summarize(rows: &mut Vec<Row>, name: &'static str, paper_time: &str, paper_msgs: f64, runs: &[(f64, u64, bool)]) {
+fn summarize(
+    rows: &mut Vec<Row>,
+    name: &'static str,
+    paper_time: &str,
+    paper_msgs: f64,
+    runs: &[(f64, u64, bool)],
+) {
     let time = Summary::from_sample(&runs.iter().map(|r| r.0).collect::<Vec<_>>()).unwrap();
     let msgs = Summary::from_counts(&runs.iter().map(|r| r.1).collect::<Vec<_>>()).unwrap();
     let ok = success_rate(&runs.iter().map(|r| r.2).collect::<Vec<_>>());
@@ -84,7 +90,11 @@ fn main() {
                     .unwrap()
                     .run()
                     .unwrap();
-                (o.rounds as f64, o.stats.total(), o.validate_explicit().is_ok())
+                (
+                    o.rounds as f64,
+                    o.stats.total(),
+                    o.validate_explicit().is_ok(),
+                )
             })
             .collect();
         summarize(
@@ -112,7 +122,11 @@ fn main() {
                     .unwrap()
                     .run()
                     .unwrap();
-                (o.rounds as f64, o.stats.total(), o.validate_explicit().is_ok())
+                (
+                    o.rounds as f64,
+                    o.stats.total(),
+                    o.validate_explicit().is_ok(),
+                )
             })
             .collect();
         summarize(
@@ -140,7 +154,11 @@ fn main() {
                     .unwrap()
                     .run()
                     .unwrap();
-                (o.rounds as f64, o.stats.total(), o.validate_explicit().is_ok())
+                (
+                    o.rounds as f64,
+                    o.stats.total(),
+                    o.validate_explicit().is_ok(),
+                )
             })
             .collect();
         summarize(
@@ -169,10 +187,20 @@ fn main() {
                     .unwrap()
                     .run()
                     .unwrap();
-                (o.rounds as f64, o.stats.total(), o.validate_explicit().is_ok())
+                (
+                    o.rounds as f64,
+                    o.stats.total(),
+                    o.validate_explicit().is_ok(),
+                )
             })
             .collect();
-        summarize(&mut rows, "Alg Thm 3.16 (Las Vegas)", "3 whp", n as f64, &runs);
+        summarize(
+            &mut rows,
+            "Alg Thm 3.16 (Las Vegas)",
+            "3 whp",
+            n as f64,
+            &runs,
+        );
     }
     lower_bound_row(
         &mut rows,
@@ -190,7 +218,11 @@ fn main() {
                     .unwrap()
                     .run()
                     .unwrap();
-                (o.rounds as f64, o.stats.total(), o.validate_implicit().is_ok())
+                (
+                    o.rounds as f64,
+                    o.stats.total(),
+                    o.validate_implicit().is_ok(),
+                )
             })
             .collect();
         summarize(
@@ -226,7 +258,11 @@ fn main() {
                     .unwrap()
                     .run()
                     .unwrap();
-                (o.rounds as f64, o.stats.total(), o.validate_implicit().is_ok())
+                (
+                    o.rounds as f64,
+                    o.stats.total(),
+                    o.validate_implicit().is_ok(),
+                )
             })
             .collect();
         summarize(
@@ -258,7 +294,11 @@ fn main() {
                     .unwrap()
                     .run()
                     .unwrap();
-                (o.rounds as f64, o.stats.total(), o.validate_explicit().is_ok())
+                (
+                    o.rounds as f64,
+                    o.stats.total(),
+                    o.validate_explicit().is_ok(),
+                )
             })
             .collect();
         summarize(
@@ -305,7 +345,7 @@ fn main() {
                 let o = AsyncSimBuilder::new(n)
                     .seed(s)
                     .wake(AsyncWakeSchedule::simultaneous(n))
-                    .build(|id, n| a_ag::Node::new(id, n))
+                    .build(a_ag::Node::new)
                     .unwrap()
                     .run()
                     .unwrap();
@@ -367,5 +407,8 @@ fn main() {
     }
     println!("{table}");
     csv.finish().expect("results/ is writable");
-    println!("CSV written to {}", results_path("exp_table1.csv").display());
+    println!(
+        "CSV written to {}",
+        results_path("exp_table1.csv").display()
+    );
 }

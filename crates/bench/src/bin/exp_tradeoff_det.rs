@@ -24,7 +24,9 @@ fn measure_improved(n: usize, ell: usize, seed: u64) -> u64 {
         .expect("valid configuration")
         .run()
         .expect("no resolver faults");
-    outcome.validate_explicit().expect("deterministic algorithm");
+    outcome
+        .validate_explicit()
+        .expect("deterministic algorithm");
     assert_eq!(outcome.rounds, ell);
     outcome.stats.total()
 }
@@ -37,7 +39,9 @@ fn measure_afek_gafni(n: usize, ell: usize, seed: u64) -> u64 {
         .expect("valid configuration")
         .run()
         .expect("no resolver faults");
-    outcome.validate_explicit().expect("deterministic algorithm");
+    outcome
+        .validate_explicit()
+        .expect("deterministic algorithm");
     assert_eq!(outcome.rounds, ell);
     outcome.stats.total()
 }
@@ -113,5 +117,8 @@ fn main() {
         println!("{table}");
     }
     csv.finish().expect("results/ is writable");
-    println!("CSV written to {}", results_path("exp_tradeoff_det.csv").display());
+    println!(
+        "CSV written to {}",
+        results_path("exp_tradeoff_det.csv").display()
+    );
 }

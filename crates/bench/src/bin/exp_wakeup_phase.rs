@@ -77,12 +77,8 @@ fn main() {
                     .iter()
                     .map(|&s| measure(n, k, wake_size, s))
                     .collect();
-                let covered =
-                    success_rate(&runs.iter().map(|r| r.0.is_some()).collect::<Vec<_>>());
-                let wake_max = runs
-                    .iter()
-                    .filter_map(|r| r.0)
-                    .fold(0.0f64, f64::max);
+                let covered = success_rate(&runs.iter().map(|r| r.0.is_some()).collect::<Vec<_>>());
+                let wake_max = runs.iter().filter_map(|r| r.0).fold(0.0f64, f64::max);
                 let msgs =
                     Summary::from_counts(&runs.iter().map(|r| r.1).collect::<Vec<_>>()).unwrap();
                 table.add_row(vec![

@@ -2,11 +2,11 @@
 //! tables and tradeoff curves.
 //!
 //! Each binary (`exp_*`) reproduces one evaluation artifact of *Improved
-//! Tradeoffs for Leader Election* — see DESIGN.md §3 for the index and
-//! EXPERIMENTS.md for recorded results. Run one with
+//! Tradeoffs for Leader Election* — see the root README for the index.
+//! Run one with
 //!
 //! ```text
-//! cargo run --release -p le-bench --bin exp_tradeoff_det
+//! cargo run --release -p le_bench --bin exp_tradeoff_det
 //! ```
 //!
 //! Every binary prints a table to stdout and writes a CSV under

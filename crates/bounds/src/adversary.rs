@@ -226,7 +226,9 @@ mod tests {
 
         // Node 0 opens its first port: its singleton block must merge
         // (factor 2^{1+1} = 4) and the peer must come from inside.
-        let d = map.resolve(NodeIndex(0), Port(0), &mut adv, &mut rng).unwrap();
+        let d = map
+            .resolve(NodeIndex(0), Port(0), &mut adv, &mut rng)
+            .unwrap();
         assert!(probe.same_block(NodeIndex(0), d.node));
         assert_eq!(probe.merge_events(), 1);
         assert_eq!(probe.max_block_size(), 4);
@@ -244,7 +246,8 @@ mod tests {
         let (mut adv, probe) = ComponentAdversary::new(64, 8.0);
         let mut map = PortMap::new(64).unwrap();
         let mut rng = rng_from_seed(0);
-        map.resolve(NodeIndex(5), Port(0), &mut adv, &mut rng).unwrap();
+        map.resolve(NodeIndex(5), Port(0), &mut adv, &mut rng)
+            .unwrap();
         assert_eq!(probe.max_block_size(), 16);
     }
 
@@ -282,7 +285,8 @@ mod tests {
         let mut rng = rng_from_seed(2);
         for u in 0..n {
             for p in 0..n - 1 {
-                map.resolve(NodeIndex(u), Port(p), &mut adv, &mut rng).unwrap();
+                map.resolve(NodeIndex(u), Port(p), &mut adv, &mut rng)
+                    .unwrap();
             }
         }
         map.validate().unwrap();

@@ -77,8 +77,7 @@ impl CommGraph {
         if members.len() <= 1 {
             return 0;
         }
-        let in_set: std::collections::HashSet<u32> =
-            members.iter().map(|u| u.0 as u32).collect();
+        let in_set: std::collections::HashSet<u32> = members.iter().map(|u| u.0 as u32).collect();
         // Count, per member, how many *other* members it touches.
         let mut touched: std::collections::HashMap<u32, std::collections::HashSet<u32>> =
             std::collections::HashMap::new();
@@ -101,11 +100,10 @@ impl CommGraph {
     /// Whether `members` is isolated in the round-`r` graph: no edge
     /// connects a member to a non-member (in either direction).
     pub fn is_isolated_at(&self, round: usize, members: &[NodeIndex]) -> bool {
-        let in_set: std::collections::HashSet<u32> =
-            members.iter().map(|u| u.0 as u32).collect();
-        self.edges.iter().all(|&(r, u, v)| {
-            r >= round || in_set.contains(&u) == in_set.contains(&v)
-        })
+        let in_set: std::collections::HashSet<u32> = members.iter().map(|u| u.0 as u32).collect();
+        self.edges
+            .iter()
+            .all(|&(r, u, v)| r >= round || in_set.contains(&u) == in_set.contains(&v))
     }
 
     /// The last round with a recorded message (0 if none).

@@ -240,7 +240,11 @@ mod tests {
         // σ_{r+1} = σ_r + t (the inductive step of Lemma 3.9's Property B).
         for f in [2.0, 3.0, 8.0, 100.0] {
             for r in 1..6 {
-                assert_eq!(sigma(f, r + 1), sigma(f, r) + merge_exponent(f), "f={f}, r={r}");
+                assert_eq!(
+                    sigma(f, r + 1),
+                    sigma(f, r) + merge_exponent(f),
+                    "f={f}, r={r}"
+                );
             }
             assert_eq!(sigma(f, 1), 0, "components start as singletons");
         }

@@ -159,9 +159,7 @@ impl IsolationHarness {
             .max_rounds(self.max_rounds)
             .build(factory)?;
         let outcome = sim.run()?;
-        let all_decided = members
-            .iter()
-            .all(|&u| outcome.decisions[u.0].is_decided());
+        let all_decided = members.iter().all(|&u| outcome.decisions[u.0].is_decided());
         if *escaped.borrow() || !all_decided {
             return Ok(IsolationVerdict::Expanding);
         }

@@ -83,7 +83,10 @@ impl<N: SyncNode> SingleSend<N> {
 
     /// Maps an engine round to `(macro_round, slot)` with `slot ∈ [1, n]`.
     fn position(&self, engine_round: usize) -> (usize, usize) {
-        ((engine_round - 1) / self.n + 1, (engine_round - 1) % self.n + 1)
+        (
+            (engine_round - 1) / self.n + 1,
+            (engine_round - 1) % self.n + 1,
+        )
     }
 }
 
@@ -117,7 +120,7 @@ where
                 self.inner.send_phase(&mut inner_ctx);
             }
             debug_assert!(
-                sink.len() <= self.n - 1,
+                sink.len() < self.n,
                 "a node sends at most one message per port per round"
             );
             self.outgoing.extend(sink);

@@ -172,10 +172,13 @@ impl Node {
             self.needed = self.required(self.level);
             let from = self.requested;
             for port in from..self.needed {
-                ctx.send(Port(port), Msg::Request {
-                    id: self.id,
-                    level: self.level,
-                });
+                ctx.send(
+                    Port(port),
+                    Msg::Request {
+                        id: self.id,
+                        level: self.level,
+                    },
+                );
             }
             self.requested = self.needed.max(self.requested);
             if self.needed > self.acks {
@@ -304,15 +307,14 @@ impl AsyncNode for Node {
 mod tests {
     use super::*;
     use clique_async::{
-        AsyncHaltReason, AsyncSimBuilder, AsyncWakeSchedule, BimodalDelay, ConstDelay,
-        UniformDelay,
+        AsyncHaltReason, AsyncSimBuilder, AsyncWakeSchedule, BimodalDelay, ConstDelay, UniformDelay,
     };
 
     fn run(n: usize, seed: u64) -> clique_async::AsyncOutcome {
         AsyncSimBuilder::new(n)
             .seed(seed)
             .wake(AsyncWakeSchedule::simultaneous(n))
-            .build(|id, n| Node::new(id, n))
+            .build(Node::new)
             .unwrap()
             .run()
             .unwrap()
@@ -343,7 +345,7 @@ mod tests {
                     .seed(seed)
                     .wake(AsyncWakeSchedule::simultaneous(32))
                     .delays(delays)
-                    .build(|id, n| Node::new(id, n))
+                    .build(Node::new)
                     .unwrap()
                     .run()
                     .unwrap();
@@ -362,7 +364,7 @@ mod tests {
                 .seed(1)
                 .wake(AsyncWakeSchedule::simultaneous(n))
                 .delays(Box::new(ConstDelay::max()))
-                .build(|id, n| Node::new(id, n))
+                .build(Node::new)
                 .unwrap()
                 .run()
                 .unwrap();
@@ -403,7 +405,7 @@ mod tests {
         let outcome = AsyncSimBuilder::new(n)
             .seed(4)
             .wake(AsyncWakeSchedule::staged(entries))
-            .build(|id, n| Node::new(id, n))
+            .build(Node::new)
             .unwrap()
             .run()
             .unwrap();

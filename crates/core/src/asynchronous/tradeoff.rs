@@ -351,7 +351,9 @@ impl AsyncNode for Node {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use clique_async::{AsyncHaltReason, AsyncSimBuilder, AsyncWakeSchedule, ConstDelay, UniformDelay};
+    use clique_async::{
+        AsyncHaltReason, AsyncSimBuilder, AsyncWakeSchedule, ConstDelay, UniformDelay,
+    };
     use clique_model::rng::rng_from_seed;
     use clique_model::NodeIndex;
 

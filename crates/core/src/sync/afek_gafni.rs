@@ -66,7 +66,7 @@ impl Config {
     /// Panics if `ℓ` is odd or zero.
     pub fn with_rounds(ell: usize) -> Self {
         assert!(
-            ell >= 2 && ell % 2 == 0,
+            ell >= 2 && ell.is_multiple_of(2),
             "round budget must be an even integer >= 2, got {ell}"
         );
         Config::with_k(ell / 2)
@@ -156,7 +156,7 @@ impl SyncNode for Node {
         }
         if round % 2 == 1 {
             // Bid step of iteration (round + 1)/2.
-            let iteration = (round + 1) / 2;
+            let iteration = round.div_ceil(2);
             if self.candidate {
                 self.contacted = self.cfg.referees_in_iteration(self.n, iteration);
                 self.responses = 0;
@@ -198,10 +198,8 @@ impl SyncNode for Node {
             }
         }
 
-        if round % 2 == 0 && self.candidate {
-            if self.responses < self.contacted {
-                self.candidate = false;
-            }
+        if round % 2 == 0 && self.candidate && self.responses < self.contacted {
+            self.candidate = false;
         }
         if round == self.cfg.rounds() {
             // `final_best` is the maximum surviving bid, which is exactly
@@ -281,11 +279,7 @@ mod tests {
         outcome.validate_explicit().unwrap();
         let leader = outcome.unique_leader().unwrap();
         assert!(woken.contains(&leader), "leader must be a woken node");
-        let max_woken = woken
-            .iter()
-            .map(|&u| outcome.ids.id_of(u))
-            .max()
-            .unwrap();
+        let max_woken = woken.iter().map(|&u| outcome.ids.id_of(u)).max().unwrap();
         assert_eq!(outcome.ids.id_of(leader), max_woken);
     }
 

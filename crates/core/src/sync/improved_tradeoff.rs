@@ -153,7 +153,7 @@ impl Node {
     /// Maps a round to `(iteration, is_second_round)`;
     /// the final round maps to `(k - 1, false)`.
     fn phase_of(&self, round: usize) -> (usize, bool) {
-        ((round + 1) / 2, round % 2 == 0)
+        (round.div_ceil(2), round.is_multiple_of(2))
     }
 }
 

@@ -161,7 +161,12 @@ mod tests {
 
     #[test]
     fn elects_min_id_within_round_and_message_budget() {
-        for (n, d, g) in [(32usize, 4usize, 1u64), (100, 10, 2), (64, 64, 1), (33, 5, 3)] {
+        for (n, d, g) in [
+            (32usize, 4usize, 1u64),
+            (100, 10, 2),
+            (64, 64, 1),
+            (33, 5, 3),
+        ] {
             for seed in 0..3 {
                 let cfg = Config::new(d, g);
                 let outcome = run(n, d, g, seed);

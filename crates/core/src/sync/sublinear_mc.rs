@@ -238,9 +238,8 @@ mod tests {
         // Quadrupling n should roughly double the message count (times a
         // polylog factor), far below the 4× of linear growth. Average over
         // seeds to tame candidate-count noise.
-        let avg = |n: usize| -> f64 {
-            (0..8).map(|s| run(n, s).stats.total()).sum::<u64>() as f64 / 8.0
-        };
+        let avg =
+            |n: usize| -> f64 { (0..8).map(|s| run(n, s).stats.total()).sum::<u64>() as f64 / 8.0 };
         let m_small = avg(1024);
         let m_big = avg(4096);
         let ratio = m_big / m_small;
@@ -248,7 +247,10 @@ mod tests {
             ratio < 3.2,
             "4× the nodes grew messages by {ratio:.2}× — not √n-like"
         );
-        assert!(ratio > 1.2, "messages should still grow with n, got {ratio:.2}×");
+        assert!(
+            ratio > 1.2,
+            "messages should still grow with n, got {ratio:.2}×"
+        );
     }
 
     #[test]

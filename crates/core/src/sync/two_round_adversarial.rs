@@ -133,12 +133,10 @@ impl SyncNode for Node {
 
     fn send_phase(&mut self, ctx: &mut Context<'_, Msg>) {
         match ctx.round() {
-            1 => {
-                if self.root {
-                    let fanout = Config::wake_fanout(ctx.n());
-                    for port in ctx.sample_ports(fanout) {
-                        ctx.send(port, Msg::WakeUp);
-                    }
+            1 if self.root => {
+                let fanout = Config::wake_fanout(ctx.n());
+                for port in ctx.sample_ports(fanout) {
+                    ctx.send(port, Msg::WakeUp);
                 }
             }
             2 => {
@@ -157,10 +155,8 @@ impl SyncNode for Node {
 
     fn receive_phase(&mut self, ctx: &mut Context<'_, Msg>, inbox: &[Received<Msg>]) {
         match ctx.round() {
-            1 => {
-                if !inbox.is_empty() {
-                    self.eligible = true;
-                }
+            1 if !inbox.is_empty() => {
+                self.eligible = true;
             }
             2 => {
                 self.best_rank_seen = inbox
@@ -193,8 +189,8 @@ impl SyncNode for Node {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use clique_model::NodeIndex;
     use clique_model::rng::rng_from_seed;
+    use clique_model::NodeIndex;
     use clique_sync::{SyncSimBuilder, WakeSchedule};
 
     fn run(n: usize, seed: u64, eps: f64, wake: WakeSchedule) -> clique_sync::Outcome {

@@ -90,7 +90,10 @@ mod tests {
     #[test]
     fn display_messages_are_lowercase_and_concise() {
         let e = ModelError::NetworkTooSmall { n: 1 };
-        assert_eq!(e.to_string(), "network must contain at least 2 nodes, got 1");
+        assert_eq!(
+            e.to_string(),
+            "network must contain at least 2 nodes, got 1"
+        );
         let e = ModelError::DuplicateId { id: 9 };
         assert_eq!(e.to_string(), "duplicate ID 9 in assignment");
     }

@@ -261,7 +261,10 @@ impl IdAssignment {
 
     /// Iterates over `(node, id)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (NodeIndex, Id)> + '_ {
-        self.ids.iter().enumerate().map(|(i, &id)| (NodeIndex(i), id))
+        self.ids
+            .iter()
+            .enumerate()
+            .map(|(i, &id)| (NodeIndex(i), id))
     }
 
     /// The maximum ID in the assignment.
@@ -364,17 +367,17 @@ mod tests {
     fn assign_first_is_ascending_prefix() {
         let u = IdSpace::with_start(10, 100);
         let a = u.assign_first(5).unwrap();
-        assert_eq!(
-            a.as_slice(),
-            &[Id(10), Id(11), Id(12), Id(13), Id(14)]
-        );
+        assert_eq!(a.as_slice(), &[Id(10), Id(11), Id(12), Id(13), Id(14)]);
     }
 
     #[test]
     fn assign_spread_spans_universe() {
         let u = IdSpace::contiguous(1000);
         let a = u.assign_spread(10).unwrap();
-        assert!(a.max_id().0 >= 900, "spread assignment should reach the tail");
+        assert!(
+            a.max_id().0 >= 900,
+            "spread assignment should reach the tail"
+        );
         let mut vals: Vec<u64> = a.as_slice().iter().map(|i| i.0).collect();
         vals.sort_unstable();
         vals.dedup();

@@ -334,15 +334,19 @@ impl PortMap {
 
     /// The endpoint reached from `u`'s port `p`, if that port is assigned.
     pub fn peer(&self, u: NodeIndex, p: Port) -> Option<Endpoint> {
-        self.forward[u.0].get(&(p.0 as u32)).map(|&(v, j)| Endpoint {
-            node: NodeIndex(v as usize),
-            port: Port(j as usize),
-        })
+        self.forward[u.0]
+            .get(&(p.0 as u32))
+            .map(|&(v, j)| Endpoint {
+                node: NodeIndex(v as usize),
+                port: Port(j as usize),
+            })
     }
 
     /// The port of `u` that connects to `v`, if such a link is fixed.
     pub fn port_to(&self, u: NodeIndex, v: NodeIndex) -> Option<Port> {
-        self.peers[u.0].get(&(v.0 as u32)).map(|&i| Port(i as usize))
+        self.peers[u.0]
+            .get(&(v.0 as u32))
+            .map(|&i| Port(i as usize))
     }
 
     /// Read-only view for resolvers and observers.
@@ -545,8 +549,12 @@ mod tests {
         let mut map = PortMap::new(8).unwrap();
         let mut r = RandomResolver;
         let mut rng = rng_from_seed(1);
-        let d1 = map.resolve(NodeIndex(0), Port(2), &mut r, &mut rng).unwrap();
-        let d2 = map.resolve(NodeIndex(0), Port(2), &mut r, &mut rng).unwrap();
+        let d1 = map
+            .resolve(NodeIndex(0), Port(2), &mut r, &mut rng)
+            .unwrap();
+        let d2 = map
+            .resolve(NodeIndex(0), Port(2), &mut r, &mut rng)
+            .unwrap();
         assert_eq!(d1, d2);
         assert_eq!(map.link_count(), 1);
         map.validate().unwrap();
@@ -557,7 +565,9 @@ mod tests {
         let mut map = PortMap::new(8).unwrap();
         let mut r = RandomResolver;
         let mut rng = rng_from_seed(2);
-        let d = map.resolve(NodeIndex(3), Port(0), &mut r, &mut rng).unwrap();
+        let d = map
+            .resolve(NodeIndex(3), Port(0), &mut r, &mut rng)
+            .unwrap();
         // Sending back over the destination port must reach (3, 0).
         let back = map.resolve(d.node, d.port, &mut r, &mut rng).unwrap();
         assert_eq!(
@@ -578,7 +588,8 @@ mod tests {
         let mut rng = rng_from_seed(3);
         for u in 0..n {
             for p in 0..n - 1 {
-                map.resolve(NodeIndex(u), Port(p), &mut r, &mut rng).unwrap();
+                map.resolve(NodeIndex(u), Port(p), &mut r, &mut rng)
+                    .unwrap();
             }
         }
         assert_eq!(map.link_count(), n * (n - 1) / 2);
@@ -598,7 +609,10 @@ mod tests {
             let mut rng = rng_from_seed(9);
             let mut dests = Vec::new();
             for p in 0..5 {
-                dests.push(map.resolve(NodeIndex(0), Port(p), &mut r, &mut rng).unwrap());
+                dests.push(
+                    map.resolve(NodeIndex(0), Port(p), &mut r, &mut rng)
+                        .unwrap(),
+                );
             }
             (map.link_count(), dests)
         };
@@ -610,14 +624,17 @@ mod tests {
         let mut map = PortMap::new(6).unwrap();
         let mut r = RoundRobinResolver;
         let mut rng = rng_from_seed(9);
-        let d = map.resolve(NodeIndex(2), Port(1), &mut r, &mut rng).unwrap();
+        let d = map
+            .resolve(NodeIndex(2), Port(1), &mut r, &mut rng)
+            .unwrap();
         assert_eq!(d.node, NodeIndex(4)); // (2 + 1 + 1) mod 6
     }
 
     #[test]
     fn connect_rejects_conflicts() {
         let mut map = PortMap::new(5).unwrap();
-        map.connect(NodeIndex(0), Port(0), NodeIndex(1), Port(0)).unwrap();
+        map.connect(NodeIndex(0), Port(0), NodeIndex(1), Port(0))
+            .unwrap();
         // same pair again
         assert!(map
             .connect(NodeIndex(0), Port(1), NodeIndex(1), Port(1))
@@ -636,7 +653,8 @@ mod tests {
     #[test]
     fn port_to_finds_the_link() {
         let mut map = PortMap::new(5).unwrap();
-        map.connect(NodeIndex(0), Port(3), NodeIndex(4), Port(1)).unwrap();
+        map.connect(NodeIndex(0), Port(3), NodeIndex(4), Port(1))
+            .unwrap();
         assert_eq!(map.port_to(NodeIndex(0), NodeIndex(4)), Some(Port(3)));
         assert_eq!(map.port_to(NodeIndex(4), NodeIndex(0)), Some(Port(1)));
         assert_eq!(map.port_to(NodeIndex(0), NodeIndex(1)), None);
@@ -653,7 +671,9 @@ mod tests {
         for _ in 0..trials {
             let mut map = PortMap::new(n).unwrap();
             let mut r = RandomResolver;
-            let d = map.resolve(NodeIndex(0), Port(0), &mut r, &mut rng).unwrap();
+            let d = map
+                .resolve(NodeIndex(0), Port(0), &mut r, &mut rng)
+                .unwrap();
             counts[d.node.0] += 1;
         }
         assert_eq!(counts[0], 0);
@@ -676,14 +696,18 @@ mod tests {
             let mut r = CirculantResolver;
             let mut rng = rng_from_seed(0);
             for (u, p) in order {
-                map.resolve(NodeIndex(u), Port(p), &mut r, &mut rng).unwrap();
+                map.resolve(NodeIndex(u), Port(p), &mut r, &mut rng)
+                    .unwrap();
             }
             map.validate().unwrap();
             map
         };
         let forward = resolve_all(&mut (0..n).flat_map(|u| (0..n - 1).map(move |p| (u, p))));
-        let backward =
-            resolve_all(&mut (0..n).rev().flat_map(|u| (0..n - 1).rev().map(move |p| (u, p))));
+        let backward = resolve_all(
+            &mut (0..n)
+                .rev()
+                .flat_map(|u| (0..n - 1).rev().map(move |p| (u, p))),
+        );
         for u in 0..n {
             for p in 0..n - 1 {
                 assert_eq!(
@@ -701,7 +725,9 @@ mod tests {
         let mut map = PortMap::new(n).unwrap();
         let mut r = CirculantResolver;
         let mut rng = rng_from_seed(0);
-        let d = map.resolve(NodeIndex(1), Port(2), &mut r, &mut rng).unwrap();
+        let d = map
+            .resolve(NodeIndex(1), Port(2), &mut r, &mut rng)
+            .unwrap();
         assert_eq!(d.node, NodeIndex(4)); // (1 + 2 + 1) mod 6
         assert_eq!(d.port, Port(2)); // 6 - 2 - 2
         let back = map.resolve(d.node, d.port, &mut r, &mut rng).unwrap();

@@ -155,7 +155,10 @@ mod tests {
         }
         for &c in &counts {
             let freq = c as f64 / trials as f64;
-            assert!((freq - 0.1).abs() < 0.02, "frequency {freq} too far from 0.1");
+            assert!(
+                (freq - 0.1).abs() < 0.02,
+                "frequency {freq} too far from 0.1"
+            );
         }
     }
 
@@ -177,6 +180,9 @@ mod tests {
             }
         }
         let freq = hits as f64 / trials as f64;
-        assert!((freq - 0.3).abs() < 0.02, "frequency {freq} too far from 0.3");
+        assert!(
+            (freq - 0.3).abs() < 0.02,
+            "frequency {freq} too far from 0.3"
+        );
     }
 }

@@ -116,7 +116,7 @@ impl<'a, M> Context<'a, M> {
     ///
     /// Panics if `k > n - 1`.
     pub fn first_ports(&self, k: usize) -> impl Iterator<Item = Port> {
-        assert!(k <= self.n - 1, "cannot take {k} of {} ports", self.n - 1);
+        assert!(k < self.n, "cannot take {k} of {} ports", self.n - 1);
         (0..k).map(Port)
     }
 

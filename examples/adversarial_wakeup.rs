@@ -15,7 +15,11 @@ use improved_le::model::rng::rng_from_seed;
 use improved_le::sync::{SyncSimBuilder, WakeSchedule};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let n = 1024;
+    // `LE_N` overrides the network size (the smoke tests shrink it).
+    let n: usize = std::env::var("LE_N")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1024);
     let epsilon = 0.0625;
     let trials = 25;
 
@@ -33,7 +37,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut wake_rng = rng_from_seed(123);
     for (label, size) in [
         ("1 node", 1usize),
-        ("√n nodes", 32),
+        ("√n nodes", (n as f64).sqrt().ceil() as usize),
         ("n/2 nodes", n / 2),
         ("every node", n),
     ] {

@@ -25,7 +25,11 @@ fn delay_for(name: &str) -> Box<dyn DelayStrategy> {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let n = 512;
+    // `LE_N` overrides the network size (the smoke tests shrink it).
+    let n: usize = std::env::var("LE_N")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(512);
     let delays = ["uniform(0,1]", "const(1) worst-case", "bimodal rushing"];
 
     let mut table = Table::new(vec![
@@ -61,7 +65,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .seed(9)
             .wake(AsyncWakeSchedule::simultaneous(n))
             .delays(delay_for(delay_name))
-            .build(|id, n| afek_gafni::Node::new(id, n))?
+            .build(afek_gafni::Node::new)?
             .run()?;
         table.add_row(vec![
             "Thm 5.14 async AG (all woken)".into(),

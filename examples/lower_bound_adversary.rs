@@ -15,7 +15,11 @@ use improved_le::bounds::formulas;
 use improved_le::sync::SyncSimBuilder;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let n = 512;
+    // `LE_N` overrides the network size (the smoke tests shrink it).
+    let n: usize = std::env::var("LE_N")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(512);
     let f = 4.0; // assumed message budget n·f
     let ell = 7;
 

@@ -9,7 +9,11 @@ use improved_le::algorithms::sync::improved_tradeoff::{Config, Node};
 use improved_le::sync::SyncSimBuilder;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let n = 128;
+    // `LE_N` overrides the network size (the smoke tests shrink it).
+    let n: usize = std::env::var("LE_N")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(128);
     let rounds = 5; // any odd ℓ ≥ 3; more rounds → fewer messages
 
     let cfg = Config::with_rounds(rounds);
@@ -24,7 +28,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let leader = outcome.unique_leader().expect("validated above");
     println!("network size     : {n}");
     println!("round budget ℓ   : {rounds}");
-    println!("elected leader   : {} (simulator position {leader})", outcome.ids.id_of(leader));
+    println!(
+        "elected leader   : {} (simulator position {leader})",
+        outcome.ids.id_of(leader)
+    );
     println!("rounds used      : {}", outcome.rounds);
     println!("messages sent    : {}", outcome.stats.total());
     println!(

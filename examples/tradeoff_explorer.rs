@@ -14,11 +14,15 @@ use improved_le::bounds::formulas;
 use improved_le::sync::SyncSimBuilder;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let n: usize = std::env::args()
-        .nth(1)
-        .map(|a| a.parse())
-        .transpose()?
-        .unwrap_or(1024);
+    // CLI argument first, then the `LE_N` override (the smoke tests
+    // shrink it), then the default.
+    let n: usize = match std::env::args().nth(1) {
+        Some(a) => a.parse()?,
+        None => std::env::var("LE_N")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1024),
+    };
 
     let mut table = Table::new(vec![
         "ℓ",
@@ -53,10 +57,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             fmt_count(improved as f64),
             fmt_count(baseline as f64),
             fmt_count(formulas::thm38_message_lower_bound(n, ell)),
-            format!(
-                "{:.0}%",
-                (1.0 - improved as f64 / baseline as f64) * 100.0
-            ),
+            format!("{:.0}%", (1.0 - improved as f64 / baseline as f64) * 100.0),
         ]);
     }
     println!("{table}");

@@ -131,7 +131,11 @@ fn two_round_adversarial_succeeds_with_high_rate() {
         for seed in 0..10 {
             let outcome = SyncSimBuilder::new(n)
                 .seed(seed)
-                .wake(WakeSchedule::random_subset(n, 1 + seed as usize % 4, &mut wake_rng))
+                .wake(WakeSchedule::random_subset(
+                    n,
+                    1 + seed as usize % 4,
+                    &mut wake_rng,
+                ))
                 .max_rounds(2)
                 .build(|_, _| {
                     two_round_adversarial::Node::new(two_round_adversarial::Config::new(0.05))
@@ -188,7 +192,10 @@ fn async_tradeoff_succeeds_with_high_rate() {
             }
         }
     }
-    assert!(ok * 10 >= total * 9, "async tradeoff succeeded only {ok}/{total}");
+    assert!(
+        ok * 10 >= total * 9,
+        "async tradeoff succeeded only {ok}/{total}"
+    );
 }
 
 #[test]
@@ -198,7 +205,7 @@ fn async_afek_gafni_never_fails() {
             let outcome = AsyncSimBuilder::new(n)
                 .seed(seed)
                 .wake(AsyncWakeSchedule::simultaneous(n))
-                .build(|id, n| a_ag::Node::new(id, n))
+                .build(a_ag::Node::new)
                 .unwrap()
                 .run()
                 .unwrap();
@@ -230,7 +237,7 @@ fn two_node_cliques_work_everywhere_applicable() {
         .unwrap();
     AsyncSimBuilder::new(2)
         .wake(AsyncWakeSchedule::simultaneous(2))
-        .build(|id, n| a_ag::Node::new(id, n))
+        .build(a_ag::Node::new)
         .unwrap()
         .run()
         .unwrap()

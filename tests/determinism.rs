@@ -1,5 +1,6 @@
 //! Every simulation is a deterministic function of its master seed — the
-//! property that makes every number in EXPERIMENTS.md reproducible.
+//! property that makes every number the experiment binaries print
+//! reproducible.
 
 use improved_le::algorithms::asynchronous::{afek_gafni as a_ag, tradeoff as a_tr};
 use improved_le::algorithms::sync::{improved_tradeoff, las_vegas, two_round_adversarial};
@@ -7,7 +8,9 @@ use improved_le::asynchronous::{AsyncSimBuilder, AsyncWakeSchedule};
 use improved_le::model::NodeIndex;
 use improved_le::sync::{SyncSimBuilder, WakeSchedule};
 
-fn sync_fingerprint(outcome: &improved_le::sync::Outcome) -> (usize, u64, Option<NodeIndex>, Vec<u64>) {
+fn sync_fingerprint(
+    outcome: &improved_le::sync::Outcome,
+) -> (usize, u64, Option<NodeIndex>, Vec<u64>) {
     (
         outcome.rounds,
         outcome.stats.total(),
@@ -54,9 +57,7 @@ fn randomized_sync_algorithms_are_seed_deterministic() {
             .seed(seed)
             .wake(WakeSchedule::single(NodeIndex(0)))
             .max_rounds(2)
-            .build(|_, _| {
-                two_round_adversarial::Node::new(two_round_adversarial::Config::new(0.1))
-            })
+            .build(|_, _| two_round_adversarial::Node::new(two_round_adversarial::Config::new(0.1)))
             .unwrap()
             .run()
             .unwrap();
@@ -83,13 +84,56 @@ fn async_algorithms_are_seed_deterministic() {
         let o = AsyncSimBuilder::new(48)
             .seed(seed)
             .wake(AsyncWakeSchedule::simultaneous(48))
-            .build(|id, n| a_ag::Node::new(id, n))
+            .build(a_ag::Node::new)
             .unwrap()
             .run()
             .unwrap();
         (o.time.to_bits(), o.stats.total(), o.unique_leader())
     };
     assert_eq!(ag(5), ag(5));
+}
+
+/// Golden fingerprint: the improved deterministic tradeoff (Theorem 3.10,
+/// ℓ = 5) at `n = 64, seed = 0` must reproduce this exact execution on
+/// every machine and toolchain. If this changes, either the engine, the
+/// ID assignment, the port resolver, or the RNG stream changed — all of
+/// which invalidate recorded experiment numbers and must be deliberate.
+#[test]
+fn golden_fingerprint_improved_tradeoff_n64_seed0() {
+    let cfg = improved_tradeoff::Config::with_rounds(5);
+    let o = SyncSimBuilder::new(64)
+        .seed(0)
+        .build(|id, n| improved_tradeoff::Node::new(id, n, cfg))
+        .unwrap()
+        .run()
+        .unwrap();
+    o.validate_explicit().unwrap();
+    assert_eq!(
+        (o.rounds, o.stats.total(), o.unique_leader()),
+        (5, 536, Some(NodeIndex(26))),
+        "golden fingerprint drifted — cross-version reproducibility broken"
+    );
+}
+
+/// Golden fingerprint: Theorem 4.1's 2-round algorithm (ε = 0.1) under
+/// simultaneous wake-up at `n = 64, seed = 0`. Locks the randomized
+/// candidacy draws, the referee rendezvous, and the message accounting.
+#[test]
+fn golden_fingerprint_two_round_adversarial_n64_seed0() {
+    let o = SyncSimBuilder::new(64)
+        .seed(0)
+        .wake(WakeSchedule::simultaneous(64))
+        .max_rounds(2)
+        .build(|_, _| two_round_adversarial::Node::new(two_round_adversarial::Config::new(0.1)))
+        .unwrap()
+        .run()
+        .unwrap();
+    o.validate_implicit().unwrap();
+    assert_eq!(
+        (o.rounds, o.stats.total(), o.unique_leader()),
+        (2, 1457, Some(NodeIndex(1))),
+        "golden fingerprint drifted — cross-version reproducibility broken"
+    );
 }
 
 #[test]

@@ -1,0 +1,53 @@
+//! Every `examples/` binary must keep running end-to-end — example rot is
+//! a tier-1 failure, not a doc nit.
+//!
+//! Each example honours the `LE_N` environment override, so the whole
+//! sweep runs on a 32-node clique and finishes in seconds. Examples run
+//! through `cargo run --example` in the same profile as this test, so the
+//! artifacts are already cached by the time the suite executes.
+
+use std::process::Command;
+
+const EXAMPLES: [&str; 5] = [
+    "quickstart",
+    "tradeoff_explorer",
+    "adversarial_wakeup",
+    "async_race",
+    "lower_bound_adversary",
+];
+
+fn run_example(name: &str) {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".into());
+    let mut cmd = Command::new(cargo);
+    cmd.arg("run");
+    if !cfg!(debug_assertions) {
+        cmd.arg("--release");
+    }
+    let output = cmd
+        .args(["--example", name])
+        .env("LE_N", "32")
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .unwrap_or_else(|e| panic!("failed to spawn cargo for example {name}: {e}"));
+    assert!(
+        output.status.success(),
+        "example {name} failed with {}\n--- stdout ---\n{}\n--- stderr ---\n{}",
+        output.status,
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr),
+    );
+    assert!(
+        !output.stdout.is_empty(),
+        "example {name} printed nothing on stdout"
+    );
+}
+
+/// One test for all five examples: examples share the cargo build lock, so
+/// running them serially inside a single test avoids lock contention with
+/// the parallel test harness.
+#[test]
+fn all_examples_run_on_a_small_clique() {
+    for name in EXAMPLES {
+        run_example(name);
+    }
+}

@@ -4,8 +4,7 @@
 
 use improved_le::algorithms::asynchronous::tradeoff as a_tr;
 use improved_le::algorithms::sync::{
-    afek_gafni, gossip_baseline, improved_tradeoff, las_vegas, sublinear_mc,
-    two_round_adversarial,
+    afek_gafni, gossip_baseline, improved_tradeoff, las_vegas, sublinear_mc, two_round_adversarial,
 };
 use improved_le::analysis::regression::fit_power_law;
 use improved_le::asynchronous::{AsyncSimBuilder, AsyncWakeSchedule};
@@ -40,9 +39,15 @@ fn ag_messages(n: usize, ell: usize, seed: u64) -> u64 {
 #[test]
 fn messages_fall_as_rounds_grow_for_both_tradeoff_algorithms() {
     let n = 512;
-    let imp: Vec<u64> = [3usize, 7, 11].iter().map(|&l| improved_messages(n, l, 2)).collect();
+    let imp: Vec<u64> = [3usize, 7, 11]
+        .iter()
+        .map(|&l| improved_messages(n, l, 2))
+        .collect();
     assert!(imp[0] > imp[1] && imp[1] > imp[2], "improved: {imp:?}");
-    let ag: Vec<u64> = [2usize, 6, 10].iter().map(|&l| ag_messages(n, l, 2)).collect();
+    let ag: Vec<u64> = [2usize, 6, 10]
+        .iter()
+        .map(|&l| ag_messages(n, l, 2))
+        .collect();
     assert!(ag[0] > ag[1] && ag[1] > ag[2], "afek-gafni: {ag:?}");
 }
 
@@ -90,9 +95,9 @@ fn two_round_cost_scales_as_three_halves() {
                         .wake(WakeSchedule::simultaneous(n))
                         .max_rounds(2)
                         .build(|_, _| {
-                            two_round_adversarial::Node::new(
-                                two_round_adversarial::Config::new(0.1),
-                            )
+                            two_round_adversarial::Node::new(two_round_adversarial::Config::new(
+                                0.1,
+                            ))
                         })
                         .unwrap()
                         .run()

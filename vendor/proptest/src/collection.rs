@@ -1,0 +1,19 @@
+//! Collection strategies (`prop::collection`).
+
+use std::ops::Range;
+
+use crate::{HashSetStrategy, Strategy, VecStrategy};
+
+/// Strategy producing `Vec`s whose length is drawn from `size` and whose
+/// elements are drawn from `element`.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    VecStrategy::new(element, size)
+}
+
+/// Strategy producing `HashSet`s whose size is drawn from `size`.
+///
+/// If the element domain is too small to reach the drawn size, the set
+/// saturates at the achievable size instead of looping forever.
+pub fn hash_set<S: Strategy>(element: S, size: Range<usize>) -> HashSetStrategy<S> {
+    HashSetStrategy::new(element, size)
+}

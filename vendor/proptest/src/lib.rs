@@ -1,0 +1,292 @@
+//! Offline API-compatible subset of the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this vendors the
+//! surface the workspace's property tests use: the [`proptest!`] macro,
+//! range / tuple / `vec` / `hash_set` strategies, [`ProptestConfig`], and
+//! the `prop_assert*` macros (see `vendor/README.md` for the policy).
+//!
+//! Semantics: each test body runs for `config.cases` deterministic cases.
+//! Case `i` draws its inputs from an RNG seeded with `i`, so failures are
+//! reproducible run-to-run and machine-to-machine. There is no shrinking;
+//! a failing case reports the case index and panics with the assertion
+//! message.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::HashSet;
+use std::hash::Hash;
+use std::ops::Range;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+pub mod collection;
+
+/// The RNG driving value generation, re-exported for the macro.
+pub type TestRng = SmallRng;
+
+/// Builds the RNG for one test case.
+///
+/// Deterministic: case `i` of a given test always sees the same inputs.
+pub fn test_rng(case: u64) -> TestRng {
+    // Salt so that case streams differ from a plain seed_from_u64(case)
+    // stream a production component might also use.
+    TestRng::seed_from_u64(case.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x70726F70_74657374)
+}
+
+/// Test-runner configuration. Only `cases` is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A generator of random values for one test parameter.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn new_value(&self, rng: &mut TestRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn new_value(&self, rng: &mut TestRng) -> f32 {
+        rng.gen_range(self.clone())
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.new_value(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+}
+
+/// Strategy for `Vec`s of values, from [`collection::vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S> VecStrategy<S> {
+    pub(crate) fn new(element: S, size: Range<usize>) -> Self {
+        VecStrategy { element, size }
+    }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+        let len = rng.gen_range(self.size.clone());
+        (0..len).map(|_| self.element.new_value(rng)).collect()
+    }
+}
+
+/// Strategy for `HashSet`s of values, from [`collection::hash_set`].
+pub struct HashSetStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S> HashSetStrategy<S> {
+    pub(crate) fn new(element: S, size: Range<usize>) -> Self {
+        HashSetStrategy { element, size }
+    }
+}
+
+impl<S: Strategy> Strategy for HashSetStrategy<S>
+where
+    S::Value: Hash + Eq,
+{
+    type Value = HashSet<S::Value>;
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+        let target = rng.gen_range(self.size.clone());
+        let mut out = HashSet::with_capacity(target);
+        // Bounded retry loop: give up growing when the element domain is
+        // (nearly) exhausted rather than spinning forever.
+        let mut attempts = 0usize;
+        while out.len() < target && attempts < 100 * (target + 1) {
+            out.insert(self.element.new_value(rng));
+            attempts += 1;
+        }
+        out
+    }
+}
+
+/// The `prop::` namespace, mirroring `proptest::prelude::prop`.
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// Everything a property-test file needs in scope.
+pub mod prelude {
+    pub use crate::{
+        prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, Strategy,
+    };
+}
+
+/// Asserts a condition inside a property; panics with context on failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond, "property assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+)
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {
+        assert_eq!($lhs, $rhs)
+    };
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {
+        assert_eq!($lhs, $rhs, $($fmt)+)
+    };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr $(,)?) => {
+        assert_ne!($lhs, $rhs)
+    };
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {
+        assert_ne!($lhs, $rhs, $($fmt)+)
+    };
+}
+
+/// Declares deterministic property tests.
+///
+/// Supports the subset of the real macro this workspace uses: an optional
+/// `#![proptest_config(...)]` header and `fn name(arg in strategy, ...)`
+/// items carrying outer attributes (`#[test]`, doc comments).
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                for case in 0..config.cases {
+                    let mut rng = $crate::test_rng(u64::from(case));
+                    $(let $arg = $crate::Strategy::new_value(&($strategy), &mut rng);)+
+                    let run = move || $body;
+                    run();
+                }
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($arg in $strategy),+) $body
+            )*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..10, y in 0u64..5) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!(y < 5);
+        }
+
+        #[test]
+        fn vec_sizes_respected(v in prop::collection::vec(0usize..100, 2..7)) {
+            prop_assert!(v.len() >= 2 && v.len() < 7);
+            prop_assert!(v.iter().all(|&x| x < 100));
+        }
+
+        #[test]
+        fn hash_sets_are_distinct(s in prop::collection::hash_set(0u64..1_000_000, 4..24)) {
+            prop_assert!(s.len() >= 4 && s.len() < 24);
+        }
+
+        #[test]
+        fn tuples_compose(pair in (0usize..10, 5u32..9)) {
+            let (a, b) = pair;
+            prop_assert!(a < 10);
+            prop_assert!((5..9).contains(&b));
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        use rand::Rng as _;
+        let a: Vec<u64> = (0..8).map(|i| crate::test_rng(i).gen::<u64>()).collect();
+        let b: Vec<u64> = (0..8).map(|i| crate::test_rng(i).gen::<u64>()).collect();
+        assert_eq!(a, b);
+    }
+}

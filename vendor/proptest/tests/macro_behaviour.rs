@@ -1,0 +1,55 @@
+//! The property-runner contract: the configured number of cases really
+//! executes, inputs vary across cases, and reruns see identical inputs.
+//! A silent zero-iteration loop here would make every property test in
+//! the workspace pass vacuously.
+
+use std::collections::HashSet;
+use std::sync::Mutex;
+
+use proptest::prelude::*;
+
+static SEEN: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // Deliberately NOT #[test]: driven by the harness tests below so the
+    // case count can be asserted.
+    fn record_cases(x in 0u64..1_000_000_000) {
+        SEEN.lock().unwrap().push(x);
+        prop_assert!(x < 1_000_000_000);
+    }
+}
+
+#[test]
+fn configured_cases_all_execute_with_varying_reproducible_inputs() {
+    SEEN.lock().unwrap().clear();
+    record_cases();
+    let first: Vec<u64> = SEEN.lock().unwrap().clone();
+    assert_eq!(first.len(), 64, "expected exactly the configured 64 cases");
+
+    let distinct: HashSet<u64> = first.iter().copied().collect();
+    assert!(
+        distinct.len() > 32,
+        "cases should draw varied inputs, got {} distinct of 64",
+        distinct.len()
+    );
+
+    SEEN.lock().unwrap().clear();
+    record_cases();
+    let second: Vec<u64> = SEEN.lock().unwrap().clone();
+    assert_eq!(first, second, "case streams must be deterministic");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The usual in-tree shape — attributes pass through unchanged.
+    #[test]
+    fn attributes_pass_through(a in 0usize..4, b in (0u32..2, 1u64..3)) {
+        let (lo, hi) = b;
+        prop_assert!(a < 4);
+        prop_assert_eq!(lo < 2, true);
+        prop_assert_ne!(hi, 0);
+    }
+}
