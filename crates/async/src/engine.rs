@@ -1,7 +1,7 @@
 //! The asynchronous event-driven engine.
 
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 
 use clique_model::ids::{Id, IdAssignment, IdSpace};
 use clique_model::metrics::MessageStats;
@@ -218,7 +218,7 @@ impl AsyncSimBuilder {
             delay_rng: rng_from_seed(derive_seed(self.seed, STREAM_DELAYS)),
             queue,
             seq,
-            fifo_front: HashMap::new(),
+            fifo_front: vec![0.0; n * n],
             max_events: self
                 .max_events
                 .unwrap_or(64 * (n as u64) * (n as u64) + 4096),
@@ -250,9 +250,10 @@ pub struct AsyncSim<N: AsyncNode> {
     delay_rng: SmallRng,
     queue: BinaryHeap<Event<N::Message>>,
     seq: u64,
-    /// Per directed link `(src, dst)`: the latest delivery time already
-    /// scheduled, enforcing FIFO order.
-    fifo_front: HashMap<(u32, u32), f64>,
+    /// Per directed link `src·n + dst`: the latest delivery time already
+    /// scheduled, enforcing FIFO order. Flat (dense) rather than hashed —
+    /// this sits on the per-message dispatch path.
+    fifo_front: Vec<f64>,
     max_events: u64,
     awake: Vec<bool>,
     stats: MessageStats,
@@ -426,10 +427,9 @@ impl<N: AsyncNode> AsyncSim<N> {
             "delay strategy returned {raw}, outside (0, 1]"
         );
         let delay = raw.clamp(f64::MIN_POSITIVE, 1.0);
-        let key = (src.0 as u32, dst.node.0 as u32);
-        let fifo_floor = self.fifo_front.get(&key).copied().unwrap_or(0.0);
-        let deliver_at = (self.now + delay).max(fifo_floor);
-        self.fifo_front.insert(key, deliver_at);
+        let key = src.0 * self.n + dst.node.0;
+        let deliver_at = (self.now + delay).max(self.fifo_front[key]);
+        self.fifo_front[key] = deliver_at;
         self.stats.record(self.now.floor() as usize + 1, src);
         self.queue.push(Event {
             time: deliver_at,

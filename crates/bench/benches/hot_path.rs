@@ -1,0 +1,188 @@
+//! Criterion micro-benchmarks pinning the engine's hottest code paths —
+//! the ones the flat `PortMap` rewrite targets. Recorded before/after in
+//! `BENCH_hot_path.json` at the repository root (see the runbook in
+//! `README.md`).
+//!
+//! * `random_full_clique` — every node resolves every port through
+//!   `RandomResolver`: the candidate-broadcast pattern that made the
+//!   legacy rejection sampler fall back to Θ(n) scans per resolve.
+//! * `two_round_simultaneous` — the Theorem 4.1 algorithm at full
+//!   wake-up, the single most expensive shape in `tradeoff_shapes`.
+//! * `sync_inbox_churn` — a long multi-round exchange over a handful of
+//!   already-resolved ports, isolating the per-round inbox/outbox
+//!   buffer management from port resolution.
+//! * `async_flood` — the asynchronous mirror (dispatch + FIFO floors).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use clique_async::{AsyncContext, AsyncNode, AsyncSimBuilder, AsyncWakeSchedule};
+use clique_model::ids::Id;
+use clique_model::ports::{Port, PortMap, RandomResolver};
+use clique_model::rng::rng_from_seed;
+use clique_model::{Decision, NodeIndex, WakeCause};
+use clique_sync::{Context, Received, SyncNode, SyncSimBuilder};
+use leader_election::sync::two_round_adversarial;
+
+fn bench_random_full_clique(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hot_path_random_full_clique");
+    group.sample_size(10);
+    for n in [256usize, 1024] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut map = PortMap::new(n).unwrap();
+                let mut r = RandomResolver;
+                let mut rng = rng_from_seed(3);
+                for u in 0..n {
+                    for p in 0..n - 1 {
+                        map.resolve(NodeIndex(u), Port(p), &mut r, &mut rng)
+                            .unwrap();
+                    }
+                }
+                map.link_count()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_two_round_simultaneous(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hot_path_two_round_simultaneous");
+    group.sample_size(10);
+    for n in [1024usize, 2048] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                SyncSimBuilder::new(n)
+                    .seed(1)
+                    .wake(clique_sync::WakeSchedule::simultaneous(n))
+                    .max_rounds(2)
+                    .build(|_, _| {
+                        two_round_adversarial::Node::new(two_round_adversarial::Config::new(0.1))
+                    })
+                    .unwrap()
+                    .run()
+                    .unwrap()
+                    .stats
+                    .total()
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Sends one message per round over a small rotating set of ports for the
+/// whole round budget; after the first few rounds every resolution is a
+/// cache hit, so the timing is dominated by inbox/outbox recycling.
+struct Chatter {
+    rounds_left: u32,
+    decision: Decision,
+}
+
+impl SyncNode for Chatter {
+    type Message = u32;
+    fn send_phase(&mut self, ctx: &mut Context<'_, u32>) {
+        if self.rounds_left > 0 {
+            self.rounds_left -= 1;
+            let port = Port(ctx.round() % 4);
+            ctx.send(port, self.rounds_left);
+        } else {
+            self.decision = Decision::non_leader();
+        }
+    }
+    fn receive_phase(&mut self, _ctx: &mut Context<'_, u32>, _inbox: &[Received<u32>]) {}
+    fn decision(&self) -> Decision {
+        self.decision
+    }
+}
+
+fn bench_sync_inbox_churn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hot_path_sync_inbox_churn");
+    group.sample_size(10);
+    {
+        let n = 512usize;
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                SyncSimBuilder::new(n)
+                    .seed(2)
+                    .max_rounds(300)
+                    .build(|_, _| Chatter {
+                        rounds_left: 256,
+                        decision: Decision::Undecided,
+                    })
+                    .unwrap()
+                    .run()
+                    .unwrap()
+                    .stats
+                    .total()
+            })
+        });
+    }
+    group.finish();
+}
+
+struct Flood {
+    me: Id,
+    best: Id,
+    heard: usize,
+    n: usize,
+    decision: Decision,
+}
+
+impl AsyncNode for Flood {
+    type Message = Id;
+    fn on_wake(&mut self, ctx: &mut AsyncContext<'_, Id>, _cause: WakeCause) {
+        for p in ctx.all_ports() {
+            ctx.send(p, self.me);
+        }
+    }
+    fn on_message(&mut self, _ctx: &mut AsyncContext<'_, Id>, m: clique_async::Received<Id>) {
+        self.heard += 1;
+        self.best = self.best.max(m.msg);
+        if self.heard == self.n - 1 {
+            self.decision = if self.best == self.me {
+                Decision::Leader
+            } else {
+                Decision::non_leader()
+            };
+        }
+    }
+    fn decision(&self) -> Decision {
+        self.decision
+    }
+}
+
+fn bench_async_flood(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hot_path_async_flood");
+    group.sample_size(10);
+    {
+        let n = 256usize;
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                AsyncSimBuilder::new(n)
+                    .seed(1)
+                    .wake(AsyncWakeSchedule::simultaneous(n))
+                    .build(|id, n| Flood {
+                        me: id,
+                        best: id,
+                        heard: 0,
+                        n,
+                        decision: Decision::Undecided,
+                    })
+                    .unwrap()
+                    .run()
+                    .unwrap()
+                    .stats
+                    .total()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_random_full_clique,
+    bench_two_round_simultaneous,
+    bench_sync_inbox_churn,
+    bench_async_flood
+);
+criterion_main!(benches);

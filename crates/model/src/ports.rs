@@ -7,9 +7,8 @@
 //!
 //! # Lazy resolution
 //!
-//! Materialising the full mapping costs `Θ(n²)` memory, so [`PortMap`] keeps
-//! a *partial port mapping* (paper, Section 2) and extends it on first use.
-//! The extension strategy is a [`PortResolver`]:
+//! [`PortMap`] keeps a *partial port mapping* (paper, Section 2) and extends
+//! it on first use. The extension strategy is a [`PortResolver`]:
 //!
 //! * [`RandomResolver`] — each unused port leads to a uniformly random node
 //!   among those the sender is not yet connected to. For randomized
@@ -22,13 +21,30 @@
 //!   lives in the `le-bounds` crate and implements the same trait: for
 //!   deterministic algorithms the model explicitly allows choosing the
 //!   mapping of unused ports adaptively.
+//!
+//! # Flat layout
+//!
+//! All tables are dense row-major arrays (`O(n²)` words, allocated once in
+//! [`PortMap::new`]): a forward table `(u, i) → (v, j)`, a peer-to-port
+//! table `(u, v) → i`, and — the piece that makes uniform resolution O(1) —
+//! one *partitioned permutation* per node over its peers and one over its
+//! ports. The first `degree(u)` entries of `u`'s peer permutation are its
+//! connected peers; the remainder are the unconnected ones, so a uniform
+//! fresh peer is a single indexed draw (partial Fisher–Yates) instead of
+//! rejection sampling, and connecting a pair is two O(1) swaps. The port
+//! permutation is maintained identically for free-port draws. Every
+//! operation on the map — `resolve`, `connect`, and all queries — is O(1).
 
 use rand::rngs::SmallRng;
 use rand::Rng;
-use std::collections::HashMap;
 
 use crate::error::ModelError;
 use crate::NodeIndex;
+
+/// Sentinel for "unassigned" entries of the flat tables.
+const EMPTY_U32: u32 = u32::MAX;
+/// Sentinel for unassigned forward-table entries.
+const EMPTY_U64: u64 = u64::MAX;
 
 /// A port number local to one node, in `0 .. n-1`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
@@ -96,7 +112,55 @@ impl<'a> PortView<'a> {
 
     /// Iterates over the peers already connected to `u`.
     pub fn peers_of(&self, u: NodeIndex) -> impl Iterator<Item = NodeIndex> + '_ {
-        self.map.peers[u.0].keys().map(|&v| NodeIndex(v as usize))
+        let row = self.map.peer_row(u.0);
+        row[..self.map.degree(u)]
+            .iter()
+            .map(|&v| NodeIndex(v as usize))
+    }
+
+    /// Number of nodes not yet connected to `u` (excluding `u` itself).
+    ///
+    /// Equals the number of `u`'s free ports: every fixed link consumes
+    /// exactly one port on each side.
+    pub fn unconnected_count(&self, u: NodeIndex) -> usize {
+        self.map.n - 1 - self.map.degree(u)
+    }
+
+    /// The `k`-th node not yet connected to `u`, for `k` in
+    /// `0..unconnected_count(u)`.
+    ///
+    /// The enumeration order is an implementation-defined permutation that
+    /// changes as links are fixed; a uniform index gives a uniform
+    /// unconnected peer, which is all [`RandomResolver`] needs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= unconnected_count(u)`.
+    pub fn unconnected_peer(&self, u: NodeIndex, k: usize) -> NodeIndex {
+        assert!(
+            k < self.unconnected_count(u),
+            "unconnected-peer index {k} out of range for {u}"
+        );
+        NodeIndex(self.map.peer_row(u.0)[self.map.degree(u) + k] as usize)
+    }
+
+    /// The `k`-th unassigned port of `u`, for `k` in
+    /// `0..unconnected_count(u)` (free ports and unconnected peers are
+    /// equinumerous).
+    ///
+    /// Like [`PortView::unconnected_peer`], the order is an
+    /// implementation-defined permutation; a uniform index gives a uniform
+    /// free port.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= unconnected_count(u)`.
+    pub fn free_port(&self, u: NodeIndex, k: usize) -> Port {
+        assert!(
+            k < self.unconnected_count(u),
+            "free-port index {k} out of range for {u}"
+        );
+        Port(self.map.port_row(u.0)[self.map.degree(u) + k] as usize)
     }
 }
 
@@ -131,32 +195,18 @@ pub trait PortResolver {
     }
 }
 
-/// Picks a uniformly random unassigned port of `node`.
-///
-/// Uses rejection sampling while the node is sparsely connected and falls
-/// back to an explicit scan once more than half the ports are taken.
+/// Picks a uniformly random unassigned port of `node` in O(1): one draw
+/// into the node's free-port permutation.
 pub fn uniform_free_port(view: &PortView<'_>, node: NodeIndex, rng: &mut SmallRng) -> Port {
-    let ports = view.n() - 1;
-    let taken = view.degree(node);
-    assert!(taken < ports, "node {node} has no free ports left");
-    if taken * 2 < ports {
-        loop {
-            let p = Port(rng.gen_range(0..ports));
-            if !view.is_port_assigned(node, p) {
-                return p;
-            }
-        }
-    } else {
-        let free: Vec<Port> = (0..ports)
-            .map(Port)
-            .filter(|&p| !view.is_port_assigned(node, p))
-            .collect();
-        free[rng.gen_range(0..free.len())]
-    }
+    let free = view.unconnected_count(node);
+    assert!(free > 0, "node {node} has no free ports left");
+    view.free_port(node, rng.gen_range(0..free))
 }
 
 /// Resolver drawing each fresh port's destination uniformly among the nodes
-/// not yet connected to the sender.
+/// not yet connected to the sender — one O(1) indexed draw into the
+/// sender's unconnected-peers permutation (partial Fisher–Yates), never
+/// rejection sampling.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct RandomResolver;
 
@@ -168,23 +218,9 @@ impl PortResolver for RandomResolver {
         _src_port: Port,
         rng: &mut SmallRng,
     ) -> NodeIndex {
-        let n = view.n();
-        let connected = view.degree(src);
-        debug_assert!(connected < n - 1, "{src} is already connected to everyone");
-        if connected * 2 < n - 1 {
-            loop {
-                let v = NodeIndex(rng.gen_range(0..n));
-                if v != src && !view.is_connected(src, v) {
-                    return v;
-                }
-            }
-        } else {
-            let candidates: Vec<NodeIndex> = (0..n)
-                .map(NodeIndex)
-                .filter(|&v| v != src && !view.is_connected(src, v))
-                .collect();
-            candidates[rng.gen_range(0..candidates.len())]
-        }
+        let free = view.unconnected_count(src);
+        debug_assert!(free > 0, "{src} is already connected to everyone");
+        view.unconnected_peer(src, rng.gen_range(0..free))
     }
 }
 
@@ -278,13 +314,36 @@ impl PortResolver for CirculantResolver {
 ///    self-link.
 /// 3. **Port-injectivity**: each port of each node is used by at most one
 ///    link.
+///
+/// The representation is dense: construction allocates `Θ(n²)` words
+/// (roughly 28 bytes per ordered node pair) so that *every* subsequent
+/// operation — resolution, connection, and all queries — is O(1). At the
+/// `n = 4096` scale of the shape suites this is a few hundred MB for the
+/// lifetime of one simulation, traded for the removal of all hashing and
+/// all O(n) rejection/scan fallbacks from the engines' innermost loop.
 #[derive(Debug, Clone)]
 pub struct PortMap {
     n: usize,
-    /// `forward[u][i] = (v, j)` for each assigned port `i` of `u`.
-    forward: Vec<HashMap<u32, (u32, u32)>>,
-    /// `peers[u][v] = i` iff `u`'s port `i` connects to `v`.
-    peers: Vec<HashMap<u32, u32>>,
+    /// `forward[u·(n−1) + i] = (v << 32) | j` for each assigned port `i` of
+    /// `u`, [`EMPTY_U64`] otherwise.
+    forward: Vec<u64>,
+    /// `port_of[u·n + v] = i` iff `u`'s port `i` connects to `v`,
+    /// [`EMPTY_U32`] otherwise.
+    port_of: Vec<u32>,
+    /// Row `u` is a permutation of all nodes `≠ u`; the first `degree[u]`
+    /// entries are the connected peers, the rest the unconnected ones.
+    peer_perm: Vec<u32>,
+    /// `peer_pos[u·n + v]` = position of `v` in row `u` of `peer_perm`
+    /// (diagonal entries unused).
+    peer_pos: Vec<u32>,
+    /// Row `u` is a permutation of `u`'s ports; the first `degree[u]`
+    /// entries are assigned, the rest free.
+    port_perm: Vec<u32>,
+    /// `port_pos[u·(n−1) + p]` = position of port `p` in row `u` of
+    /// `port_perm`.
+    port_pos: Vec<u32>,
+    /// Links incident to each node (also: assigned ports of each node).
+    degree: Vec<u32>,
     /// Total number of links fixed so far.
     links: usize,
 }
@@ -299,12 +358,44 @@ impl PortMap {
         if n < 2 {
             return Err(ModelError::NetworkTooSmall { n });
         }
+        debug_assert!(n < EMPTY_U32 as usize, "node indices must fit in u32");
+        let ports = n - 1;
+        let mut peer_perm = vec![0u32; n * ports];
+        let mut peer_pos = vec![EMPTY_U32; n * n];
+        let mut port_perm = vec![0u32; n * ports];
+        let mut port_pos = vec![0u32; n * ports];
+        for u in 0..n {
+            let row = u * ports;
+            for k in 0..ports {
+                // Row u enumerates 0..n skipping u, in ascending order.
+                let v = k + usize::from(k >= u);
+                peer_perm[row + k] = v as u32;
+                peer_pos[u * n + v] = k as u32;
+                port_perm[row + k] = k as u32;
+                port_pos[row + k] = k as u32;
+            }
+        }
         Ok(PortMap {
             n,
-            forward: vec![HashMap::new(); n],
-            peers: vec![HashMap::new(); n],
+            forward: vec![EMPTY_U64; n * ports],
+            port_of: vec![EMPTY_U32; n * n],
+            peer_perm,
+            peer_pos,
+            port_perm,
+            port_pos,
+            degree: vec![0; n],
             links: 0,
         })
+    }
+
+    #[inline]
+    fn peer_row(&self, u: usize) -> &[u32] {
+        &self.peer_perm[u * (self.n - 1)..(u + 1) * (self.n - 1)]
+    }
+
+    #[inline]
+    fn port_row(&self, u: usize) -> &[u32] {
+        &self.port_perm[u * (self.n - 1)..(u + 1) * (self.n - 1)]
     }
 
     /// Number of nodes.
@@ -323,30 +414,36 @@ impl PortMap {
     }
 
     /// Number of links incident to `u`.
+    #[inline]
     pub fn degree(&self, u: NodeIndex) -> usize {
-        self.peers[u.0].len()
+        self.degree[u.0] as usize
     }
 
     /// Whether `u` and `v` are already connected by a fixed link.
+    #[inline]
     pub fn connected(&self, u: NodeIndex, v: NodeIndex) -> bool {
-        self.peers[u.0].contains_key(&(v.0 as u32))
+        self.port_of[u.0 * self.n + v.0] != EMPTY_U32
     }
 
     /// The endpoint reached from `u`'s port `p`, if that port is assigned.
+    #[inline]
     pub fn peer(&self, u: NodeIndex, p: Port) -> Option<Endpoint> {
-        self.forward[u.0]
-            .get(&(p.0 as u32))
-            .map(|&(v, j)| Endpoint {
-                node: NodeIndex(v as usize),
-                port: Port(j as usize),
+        let enc = self.forward[u.0 * (self.n - 1) + p.0];
+        if enc == EMPTY_U64 {
+            None
+        } else {
+            Some(Endpoint {
+                node: NodeIndex((enc >> 32) as usize),
+                port: Port((enc & 0xFFFF_FFFF) as usize),
             })
+        }
     }
 
     /// The port of `u` that connects to `v`, if such a link is fixed.
+    #[inline]
     pub fn port_to(&self, u: NodeIndex, v: NodeIndex) -> Option<Port> {
-        self.peers[u.0]
-            .get(&(v.0 as u32))
-            .map(|&i| Port(i as usize))
+        let p = self.port_of[u.0 * self.n + v.0];
+        (p != EMPTY_U32).then_some(Port(p as usize))
     }
 
     /// Read-only view for resolvers and observers.
@@ -478,54 +575,107 @@ impl PortMap {
     }
 
     fn insert_link(&mut self, u: NodeIndex, pu: Port, v: NodeIndex, pv: Port) {
-        self.forward[u.0].insert(pu.0 as u32, (v.0 as u32, pv.0 as u32));
-        self.forward[v.0].insert(pv.0 as u32, (u.0 as u32, pu.0 as u32));
-        self.peers[u.0].insert(v.0 as u32, pu.0 as u32);
-        self.peers[v.0].insert(u.0 as u32, pv.0 as u32);
+        let ports = self.n - 1;
+        self.forward[u.0 * ports + pu.0] = ((v.0 as u64) << 32) | pv.0 as u64;
+        self.forward[v.0 * ports + pv.0] = ((u.0 as u64) << 32) | pu.0 as u64;
+        self.port_of[u.0 * self.n + v.0] = pu.0 as u32;
+        self.port_of[v.0 * self.n + u.0] = pv.0 as u32;
+        self.promote(u.0, v.0, pu.0);
+        self.promote(v.0, u.0, pv.0);
+        self.degree[u.0] += 1;
+        self.degree[v.0] += 1;
         self.links += 1;
     }
 
-    /// Exhaustively checks the bijectivity invariants; intended for tests.
+    /// Swaps peer `v` and port `p` into the connected prefix of `u`'s
+    /// partitioned permutations (two O(1) partial-Fisher–Yates steps).
+    fn promote(&mut self, u: usize, v: usize, p: usize) {
+        let d = self.degree[u] as usize;
+        let row = u * (self.n - 1);
+
+        let k = self.peer_pos[u * self.n + v] as usize;
+        debug_assert!(k >= d, "promoting an already-connected peer");
+        let w = self.peer_perm[row + d] as usize;
+        self.peer_perm.swap(row + d, row + k);
+        self.peer_pos[u * self.n + v] = d as u32;
+        self.peer_pos[u * self.n + w] = k as u32;
+
+        let kp = self.port_pos[row + p] as usize;
+        debug_assert!(kp >= d, "promoting an already-assigned port");
+        let q = self.port_perm[row + d] as usize;
+        self.port_perm.swap(row + d, row + kp);
+        self.port_pos[row + p] = d as u32;
+        self.port_pos[row + q] = kp as u32;
+    }
+
+    /// Exhaustively checks the bijectivity invariants *and* the internal
+    /// consistency of the flat tables; intended for tests.
     ///
     /// # Errors
     ///
     /// Returns [`ModelError::InvalidResolution`] describing the first
     /// violated invariant.
     pub fn validate(&self) -> Result<(), ModelError> {
+        let fail = |u: usize, p: usize, reason: &'static str| {
+            Err(ModelError::InvalidResolution {
+                node: NodeIndex(u),
+                port: Port(p),
+                reason,
+            })
+        };
+        let ports = self.n - 1;
         let mut counted = 0usize;
         for u in 0..self.n {
-            for (&i, &(v, j)) in &self.forward[u] {
+            let mut assigned = 0usize;
+            for i in 0..ports {
+                let Some(Endpoint { node: v, port: j }) = self.peer(NodeIndex(u), Port(i)) else {
+                    continue;
+                };
                 counted += 1;
-                let back = self.forward[v as usize].get(&j);
-                if back != Some(&(u as u32, i)) {
-                    return Err(ModelError::InvalidResolution {
-                        node: NodeIndex(u),
-                        port: Port(i as usize),
-                        reason: "asymmetric link",
-                    });
+                assigned += 1;
+                if v.0 == u {
+                    return fail(u, i, "self-link");
                 }
-                if self.peers[u].get(&v) != Some(&i) {
-                    return Err(ModelError::InvalidResolution {
+                let back = self.peer(v, j);
+                if back
+                    != Some(Endpoint {
                         node: NodeIndex(u),
-                        port: Port(i as usize),
-                        reason: "peer index out of sync",
-                    });
+                        port: Port(i),
+                    })
+                {
+                    return fail(u, i, "asymmetric link");
+                }
+                if self.port_of[u * self.n + v.0] != i as u32 {
+                    return fail(u, i, "peer index out of sync");
                 }
             }
-            if self.forward[u].len() != self.peers[u].len() {
-                return Err(ModelError::InvalidResolution {
-                    node: NodeIndex(u),
-                    port: Port(0),
-                    reason: "duplicate links to one peer",
-                });
+            if assigned != self.degree[u] as usize {
+                return fail(u, 0, "degree out of sync with forward table");
+            }
+            // The peer/port permutation rows must be partitioned exactly at
+            // degree[u], with pos tables as their inverses.
+            let d = self.degree[u] as usize;
+            for (k, &v) in self.peer_row(u).iter().enumerate() {
+                if self.peer_pos[u * self.n + v as usize] != k as u32 {
+                    return fail(u, 0, "peer permutation/position out of sync");
+                }
+                let connected = self.port_of[u * self.n + v as usize] != EMPTY_U32;
+                if connected != (k < d) {
+                    return fail(u, 0, "peer permutation partition broken");
+                }
+            }
+            for (k, &p) in self.port_row(u).iter().enumerate() {
+                if self.port_pos[u * ports + p as usize] != k as u32 {
+                    return fail(u, 0, "port permutation/position out of sync");
+                }
+                let taken = self.forward[u * ports + p as usize] != EMPTY_U64;
+                if taken != (k < d) {
+                    return fail(u, 0, "port permutation partition broken");
+                }
             }
         }
         if counted != 2 * self.links {
-            return Err(ModelError::InvalidResolution {
-                node: NodeIndex(0),
-                port: Port(0),
-                reason: "link count out of sync",
-            });
+            return fail(0, 0, "link count out of sync");
         }
         Ok(())
     }
@@ -684,6 +834,55 @@ mod tests {
                 "frequency {freq} too far from 1/9"
             );
         }
+    }
+
+    #[test]
+    fn uniform_free_port_is_roughly_uniform() {
+        // After port 0 of node 1 is taken, the free-port draw must cover
+        // the remaining ports ~uniformly.
+        let n = 6;
+        let trials = 18_000;
+        let mut counts = vec![0usize; n - 1];
+        let mut rng = rng_from_seed(41);
+        for _ in 0..trials {
+            let mut map = PortMap::new(n).unwrap();
+            map.connect(NodeIndex(1), Port(0), NodeIndex(2), Port(0))
+                .unwrap();
+            let p = uniform_free_port(&map.view(), NodeIndex(1), &mut rng);
+            assert_ne!(p, Port(0), "taken port drawn");
+            counts[p.0] += 1;
+        }
+        for &c in &counts[1..] {
+            let freq = c as f64 / trials as f64;
+            assert!(
+                (freq - 0.25).abs() < 0.02,
+                "frequency {freq} too far from 1/4"
+            );
+        }
+    }
+
+    #[test]
+    fn partitioned_permutations_track_connectivity() {
+        let n = 7;
+        let mut map = PortMap::new(n).unwrap();
+        map.connect(NodeIndex(0), Port(2), NodeIndex(4), Port(5))
+            .unwrap();
+        map.connect(NodeIndex(0), Port(0), NodeIndex(6), Port(3))
+            .unwrap();
+        let view = map.view();
+        assert_eq!(view.unconnected_count(NodeIndex(0)), n - 3);
+        let peers: Vec<NodeIndex> = view.peers_of(NodeIndex(0)).collect();
+        assert_eq!(peers.len(), 2);
+        assert!(peers.contains(&NodeIndex(4)) && peers.contains(&NodeIndex(6)));
+        for k in 0..view.unconnected_count(NodeIndex(0)) {
+            let v = view.unconnected_peer(NodeIndex(0), k);
+            assert!(!view.is_connected(NodeIndex(0), v) && v != NodeIndex(0));
+        }
+        for k in 0..view.unconnected_count(NodeIndex(0)) {
+            let p = view.free_port(NodeIndex(0), k);
+            assert!(!view.is_port_assigned(NodeIndex(0), p));
+        }
+        map.validate().unwrap();
     }
 
     #[test]

@@ -1,0 +1,180 @@
+//! Property-based invariants of the flat `PortMap`: after *any*
+//! interleaved sequence of resolutions and explicit connections the
+//! mapping must remain a partial bijection — no self-loops, no duplicate
+//! peers, degrees consistent with the peer enumeration and the
+//! partitioned permutations — and exhaustive resolution of all
+//! `n·(n−1)` half-links must yield a perfect matching of endpoints.
+
+use clique_model::ports::{Port, PortMap, PortResolver, RandomResolver, RoundRobinResolver};
+use clique_model::rng::rng_from_seed;
+use clique_model::NodeIndex;
+use proptest::prelude::*;
+
+/// Applies an interleaved op sequence: even steps resolve through the
+/// random resolver, odd steps through the round-robin resolver, and every
+/// fifth step first attempts an explicit `connect` of the op's endpoints
+/// on their lowest free ports (ignoring rejections, which the map must
+/// survive unchanged).
+fn apply_ops(n: usize, seed: u64, ops: &[(usize, usize, usize)]) -> PortMap {
+    let mut map = PortMap::new(n).unwrap();
+    let mut random = RandomResolver;
+    let mut round_robin = RoundRobinResolver;
+    let mut rng = rng_from_seed(seed);
+    for (step, &(u, p, v)) in ops.iter().enumerate() {
+        let u = u % n;
+        let p = p % (n - 1);
+        let v = v % n;
+        if step % 5 == 4 && u != v {
+            let free = |map: &PortMap, w: usize| {
+                (0..n - 1)
+                    .map(Port)
+                    .find(|&q| map.peer(NodeIndex(w), q).is_none())
+            };
+            if let (Some(pu), Some(pv)) = (free(&map, u), free(&map, v)) {
+                // May legitimately be rejected (already connected).
+                let _ = map.connect(NodeIndex(u), pu, NodeIndex(v), pv);
+            }
+        }
+        let resolver: &mut dyn PortResolver = if step % 2 == 0 {
+            &mut random
+        } else {
+            &mut round_robin
+        };
+        map.resolve(NodeIndex(u), Port(p), resolver, &mut rng)
+            .unwrap();
+    }
+    map
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any interleaving of random resolutions, round-robin resolutions and
+    /// explicit connections keeps the map a partial bijection.
+    #[test]
+    fn interleaved_ops_keep_partial_bijection(
+        n in 2usize..28,
+        seed in 0u64..1000,
+        ops in prop::collection::vec((0usize..28, 0usize..27, 0usize..28), 1..80),
+    ) {
+        let map = apply_ops(n, seed, &ops);
+        map.validate().unwrap();
+
+        let view = map.view();
+        let mut total_degree = 0usize;
+        for u in (0..n).map(NodeIndex) {
+            // No self-loops, no duplicate peer entries.
+            let mut peers: Vec<usize> = view.peers_of(u).map(|v| v.0).collect();
+            prop_assert!(!peers.contains(&u.0), "self-loop at {u}");
+            let distinct = peers.len();
+            peers.sort_unstable();
+            peers.dedup();
+            prop_assert_eq!(peers.len(), distinct, "duplicate peer at {}", u);
+
+            // degree(u) consistent with peers(u) and with assigned ports.
+            prop_assert_eq!(map.degree(u), peers.len());
+            let assigned = (0..n - 1)
+                .filter(|&p| map.peer(u, Port(p)).is_some())
+                .count();
+            prop_assert_eq!(assigned, map.degree(u));
+            prop_assert_eq!(view.unconnected_count(u), n - 1 - map.degree(u));
+            total_degree += map.degree(u);
+
+            // Every peer link is symmetric and indexed from both sides.
+            for &v in &peers {
+                let v = NodeIndex(v);
+                let pu = map.port_to(u, v).unwrap();
+                let d = map.peer(u, pu).unwrap();
+                prop_assert_eq!(d.node, v);
+                prop_assert_eq!(map.peer(v, d.port).map(|e| e.node), Some(u));
+            }
+        }
+        prop_assert_eq!(total_degree, 2 * map.link_count());
+    }
+
+    /// Resolving every half-link (in a scrambled order) yields a perfect
+    /// matching of endpoints: `n·(n−1)/2` links, full connectivity, every
+    /// port of every node assigned exactly once.
+    #[test]
+    fn exhaustive_resolution_is_a_perfect_matching(
+        n in 2usize..20,
+        seed in 0u64..1000,
+        stride in 1usize..997,
+    ) {
+        let total = n * (n - 1);
+        // Force the enumeration stride coprime to the half-link count so
+        // every half-link is visited exactly once.
+        let mut stride = stride;
+        while gcd(stride, total) != 1 {
+            stride += 1;
+        }
+        let mut map = PortMap::new(n).unwrap();
+        let mut resolver = RandomResolver;
+        let mut rng = rng_from_seed(seed);
+        for s in 0..total {
+            let x = (s * stride) % total;
+            map.resolve(NodeIndex(x / (n - 1)), Port(x % (n - 1)), &mut resolver, &mut rng)
+                .unwrap();
+        }
+        map.validate().unwrap();
+        prop_assert_eq!(map.link_count(), n * (n - 1) / 2);
+        for u in (0..n).map(NodeIndex) {
+            prop_assert_eq!(map.degree(u), n - 1);
+            prop_assert_eq!(map.view().unconnected_count(u), 0);
+            for v in (0..n).map(NodeIndex) {
+                prop_assert_eq!(map.connected(u, v), u != v);
+            }
+            // Endpoint bijectivity: u's ports hit each peer exactly once.
+            let mut hit: Vec<usize> =
+                (0..n - 1).map(|p| map.peer(u, Port(p)).unwrap().node.0).collect();
+            hit.sort_unstable();
+            let expected: Vec<usize> = (0..n).filter(|&v| v != u.0).collect();
+            prop_assert_eq!(hit, expected);
+        }
+    }
+
+    /// The unconnected-peers permutation exposed to resolvers always
+    /// enumerates exactly the complement of the connected peers.
+    #[test]
+    fn unconnected_enumeration_is_exact_complement(
+        n in 2usize..24,
+        seed in 0u64..1000,
+        ops in prop::collection::vec((0usize..24, 0usize..23), 1..60),
+    ) {
+        let mut map = PortMap::new(n).unwrap();
+        let mut resolver = RandomResolver;
+        let mut rng = rng_from_seed(seed);
+        for &(u, p) in &ops {
+            map.resolve(NodeIndex(u % n), Port(p % (n - 1)), &mut resolver, &mut rng)
+                .unwrap();
+        }
+        let view = map.view();
+        for u in (0..n).map(NodeIndex) {
+            let mut listed: Vec<usize> = (0..view.unconnected_count(u))
+                .map(|k| view.unconnected_peer(u, k).0)
+                .collect();
+            listed.sort_unstable();
+            let complement: Vec<usize> = (0..n)
+                .filter(|&v| v != u.0 && !map.connected(u, NodeIndex(v)))
+                .collect();
+            prop_assert_eq!(listed, complement);
+
+            let mut free: Vec<usize> = (0..view.unconnected_count(u))
+                .map(|k| view.free_port(u, k).0)
+                .collect();
+            free.sort_unstable();
+            let unassigned: Vec<usize> = (0..n - 1)
+                .filter(|&p| map.peer(u, Port(p)).is_none())
+                .collect();
+            prop_assert_eq!(free, unassigned);
+        }
+    }
+}
+
+fn gcd(a: usize, b: usize) -> usize {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}

@@ -122,6 +122,13 @@ impl SyncSimBuilder {
         let node_rngs: Vec<SmallRng> = (0..n)
             .map(|u| rng_from_seed(derive_seed(self.seed, STREAM_NODE_BASE + u as u64)))
             .collect();
+        // Flatten the wake schedule into a cursor-driven plan so the round
+        // loop never performs a map lookup.
+        let wake = self.wake.unwrap_or_else(|| WakeSchedule::simultaneous(n));
+        let wake_plan: Vec<(usize, Vec<NodeIndex>)> = wake
+            .stages()
+            .map(|(round, nodes)| (round, nodes.to_vec()))
+            .collect();
         Ok(SyncSim {
             n,
             round: 0,
@@ -131,12 +138,14 @@ impl SyncSimBuilder {
             ports: PortMap::new(n)?,
             resolver: self.resolver.unwrap_or_else(|| Box::new(RandomResolver)),
             resolver_rng: rng_from_seed(derive_seed(self.seed, STREAM_RESOLVER)),
-            wake: self.wake.unwrap_or_else(|| WakeSchedule::simultaneous(n)),
+            wake_plan,
+            wake_cursor: 0,
             max_rounds: self.max_rounds.unwrap_or(4 * n + 64),
             awake: vec![false; n],
             stats: MessageStats::new(n),
             pending: (0..n).map(|_| Vec::new()).collect(),
-            outbox: Vec::new(),
+            inbox: Vec::new(),
+            outbox: Vec::with_capacity(n - 1),
             last_decisions: vec![Decision::Undecided; n],
             messages_to_terminated: 0,
             last_activity_round: 0,
@@ -158,11 +167,19 @@ pub struct SyncSim<N: SyncNode> {
     ports: PortMap,
     resolver: Box<dyn PortResolver>,
     resolver_rng: SmallRng,
-    wake: WakeSchedule,
+    /// Adversarial wake-ups, sorted by round, consumed by `wake_cursor`.
+    wake_plan: Vec<(usize, Vec<NodeIndex>)>,
+    wake_cursor: usize,
     max_rounds: usize,
     awake: Vec<bool>,
     stats: MessageStats,
+    /// Per-node arena inboxes, filled during the send phase. Allocated once
+    /// at build; each buffer is recycled (cleared, never dropped) every
+    /// round via a swap with `inbox`.
     pending: Vec<Vec<Received<N::Message>>>,
+    /// The double buffer a node's pending inbox is swapped into while the
+    /// receive phase borrows it alongside the node's mutable state.
+    inbox: Vec<Received<N::Message>>,
     outbox: Vec<(clique_model::ports::Port, N::Message)>,
     last_decisions: Vec<Decision>,
     messages_to_terminated: u64,
@@ -247,24 +264,34 @@ impl<N: SyncNode> SyncSim<N> {
         self.round += 1;
         let round = self.round;
 
-        // Phase 1: adversarial wake-ups scheduled for this round.
-        for &u in self.wake.woken_at(round) {
-            if !self.awake[u.0] {
-                self.awake[u.0] = true;
-                let mut outbox = std::mem::take(&mut self.outbox);
-                let mut ctx = Context {
-                    id: self.ids.id_of(u),
-                    n: self.n,
-                    round,
-                    rng: &mut self.node_rngs[u.0],
-                    outbox: &mut outbox,
-                    sends_allowed: false,
-                };
-                self.nodes[u.0].on_wake(&mut ctx, WakeCause::Adversary);
-                self.outbox = outbox;
-                observer.on_wake(round, u);
-                self.last_activity_round = round;
+        // Phase 1: adversarial wake-ups scheduled for this round. The plan
+        // is sorted and rounds advance one at a time, so a single cursor
+        // replaces the per-round schedule lookup.
+        if self
+            .wake_plan
+            .get(self.wake_cursor)
+            .is_some_and(|&(r, _)| r == round)
+        {
+            let (_, woken) = &self.wake_plan[self.wake_cursor];
+            for &u in woken {
+                if !self.awake[u.0] {
+                    self.awake[u.0] = true;
+                    let mut outbox = std::mem::take(&mut self.outbox);
+                    let mut ctx = Context {
+                        id: self.ids.id_of(u),
+                        n: self.n,
+                        round,
+                        rng: &mut self.node_rngs[u.0],
+                        outbox: &mut outbox,
+                        sends_allowed: false,
+                    };
+                    self.nodes[u.0].on_wake(&mut ctx, WakeCause::Adversary);
+                    self.outbox = outbox;
+                    observer.on_wake(round, u);
+                    self.last_activity_round = round;
+                }
             }
+            self.wake_cursor += 1;
         }
 
         // Phase 2: send phase for awake, unterminated nodes.
@@ -314,17 +341,27 @@ impl<N: SyncNode> SyncSim<N> {
             self.outbox = outbox;
         }
 
-        // Phase 3: receive phase; asleep nodes with mail wake up.
+        // Phase 3: receive phase; asleep nodes with mail wake up. Each
+        // node's pending buffer is swapped into the `inbox` double buffer
+        // for the duration of the call and swapped back cleared, so no
+        // buffer is ever dropped or re-allocated.
         for v in 0..self.n {
-            let inbox = std::mem::take(&mut self.pending[v]);
             if self.nodes[v].is_terminated() {
-                debug_assert!(inbox.is_empty(), "terminated nodes receive nothing");
+                debug_assert!(
+                    self.pending[v].is_empty(),
+                    "terminated nodes receive nothing"
+                );
+                // A node that terminated during this round's send phase may
+                // still have mail queued from earlier senders; swallow it
+                // (legacy behavior: the taken buffer was dropped).
+                self.pending[v].clear();
                 continue;
             }
-            let woke_by_message = !self.awake[v] && !inbox.is_empty();
+            let woke_by_message = !self.awake[v] && !self.pending[v].is_empty();
             if !self.awake[v] && !woke_by_message {
                 continue;
             }
+            std::mem::swap(&mut self.pending[v], &mut self.inbox);
             let mut outbox = std::mem::take(&mut self.outbox);
             {
                 let mut ctx = Context {
@@ -341,9 +378,11 @@ impl<N: SyncNode> SyncSim<N> {
                     observer.on_wake(round, NodeIndex(v));
                     self.last_activity_round = round;
                 }
-                self.nodes[v].receive_phase(&mut ctx, &inbox);
+                self.nodes[v].receive_phase(&mut ctx, &self.inbox);
             }
             self.outbox = outbox;
+            self.inbox.clear();
+            std::mem::swap(&mut self.pending[v], &mut self.inbox);
         }
 
         // Track decision changes (and enforce irrevocability).
@@ -363,7 +402,7 @@ impl<N: SyncNode> SyncSim<N> {
 
         observer.on_round_end(round);
 
-        let pending_wakes = self.wake.last_scheduled_round() > round;
+        let pending_wakes = self.wake_cursor < self.wake_plan.len();
         let any_active = (0..self.n).any(|u| self.awake[u] && !self.nodes[u].is_terminated());
         Ok(pending_wakes || any_active)
     }

@@ -86,6 +86,16 @@ impl WakeSchedule {
         self.by_round.get(&round).map_or(&[], Vec::as_slice)
     }
 
+    /// Iterates the `(round, nodes)` stages in increasing round order.
+    ///
+    /// The engines flatten this into a cursor-driven plan at build time so
+    /// the per-round hot path never performs a map lookup.
+    pub fn stages(&self) -> impl Iterator<Item = (usize, &[NodeIndex])> + '_ {
+        self.by_round
+            .iter()
+            .map(|(&r, nodes)| (r, nodes.as_slice()))
+    }
+
     /// The last round with a scheduled wake-up.
     pub fn last_scheduled_round(&self) -> usize {
         self.by_round.keys().next_back().copied().unwrap_or(0)

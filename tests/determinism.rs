@@ -93,47 +93,81 @@ fn async_algorithms_are_seed_deterministic() {
     assert_eq!(ag(5), ag(5));
 }
 
-/// Golden fingerprint: the improved deterministic tradeoff (Theorem 3.10,
-/// ℓ = 5) at `n = 64, seed = 0` must reproduce this exact execution on
-/// every machine and toolchain. If this changes, either the engine, the
-/// ID assignment, the port resolver, or the RNG stream changed — all of
-/// which invalidate recorded experiment numbers and must be deliberate.
+/// Golden fingerprints: the improved deterministic tradeoff (Theorem 3.10,
+/// ℓ = 5) at `seed = 0` must reproduce these exact executions on every
+/// machine and toolchain, at *two* scales so a hot-path change that only
+/// bites past some threshold is still caught. If a row changes, either the
+/// engine, the ID assignment, the port resolver, or the RNG stream changed
+/// — all of which invalidate recorded experiment numbers and must be
+/// deliberate.
+///
+/// # Re-recording (only after an intentional resolution-schedule change)
+///
+/// 1. Confirm `tests/portmap_equivalence.rs` still passes — its
+///    round-robin outcomes are schedule-independent, so a drift there is
+///    a bug, not a re-record.
+/// 2. Run each configuration below and paste the printed
+///    `(rounds, messages, leader)` triple over the constant.
+/// 3. Note the change in `CHANGES.md` (recorded experiment CSVs under
+///    `results/` are stale until regenerated).
+///
+/// History: values re-recorded for the flat `PortMap` rewrite (the
+/// `RandomResolver` now draws one index into the unconnected-peers
+/// permutation instead of rejection sampling; legacy n = 64 values were
+/// `(5, 536, 26)` / `(2, 1457, 1)`).
 #[test]
-fn golden_fingerprint_improved_tradeoff_n64_seed0() {
-    let cfg = improved_tradeoff::Config::with_rounds(5);
-    let o = SyncSimBuilder::new(64)
-        .seed(0)
-        .build(|id, n| improved_tradeoff::Node::new(id, n, cfg))
-        .unwrap()
-        .run()
-        .unwrap();
-    o.validate_explicit().unwrap();
-    assert_eq!(
-        (o.rounds, o.stats.total(), o.unique_leader()),
-        (5, 536, Some(NodeIndex(26))),
-        "golden fingerprint drifted — cross-version reproducibility broken"
-    );
+fn golden_fingerprint_improved_tradeoff_seed0() {
+    for (n, golden) in [
+        (64, (5, 469, Some(NodeIndex(26)))),
+        (256, (5, 2819, Some(NodeIndex(136)))),
+    ] {
+        let cfg = improved_tradeoff::Config::with_rounds(5);
+        let o = SyncSimBuilder::new(n)
+            .seed(0)
+            .build(|id, n| improved_tradeoff::Node::new(id, n, cfg))
+            .unwrap()
+            .run()
+            .unwrap();
+        o.validate_explicit().unwrap();
+        assert_eq!(
+            (o.rounds, o.stats.total(), o.unique_leader()),
+            golden,
+            "golden fingerprint drifted at n = {n} — cross-version \
+             reproducibility broken"
+        );
+    }
 }
 
-/// Golden fingerprint: Theorem 4.1's 2-round algorithm (ε = 0.1) under
-/// simultaneous wake-up at `n = 64, seed = 0`. Locks the randomized
+/// Golden fingerprints: Theorem 4.1's 2-round algorithm (ε = 0.1) under
+/// simultaneous wake-up at `seed = 0`, at two scales. Locks the randomized
 /// candidacy draws, the referee rendezvous, and the message accounting.
+/// Re-record procedure: see `golden_fingerprint_improved_tradeoff_seed0`.
+/// (These values survived the flat-`PortMap` re-record unchanged: at full
+/// wake-up every node receives a round-1 ping under either resolution
+/// schedule, so candidacy — and hence the whole execution — depends only
+/// on the node coin streams.)
 #[test]
-fn golden_fingerprint_two_round_adversarial_n64_seed0() {
-    let o = SyncSimBuilder::new(64)
-        .seed(0)
-        .wake(WakeSchedule::simultaneous(64))
-        .max_rounds(2)
-        .build(|_, _| two_round_adversarial::Node::new(two_round_adversarial::Config::new(0.1)))
-        .unwrap()
-        .run()
-        .unwrap();
-    o.validate_implicit().unwrap();
-    assert_eq!(
-        (o.rounds, o.stats.total(), o.unique_leader()),
-        (2, 1457, Some(NodeIndex(1))),
-        "golden fingerprint drifted — cross-version reproducibility broken"
-    );
+fn golden_fingerprint_two_round_adversarial_seed0() {
+    for (n, golden) in [
+        (64, (2, 1457, Some(NodeIndex(1)))),
+        (256, (2, 13786, Some(NodeIndex(66)))),
+    ] {
+        let o = SyncSimBuilder::new(n)
+            .seed(0)
+            .wake(WakeSchedule::simultaneous(n))
+            .max_rounds(2)
+            .build(|_, _| two_round_adversarial::Node::new(two_round_adversarial::Config::new(0.1)))
+            .unwrap()
+            .run()
+            .unwrap();
+        o.validate_implicit().unwrap();
+        assert_eq!(
+            (o.rounds, o.stats.total(), o.unique_leader()),
+            golden,
+            "golden fingerprint drifted at n = {n} — cross-version \
+             reproducibility broken"
+        );
+    }
 }
 
 #[test]

@@ -12,6 +12,36 @@ use improved_le::bounds::formulas;
 use improved_le::model::NodeIndex;
 use improved_le::sync::{SyncSimBuilder, WakeSchedule};
 
+/// Env-gated wall-clock guard: with `LE_TIMING=1` (and `--nocapture`) each
+/// test prints its elapsed time on exit, so CI logs make hot-path
+/// regressions visible without a flaky hard threshold. The print happens in
+/// `Drop`, so timings appear even for failing tests.
+struct SuiteTimer {
+    name: &'static str,
+    start: std::time::Instant,
+}
+
+impl SuiteTimer {
+    fn new(name: &'static str) -> Self {
+        SuiteTimer {
+            name,
+            start: std::time::Instant::now(),
+        }
+    }
+}
+
+impl Drop for SuiteTimer {
+    fn drop(&mut self) {
+        if std::env::var_os("LE_TIMING").is_some() {
+            eprintln!(
+                "LE_TIMING tradeoff_shapes::{}: {:.2?}",
+                self.name,
+                self.start.elapsed()
+            );
+        }
+    }
+}
+
 fn improved_messages(n: usize, ell: usize, seed: u64) -> u64 {
     let cfg = improved_tradeoff::Config::with_rounds(ell);
     SyncSimBuilder::new(n)
@@ -38,6 +68,7 @@ fn ag_messages(n: usize, ell: usize, seed: u64) -> u64 {
 
 #[test]
 fn messages_fall_as_rounds_grow_for_both_tradeoff_algorithms() {
+    let _timing = SuiteTimer::new("messages_fall_as_rounds_grow_for_both_tradeoff_algorithms");
     let n = 512;
     let imp: Vec<u64> = [3usize, 7, 11]
         .iter()
@@ -53,6 +84,7 @@ fn messages_fall_as_rounds_grow_for_both_tradeoff_algorithms() {
 
 #[test]
 fn improved_beats_baseline_even_with_one_fewer_round() {
+    let _timing = SuiteTimer::new("improved_beats_baseline_even_with_one_fewer_round");
     // Theorem 3.10's headline: at ℓ (improved) vs ℓ+1 (baseline), the
     // improved algorithm still wins.
     for n in [512usize, 2048] {
@@ -69,6 +101,7 @@ fn improved_beats_baseline_even_with_one_fewer_round() {
 
 #[test]
 fn measured_costs_sit_between_bounds() {
+    let _timing = SuiteTimer::new("measured_costs_sit_between_bounds");
     // LB(Thm 3.8) ≤ measured ≤ 4·UB(Thm 3.10).
     for n in [256usize, 1024] {
         for ell in [3usize, 5, 9] {
@@ -83,6 +116,7 @@ fn measured_costs_sit_between_bounds() {
 
 #[test]
 fn two_round_cost_scales_as_three_halves() {
+    let _timing = SuiteTimer::new("two_round_cost_scales_as_three_halves");
     // Fit the exponent across a 16× range of n at full wake-up.
     let ns = [256usize, 1024, 4096];
     let ys: Vec<f64> = ns
@@ -120,6 +154,7 @@ fn two_round_cost_scales_as_three_halves() {
 
 #[test]
 fn vegas_gap_is_visible_in_measurements() {
+    let _timing = SuiteTimer::new("vegas_gap_is_visible_in_measurements");
     // LV pays Θ(n) (the announcement); MC stays well below LV for large n,
     // and LV always clears the Ω(n) floor.
     let n = 4096;
@@ -146,6 +181,7 @@ fn vegas_gap_is_visible_in_measurements() {
 
 #[test]
 fn async_tradeoff_moves_in_the_right_direction() {
+    let _timing = SuiteTimer::new("async_tradeoff_moves_in_the_right_direction");
     // Larger k: fewer messages, (weakly) more time.
     let n = 1024;
     let run = |k: usize| {
@@ -165,6 +201,7 @@ fn async_tradeoff_moves_in_the_right_direction() {
 
 #[test]
 fn gossip_beats_two_round_past_the_crossover() {
+    let _timing = SuiteTimer::new("gossip_beats_two_round_past_the_crossover");
     // The [14]-shaped story: many rounds buy messages. The Θ(n^{3/2})
     // 2-round cost is forced at large wake-up sets (the Theorem 4.2
     // adversary wakes Θ(√n) roots; full wake-up is its worst case), and at
