@@ -1,5 +1,6 @@
 //! The asynchronous event-driven engine.
 
+use std::any::Any;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -66,6 +67,78 @@ impl<M> Ord for Event<M> {
             .partial_cmp(&self.time)
             .expect("event times are finite")
             .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Reusable simulation state for repeated asynchronous trials: the `Θ(n²)`
+/// [`PortMap`], the flat per-link FIFO-floor array (also `Θ(n²)`), the
+/// event queue's heap storage, and the outbox.
+///
+/// The asynchronous mirror of [`clique_sync::SyncArena`]: build through
+/// [`AsyncSimBuilder::build_in`], finish with [`AsyncSim::run_reusing`],
+/// and consecutive trials at the same `n` skip both quadratic
+/// initializations (the map via [`PortMap::reset`] in O(touched-state),
+/// the FIFO floors via an in-place zero fill with no reallocation), with
+/// bit-identical outcomes. One arena serves any mix of algorithms and
+/// sizes; typed buffers are recycled when the message type matches and
+/// cheaply rebuilt when it does not.
+///
+/// [`clique_sync::SyncArena`]: ../clique_sync/struct.SyncArena.html
+#[derive(Default)]
+pub struct AsyncArena {
+    ports: Option<PortMap>,
+    fifo_front: Vec<f64>,
+    buffers: Option<Box<dyn Any>>,
+}
+
+impl AsyncArena {
+    /// Creates an empty arena; the first trial populates it.
+    pub fn new() -> Self {
+        AsyncArena::default()
+    }
+
+    /// Drops all recycled state, releasing the `Θ(n²)` tables immediately
+    /// (useful between sweep cells at very large `n`).
+    pub fn clear(&mut self) {
+        *self = AsyncArena::default();
+    }
+
+    /// Takes a map for an `n`-node trial: the recycled one (reset in
+    /// O(touched-state)) when the size matches, a fresh one otherwise.
+    fn take_ports(&mut self, n: usize) -> Result<PortMap, ModelError> {
+        match self.ports.take() {
+            Some(mut map) if map.n() == n => {
+                map.reset();
+                Ok(map)
+            }
+            _ => PortMap::new(n),
+        }
+    }
+}
+
+impl std::fmt::Debug for AsyncArena {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AsyncArena")
+            .field("ports", &self.ports.as_ref().map(|p| p.n()))
+            .field("fifo_capacity", &self.fifo_front.capacity())
+            .field("has_buffers", &self.buffers.is_some())
+            .finish()
+    }
+}
+
+/// The message-typed recyclable buffers of an [`AsyncArena`], stored
+/// type-erased so one arena serves algorithms with different message types.
+struct AsyncBuffers<M> {
+    queue: BinaryHeap<Event<M>>,
+    outbox: Vec<(Port, M)>,
+}
+
+impl<M> Default for AsyncBuffers<M> {
+    fn default() -> Self {
+        AsyncBuffers {
+            queue: BinaryHeap::new(),
+            outbox: Vec::new(),
+        }
     }
 }
 
@@ -161,9 +234,34 @@ impl AsyncSimBuilder {
     ///
     /// Returns [`ModelError`] if `n < 2` or the default ID universe cannot
     /// cover `n` nodes.
-    pub fn build<N, F>(self, mut factory: F) -> Result<AsyncSim<N>, ModelError>
+    pub fn build<N, F>(self, factory: F) -> Result<AsyncSim<N>, ModelError>
     where
         N: AsyncNode,
+        N::Message: 'static,
+        F: FnMut(Id, usize) -> N,
+    {
+        self.build_in(&mut AsyncArena::new(), factory)
+    }
+
+    /// Instantiates the simulation like [`AsyncSimBuilder::build`], but
+    /// recycles the `Θ(n²)` port map, the `Θ(n²)` FIFO-floor array, and
+    /// the event-queue storage held by `arena` instead of allocating fresh
+    /// ones. Pair with [`AsyncSim::run_reusing`] to return the state to
+    /// the arena afterwards. The execution is identical to a freshly built
+    /// one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError`] if `n < 2` or the default ID universe cannot
+    /// cover `n` nodes.
+    pub fn build_in<N, F>(
+        self,
+        arena: &mut AsyncArena,
+        mut factory: F,
+    ) -> Result<AsyncSim<N>, ModelError>
+    where
+        N: AsyncNode,
+        N::Message: 'static,
         F: FnMut(Id, usize) -> N,
     {
         let n = self.n;
@@ -183,6 +281,17 @@ impl AsyncSimBuilder {
                 n,
             });
         }
+        let ports = arena.take_ports(n)?;
+        let mut fifo_front = std::mem::take(&mut arena.fifo_front);
+        fifo_front.clear();
+        fifo_front.resize(n * n, 0.0);
+        let mut bufs: AsyncBuffers<N::Message> = arena
+            .buffers
+            .take()
+            .and_then(|b| b.downcast::<AsyncBuffers<N::Message>>().ok())
+            .map_or_else(AsyncBuffers::default, |b| *b);
+        bufs.queue.clear();
+        bufs.outbox.clear();
         let nodes: Vec<N> = ids.as_slice().iter().map(|&id| factory(id, n)).collect();
         let node_rngs: Vec<SmallRng> = (0..n)
             .map(|u| rng_from_seed(derive_seed(self.seed, STREAM_NODE_BASE + u as u64)))
@@ -191,7 +300,7 @@ impl AsyncSimBuilder {
             .wake
             .unwrap_or_else(|| AsyncWakeSchedule::single(NodeIndex(0)));
 
-        let mut queue = BinaryHeap::new();
+        let mut queue = bufs.queue;
         let mut seq = 0u64;
         let mut last_scheduled_wake = 0.0f64;
         for &(t, u) in wake.entries() {
@@ -209,7 +318,7 @@ impl AsyncSimBuilder {
             ids,
             nodes,
             node_rngs,
-            ports: PortMap::new(n)?,
+            ports,
             resolver: self.resolver.unwrap_or_else(|| Box::new(RandomResolver)),
             resolver_rng: rng_from_seed(derive_seed(self.seed, STREAM_RESOLVER)),
             delays: self
@@ -218,13 +327,13 @@ impl AsyncSimBuilder {
             delay_rng: rng_from_seed(derive_seed(self.seed, STREAM_DELAYS)),
             queue,
             seq,
-            fifo_front: vec![0.0; n * n],
+            fifo_front,
             max_events: self
                 .max_events
                 .unwrap_or(64 * (n as u64) * (n as u64) + 4096),
             awake: vec![false; n],
             stats: MessageStats::new(n),
-            outbox: Vec::new(),
+            outbox: bufs.outbox,
             last_decisions: vec![Decision::Undecided; n],
             messages_to_terminated: 0,
             now: 0.0,
@@ -315,15 +424,41 @@ impl<N: AsyncNode> AsyncSim<N> {
     /// Propagates [`ModelError`] from port resolution (only possible with a
     /// faulty custom resolver).
     pub fn run(mut self) -> Result<AsyncOutcome, ModelError> {
+        let halt = self.drive()?;
+        Ok(self.into_outcome(halt))
+    }
+
+    /// The shared event loop of [`AsyncSim::run`] and
+    /// [`AsyncSim::run_reusing`]: processes events until the queue drains
+    /// or the event cap fires and reports which one halted the run.
+    fn drive(&mut self) -> Result<AsyncHaltReason, ModelError> {
         let mut processed = 0u64;
         while !self.queue.is_empty() {
             if processed >= self.max_events {
-                return Ok(self.into_outcome(AsyncHaltReason::MaxEvents));
+                return Ok(AsyncHaltReason::MaxEvents);
             }
             self.step()?;
             processed += 1;
         }
-        Ok(self.into_outcome(AsyncHaltReason::QueueDrained))
+        Ok(AsyncHaltReason::QueueDrained)
+    }
+
+    /// Runs until the event queue drains (or the event cap fires) like
+    /// [`AsyncSim::run`], then returns the recyclable state — the port
+    /// map, FIFO floors, queue storage, and outbox — to `arena` for the
+    /// next trial instead of dropping it. The outcome is identical to
+    /// [`AsyncSim::run`]'s.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ModelError`] from port resolution (only possible with a
+    /// faulty custom resolver).
+    pub fn run_reusing(mut self, arena: &mut AsyncArena) -> Result<AsyncOutcome, ModelError>
+    where
+        N::Message: 'static,
+    {
+        let halt = self.drive()?;
+        Ok(self.into_outcome_reusing(halt, arena))
     }
 
     /// Processes the single earliest pending event; returns `false` if the
@@ -456,6 +591,47 @@ impl<N: AsyncNode> AsyncSim<N> {
             awake: self.awake,
             ids: self.ids,
             messages_to_terminated: self.messages_to_terminated,
+            halt,
+        }
+    }
+
+    /// [`AsyncSim::into_outcome`], stashing the recyclable state into
+    /// `arena` on the way out.
+    pub fn into_outcome_reusing(self, halt: AsyncHaltReason, arena: &mut AsyncArena) -> AsyncOutcome
+    where
+        N::Message: 'static,
+    {
+        let AsyncSim {
+            n,
+            ids,
+            ports,
+            mut queue,
+            fifo_front,
+            mut outbox,
+            stats,
+            last_decisions,
+            awake,
+            messages_to_terminated,
+            now,
+            wake_all_time,
+            last_scheduled_wake,
+            ..
+        } = self;
+        queue.clear();
+        outbox.clear();
+        arena.ports = Some(ports);
+        arena.fifo_front = fifo_front;
+        arena.buffers = Some(Box::new(AsyncBuffers { queue, outbox }));
+        AsyncOutcome {
+            n,
+            time: now,
+            last_adversarial_wake: last_scheduled_wake,
+            wake_all_time,
+            stats,
+            decisions: last_decisions,
+            awake,
+            ids,
+            messages_to_terminated,
             halt,
         }
     }
@@ -719,6 +895,66 @@ mod tests {
             AsyncSimBuilder::new(1).build(|_, _| Nop),
             Err(ModelError::NetworkTooSmall { n: 1 })
         ));
+    }
+
+    #[test]
+    fn arena_trials_match_fresh_trials() {
+        let fingerprint = |o: &AsyncOutcome| {
+            (
+                o.time.to_bits(),
+                o.stats.total(),
+                o.stats.rounds().to_vec(),
+                o.unique_leader(),
+                o.decisions.clone(),
+                o.awake.clone(),
+                o.halt,
+            )
+        };
+        let mut arena = AsyncArena::new();
+        for seed in 0..10u64 {
+            let fresh = AsyncSimBuilder::new(12)
+                .seed(seed)
+                .wake(AsyncWakeSchedule::single(NodeIndex(3)))
+                .build(Flood::new)
+                .unwrap()
+                .run()
+                .unwrap();
+            let reused = AsyncSimBuilder::new(12)
+                .seed(seed)
+                .wake(AsyncWakeSchedule::single(NodeIndex(3)))
+                .build_in(&mut arena, Flood::new)
+                .unwrap()
+                .run_reusing(&mut arena)
+                .unwrap();
+            assert_eq!(fingerprint(&fresh), fingerprint(&reused));
+        }
+    }
+
+    #[test]
+    fn arena_survives_size_and_message_type_changes() {
+        let mut arena = AsyncArena::new();
+        for &n in &[8usize, 12, 8] {
+            let o = AsyncSimBuilder::new(n)
+                .seed(2)
+                .wake(AsyncWakeSchedule::single(NodeIndex(0)))
+                .build_in(&mut arena, Flood::new)
+                .unwrap()
+                .run_reusing(&mut arena)
+                .unwrap();
+            assert_eq!(o.stats.total() as usize, n * (n - 1));
+        }
+        // Different message type: buffers rebuilt, port map recycled.
+        let o = AsyncSimBuilder::new(8)
+            .seed(3)
+            .max_events(100)
+            .build_in(&mut arena, |_, _| PingPong {
+                decision: Decision::Undecided,
+            })
+            .unwrap()
+            .run_reusing(&mut arena)
+            .unwrap();
+        assert_eq!(o.halt, AsyncHaltReason::MaxEvents);
+        arena.clear();
     }
 
     #[test]

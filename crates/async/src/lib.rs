@@ -66,7 +66,7 @@ pub mod outcome;
 pub mod wakeup;
 
 pub use delay::{BimodalDelay, ConstDelay, DelayStrategy, UniformDelay};
-pub use engine::{AsyncSim, AsyncSimBuilder};
+pub use engine::{AsyncArena, AsyncSim, AsyncSimBuilder};
 pub use node::{AsyncContext, AsyncNode, Received};
 pub use outcome::{AsyncHaltReason, AsyncOutcome};
 pub use wakeup::AsyncWakeSchedule;

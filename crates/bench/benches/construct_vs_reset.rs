@@ -1,0 +1,216 @@
+//! Trial-recycling micro-benchmarks: fresh `Θ(n²)` construction per trial
+//! versus `PortMap::reset()` / arena reuse. Recorded before/after in
+//! `BENCH_trial_recycling.json` at the repository root (see the runbook in
+//! `README.md`).
+//!
+//! * `construct_vs_reset_portmap` — a sparse trial (every node resolves
+//!   four ports) against a freshly allocated map versus a recycled one:
+//!   isolates the `PortMap::new` floor that dominated Monte-Carlo sweeps.
+//! * `construct_vs_reset_sweep_200x2048` — the acceptance workload: a
+//!   200-seed sweep of the 2-round adversarial-wake-up algorithm
+//!   (Theorem 4.1, single woken node — the sparse Monte-Carlo regime that
+//!   motivated recycling) at `n = 2048`, run-per-trial versus one
+//!   `SyncArena` recycled across all 200 trials.
+//! * `construct_vs_reset_sweep_lv_200x2048` — the same sweep with the
+//!   message-heavy Las Vegas algorithm (~20n messages per trial): a
+//!   worst-case arm showing the floor when trial work, not construction,
+//!   dominates.
+//! * `construct_vs_reset_async` — the asynchronous mirror (port map plus
+//!   FIFO-floor array) on a 50-seed tradeoff sweep at `n = 1024`; the
+//!   asynchronous event loop dominates there, so the gain is modest by
+//!   design.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use clique_async::{AsyncArena, AsyncSimBuilder, AsyncWakeSchedule};
+use clique_model::ports::{Port, PortMap, RandomResolver};
+use clique_model::rng::rng_from_seed;
+use clique_model::NodeIndex;
+use clique_sync::{SyncArena, SyncSimBuilder, WakeSchedule};
+use leader_election::asynchronous::tradeoff as a_tr;
+use leader_election::sync::{las_vegas, two_round_adversarial};
+
+/// A sparse workload: every node resolves its first four ports — the
+/// touched-state profile of a sublinear-message trial.
+fn sparse_trial(map: &mut PortMap, n: usize) -> usize {
+    let mut resolver = RandomResolver;
+    let mut rng = rng_from_seed(1);
+    for u in 0..n {
+        for p in 0..4 {
+            map.resolve(NodeIndex(u), Port(p), &mut resolver, &mut rng)
+                .unwrap();
+        }
+    }
+    map.link_count()
+}
+
+fn bench_portmap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("construct_vs_reset_portmap");
+    group.sample_size(10);
+    for n in [1024usize, 4096] {
+        group.bench_with_input(BenchmarkId::new("fresh", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut map = PortMap::new(n).unwrap();
+                sparse_trial(&mut map, n)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("reset", n), &n, |b, &n| {
+            let mut map = PortMap::new(n).unwrap();
+            b.iter(|| {
+                map.reset();
+                sparse_trial(&mut map, n)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn lv_trial_fresh(n: usize, seed: u64) -> u64 {
+    SyncSimBuilder::new(n)
+        .seed(seed)
+        .build(|id, _| las_vegas::Node::new(id, las_vegas::Config::default()))
+        .unwrap()
+        .run()
+        .unwrap()
+        .stats
+        .total()
+}
+
+fn lv_trial_reused(n: usize, seed: u64, arena: &mut SyncArena) -> u64 {
+    SyncSimBuilder::new(n)
+        .seed(seed)
+        .build_in(arena, |id, _| {
+            las_vegas::Node::new(id, las_vegas::Config::default())
+        })
+        .unwrap()
+        .run_reusing(arena)
+        .unwrap()
+        .stats
+        .total()
+}
+
+fn two_round_builder(n: usize, seed: u64, wake_rng: &mut rand::rngs::SmallRng) -> SyncSimBuilder {
+    SyncSimBuilder::new(n)
+        .seed(seed)
+        .wake(WakeSchedule::random_subset(n, 1, wake_rng))
+        .max_rounds(2)
+}
+
+fn bench_sweep_200x2048(c: &mut Criterion) {
+    let mut group = c.benchmark_group("construct_vs_reset_sweep_200x2048");
+    group.sample_size(3);
+    let n = 2048usize;
+    let seeds: Vec<u64> = (0..200).collect();
+    let factory = |_: clique_model::Id, _: usize| {
+        two_round_adversarial::Node::new(two_round_adversarial::Config::new(0.0625))
+    };
+    group.bench_function("fresh", |b| {
+        b.iter(|| {
+            let mut wake_rng = rng_from_seed(0xA11CE);
+            seeds
+                .iter()
+                .map(|&s| {
+                    two_round_builder(n, s, &mut wake_rng)
+                        .build(factory)
+                        .unwrap()
+                        .run()
+                        .unwrap()
+                        .stats
+                        .total()
+                })
+                .sum::<u64>()
+        })
+    });
+    group.bench_function("reused", |b| {
+        let mut arena = SyncArena::new();
+        b.iter(|| {
+            let mut wake_rng = rng_from_seed(0xA11CE);
+            seeds
+                .iter()
+                .map(|&s| {
+                    two_round_builder(n, s, &mut wake_rng)
+                        .build_in(&mut arena, factory)
+                        .unwrap()
+                        .run_reusing(&mut arena)
+                        .unwrap()
+                        .stats
+                        .total()
+                })
+                .sum::<u64>()
+        })
+    });
+    group.finish();
+}
+
+fn bench_sweep_lv_200x2048(c: &mut Criterion) {
+    let mut group = c.benchmark_group("construct_vs_reset_sweep_lv_200x2048");
+    group.sample_size(3);
+    let n = 2048usize;
+    let seeds: Vec<u64> = (0..200).collect();
+    group.bench_function("fresh", |b| {
+        b.iter(|| seeds.iter().map(|&s| lv_trial_fresh(n, s)).sum::<u64>())
+    });
+    group.bench_function("reused", |b| {
+        let mut arena = SyncArena::new();
+        b.iter(|| {
+            seeds
+                .iter()
+                .map(|&s| lv_trial_reused(n, s, &mut arena))
+                .sum::<u64>()
+        })
+    });
+    group.finish();
+}
+
+fn async_trial_fresh(n: usize, seed: u64) -> u64 {
+    AsyncSimBuilder::new(n)
+        .seed(seed)
+        .wake(AsyncWakeSchedule::single(NodeIndex(0)))
+        .build(|_, _| a_tr::Node::new(a_tr::Config::new(4)))
+        .unwrap()
+        .run()
+        .unwrap()
+        .stats
+        .total()
+}
+
+fn async_trial_reused(n: usize, seed: u64, arena: &mut AsyncArena) -> u64 {
+    AsyncSimBuilder::new(n)
+        .seed(seed)
+        .wake(AsyncWakeSchedule::single(NodeIndex(0)))
+        .build_in(arena, |_, _| a_tr::Node::new(a_tr::Config::new(4)))
+        .unwrap()
+        .run_reusing(arena)
+        .unwrap()
+        .stats
+        .total()
+}
+
+fn bench_async_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("construct_vs_reset_async_50x1024");
+    group.sample_size(3);
+    let n = 1024usize;
+    let seeds: Vec<u64> = (0..50).collect();
+    group.bench_function("fresh", |b| {
+        b.iter(|| seeds.iter().map(|&s| async_trial_fresh(n, s)).sum::<u64>())
+    });
+    group.bench_function("reused", |b| {
+        let mut arena = AsyncArena::new();
+        b.iter(|| {
+            seeds
+                .iter()
+                .map(|&s| async_trial_reused(n, s, &mut arena))
+                .sum::<u64>()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_portmap,
+    bench_sweep_200x2048,
+    bench_sweep_lv_200x2048,
+    bench_async_sweep
+);
+criterion_main!(benches);

@@ -4,23 +4,29 @@
 //! bound), and the cost is insensitive to *which* set the adversary wakes.
 
 use clique_model::rng::rng_from_seed;
-use clique_sync::{SyncSimBuilder, WakeSchedule};
+use clique_sync::{SyncArena, SyncSimBuilder, WakeSchedule};
 use le_analysis::regression::fit_power_law;
 use le_analysis::stats::{success_rate, Summary};
 use le_analysis::table::fmt_count;
-use le_analysis::{CsvWriter, Table};
-use le_bench::{results_path, seeds, sweep};
+use le_analysis::Table;
+use le_bench::{seeds, sweep, SweepRunner};
 use le_bounds::formulas;
 use leader_election::sync::two_round_adversarial::{Config, Node};
 
-fn measure(n: usize, eps: f64, wake: WakeSchedule, seed: u64) -> (u64, bool) {
+fn measure(
+    n: usize,
+    eps: f64,
+    wake: WakeSchedule,
+    seed: u64,
+    arena: &mut SyncArena,
+) -> (u64, bool) {
     let outcome = SyncSimBuilder::new(n)
         .seed(seed)
         .wake(wake)
         .max_rounds(2)
-        .build(|_, _| Node::new(Config::new(eps)))
+        .build_in(arena, |_, _| Node::new(Config::new(eps)))
         .expect("valid configuration")
-        .run()
+        .run_reusing(arena)
         .expect("no resolver faults");
     (outcome.stats.total(), outcome.validate_implicit().is_ok())
 }
@@ -30,8 +36,8 @@ fn main() {
     let seed_list = seeds(if le_bench::quick() { 10 } else { 30 });
     let mut wake_rng = rng_from_seed(0xA11CE);
 
-    let mut csv = CsvWriter::create(
-        results_path("exp_adversarial_2round.csv"),
+    let mut runner = SweepRunner::new(
+        "exp_adversarial_2round",
         &[
             "n",
             "epsilon",
@@ -41,8 +47,8 @@ fn main() {
             "guarantee",
             "lb_thm42",
         ],
-    )
-    .expect("results/ is writable");
+    );
+    let mut arena = SyncArena::new();
 
     let mut scale_points: Vec<(f64, f64)> = Vec::new();
     for &n in &ns {
@@ -61,17 +67,18 @@ fn main() {
         ));
         for &eps in &[0.25f64, 0.0625] {
             for &wake_size in &[1usize, sqrt_n, n] {
-                let runs: Vec<(u64, bool)> = seed_list
-                    .iter()
-                    .map(|&s| {
+                let runs = runner.cell(
+                    format!("n={n} eps={eps} wake={wake_size}"),
+                    &seed_list,
+                    |s| {
                         let wake = if wake_size == n {
                             WakeSchedule::simultaneous(n)
                         } else {
                             WakeSchedule::random_subset(n, wake_size, &mut wake_rng)
                         };
-                        measure(n, eps, wake, s)
-                    })
-                    .collect();
+                        measure(n, eps, wake, s, &mut arena)
+                    },
+                );
                 let msgs =
                     Summary::from_counts(&runs.iter().map(|r| r.0).collect::<Vec<_>>()).unwrap();
                 let ok = success_rate(&runs.iter().map(|r| r.1).collect::<Vec<_>>());
@@ -84,7 +91,7 @@ fn main() {
                     format!("{:.0}%", guarantee * 100.0),
                     fmt_count(formulas::thm42_message_lower_bound(n)),
                 ]);
-                csv.write_row(&[
+                runner.emit(&[
                     n.to_string(),
                     eps.to_string(),
                     wake_size.to_string(),
@@ -92,8 +99,7 @@ fn main() {
                     ok.to_string(),
                     guarantee.to_string(),
                     formulas::thm42_message_lower_bound(n).to_string(),
-                ])
-                .expect("results/ is writable");
+                ]);
                 if eps == 0.0625 && wake_size == n {
                     scale_points.push((n as f64, msgs.mean));
                 }
@@ -106,9 +112,5 @@ fn main() {
     if let Some(fit) = fit_power_law(&xs, &ys) {
         println!("Message scaling at full wake-up: {fit} — Theorems 4.1/4.2 predict exponent 3/2");
     }
-    csv.finish().expect("results/ is writable");
-    println!(
-        "CSV written to {}",
-        results_path("exp_adversarial_2round.csv").display()
-    );
+    runner.finish();
 }

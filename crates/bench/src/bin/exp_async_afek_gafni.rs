@@ -8,23 +8,30 @@
 //! correctness holds in every run (the algorithm is deterministic given
 //! the delays).
 
-use clique_async::{AsyncSimBuilder, AsyncWakeSchedule, ConstDelay, DelayStrategy, UniformDelay};
+use clique_async::{
+    AsyncArena, AsyncSimBuilder, AsyncWakeSchedule, ConstDelay, DelayStrategy, UniformDelay,
+};
 use le_analysis::regression::{fit_linear, fit_power_law};
 use le_analysis::stats::Summary;
 use le_analysis::table::fmt_count;
-use le_analysis::{CsvWriter, Table};
-use le_bench::{results_path, seeds, sweep};
+use le_analysis::Table;
+use le_bench::{seeds, sweep, SweepRunner};
 use le_bounds::formulas;
 use leader_election::asynchronous::afek_gafni::Node;
 
-fn measure(n: usize, seed: u64, delays: Box<dyn DelayStrategy>) -> (u64, f64) {
+fn measure(
+    n: usize,
+    seed: u64,
+    delays: Box<dyn DelayStrategy>,
+    arena: &mut AsyncArena,
+) -> (u64, f64) {
     let outcome = AsyncSimBuilder::new(n)
         .seed(seed)
         .wake(AsyncWakeSchedule::simultaneous(n))
         .delays(delays)
-        .build(Node::new)
+        .build_in(arena, Node::new)
         .expect("valid configuration")
-        .run()
+        .run_reusing(arena)
         .expect("no resolver faults");
     outcome
         .validate_implicit()
@@ -36,8 +43,8 @@ fn main() {
     let ns = sweep(&[64usize, 256, 1024, 4096], &[64, 256]);
     let seed_list = seeds(if le_bench::quick() { 3 } else { 8 });
 
-    let mut csv = CsvWriter::create(
-        results_path("exp_async_afek_gafni.csv"),
+    let mut runner = SweepRunner::new(
+        "exp_async_afek_gafni",
         &[
             "n",
             "delay",
@@ -46,8 +53,8 @@ fn main() {
             "n_log_n",
             "log2_n",
         ],
-    )
-    .expect("results/ is writable");
+    );
+    let mut arena = AsyncArena::new();
 
     let mut table = Table::new(vec![
         "n",
@@ -66,16 +73,13 @@ fn main() {
     let mut time_points = Vec::new();
     for &n in &ns {
         for delay_name in ["uniform(0,1]", "const(1)"] {
-            let runs: Vec<(u64, f64)> = seed_list
-                .iter()
-                .map(|&s| {
-                    let delays: Box<dyn DelayStrategy> = match delay_name {
-                        "uniform(0,1]" => Box::new(UniformDelay::full()),
-                        _ => Box::new(ConstDelay::max()),
-                    };
-                    measure(n, s, delays)
-                })
-                .collect();
+            let runs = runner.cell(format!("n={n} delay={delay_name}"), &seed_list, |s| {
+                let delays: Box<dyn DelayStrategy> = match delay_name {
+                    "uniform(0,1]" => Box::new(UniformDelay::full()),
+                    _ => Box::new(ConstDelay::max()),
+                };
+                measure(n, s, delays, &mut arena)
+            });
             let msgs = Summary::from_counts(&runs.iter().map(|r| r.0).collect::<Vec<_>>()).unwrap();
             let time = Summary::from_sample(&runs.iter().map(|r| r.1).collect::<Vec<_>>()).unwrap();
             table.add_row(vec![
@@ -86,15 +90,14 @@ fn main() {
                 fmt_count(formulas::thm514_message_upper_bound(n)),
                 format!("{:.1}", formulas::log2(n)),
             ]);
-            csv.write_row(&[
+            runner.emit(&[
                 n.to_string(),
                 delay_name.into(),
                 msgs.mean.to_string(),
                 time.mean.to_string(),
                 formulas::thm514_message_upper_bound(n).to_string(),
                 formulas::log2(n).to_string(),
-            ])
-            .expect("results/ is writable");
+            ]);
             if delay_name == "const(1)" {
                 msg_points.push((n as f64, msgs.mean));
                 time_points.push((formulas::log2(n), time.mean));
@@ -115,9 +118,5 @@ fn main() {
             fit.slope, fit.r_squared
         );
     }
-    csv.finish().expect("results/ is writable");
-    println!(
-        "CSV written to {}",
-        results_path("exp_async_afek_gafni.csv").display()
-    );
+    runner.finish();
 }

@@ -8,24 +8,32 @@
 //! `1 + 1/k`; `k = 2` matches the Ω(n^{3/2}) line of Theorem 4.2 and large
 //! `k` approaches the `O(n·log n)` of \[14\]-style algorithms.
 
-use clique_async::{AsyncSimBuilder, AsyncWakeSchedule, ConstDelay, DelayStrategy, UniformDelay};
+use clique_async::{
+    AsyncArena, AsyncSimBuilder, AsyncWakeSchedule, ConstDelay, DelayStrategy, UniformDelay,
+};
 use clique_model::NodeIndex;
 use le_analysis::regression::fit_power_law;
 use le_analysis::stats::{success_rate, Summary};
 use le_analysis::table::fmt_count;
-use le_analysis::{CsvWriter, Table};
-use le_bench::{results_path, seeds, sweep};
+use le_analysis::Table;
+use le_bench::{seeds, sweep, SweepRunner};
 use le_bounds::formulas;
 use leader_election::asynchronous::tradeoff::{Config, Node};
 
-fn measure(n: usize, k: usize, seed: u64, delays: Box<dyn DelayStrategy>) -> (u64, f64, bool) {
+fn measure(
+    n: usize,
+    k: usize,
+    seed: u64,
+    delays: Box<dyn DelayStrategy>,
+    arena: &mut AsyncArena,
+) -> (u64, f64, bool) {
     let outcome = AsyncSimBuilder::new(n)
         .seed(seed)
         .wake(AsyncWakeSchedule::single(NodeIndex(0)))
         .delays(delays)
-        .build(|_, _| Node::new(Config::new(k)))
+        .build_in(arena, |_, _| Node::new(Config::new(k)))
         .expect("valid configuration")
-        .run()
+        .run_reusing(arena)
         .expect("no resolver faults");
     (
         outcome.stats.total(),
@@ -39,8 +47,8 @@ fn main() {
     let ks = sweep(&[2usize, 3, 4, 6], &[2, 4]);
     let seed_list = seeds(if le_bench::quick() { 5 } else { 10 });
 
-    let mut csv = CsvWriter::create(
-        results_path("exp_async_tradeoff.csv"),
+    let mut runner = SweepRunner::new(
+        "exp_async_tradeoff",
         &[
             "n",
             "k",
@@ -51,8 +59,8 @@ fn main() {
             "messages_bound",
             "success_rate",
         ],
-    )
-    .expect("results/ is writable");
+    );
+    let mut arena = AsyncArena::new();
 
     let mut per_k_points: std::collections::BTreeMap<usize, Vec<(f64, f64)>> =
         std::collections::BTreeMap::new();
@@ -76,16 +84,14 @@ fn main() {
                 continue;
             }
             for delay_name in ["uniform(0,1]", "const(1)"] {
-                let runs: Vec<(u64, f64, bool)> = seed_list
-                    .iter()
-                    .map(|&s| {
+                let runs =
+                    runner.cell(format!("n={n} k={k} delay={delay_name}"), &seed_list, |s| {
                         let delays: Box<dyn DelayStrategy> = match delay_name {
                             "uniform(0,1]" => Box::new(UniformDelay::full()),
                             _ => Box::new(ConstDelay::max()),
                         };
-                        measure(n, k, s, delays)
-                    })
-                    .collect();
+                        measure(n, k, s, delays, &mut arena)
+                    });
                 let msgs =
                     Summary::from_counts(&runs.iter().map(|r| r.0).collect::<Vec<_>>()).unwrap();
                 let time_max = runs.iter().map(|r| r.1).fold(0.0f64, f64::max);
@@ -101,7 +107,7 @@ fn main() {
                     fmt_count(msg_bound),
                     format!("{:.0}%", ok * 100.0),
                 ]);
-                csv.write_row(&[
+                runner.emit(&[
                     n.to_string(),
                     k.to_string(),
                     delay_name.into(),
@@ -110,8 +116,7 @@ fn main() {
                     time_bound.to_string(),
                     msg_bound.to_string(),
                     ok.to_string(),
-                ])
-                .expect("results/ is writable");
+                ]);
                 if delay_name == "uniform(0,1]" {
                     per_k_points
                         .entry(k)
@@ -136,9 +141,5 @@ fn main() {
             );
         }
     }
-    csv.finish().expect("results/ is writable");
-    println!(
-        "CSV written to {}",
-        results_path("exp_async_tradeoff.csv").display()
-    );
+    runner.finish();
 }

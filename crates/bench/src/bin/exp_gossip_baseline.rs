@@ -5,26 +5,26 @@
 //! crossover — the time-versus-messages gap Section 4 formalises.
 
 use clique_model::rng::rng_from_seed;
-use clique_sync::{SyncSimBuilder, WakeSchedule};
+use clique_sync::{SyncArena, SyncSimBuilder, WakeSchedule};
 use le_analysis::regression::fit_power_law;
 use le_analysis::stats::Summary;
 use le_analysis::table::fmt_count;
-use le_analysis::{CsvWriter, Table};
-use le_bench::{results_path, seeds, sweep};
+use le_analysis::Table;
+use le_bench::{seeds, sweep, SweepRunner};
 use le_bounds::formulas;
 use leader_election::sync::gossip_baseline;
 use leader_election::sync::two_round_adversarial;
 
-fn measure_gossip(n: usize, seed: u64) -> (u64, usize) {
+fn measure_gossip(n: usize, seed: u64, arena: &mut SyncArena) -> (u64, usize) {
     let cfg = gossip_baseline::Config::default();
     let mut wake_rng = rng_from_seed(seed ^ 0xF00D);
     let outcome = SyncSimBuilder::new(n)
         .seed(seed)
         .wake(WakeSchedule::random_subset(n, 1, &mut wake_rng))
         .max_rounds(cfg.total_rounds(n) + 2)
-        .build(|id, _| gossip_baseline::Node::new(id, cfg))
+        .build_in(arena, |id, _| gossip_baseline::Node::new(id, cfg))
         .expect("valid configuration")
-        .run()
+        .run_reusing(arena)
         .expect("no resolver faults");
     outcome
         .validate_explicit()
@@ -32,15 +32,17 @@ fn measure_gossip(n: usize, seed: u64) -> (u64, usize) {
     (outcome.stats.total(), outcome.rounds)
 }
 
-fn measure_two_round(n: usize, seed: u64) -> u64 {
+fn measure_two_round(n: usize, seed: u64, arena: &mut SyncArena) -> u64 {
     let mut wake_rng = rng_from_seed(seed ^ 0xFEED);
     let outcome = SyncSimBuilder::new(n)
         .seed(seed)
         .wake(WakeSchedule::random_subset(n, 1, &mut wake_rng))
         .max_rounds(2)
-        .build(|_, _| two_round_adversarial::Node::new(two_round_adversarial::Config::new(0.0625)))
+        .build_in(arena, |_, _| {
+            two_round_adversarial::Node::new(two_round_adversarial::Config::new(0.0625))
+        })
         .expect("valid configuration")
-        .run()
+        .run_reusing(arena)
         .expect("no resolver faults");
     outcome.stats.total()
 }
@@ -49,8 +51,8 @@ fn main() {
     let ns = sweep(&[256usize, 1024, 4096, 16384], &[256, 1024]);
     let seed_list = seeds(if le_bench::quick() { 5 } else { 10 });
 
-    let mut csv = CsvWriter::create(
-        results_path("exp_gossip_baseline.csv"),
+    let mut runner = SweepRunner::new(
+        "exp_gossip_baseline",
         &[
             "n",
             "gossip_messages_mean",
@@ -59,8 +61,8 @@ fn main() {
             "n_log_n",
             "n_three_halves",
         ],
-    )
-    .expect("results/ is writable");
+    );
+    let mut arena = SyncArena::new();
 
     let mut table = Table::new(vec![
         "n",
@@ -79,8 +81,12 @@ fn main() {
 
     let mut points = Vec::new();
     for &n in &ns {
-        let gossip: Vec<(u64, usize)> = seed_list.iter().map(|&s| measure_gossip(n, s)).collect();
-        let two: Vec<u64> = seed_list.iter().map(|&s| measure_two_round(n, s)).collect();
+        let gossip = runner.cell(format!("n={n} alg=gossip"), &seed_list, |s| {
+            measure_gossip(n, s, &mut arena)
+        });
+        let two = runner.cell(format!("n={n} alg=two_round"), &seed_list, |s| {
+            measure_two_round(n, s, &mut arena)
+        });
         let g_msgs = Summary::from_counts(&gossip.iter().map(|r| r.0).collect::<Vec<_>>()).unwrap();
         let g_rounds = gossip.iter().map(|r| r.1).max().unwrap();
         let t_msgs = Summary::from_counts(&two).unwrap();
@@ -99,15 +105,14 @@ fn main() {
             }
             .into(),
         ]);
-        csv.write_row(&[
+        runner.emit(&[
             n.to_string(),
             g_msgs.mean.to_string(),
             g_rounds.to_string(),
             t_msgs.mean.to_string(),
             (n as f64 * formulas::log2(n)).to_string(),
             (n as f64).powf(1.5).to_string(),
-        ])
-        .expect("results/ is writable");
+        ]);
     }
     println!("{table}");
 
@@ -118,9 +123,5 @@ fn main() {
              the paper's [14] achieves O(n), one log factor less (see EXPERIMENTS.md)"
         );
     }
-    csv.finish().expect("results/ is writable");
-    println!(
-        "CSV written to {}",
-        results_path("exp_gossip_baseline.csv").display()
-    );
+    runner.finish();
 }

@@ -7,22 +7,24 @@
 //! near 1/2 (plus polylog drift), and the Las Vegas cost always clears the
 //! Ω(n) lower-bound line while the Monte Carlo cost dives under it.
 
-use clique_sync::SyncSimBuilder;
+use clique_sync::{SyncArena, SyncSimBuilder};
 use le_analysis::regression::fit_power_law;
 use le_analysis::stats::Summary;
 use le_analysis::table::fmt_count;
-use le_analysis::{CsvWriter, Table};
-use le_bench::{results_path, seeds, sweep};
+use le_analysis::Table;
+use le_bench::{seeds, sweep, SweepRunner};
 use le_bounds::formulas;
 use leader_election::sync::las_vegas;
 use leader_election::sync::sublinear_mc;
 
-fn measure_lv(n: usize, seed: u64) -> (u64, usize) {
+fn measure_lv(n: usize, seed: u64, arena: &mut SyncArena) -> (u64, usize) {
     let outcome = SyncSimBuilder::new(n)
         .seed(seed)
-        .build(|id, _| las_vegas::Node::new(id, las_vegas::Config::default()))
+        .build_in(arena, |id, _| {
+            las_vegas::Node::new(id, las_vegas::Config::default())
+        })
         .expect("valid configuration")
-        .run()
+        .run_reusing(arena)
         .expect("no resolver faults");
     outcome
         .validate_explicit()
@@ -30,22 +32,27 @@ fn measure_lv(n: usize, seed: u64) -> (u64, usize) {
     (outcome.stats.total(), outcome.rounds)
 }
 
-fn measure_mc(n: usize, seed: u64) -> (u64, bool) {
+fn measure_mc(n: usize, seed: u64, arena: &mut SyncArena) -> (u64, bool) {
     let outcome = SyncSimBuilder::new(n)
         .seed(seed)
-        .build(|_, _| sublinear_mc::Node::new(sublinear_mc::Config::default()))
+        .build_in(arena, |_, _| {
+            sublinear_mc::Node::new(sublinear_mc::Config::default())
+        })
         .expect("valid configuration")
-        .run()
+        .run_reusing(arena)
         .expect("no resolver faults");
     (outcome.stats.total(), outcome.validate_implicit().is_ok())
 }
 
 fn main() {
-    let ns = sweep(&[256usize, 1024, 4096, 16384, 65536], &[256, 1024]);
+    // Full sweep tops out at 32768: the dense engine tables are ~28 bytes
+    // per ordered node pair, so n = 65536 would need ~120 GB — beyond this
+    // box (see EXPERIMENTS.md). 32768 (~30 GB) still spans two decades.
+    let ns = sweep(&[256usize, 1024, 4096, 16384, 32768], &[256, 1024]);
     let seed_list = seeds(if le_bench::quick() { 5 } else { 20 });
 
-    let mut csv = CsvWriter::create(
-        results_path("exp_lasvegas.csv"),
+    let mut runner = SweepRunner::new(
+        "exp_lasvegas",
         &[
             "n",
             "lv_messages_mean",
@@ -55,8 +62,8 @@ fn main() {
             "lv_lower_bound",
             "mc16_bound",
         ],
-    )
-    .expect("results/ is writable");
+    );
+    let mut arena = SyncArena::new();
 
     let mut table = Table::new(vec![
         "n",
@@ -75,8 +82,12 @@ fn main() {
     let mut lv_points: Vec<(f64, f64)> = Vec::new();
     let mut mc_points: Vec<(f64, f64)> = Vec::new();
     for &n in &ns {
-        let lv: Vec<(u64, usize)> = seed_list.iter().map(|&s| measure_lv(n, s)).collect();
-        let mc: Vec<(u64, bool)> = seed_list.iter().map(|&s| measure_mc(n, s)).collect();
+        let lv = runner.cell(format!("n={n} alg=las_vegas"), &seed_list, |s| {
+            measure_lv(n, s, &mut arena)
+        });
+        let mc = runner.cell(format!("n={n} alg=sublinear_mc"), &seed_list, |s| {
+            measure_mc(n, s, &mut arena)
+        });
         let lv_msgs = Summary::from_counts(&lv.iter().map(|r| r.0).collect::<Vec<_>>()).unwrap();
         let lv_rounds_max = lv.iter().map(|r| r.1).max().unwrap();
         let mc_msgs = Summary::from_counts(&mc.iter().map(|r| r.0).collect::<Vec<_>>()).unwrap();
@@ -97,7 +108,7 @@ fn main() {
             fmt_count(lv_floor),
             fmt_count(formulas::mc16_message_upper_bound(n)),
         ]);
-        csv.write_row(&[
+        runner.emit(&[
             n.to_string(),
             lv_msgs.mean.to_string(),
             lv_rounds_max.to_string(),
@@ -105,8 +116,7 @@ fn main() {
             mc_ok.to_string(),
             lv_floor.to_string(),
             formulas::mc16_message_upper_bound(n).to_string(),
-        ])
-        .expect("results/ is writable");
+        ]);
     }
     println!("{table}");
 
@@ -118,9 +128,5 @@ fn main() {
     if let Some(fit) = fit_power_law(&xs, &ys) {
         println!("Monte Carlo scaling: {fit} — expected exponent → 0.5 + polylog drift");
     }
-    csv.finish().expect("results/ is writable");
-    println!(
-        "CSV written to {}",
-        results_path("exp_lasvegas.csv").display()
-    );
+    runner.finish();
 }

@@ -7,10 +7,10 @@
 //! of the clique before the bound's round threshold.
 
 use clique_model::NodeIndex;
-use clique_sync::SyncSimBuilder;
+use clique_sync::{HaltReason, SyncArena, SyncSimBuilder};
 use le_analysis::table::fmt_count;
-use le_analysis::{CsvWriter, Table};
-use le_bench::{results_path, sweep};
+use le_analysis::Table;
+use le_bench::{sweep, SweepRunner};
 use le_bounds::adversary::ComponentAdversary;
 use le_bounds::commgraph::GraphObserver;
 use le_bounds::formulas;
@@ -20,8 +20,8 @@ fn main() {
     let ns = sweep(&[256usize, 1024, 4096], &[64, 256]);
     let fs = sweep(&[2.0f64, 4.0, 8.0], &[2.0, 8.0]);
 
-    let mut csv = CsvWriter::create(
-        results_path("exp_lb_tradeoff.csv"),
+    let mut runner = SweepRunner::new(
+        "exp_lb_tradeoff",
         &[
             "n",
             "f",
@@ -31,8 +31,8 @@ fn main() {
             "max_block",
             "components_within_blocks",
         ],
-    )
-    .expect("results/ is writable");
+    );
+    let mut arena = SyncArena::new();
 
     for &n in &ns {
         for &f in &fs {
@@ -43,11 +43,42 @@ fn main() {
             let cfg = improved_tradeoff::Config::with_rounds(ell);
             let (adv, probe) = ComponentAdversary::new(n, f);
             let mut obs = GraphObserver::new(n);
-            let mut sim = SyncSimBuilder::new(n)
-                .seed(1)
-                .resolver(Box::new(adv))
-                .build(|id, n| improved_tradeoff::Node::new(id, n, cfg))
-                .expect("valid configuration");
+            // One structural trial per (n, f) cell: the adversary is
+            // deterministic, so there is no seed dimension.
+            let rows = runner.cell_once(format!("n={n} f={f} ell={ell}"), || {
+                let mut sim = SyncSimBuilder::new(n)
+                    .seed(1)
+                    .resolver(Box::new(adv))
+                    .build_in(&mut arena, |id, n| improved_tradeoff::Node::new(id, n, cfg))
+                    .expect("valid configuration");
+                let mut rows: Vec<(usize, usize, f64, usize, bool)> = Vec::new();
+                let mut round = 0usize;
+                loop {
+                    round += 1;
+                    let more = sim.step(&mut obs).expect("no resolver faults");
+                    // Definition 3.1: the round-(r+1) graph contains edges
+                    // sent in rounds ≤ r.
+                    let graph = obs.graph();
+                    let largest = graph.largest_component_at(round + 1);
+                    let envelope = 2f64.powi(formulas::sigma(f, round + 1) as i32);
+                    // Property A: every component is contained in one block.
+                    let within = graph.components_at(round + 1).iter().all(|comp| {
+                        comp.windows(2).all(|w| probe.same_block(w[0], w[1]))
+                            && comp
+                                .first()
+                                .is_none_or(|&u| probe.same_block(u, *comp.last().unwrap()))
+                    });
+                    rows.push((round, largest, envelope, probe.max_block_size(), within));
+                    if !more || round >= ell {
+                        break;
+                    }
+                }
+                // Return the engine state (port map, buffers) to the arena
+                // for the next cell; the truncated outcome itself is not a
+                // measurement here.
+                let _ = sim.into_outcome_reusing(HaltReason::MaxRounds, &mut arena);
+                rows
+            });
 
             let mut table = Table::new(vec![
                 "round",
@@ -59,47 +90,27 @@ fn main() {
             table.title(format!(
                 "Lemma 3.9 adversary, n = {n}, f = {f} (algorithm: Thm 3.10, ℓ = {ell})"
             ));
-
-            let mut round = 0usize;
-            loop {
-                round += 1;
-                let more = sim.step(&mut obs).expect("no resolver faults");
-                // Definition 3.1: the round-(r+1) graph contains edges sent
-                // in rounds ≤ r.
-                let graph = obs.graph();
-                let largest = graph.largest_component_at(round + 1);
-                let envelope = 2f64.powi(formulas::sigma(f, round + 1) as i32);
-                // Property A: every component is contained in one block.
-                let within = graph.components_at(round + 1).iter().all(|comp| {
-                    comp.windows(2).all(|w| probe.same_block(w[0], w[1]))
-                        && comp
-                            .first()
-                            .is_none_or(|&u| probe.same_block(u, *comp.last().unwrap()))
-                });
+            for &(round, largest, envelope, max_block, within) in &rows {
                 table.add_row(vec![
                     round.to_string(),
                     largest.to_string(),
                     fmt_count(envelope.min(n as f64)),
-                    probe.max_block_size().to_string(),
+                    max_block.to_string(),
                     if within {
                         "yes".into()
                     } else {
                         "VIOLATED".into()
                     },
                 ]);
-                csv.write_row(&[
+                runner.emit(&[
                     n.to_string(),
                     f.to_string(),
                     round.to_string(),
                     largest.to_string(),
                     envelope.to_string(),
-                    probe.max_block_size().to_string(),
+                    max_block.to_string(),
                     within.to_string(),
-                ])
-                .expect("results/ is writable");
-                if !more || round >= ell {
-                    break;
-                }
+                ]);
             }
             println!("{table}");
 
@@ -124,9 +135,5 @@ fn main() {
             assert!(probe.block_of(NodeIndex(0)) < n);
         }
     }
-    csv.finish().expect("results/ is writable");
-    println!(
-        "CSV written to {}",
-        results_path("exp_lb_tradeoff.csv").display()
-    );
+    runner.finish();
 }

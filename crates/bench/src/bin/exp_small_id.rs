@@ -6,15 +6,15 @@
 
 use clique_model::ids::IdSpace;
 use clique_model::rng::rng_from_seed;
-use clique_sync::SyncSimBuilder;
+use clique_sync::{SyncArena, SyncSimBuilder};
 use le_analysis::stats::Summary;
 use le_analysis::table::fmt_count;
-use le_analysis::{CsvWriter, Table};
-use le_bench::{results_path, seeds, sweep};
+use le_analysis::Table;
+use le_bench::{seeds, sweep, SweepRunner};
 use le_bounds::formulas;
 use leader_election::sync::small_id;
 
-fn measure(n: usize, d: usize, g: u64, seed: u64) -> (u64, usize) {
+fn measure(n: usize, d: usize, g: u64, seed: u64, arena: &mut SyncArena) -> (u64, usize) {
     let cfg = small_id::Config::new(d, g);
     let mut rng = rng_from_seed(seed);
     let ids = IdSpace::linear(n, g)
@@ -24,9 +24,9 @@ fn measure(n: usize, d: usize, g: u64, seed: u64) -> (u64, usize) {
         .seed(seed)
         .ids(ids)
         .max_rounds(cfg.max_rounds(n) + 1)
-        .build(|id, n| small_id::Node::new(id, n, cfg))
+        .build_in(arena, |id, n| small_id::Node::new(id, n, cfg))
         .expect("valid configuration")
-        .run()
+        .run_reusing(arena)
         .expect("no resolver faults");
     outcome
         .validate_explicit()
@@ -39,8 +39,8 @@ fn main() {
     let g = 2u64;
     let seed_list = seeds(5);
 
-    let mut csv = CsvWriter::create(
-        results_path("exp_small_id.csv"),
+    let mut runner = SweepRunner::new(
+        "exp_small_id",
         &[
             "n",
             "d",
@@ -51,8 +51,8 @@ fn main() {
             "rounds_budget",
             "n_log_n",
         ],
-    )
-    .expect("results/ is writable");
+    );
+    let mut arena = SyncArena::new();
 
     for &n in &ns {
         let log2n = formulas::log2(n);
@@ -74,7 +74,9 @@ fn main() {
             seed_list.len()
         ));
         for &d in &ds {
-            let runs: Vec<(u64, usize)> = seed_list.iter().map(|&s| measure(n, d, g, s)).collect();
+            let runs = runner.cell(format!("n={n} d={d} g={g}"), &seed_list, |s| {
+                measure(n, d, g, s, &mut arena)
+            });
             let msgs = Summary::from_counts(&runs.iter().map(|r| r.0).collect::<Vec<_>>())
                 .expect("non-empty");
             let rounds = Summary::from_sample(&runs.iter().map(|r| r.1 as f64).collect::<Vec<_>>())
@@ -92,7 +94,7 @@ fn main() {
                 budget_rounds.to_string(),
                 le_bench::ratio(msgs.mean, nlogn),
             ]);
-            csv.write_row(&[
+            runner.emit(&[
                 n.to_string(),
                 d.to_string(),
                 g.to_string(),
@@ -101,8 +103,7 @@ fn main() {
                 rounds.mean.to_string(),
                 budget_rounds.to_string(),
                 nlogn.to_string(),
-            ])
-            .expect("results/ is writable");
+            ]);
         }
         println!("{table}");
         println!(
@@ -112,9 +113,5 @@ fn main() {
             fmt_count(n as f64 * log2n),
         );
     }
-    csv.finish().expect("results/ is writable");
-    println!(
-        "CSV written to {}",
-        results_path("exp_small_id.csv").display()
-    );
+    runner.finish();
 }

@@ -4,15 +4,15 @@
 //! value at the chosen `n` — they are proofs, not algorithms — so the
 //! table shows each algorithm sitting above its matching floor.
 
-use clique_async::{AsyncSimBuilder, AsyncWakeSchedule};
+use clique_async::{AsyncArena, AsyncSimBuilder, AsyncWakeSchedule};
 use clique_model::ids::IdSpace;
 use clique_model::rng::rng_from_seed;
 use clique_model::NodeIndex;
-use clique_sync::{SyncSimBuilder, WakeSchedule};
+use clique_sync::{SyncArena, SyncSimBuilder, WakeSchedule};
 use le_analysis::stats::{success_rate, Summary};
 use le_analysis::table::fmt_count;
-use le_analysis::{CsvWriter, Table};
-use le_bench::{results_path, seeds};
+use le_analysis::Table;
+use le_bench::{seeds, SweepRunner};
 use le_bounds::formulas;
 use leader_election::asynchronous::{afek_gafni as a_ag, tradeoff as a_tr};
 use leader_election::sync::{
@@ -65,6 +65,20 @@ fn main() {
     let seed_list = seeds(if le_bench::quick() { 3 } else { 10 });
     let mut rows: Vec<Row> = Vec::new();
 
+    let mut runner = SweepRunner::new(
+        "exp_table1",
+        &[
+            "result",
+            "paper_time",
+            "paper_messages",
+            "measured_time",
+            "measured_messages",
+            "success",
+        ],
+    );
+    let mut arena = SyncArena::new();
+    let mut async_arena = AsyncArena::new();
+
     // ---- Synchronous, deterministic, simultaneous wake-up ----
     lower_bound_row(
         &mut rows,
@@ -81,22 +95,19 @@ fn main() {
     {
         let ell = 5;
         let cfg = improved_tradeoff::Config::with_rounds(ell);
-        let runs: Vec<(f64, u64, bool)> = seed_list
-            .iter()
-            .map(|&s| {
-                let o = SyncSimBuilder::new(n)
-                    .seed(s)
-                    .build(|id, n| improved_tradeoff::Node::new(id, n, cfg))
-                    .unwrap()
-                    .run()
-                    .unwrap();
-                (
-                    o.rounds as f64,
-                    o.stats.total(),
-                    o.validate_explicit().is_ok(),
-                )
-            })
-            .collect();
+        let runs = runner.cell(format!("n={n} alg=improved ell={ell}"), &seed_list, |s| {
+            let o = SyncSimBuilder::new(n)
+                .seed(s)
+                .build_in(&mut arena, |id, n| improved_tradeoff::Node::new(id, n, cfg))
+                .unwrap()
+                .run_reusing(&mut arena)
+                .unwrap();
+            (
+                o.rounds as f64,
+                o.stats.total(),
+                o.validate_explicit().is_ok(),
+            )
+        });
         summarize(
             &mut rows,
             "Alg Thm 3.10 (ℓ=5)",
@@ -109,26 +120,23 @@ fn main() {
         let g = 2u64;
         let d = (n as f64).sqrt() as usize;
         let cfg = small_id::Config::new(d, g);
-        let runs: Vec<(f64, u64, bool)> = seed_list
-            .iter()
-            .map(|&s| {
-                let mut rng = rng_from_seed(s);
-                let ids = IdSpace::linear(n, g).assign(n, &mut rng).unwrap();
-                let o = SyncSimBuilder::new(n)
-                    .seed(s)
-                    .ids(ids)
-                    .max_rounds(cfg.max_rounds(n) + 1)
-                    .build(|id, n| small_id::Node::new(id, n, cfg))
-                    .unwrap()
-                    .run()
-                    .unwrap();
-                (
-                    o.rounds as f64,
-                    o.stats.total(),
-                    o.validate_explicit().is_ok(),
-                )
-            })
-            .collect();
+        let runs = runner.cell(format!("n={n} alg=small_id d={d} g={g}"), &seed_list, |s| {
+            let mut rng = rng_from_seed(s);
+            let ids = IdSpace::linear(n, g).assign(n, &mut rng).unwrap();
+            let o = SyncSimBuilder::new(n)
+                .seed(s)
+                .ids(ids)
+                .max_rounds(cfg.max_rounds(n) + 1)
+                .build_in(&mut arena, |id, n| small_id::Node::new(id, n, cfg))
+                .unwrap()
+                .run_reusing(&mut arena)
+                .unwrap();
+            (
+                o.rounds as f64,
+                o.stats.total(),
+                o.validate_explicit().is_ok(),
+            )
+        });
         summarize(
             &mut rows,
             "Alg Thm 3.15 (d=√n, g=2)",
@@ -143,24 +151,25 @@ fn main() {
         let ell = 4;
         let cfg = afek_gafni::Config::with_rounds(ell);
         let mut wake_rng = rng_from_seed(7);
-        let runs: Vec<(f64, u64, bool)> = seed_list
-            .iter()
-            .map(|&s| {
+        let runs = runner.cell(
+            format!("n={n} alg=afek_gafni ell={ell} wake=n/4"),
+            &seed_list,
+            |s| {
                 let wake = WakeSchedule::random_subset(n, n / 4, &mut wake_rng);
                 let o = SyncSimBuilder::new(n)
                     .seed(s)
                     .wake(wake)
-                    .build(|id, n| afek_gafni::Node::new(id, n, cfg))
+                    .build_in(&mut arena, |id, n| afek_gafni::Node::new(id, n, cfg))
                     .unwrap()
-                    .run()
+                    .run_reusing(&mut arena)
                     .unwrap();
                 (
                     o.rounds as f64,
                     o.stats.total(),
                     o.validate_explicit().is_ok(),
                 )
-            })
-            .collect();
+            },
+        );
         summarize(
             &mut rows,
             "Alg AG [1] (ℓ=4, adv. wake)",
@@ -178,22 +187,21 @@ fn main() {
 
     // ---- Synchronous, randomized, simultaneous wake-up ----
     {
-        let runs: Vec<(f64, u64, bool)> = seed_list
-            .iter()
-            .map(|&s| {
-                let o = SyncSimBuilder::new(n)
-                    .seed(s)
-                    .build(|id, _| las_vegas::Node::new(id, las_vegas::Config::default()))
-                    .unwrap()
-                    .run()
-                    .unwrap();
-                (
-                    o.rounds as f64,
-                    o.stats.total(),
-                    o.validate_explicit().is_ok(),
-                )
-            })
-            .collect();
+        let runs = runner.cell(format!("n={n} alg=las_vegas"), &seed_list, |s| {
+            let o = SyncSimBuilder::new(n)
+                .seed(s)
+                .build_in(&mut arena, |id, _| {
+                    las_vegas::Node::new(id, las_vegas::Config::default())
+                })
+                .unwrap()
+                .run_reusing(&mut arena)
+                .unwrap();
+            (
+                o.rounds as f64,
+                o.stats.total(),
+                o.validate_explicit().is_ok(),
+            )
+        });
         summarize(
             &mut rows,
             "Alg Thm 3.16 (Las Vegas)",
@@ -209,22 +217,21 @@ fn main() {
         formulas::lasvegas_message_lower_bound(n),
     );
     {
-        let runs: Vec<(f64, u64, bool)> = seed_list
-            .iter()
-            .map(|&s| {
-                let o = SyncSimBuilder::new(n)
-                    .seed(s)
-                    .build(|_, _| sublinear_mc::Node::new(sublinear_mc::Config::default()))
-                    .unwrap()
-                    .run()
-                    .unwrap();
-                (
-                    o.rounds as f64,
-                    o.stats.total(),
-                    o.validate_implicit().is_ok(),
-                )
-            })
-            .collect();
+        let runs = runner.cell(format!("n={n} alg=sublinear_mc"), &seed_list, |s| {
+            let o = SyncSimBuilder::new(n)
+                .seed(s)
+                .build_in(&mut arena, |_, _| {
+                    sublinear_mc::Node::new(sublinear_mc::Config::default())
+                })
+                .unwrap()
+                .run_reusing(&mut arena)
+                .unwrap();
+            (
+                o.rounds as f64,
+                o.stats.total(),
+                o.validate_implicit().is_ok(),
+            )
+        });
         summarize(
             &mut rows,
             "Alg [16] (Monte Carlo)",
@@ -244,27 +251,28 @@ fn main() {
     {
         let eps = 0.0625;
         let mut wake_rng = rng_from_seed(11);
-        let runs: Vec<(f64, u64, bool)> = seed_list
-            .iter()
-            .map(|&s| {
+        let runs = runner.cell(
+            format!("n={n} alg=two_round eps={eps} wake=1"),
+            &seed_list,
+            |s| {
                 let wake = WakeSchedule::random_subset(n, 1, &mut wake_rng);
                 let o = SyncSimBuilder::new(n)
                     .seed(s)
                     .wake(wake)
                     .max_rounds(2)
-                    .build(|_, _| {
+                    .build_in(&mut arena, |_, _| {
                         two_round_adversarial::Node::new(two_round_adversarial::Config::new(eps))
                     })
                     .unwrap()
-                    .run()
+                    .run_reusing(&mut arena)
                     .unwrap();
                 (
                     o.rounds as f64,
                     o.stats.total(),
                     o.validate_implicit().is_ok(),
                 )
-            })
-            .collect();
+            },
+        );
         summarize(
             &mut rows,
             "Alg Thm 4.1 (ε=1/16)",
@@ -282,25 +290,22 @@ fn main() {
     {
         let cfg = gossip_baseline::Config::default();
         let mut wake_rng = rng_from_seed(13);
-        let runs: Vec<(f64, u64, bool)> = seed_list
-            .iter()
-            .map(|&s| {
-                let wake = WakeSchedule::random_subset(n, 1, &mut wake_rng);
-                let o = SyncSimBuilder::new(n)
-                    .seed(s)
-                    .wake(wake)
-                    .max_rounds(cfg.total_rounds(n) + 2)
-                    .build(|id, _| gossip_baseline::Node::new(id, cfg))
-                    .unwrap()
-                    .run()
-                    .unwrap();
-                (
-                    o.rounds as f64,
-                    o.stats.total(),
-                    o.validate_explicit().is_ok(),
-                )
-            })
-            .collect();
+        let runs = runner.cell(format!("n={n} alg=gossip wake=1"), &seed_list, |s| {
+            let wake = WakeSchedule::random_subset(n, 1, &mut wake_rng);
+            let o = SyncSimBuilder::new(n)
+                .seed(s)
+                .wake(wake)
+                .max_rounds(cfg.total_rounds(n) + 2)
+                .build_in(&mut arena, |id, _| gossip_baseline::Node::new(id, cfg))
+                .unwrap()
+                .run_reusing(&mut arena)
+                .unwrap();
+            (
+                o.rounds as f64,
+                o.stats.total(),
+                o.validate_explicit().is_ok(),
+            )
+        });
         summarize(
             &mut rows,
             "Gossip stand-in for [14]",
@@ -312,19 +317,18 @@ fn main() {
 
     // ---- Asynchronous ----
     for k in [2usize, 4] {
-        let runs: Vec<(f64, u64, bool)> = seed_list
-            .iter()
-            .map(|&s| {
-                let o = AsyncSimBuilder::new(n)
-                    .seed(s)
-                    .wake(AsyncWakeSchedule::single(NodeIndex(0)))
-                    .build(|_, _| a_tr::Node::new(a_tr::Config::new(k)))
-                    .unwrap()
-                    .run()
-                    .unwrap();
-                (o.time, o.stats.total(), o.validate_implicit().is_ok())
-            })
-            .collect();
+        let runs = runner.cell(format!("n={n} alg=async_tradeoff k={k}"), &seed_list, |s| {
+            let o = AsyncSimBuilder::new(n)
+                .seed(s)
+                .wake(AsyncWakeSchedule::single(NodeIndex(0)))
+                .build_in(&mut async_arena, |_, _| {
+                    a_tr::Node::new(a_tr::Config::new(k))
+                })
+                .unwrap()
+                .run_reusing(&mut async_arena)
+                .unwrap();
+            (o.time, o.stats.total(), o.validate_implicit().is_ok())
+        });
         let name: &'static str = if k == 2 {
             "Alg Thm 5.1 (k=2)"
         } else {
@@ -339,19 +343,16 @@ fn main() {
         );
     }
     {
-        let runs: Vec<(f64, u64, bool)> = seed_list
-            .iter()
-            .map(|&s| {
-                let o = AsyncSimBuilder::new(n)
-                    .seed(s)
-                    .wake(AsyncWakeSchedule::simultaneous(n))
-                    .build(a_ag::Node::new)
-                    .unwrap()
-                    .run()
-                    .unwrap();
-                (o.time, o.stats.total(), o.validate_implicit().is_ok())
-            })
-            .collect();
+        let runs = runner.cell(format!("n={n} alg=async_afek_gafni"), &seed_list, |s| {
+            let o = AsyncSimBuilder::new(n)
+                .seed(s)
+                .wake(AsyncWakeSchedule::simultaneous(n))
+                .build_in(&mut async_arena, a_ag::Node::new)
+                .unwrap()
+                .run_reusing(&mut async_arena)
+                .unwrap();
+            (o.time, o.stats.total(), o.validate_implicit().is_ok())
+        });
         summarize(
             &mut rows,
             "Alg Thm 5.14 (async AG)",
@@ -374,18 +375,6 @@ fn main() {
         "Table 1 reproduction, n = {n} (mean of {} seeds; lower bounds print their formula value)",
         seed_list.len()
     ));
-    let mut csv = CsvWriter::create(
-        results_path("exp_table1.csv"),
-        &[
-            "result",
-            "paper_time",
-            "paper_messages",
-            "measured_time",
-            "measured_messages",
-            "success",
-        ],
-    )
-    .expect("results/ is writable");
     for row in &rows {
         table.add_row(vec![
             row.name.to_string(),
@@ -395,20 +384,15 @@ fn main() {
             row.measured_messages.clone(),
             row.success.clone(),
         ]);
-        csv.write_row(&[
+        runner.emit(&[
             row.name,
             &row.paper_time,
             &row.paper_messages,
             &row.measured_time,
             &row.measured_messages,
             &row.success,
-        ])
-        .expect("results/ is writable");
+        ]);
     }
     println!("{table}");
-    csv.finish().expect("results/ is writable");
-    println!(
-        "CSV written to {}",
-        results_path("exp_table1.csv").display()
-    );
+    runner.finish();
 }

@@ -8,21 +8,21 @@
 //! measured(AG at ℓ+1)`, with the improved algorithm's advantage largest at
 //! small constant ℓ.
 
-use clique_sync::SyncSimBuilder;
+use clique_sync::{SyncArena, SyncSimBuilder};
 use le_analysis::stats::Summary;
 use le_analysis::table::fmt_count;
-use le_analysis::{CsvWriter, Table};
-use le_bench::{results_path, seeds, sweep};
+use le_analysis::Table;
+use le_bench::{seeds, sweep, SweepRunner};
 use le_bounds::formulas;
 use leader_election::sync::{afek_gafni, improved_tradeoff};
 
-fn measure_improved(n: usize, ell: usize, seed: u64) -> u64 {
+fn measure_improved(n: usize, ell: usize, seed: u64, arena: &mut SyncArena) -> u64 {
     let cfg = improved_tradeoff::Config::with_rounds(ell);
     let outcome = SyncSimBuilder::new(n)
         .seed(seed)
-        .build(|id, n| improved_tradeoff::Node::new(id, n, cfg))
+        .build_in(arena, |id, n| improved_tradeoff::Node::new(id, n, cfg))
         .expect("valid configuration")
-        .run()
+        .run_reusing(arena)
         .expect("no resolver faults");
     outcome
         .validate_explicit()
@@ -31,13 +31,13 @@ fn measure_improved(n: usize, ell: usize, seed: u64) -> u64 {
     outcome.stats.total()
 }
 
-fn measure_afek_gafni(n: usize, ell: usize, seed: u64) -> u64 {
+fn measure_afek_gafni(n: usize, ell: usize, seed: u64, arena: &mut SyncArena) -> u64 {
     let cfg = afek_gafni::Config::with_rounds(ell);
     let outcome = SyncSimBuilder::new(n)
         .seed(seed)
-        .build(|id, n| afek_gafni::Node::new(id, n, cfg))
+        .build_in(arena, |id, n| afek_gafni::Node::new(id, n, cfg))
         .expect("valid configuration")
-        .run()
+        .run_reusing(arena)
         .expect("no resolver faults");
     outcome
         .validate_explicit()
@@ -51,8 +51,8 @@ fn main() {
     let ells = sweep(&[3usize, 5, 7, 9, 11], &[3, 5]);
     let seed_list = seeds(3);
 
-    let mut csv = CsvWriter::create(
-        results_path("exp_tradeoff_det.csv"),
+    let mut runner = SweepRunner::new(
+        "exp_tradeoff_det",
         &[
             "n",
             "ell",
@@ -61,8 +61,8 @@ fn main() {
             "lb_thm38",
             "ub_thm310",
         ],
-    )
-    .expect("results/ is writable");
+    );
+    let mut arena = SyncArena::new();
 
     for &n in &ns {
         let mut table = Table::new(vec![
@@ -78,21 +78,19 @@ fn main() {
             seed_list.len()
         ));
         for &ell in &ells {
-            let improved = Summary::from_counts(
-                &seed_list
-                    .iter()
-                    .map(|&s| measure_improved(n, ell, s))
-                    .collect::<Vec<_>>(),
-            )
+            let improved = Summary::from_counts(&runner.cell(
+                format!("n={n} ell={ell} alg=improved"),
+                &seed_list,
+                |s| measure_improved(n, ell, s, &mut arena),
+            ))
             .expect("non-empty sample");
             // The baseline's round budget must be even; ℓ+1 gives it one
             // MORE round than the improved algorithm, i.e. an advantage.
-            let ag = Summary::from_counts(
-                &seed_list
-                    .iter()
-                    .map(|&s| measure_afek_gafni(n, ell + 1, s))
-                    .collect::<Vec<_>>(),
-            )
+            let ag = Summary::from_counts(&runner.cell(
+                format!("n={n} ell={} alg=afek_gafni", ell + 1),
+                &seed_list,
+                |s| measure_afek_gafni(n, ell + 1, s, &mut arena),
+            ))
             .expect("non-empty sample");
             let lb = formulas::thm38_message_lower_bound(n, ell);
             let ub = formulas::thm310_message_upper_bound(n, ell);
@@ -104,21 +102,16 @@ fn main() {
                 fmt_count(ub),
                 format!("{:.2}", improved.mean / ag.mean),
             ]);
-            csv.write_row(&[
+            runner.emit(&[
                 n.to_string(),
                 ell.to_string(),
                 improved.mean.to_string(),
                 ag.mean.to_string(),
                 lb.to_string(),
                 ub.to_string(),
-            ])
-            .expect("results/ is writable");
+            ]);
         }
         println!("{table}");
     }
-    csv.finish().expect("results/ is writable");
-    println!(
-        "CSV written to {}",
-        results_path("exp_tradeoff_det.csv").display()
-    );
+    runner.finish();
 }

@@ -7,12 +7,12 @@
 //! traffic is the wake-up cascade; we measure the time by which the last
 //! node woke.
 
-use clique_async::{AsyncSimBuilder, AsyncWakeSchedule};
+use clique_async::{AsyncArena, AsyncSimBuilder, AsyncWakeSchedule};
 use clique_model::rng::rng_from_seed;
 use le_analysis::stats::{success_rate, Summary};
 use le_analysis::table::fmt_count;
-use le_analysis::{CsvWriter, Table};
-use le_bench::{results_path, seeds, sweep};
+use le_analysis::Table;
+use le_bench::{seeds, sweep, SweepRunner};
 use leader_election::asynchronous::tradeoff::{Config, Node};
 
 /// The pure wake-up configuration: Algorithm 2 with candidacy switched off.
@@ -22,16 +22,22 @@ fn wakeup_only(k: usize) -> Config {
     cfg
 }
 
-fn measure(n: usize, k: usize, wake_size: usize, seed: u64) -> (Option<f64>, u64) {
+fn measure(
+    n: usize,
+    k: usize,
+    wake_size: usize,
+    seed: u64,
+    arena: &mut AsyncArena,
+) -> (Option<f64>, u64) {
     let mut wake_rng = rng_from_seed(seed ^ 0xBEEF);
     let wake = AsyncWakeSchedule::random_subset(n, wake_size, &mut wake_rng);
     let cfg = wakeup_only(k);
     let outcome = AsyncSimBuilder::new(n)
         .seed(seed)
         .wake(wake)
-        .build(|_, _| Node::new(cfg))
+        .build_in(arena, |_, _| Node::new(cfg))
         .expect("valid configuration")
-        .run()
+        .run_reusing(arena)
         .expect("no resolver faults");
     (outcome.wake_all_time, outcome.stats.total())
 }
@@ -41,8 +47,8 @@ fn main() {
     let ks = sweep(&[2usize, 4, 8], &[2, 4]);
     let seed_list = seeds(if le_bench::quick() { 5 } else { 15 });
 
-    let mut csv = CsvWriter::create(
-        results_path("exp_wakeup_phase.csv"),
+    let mut runner = SweepRunner::new(
+        "exp_wakeup_phase",
         &[
             "n",
             "k",
@@ -52,8 +58,8 @@ fn main() {
             "bound_k_plus_4",
             "messages_mean",
         ],
-    )
-    .expect("results/ is writable");
+    );
+    let mut arena = AsyncArena::new();
 
     for &n in &ns {
         let mut table = Table::new(vec![
@@ -73,10 +79,9 @@ fn main() {
                 continue;
             }
             for &wake_size in &[1usize, (n as f64).sqrt() as usize] {
-                let runs: Vec<(Option<f64>, u64)> = seed_list
-                    .iter()
-                    .map(|&s| measure(n, k, wake_size, s))
-                    .collect();
+                let runs = runner.cell(format!("n={n} k={k} wake={wake_size}"), &seed_list, |s| {
+                    measure(n, k, wake_size, s, &mut arena)
+                });
                 let covered = success_rate(&runs.iter().map(|r| r.0.is_some()).collect::<Vec<_>>());
                 let wake_max = runs.iter().filter_map(|r| r.0).fold(0.0f64, f64::max);
                 let msgs =
@@ -89,7 +94,7 @@ fn main() {
                     format!("{}", k + 4),
                     fmt_count(msgs.mean),
                 ]);
-                csv.write_row(&[
+                runner.emit(&[
                     n.to_string(),
                     k.to_string(),
                     wake_size.to_string(),
@@ -97,15 +102,10 @@ fn main() {
                     wake_max.to_string(),
                     (k + 4).to_string(),
                     msgs.mean.to_string(),
-                ])
-                .expect("results/ is writable");
+                ]);
             }
         }
         println!("{table}");
     }
-    csv.finish().expect("results/ is writable");
-    println!(
-        "CSV written to {}",
-        results_path("exp_wakeup_phase.csv").display()
-    );
+    runner.finish();
 }

@@ -11,18 +11,34 @@
 //!
 //! Every binary prints a table to stdout and writes a CSV under
 //! `results/`. Set `LE_QUICK=1` to shrink the sweeps (used by the smoke
-//! tests).
+//! tests) and `LE_TIMING=1` to print per-cell wall-clock timings.
+//!
+//! All binaries drive their Monte-Carlo grids through one [`SweepRunner`]:
+//! a grid of cells (parameter points), each executing its per-seed trial
+//! closure against recycled simulation arenas
+//! ([`clique_sync::SyncArena`] / [`clique_async::AsyncArena`]), with
+//! per-cell wall-clock timing and uniform CSV/stdout output. Recycling
+//! makes repeated trials O(touched-state) instead of `Θ(n²)`-construction
+//! per seed — see `BENCH_trial_recycling.json` at the repository root.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::path::PathBuf;
+use std::time::Instant;
+
+use le_analysis::CsvWriter;
 
 /// Whether the quick (CI-sized) sweep was requested via `LE_QUICK=1` or a
 /// `--quick` argument.
 pub fn quick() -> bool {
     std::env::var_os("LE_QUICK").is_some_and(|v| v != "0")
         || std::env::args().any(|a| a == "--quick")
+}
+
+/// Whether per-cell wall-clock reporting was requested via `LE_TIMING=1`.
+pub fn timing() -> bool {
+    std::env::var_os("LE_TIMING").is_some_and(|v| v != "0")
 }
 
 /// Picks the full or quick variant of a sweep.
@@ -56,6 +72,153 @@ pub fn ratio(measured: f64, predicted: f64) -> String {
     format!("{:.2}×", measured / predicted)
 }
 
+/// The shared sweep harness every `exp_*` binary runs on.
+///
+/// A sweep is a grid of *cells* — one parameter point each (an
+/// `(algorithm, n, …)` combination) — and each cell runs one *trial* per
+/// seed. The runner owns the experiment's CSV sink, times every cell, and
+/// prints a uniform completion summary (plus per-cell wall-clocks under
+/// `LE_TIMING=1`), so no binary hand-rolls its own trial loop, CSV
+/// plumbing, or timing.
+///
+/// Trial closures are expected to recycle simulation state across seeds
+/// through a [`clique_sync::SyncArena`] / [`clique_async::AsyncArena`]
+/// captured by the closure (`build_in` + `run_reusing`), which removes the
+/// `Θ(n²)` per-trial construction floor that fresh `build()` calls pay.
+///
+/// ```no_run
+/// use clique_sync::{SyncArena, SyncSimBuilder};
+/// use le_bench::SweepRunner;
+/// # use clique_model::Decision;
+/// # use clique_sync::{Context, Received, SyncNode};
+/// # struct Quiet { decision: Decision }
+/// # impl SyncNode for Quiet {
+/// #     type Message = ();
+/// #     fn send_phase(&mut self, _ctx: &mut Context<'_, ()>) { self.decision = Decision::Leader; }
+/// #     fn receive_phase(&mut self, _: &mut Context<'_, ()>, _: &[Received<()>]) {}
+/// #     fn decision(&self) -> Decision { self.decision }
+/// # }
+///
+/// let mut runner = SweepRunner::new("exp_demo", &["n", "messages_mean"]);
+/// let mut arena = SyncArena::new();
+/// for n in [64usize, 256] {
+///     let msgs = runner.cell(format!("n={n}"), &[0, 1, 2], |seed| {
+///         SyncSimBuilder::new(n)
+///             .seed(seed)
+///             .build_in(&mut arena, |_, _| Quiet { decision: Decision::Undecided })
+///             .expect("valid configuration")
+///             .run_reusing(&mut arena)
+///             .expect("no resolver faults")
+///             .stats
+///             .total()
+///     });
+///     let mean = msgs.iter().sum::<u64>() as f64 / msgs.len() as f64;
+///     runner.emit(&[n.to_string(), mean.to_string()]);
+/// }
+/// runner.finish();
+/// ```
+#[derive(Debug)]
+pub struct SweepRunner {
+    exp: String,
+    csv: CsvWriter,
+    csv_path: PathBuf,
+    started: Instant,
+    cells: u64,
+    trials: u64,
+}
+
+impl SweepRunner {
+    /// Opens the sweep for experiment `exp`, creating (or truncating) its
+    /// CSV sink at `results/{exp}.csv` with the given header.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `results/` is not writable — experiments cannot proceed
+    /// without their output sink.
+    pub fn new(exp: &str, columns: &[&str]) -> SweepRunner {
+        let csv_path = results_path(&format!("{exp}.csv"));
+        let csv = CsvWriter::create(&csv_path, columns).expect("results/ is writable");
+        SweepRunner {
+            exp: exp.to_string(),
+            csv,
+            csv_path,
+            started: Instant::now(),
+            cells: 0,
+            trials: 0,
+        }
+    }
+
+    /// Runs one grid cell: executes `trial` once per seed, collects the
+    /// per-seed results, and records the cell's wall-clock (printed when
+    /// `LE_TIMING=1`).
+    pub fn cell<T>(
+        &mut self,
+        label: impl AsRef<str>,
+        seeds: &[u64],
+        mut trial: impl FnMut(u64) -> T,
+    ) -> Vec<T> {
+        let t0 = Instant::now();
+        let results: Vec<T> = seeds.iter().map(|&s| trial(s)).collect();
+        self.record_cell(label.as_ref(), t0, seeds.len() as u64);
+        results
+    }
+
+    /// Runs a single-trial cell (for deterministic experiments with no
+    /// seed dimension), timing it like [`SweepRunner::cell`].
+    pub fn cell_once<T>(&mut self, label: impl AsRef<str>, f: impl FnOnce() -> T) -> T {
+        let t0 = Instant::now();
+        let result = f();
+        self.record_cell(label.as_ref(), t0, 1);
+        result
+    }
+
+    fn record_cell(&mut self, label: &str, t0: Instant, trials: u64) {
+        let secs = t0.elapsed().as_secs_f64();
+        self.cells += 1;
+        self.trials += trials;
+        if timing() {
+            println!(
+                "LE_TIMING {} cell={label} trials={trials} secs={secs:.3}",
+                self.exp
+            );
+        }
+    }
+
+    /// Writes one data row to the experiment's CSV.
+    ///
+    /// # Panics
+    ///
+    /// Panics on I/O errors or a row/header column-count mismatch.
+    pub fn emit<S: AsRef<str>>(&mut self, row: &[S]) {
+        self.csv.write_row(row).expect("results/ is writable");
+    }
+
+    /// Flushes the CSV and prints the uniform completion summary: total
+    /// wall-clock, cell and trial counts, sweep mode, and the CSV path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if flushing the CSV fails.
+    pub fn finish(self) {
+        let secs = self.started.elapsed().as_secs_f64();
+        self.csv.finish().expect("results/ is writable");
+        println!(
+            "{}: {} cells, {} trials in {secs:.2}s ({} sweep); CSV written to {}",
+            self.exp,
+            self.cells,
+            self.trials,
+            if quick() { "quick" } else { "full" },
+            self.csv_path.display()
+        );
+        if timing() {
+            println!(
+                "LE_TIMING {} total cells={} trials={} secs={secs:.3}",
+                self.exp, self.cells, self.trials
+            );
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -74,5 +237,25 @@ mod tests {
     fn results_path_creates_directory() {
         let p = results_path("probe.csv");
         assert!(p.parent().unwrap().exists());
+    }
+
+    #[test]
+    fn sweep_runner_counts_cells_and_trials() {
+        let mut runner = SweepRunner::new("probe_sweep", &["n", "sum"]);
+        let mut total = 0u64;
+        for n in [4u64, 8] {
+            let results = runner.cell(format!("n={n}"), &[0, 1, 2], |seed| n + seed);
+            assert_eq!(results.len(), 3);
+            total += results.iter().sum::<u64>();
+            runner.emit(&[n.to_string(), total.to_string()]);
+        }
+        let once = runner.cell_once("single", || 41 + 1);
+        assert_eq!(once, 42);
+        assert_eq!(runner.cells, 3);
+        assert_eq!(runner.trials, 7);
+        runner.finish();
+        let written = std::fs::read_to_string(results_path("probe_sweep.csv")).unwrap();
+        assert_eq!(written.lines().count(), 3, "header + one row per n");
+        assert!(written.starts_with("n,sum"));
     }
 }

@@ -138,6 +138,7 @@ impl IsolationHarness {
     pub fn run<N, F>(&self, set: &[Id], factory: F) -> Result<IsolationVerdict, ModelError>
     where
         N: SyncNode,
+        N::Message: 'static,
         F: FnMut(Id, usize) -> N,
     {
         assert!(!set.is_empty(), "the ID set must be non-empty");
@@ -184,6 +185,7 @@ impl IsolationHarness {
     ) -> Result<Vec<Decision>, ModelError>
     where
         N: SyncNode,
+        N::Message: 'static,
         F: FnMut(Id, usize) -> N,
     {
         assert!(

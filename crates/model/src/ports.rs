@@ -34,6 +34,17 @@
 //! rejection sampling, and connecting a pair is two O(1) swaps. The port
 //! permutation is maintained identically for free-port draws. Every
 //! operation on the map — `resolve`, `connect`, and all queries — is O(1).
+//!
+//! # Trial recycling
+//!
+//! The `Θ(n²)` construction cost is paid once per *map*, not once per
+//! *trial*: [`PortMap::reset`] returns a used map to the exact state
+//! [`PortMap::new`] produces, in time proportional to the state the
+//! previous trial actually touched (a dirty-node list records which rows
+//! have links; each dirty row is restored by swapping its partitioned
+//! permutations back to canonical order — no reallocation, no full-table
+//! sweep). A reset map is observationally identical to a fresh one: the
+//! same resolver draws from the same RNG state produce the same mapping.
 
 use rand::rngs::SmallRng;
 use rand::Rng;
@@ -321,7 +332,7 @@ impl PortResolver for CirculantResolver {
 /// `n = 4096` scale of the shape suites this is a few hundred MB for the
 /// lifetime of one simulation, traded for the removal of all hashing and
 /// all O(n) rejection/scan fallbacks from the engines' innermost loop.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PortMap {
     n: usize,
     /// `forward[u·(n−1) + i] = (v << 32) | j` for each assigned port `i` of
@@ -346,6 +357,10 @@ pub struct PortMap {
     degree: Vec<u32>,
     /// Total number of links fixed so far.
     links: usize,
+    /// Nodes whose rows differ from the pristine state (pushed on the
+    /// 0 → 1 degree transition); exactly the rows [`PortMap::reset`] must
+    /// restore.
+    dirty: Vec<u32>,
 }
 
 impl PortMap {
@@ -385,6 +400,7 @@ impl PortMap {
             port_pos,
             degree: vec![0; n],
             links: 0,
+            dirty: Vec::new(),
         })
     }
 
@@ -576,6 +592,12 @@ impl PortMap {
 
     fn insert_link(&mut self, u: NodeIndex, pu: Port, v: NodeIndex, pv: Port) {
         let ports = self.n - 1;
+        if self.degree[u.0] == 0 {
+            self.dirty.push(u.0 as u32);
+        }
+        if self.degree[v.0] == 0 {
+            self.dirty.push(v.0 as u32);
+        }
         self.forward[u.0 * ports + pu.0] = ((v.0 as u64) << 32) | pv.0 as u64;
         self.forward[v.0 * ports + pv.0] = ((u.0 as u64) << 32) | pu.0 as u64;
         self.port_of[u.0 * self.n + v.0] = pu.0 as u32;
@@ -606,6 +628,71 @@ impl PortMap {
         self.port_perm.swap(row + d, row + kp);
         self.port_pos[row + p] = d as u32;
         self.port_pos[row + q] = kp as u32;
+    }
+
+    /// Un-connects everything, returning the map to the exact state
+    /// [`PortMap::new`] produces — without reallocating any table.
+    ///
+    /// Cost is proportional to the state actually touched since
+    /// construction (or the previous reset): only the rows of nodes with at
+    /// least one link are visited, and each such row is restored in
+    /// O(degree) — the partitioned permutations are swapped back to
+    /// canonical ascending order by chasing displacement cycles, every swap
+    /// of which parks one entry in its home slot for good. Repeated trials
+    /// over one map therefore pay `Θ(n²)` once and O(links) per trial,
+    /// instead of `Θ(n²)` per trial.
+    ///
+    /// Afterwards the map is observationally identical to a freshly
+    /// constructed one: the same sequence of resolver choices (and RNG
+    /// draws) yields the same mapping, which is what lets sweep harnesses
+    /// recycle one map across seeds without changing any recorded number.
+    pub fn reset(&mut self) {
+        let ports = self.n - 1;
+        let dirty = std::mem::take(&mut self.dirty);
+        for &u in &dirty {
+            let u = u as usize;
+            let d = self.degree[u] as usize;
+            let row = u * ports;
+            // Clear the forward and peer-index entries of every link of u.
+            // The connected peers and assigned ports are exactly the first
+            // d entries of the partitioned permutations.
+            for k in 0..d {
+                let v = self.peer_perm[row + k] as usize;
+                self.port_of[u * self.n + v] = EMPTY_U32;
+                let p = self.port_perm[row + k] as usize;
+                self.forward[row + p] = EMPTY_U64;
+            }
+            self.degree[u] = 0;
+            // Restore the canonical permutations. Every displacement cycle
+            // passes through the connected prefix `0..d` (each `promote`
+            // swapped the then-boundary position with a position at or
+            // beyond it), so chasing cycles from the prefix restores the
+            // whole row in O(d) swaps.
+            for k in 0..d {
+                loop {
+                    let v = self.peer_perm[row + k] as usize;
+                    let home = v - usize::from(v > u);
+                    if home == k {
+                        break;
+                    }
+                    let w = self.peer_perm[row + home] as usize;
+                    self.peer_perm.swap(row + k, row + home);
+                    self.peer_pos[u * self.n + v] = home as u32;
+                    self.peer_pos[u * self.n + w] = k as u32;
+                }
+                loop {
+                    let p = self.port_perm[row + k] as usize;
+                    if p == k {
+                        break;
+                    }
+                    let q = self.port_perm[row + p] as usize;
+                    self.port_perm.swap(row + k, row + p);
+                    self.port_pos[row + p] = p as u32;
+                    self.port_pos[row + q] = k as u32;
+                }
+            }
+        }
+        self.links = 0;
     }
 
     /// Exhaustively checks the bijectivity invariants *and* the internal
@@ -676,6 +763,20 @@ impl PortMap {
         }
         if counted != 2 * self.links {
             return fail(0, 0, "link count out of sync");
+        }
+        // The dirty list must hold exactly the nodes with at least one
+        // link, each once (pushed only on the 0 → 1 degree transition).
+        let mut dirty = self.dirty.clone();
+        dirty.sort_unstable();
+        dirty.dedup();
+        if dirty.len() != self.dirty.len() {
+            return fail(0, 0, "duplicate dirty-list entry");
+        }
+        let with_links: Vec<u32> = (0..self.n as u32)
+            .filter(|&u| self.degree[u as usize] > 0)
+            .collect();
+        if dirty != with_links {
+            return fail(0, 0, "dirty list out of sync with degrees");
         }
         Ok(())
     }
@@ -933,6 +1034,90 @@ mod tests {
         assert_eq!(back.node, NodeIndex(1));
         assert_eq!(back.port, Port(2));
         assert_eq!(map.link_count(), 1);
+    }
+
+    #[test]
+    fn reset_restores_pristine_state() {
+        let n = 12;
+        let mut map = PortMap::new(n).unwrap();
+        let mut r = RandomResolver;
+        let mut rng = rng_from_seed(5);
+        for u in 0..n {
+            for p in 0..3 {
+                map.resolve(NodeIndex(u), Port(p), &mut r, &mut rng)
+                    .unwrap();
+            }
+        }
+        assert!(map.link_count() > 0);
+        map.reset();
+        map.validate().unwrap();
+        assert_eq!(map, PortMap::new(n).unwrap());
+    }
+
+    #[test]
+    fn reset_after_full_clique_restores_pristine_state() {
+        let n = 9;
+        let mut map = PortMap::new(n).unwrap();
+        let mut r = RandomResolver;
+        let mut rng = rng_from_seed(8);
+        for u in 0..n {
+            for p in 0..n - 1 {
+                map.resolve(NodeIndex(u), Port(p), &mut r, &mut rng)
+                    .unwrap();
+            }
+        }
+        map.reset();
+        assert_eq!(map, PortMap::new(n).unwrap());
+        assert_eq!(map.link_count(), 0);
+    }
+
+    #[test]
+    fn reset_preserves_draw_schedule() {
+        // The same resolver draws from the same RNG state must produce the
+        // same mapping on a reset map as on a fresh one.
+        let n = 16;
+        let mut recycled = PortMap::new(n).unwrap();
+        let mut r = RandomResolver;
+        let mut warmup_rng = rng_from_seed(123);
+        for u in 0..n {
+            recycled
+                .resolve(NodeIndex(u), Port(0), &mut r, &mut warmup_rng)
+                .unwrap();
+        }
+        recycled.reset();
+        let mut fresh = PortMap::new(n).unwrap();
+        let mut rng_a = rng_from_seed(42);
+        let mut rng_b = rng_from_seed(42);
+        for u in 0..n {
+            for p in 0..4 {
+                let da = recycled
+                    .resolve(NodeIndex(u), Port(p), &mut r, &mut rng_a)
+                    .unwrap();
+                let db = fresh
+                    .resolve(NodeIndex(u), Port(p), &mut r, &mut rng_b)
+                    .unwrap();
+                assert_eq!(da, db);
+            }
+        }
+        assert_eq!(recycled, fresh);
+    }
+
+    #[test]
+    fn reset_is_reusable_across_many_trials() {
+        let n = 10;
+        let mut map = PortMap::new(n).unwrap();
+        let mut r = RandomResolver;
+        for trial in 0..20u64 {
+            let mut rng = rng_from_seed(trial);
+            for u in 0..n {
+                map.resolve(NodeIndex(u), Port(0), &mut r, &mut rng)
+                    .unwrap();
+            }
+            map.validate().unwrap();
+            map.reset();
+            map.validate().unwrap();
+        }
+        assert_eq!(map, PortMap::new(n).unwrap());
     }
 
     #[test]

@@ -133,6 +133,52 @@ proptest! {
         }
     }
 
+    /// After any interleaved op sequence, `reset()` returns the map to a
+    /// state *observationally identical* to a freshly constructed one: the
+    /// same op sequence driven by the same RNG state produces the same
+    /// resolutions, endpoint for endpoint, on the reset map as on a fresh
+    /// map — so recycling a map across trials cannot change any recorded
+    /// experiment number.
+    #[test]
+    fn reset_map_is_observationally_fresh(
+        n in 2usize..28,
+        warm_seed in 0u64..1000,
+        seed in 0u64..1000,
+        warm_ops in prop::collection::vec((0usize..28, 0usize..27, 0usize..28), 1..80),
+        ops in prop::collection::vec((0usize..28, 0usize..27), 1..80),
+    ) {
+        // Dirty the map with one op sequence, then reset it.
+        let mut recycled = apply_ops(n, warm_seed, &warm_ops);
+        recycled.reset();
+        recycled.validate().unwrap();
+        prop_assert_eq!(recycled.link_count(), 0);
+
+        // Replay a second sequence on the reset map and on a fresh map,
+        // with identical RNG states; every resolution must coincide.
+        let mut fresh = PortMap::new(n).unwrap();
+        let mut resolver = RandomResolver;
+        let mut rng_recycled = rng_from_seed(seed);
+        let mut rng_fresh = rng_from_seed(seed);
+        for &(u, p) in &ops {
+            let (u, p) = (u % n, p % (n - 1));
+            let a = recycled
+                .resolve(NodeIndex(u), Port(p), &mut resolver, &mut rng_recycled)
+                .unwrap();
+            let b = fresh
+                .resolve(NodeIndex(u), Port(p), &mut resolver, &mut rng_fresh)
+                .unwrap();
+            prop_assert_eq!(a, b, "resolution diverged after reset at ({}, {})", u, p);
+        }
+        recycled.validate().unwrap();
+        prop_assert_eq!(&recycled, &fresh);
+
+        // And a second reset brings both back to the same pristine state.
+        recycled.reset();
+        fresh.reset();
+        prop_assert_eq!(&recycled, &fresh);
+        prop_assert_eq!(&recycled, &PortMap::new(n).unwrap());
+    }
+
     /// The unconnected-peers permutation exposed to resolvers always
     /// enumerates exactly the complement of the connected peers.
     #[test]

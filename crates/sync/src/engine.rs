@@ -1,5 +1,7 @@
 //! The synchronous round engine.
 
+use std::any::Any;
+
 use clique_model::ids::{Id, IdAssignment, IdSpace};
 use clique_model::metrics::MessageStats;
 use clique_model::ports::{Endpoint, PortMap, PortResolver, RandomResolver};
@@ -17,6 +19,106 @@ use crate::wakeup::WakeSchedule;
 const STREAM_RESOLVER: u64 = u64::MAX;
 const STREAM_IDS: u64 = u64::MAX - 1;
 const STREAM_NODE_BASE: u64 = 0;
+
+/// Reusable simulation state for repeated trials: the `Θ(n²)` [`PortMap`],
+/// the per-node arena inboxes, the flattened wake plan, and the outbox.
+///
+/// Constructing a `SyncSim` from scratch pays the dense `PortMap`
+/// allocation and initialization every trial (~0.1–0.2 s at `n = 4096`),
+/// which dominates Monte-Carlo sweeps that run hundreds of short trials.
+/// Build through [`SyncSimBuilder::build_in`] and finish with
+/// [`SyncSim::run_reusing`] instead, and consecutive trials at the same `n`
+/// recycle the map via [`PortMap::reset`] (O(touched-state)) plus every
+/// per-node buffer — with **bit-identical outcomes**: a reset map is
+/// observationally equal to a fresh one, and node RNGs are re-seeded per
+/// trial.
+///
+/// One arena serves any mix of algorithms and network sizes: the port map
+/// is message-type-agnostic and survives algorithm changes; the typed
+/// buffers are recycled whenever the message type matches the previous
+/// trial and cheaply rebuilt (they are O(n)) when it does not. A size
+/// change rebuilds the map.
+///
+/// ```
+/// use clique_model::{Decision, Id};
+/// use clique_sync::{Context, Received, SyncArena, SyncNode, SyncSimBuilder};
+/// # struct Quiet { decision: Decision }
+/// # impl SyncNode for Quiet {
+/// #     type Message = ();
+/// #     fn send_phase(&mut self, _ctx: &mut Context<'_, ()>) { self.decision = Decision::Leader; }
+/// #     fn receive_phase(&mut self, _: &mut Context<'_, ()>, _: &[Received<()>]) {}
+/// #     fn decision(&self) -> Decision { self.decision }
+/// # }
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut arena = SyncArena::new();
+/// for seed in 0..100 {
+///     let outcome = SyncSimBuilder::new(64)
+///         .seed(seed)
+///         .build_in(&mut arena, |_, _| Quiet { decision: Decision::Undecided })?
+///         .run_reusing(&mut arena)?;
+///     assert_eq!(outcome.awake_count(), 64);
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Default)]
+pub struct SyncArena {
+    ports: Option<PortMap>,
+    wake_plan: Vec<(usize, Vec<NodeIndex>)>,
+    buffers: Option<Box<dyn Any>>,
+}
+
+impl SyncArena {
+    /// Creates an empty arena; the first trial populates it.
+    pub fn new() -> Self {
+        SyncArena::default()
+    }
+
+    /// Drops all recycled state, releasing the `Θ(n²)` tables immediately
+    /// (useful between sweep cells at very large `n`).
+    pub fn clear(&mut self) {
+        *self = SyncArena::default();
+    }
+
+    /// Takes a map for an `n`-node trial: the recycled one (reset in
+    /// O(touched-state)) when the size matches, a fresh one otherwise.
+    fn take_ports(&mut self, n: usize) -> Result<PortMap, ModelError> {
+        match self.ports.take() {
+            Some(mut map) if map.n() == n => {
+                map.reset();
+                Ok(map)
+            }
+            _ => PortMap::new(n),
+        }
+    }
+}
+
+impl std::fmt::Debug for SyncArena {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SyncArena")
+            .field("ports", &self.ports.as_ref().map(|p| p.n()))
+            .field("has_buffers", &self.buffers.is_some())
+            .finish()
+    }
+}
+
+/// The message-typed recyclable buffers of a [`SyncArena`], stored
+/// type-erased so one arena serves algorithms with different message types.
+struct SyncBuffers<M> {
+    pending: Vec<Vec<Received<M>>>,
+    inbox: Vec<Received<M>>,
+    outbox: Vec<(clique_model::ports::Port, M)>,
+}
+
+impl<M> Default for SyncBuffers<M> {
+    fn default() -> Self {
+        SyncBuffers {
+            pending: Vec::new(),
+            inbox: Vec::new(),
+            outbox: Vec::new(),
+        }
+    }
+}
 
 /// Configures and constructs a [`SyncSim`].
 ///
@@ -96,9 +198,34 @@ impl SyncSimBuilder {
     ///
     /// Returns [`ModelError`] if `n < 2` or the default ID universe cannot
     /// cover `n` nodes.
-    pub fn build<N, F>(self, mut factory: F) -> Result<SyncSim<N>, ModelError>
+    pub fn build<N, F>(self, factory: F) -> Result<SyncSim<N>, ModelError>
     where
         N: SyncNode,
+        N::Message: 'static,
+        F: FnMut(Id, usize) -> N,
+    {
+        self.build_in(&mut SyncArena::new(), factory)
+    }
+
+    /// Instantiates the simulation like [`SyncSimBuilder::build`], but
+    /// recycles the `Θ(n²)` port map and all per-node buffers held by
+    /// `arena` instead of allocating fresh ones, turning repeated trials
+    /// from O(n²) into O(touched-state) each. Pair with
+    /// [`SyncSim::run_reusing`] to return the state to the arena
+    /// afterwards. The execution is identical to a freshly built one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError`] if `n < 2` or the default ID universe cannot
+    /// cover `n` nodes.
+    pub fn build_in<N, F>(
+        self,
+        arena: &mut SyncArena,
+        mut factory: F,
+    ) -> Result<SyncSim<N>, ModelError>
+    where
+        N: SyncNode,
+        N::Message: 'static,
         F: FnMut(Id, usize) -> N,
     {
         let n = self.n;
@@ -118,24 +245,49 @@ impl SyncSimBuilder {
                 n,
             });
         }
+        let ports = arena.take_ports(n)?;
+        let mut bufs: SyncBuffers<N::Message> = arena
+            .buffers
+            .take()
+            .and_then(|b| b.downcast::<SyncBuffers<N::Message>>().ok())
+            .map_or_else(SyncBuffers::default, |b| *b);
+        for pending in &mut bufs.pending {
+            pending.clear();
+        }
+        bufs.pending.truncate(n);
+        let missing = n - bufs.pending.len();
+        bufs.pending.extend((0..missing).map(|_| Vec::new()));
+        bufs.inbox.clear();
+        bufs.outbox.clear();
+        bufs.outbox.reserve(n - 1);
         let nodes: Vec<N> = ids.as_slice().iter().map(|&id| factory(id, n)).collect();
         let node_rngs: Vec<SmallRng> = (0..n)
             .map(|u| rng_from_seed(derive_seed(self.seed, STREAM_NODE_BASE + u as u64)))
             .collect();
         // Flatten the wake schedule into a cursor-driven plan so the round
-        // loop never performs a map lookup.
+        // loop never performs a map lookup; the plan's buffers (outer and
+        // inner) are recycled through the arena.
         let wake = self.wake.unwrap_or_else(|| WakeSchedule::simultaneous(n));
-        let wake_plan: Vec<(usize, Vec<NodeIndex>)> = wake
-            .stages()
-            .map(|(round, nodes)| (round, nodes.to_vec()))
-            .collect();
+        let mut wake_plan = std::mem::take(&mut arena.wake_plan);
+        let mut stages = 0;
+        for (round, woken) in wake.stages() {
+            if let Some(slot) = wake_plan.get_mut(stages) {
+                slot.0 = round;
+                slot.1.clear();
+                slot.1.extend_from_slice(woken);
+            } else {
+                wake_plan.push((round, woken.to_vec()));
+            }
+            stages += 1;
+        }
+        wake_plan.truncate(stages);
         Ok(SyncSim {
             n,
             round: 0,
             ids,
             nodes,
             node_rngs,
-            ports: PortMap::new(n)?,
+            ports,
             resolver: self.resolver.unwrap_or_else(|| Box::new(RandomResolver)),
             resolver_rng: rng_from_seed(derive_seed(self.seed, STREAM_RESOLVER)),
             wake_plan,
@@ -143,9 +295,9 @@ impl SyncSimBuilder {
             max_rounds: self.max_rounds.unwrap_or(4 * n + 64),
             awake: vec![false; n],
             stats: MessageStats::new(n),
-            pending: (0..n).map(|_| Vec::new()).collect(),
-            inbox: Vec::new(),
-            outbox: Vec::with_capacity(n - 1),
+            pending: bufs.pending,
+            inbox: bufs.inbox,
+            outbox: bufs.outbox,
             last_decisions: vec![Decision::Undecided; n],
             messages_to_terminated: 0,
             last_activity_round: 0,
@@ -245,12 +397,55 @@ impl<N: SyncNode> SyncSim<N> {
     ///
     /// Propagates [`ModelError`] from port resolution.
     pub fn run_observed(mut self, observer: &mut dyn Observer) -> Result<Outcome, ModelError> {
+        let halt = self.drive(observer)?;
+        Ok(self.into_outcome(halt))
+    }
+
+    /// The shared round loop of [`SyncSim::run_observed`] and
+    /// [`SyncSim::run_observed_reusing`]: steps until quiescence or the
+    /// round cap and reports which one halted the run.
+    fn drive(&mut self, observer: &mut dyn Observer) -> Result<HaltReason, ModelError> {
         while self.round < self.max_rounds {
             if !self.step(observer)? {
-                return Ok(self.into_outcome(HaltReason::Quiescent));
+                return Ok(HaltReason::Quiescent);
             }
         }
-        Ok(self.into_outcome(HaltReason::MaxRounds))
+        Ok(HaltReason::MaxRounds)
+    }
+
+    /// Runs to quiescence (or the round cap) like [`SyncSim::run`], then
+    /// returns the recyclable state — the port map, arena inboxes, outbox,
+    /// and wake plan — to `arena` for the next trial instead of dropping
+    /// it. The outcome is identical to [`SyncSim::run`]'s.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ModelError`] from port resolution (only possible with a
+    /// faulty custom resolver).
+    pub fn run_reusing(self, arena: &mut SyncArena) -> Result<Outcome, ModelError>
+    where
+        N::Message: 'static,
+    {
+        let mut obs = NullObserver;
+        self.run_observed_reusing(&mut obs, arena)
+    }
+
+    /// [`SyncSim::run_observed`], recycling state through `arena` like
+    /// [`SyncSim::run_reusing`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ModelError`] from port resolution.
+    pub fn run_observed_reusing(
+        mut self,
+        observer: &mut dyn Observer,
+        arena: &mut SyncArena,
+    ) -> Result<Outcome, ModelError>
+    where
+        N::Message: 'static,
+    {
+        let halt = self.drive(observer)?;
+        Ok(self.into_outcome_reusing(halt, arena))
     }
 
     /// Executes one full round; returns `false` once the execution is
@@ -417,6 +612,51 @@ impl<N: SyncNode> SyncSim<N> {
             awake: self.awake,
             ids: self.ids,
             messages_to_terminated: self.messages_to_terminated,
+            halt,
+        }
+    }
+
+    /// [`SyncSim::into_outcome`], stashing the recyclable state into
+    /// `arena` on the way out.
+    pub fn into_outcome_reusing(self, halt: HaltReason, arena: &mut SyncArena) -> Outcome
+    where
+        N::Message: 'static,
+    {
+        let SyncSim {
+            n,
+            ids,
+            ports,
+            wake_plan,
+            mut pending,
+            mut inbox,
+            mut outbox,
+            stats,
+            last_decisions,
+            awake,
+            messages_to_terminated,
+            last_activity_round,
+            ..
+        } = self;
+        for buf in &mut pending {
+            buf.clear();
+        }
+        inbox.clear();
+        outbox.clear();
+        arena.ports = Some(ports);
+        arena.wake_plan = wake_plan;
+        arena.buffers = Some(Box::new(SyncBuffers {
+            pending,
+            inbox,
+            outbox,
+        }));
+        Outcome {
+            n,
+            rounds: last_activity_round,
+            stats,
+            decisions: last_decisions,
+            awake,
+            ids,
+            messages_to_terminated,
             halt,
         }
     }
@@ -645,6 +885,79 @@ mod tests {
             SyncSimBuilder::new(1).build(max_broadcast),
             Err(ModelError::NetworkTooSmall { n: 1 })
         ));
+        assert!(matches!(
+            SyncSimBuilder::new(0).build_in(&mut SyncArena::new(), max_broadcast),
+            Err(ModelError::NetworkTooSmall { n: 0 })
+        ));
+    }
+
+    #[test]
+    fn arena_trials_match_fresh_trials() {
+        let fingerprint = |o: &Outcome| {
+            (
+                o.rounds,
+                o.stats.total(),
+                o.stats.rounds().to_vec(),
+                o.unique_leader(),
+                o.decisions.clone(),
+                o.awake.clone(),
+                o.halt,
+            )
+        };
+        let mut arena = SyncArena::new();
+        for seed in 0..12u64 {
+            let fresh = SyncSimBuilder::new(16)
+                .seed(seed)
+                .build(max_broadcast)
+                .unwrap()
+                .run()
+                .unwrap();
+            let reused = SyncSimBuilder::new(16)
+                .seed(seed)
+                .build_in(&mut arena, max_broadcast)
+                .unwrap()
+                .run_reusing(&mut arena)
+                .unwrap();
+            assert_eq!(fingerprint(&fresh), fingerprint(&reused));
+        }
+    }
+
+    #[test]
+    fn arena_survives_size_and_message_type_changes() {
+        let mut arena = SyncArena::new();
+        for &n in &[8usize, 16, 8, 12] {
+            let o = SyncSimBuilder::new(n)
+                .seed(1)
+                .build_in(&mut arena, max_broadcast)
+                .unwrap()
+                .run_reusing(&mut arena)
+                .unwrap();
+            assert_eq!(o.stats.total(), (n * (n - 1)) as u64);
+        }
+        // Different message type (Relay uses u32, MaxBroadcast uses Id):
+        // the typed buffers are rebuilt, the port map is recycled.
+        let o = SyncSimBuilder::new(12)
+            .seed(1)
+            .wake(WakeSchedule::single(NodeIndex(0)))
+            .resolver(Box::new(clique_model::ports::RoundRobinResolver))
+            .build_in(&mut arena, |_, _| Relay {
+                hops_left: 0,
+                send_port: Port(0),
+                should_forward: false,
+                decision: Decision::Undecided,
+            })
+            .unwrap()
+            .run_reusing(&mut arena)
+            .unwrap();
+        assert_eq!(o.stats.total(), 3);
+        arena.clear();
+        let o = SyncSimBuilder::new(8)
+            .seed(3)
+            .build_in(&mut arena, max_broadcast)
+            .unwrap()
+            .run_reusing(&mut arena)
+            .unwrap();
+        assert_eq!(o.stats.total(), 8 * 7);
     }
 
     #[test]

@@ -88,7 +88,7 @@ pub mod observer;
 pub mod outcome;
 pub mod wakeup;
 
-pub use engine::{SyncSim, SyncSimBuilder};
+pub use engine::{SyncArena, SyncSim, SyncSimBuilder};
 pub use node::{Context, Received, SyncNode, WakeCause};
 pub use observer::{NullObserver, Observer};
 pub use outcome::{ElectionViolation, HaltReason, Outcome};
