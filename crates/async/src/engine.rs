@@ -2,11 +2,12 @@
 
 use std::any::Any;
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashMap};
+use std::hash::BuildHasherDefault;
 
 use clique_model::ids::{Id, IdAssignment, IdSpace};
 use clique_model::metrics::MessageStats;
-use clique_model::ports::{Port, PortMap, PortResolver, RandomResolver};
+use clique_model::ports::{KeyHasher, Port, PortBackend, PortMap, PortResolver, RandomResolver};
 use clique_model::rng::{derive_seed, rng_from_seed};
 use clique_model::{Decision, ModelError, NodeIndex, WakeCause};
 use rand::rngs::SmallRng;
@@ -33,6 +34,66 @@ enum EventKind<M> {
         dst_port: Port,
         msg: M,
     },
+}
+
+/// Per-directed-link FIFO delivery floors (the latest delivery time
+/// already scheduled on each link), stored to match the port-map backend:
+/// a flat `Θ(n²)` array under the dense backend (one random access per
+/// dispatch), a hashed touched-links map under the sparse one (O(active
+/// links) entries — the piece that would otherwise keep the asynchronous
+/// engine quadratic at `n = 65536+` after the port map goes sparse).
+enum FifoFloors {
+    /// Flat `src·n + dst`-indexed array.
+    Dense(Vec<f64>),
+    /// Hashed map over touched directed links only.
+    Sparse(HashMap<u64, f64, BuildHasherDefault<KeyHasher>>),
+}
+
+impl Default for FifoFloors {
+    fn default() -> Self {
+        FifoFloors::Dense(Vec::new())
+    }
+}
+
+impl FifoFloors {
+    /// Returns floors for an `n`-node trial on the (resolved, concrete)
+    /// `backend`, recycling the previous trial's storage when the variant
+    /// matches.
+    fn recycle(self, backend: PortBackend, n: usize) -> FifoFloors {
+        match (self, backend) {
+            (FifoFloors::Dense(mut floors), PortBackend::Dense) => {
+                floors.clear();
+                floors.resize(n * n, 0.0);
+                FifoFloors::Dense(floors)
+            }
+            (FifoFloors::Sparse(mut floors), PortBackend::Sparse) => {
+                floors.clear();
+                FifoFloors::Sparse(floors)
+            }
+            (_, PortBackend::Dense) => FifoFloors::Dense(vec![0.0; n * n]),
+            (_, PortBackend::Sparse) => FifoFloors::Sparse(HashMap::default()),
+            (_, PortBackend::Auto) => unreachable!("backend is resolved before recycling"),
+        }
+    }
+
+    /// Mutable access to the floor of directed link `key = src·n + dst`
+    /// (0 when the link has not been used yet).
+    #[inline]
+    fn floor_mut(&mut self, key: usize) -> &mut f64 {
+        match self {
+            FifoFloors::Dense(floors) => &mut floors[key],
+            FifoFloors::Sparse(floors) => floors.entry(key as u64).or_insert(0.0),
+        }
+    }
+
+    /// Estimated resident bytes of the floor storage.
+    fn resident_bytes(&self) -> u64 {
+        match self {
+            FifoFloors::Dense(floors) => (floors.capacity() * 8) as u64,
+            // key + value + ~1 control byte per usable slot.
+            FifoFloors::Sparse(floors) => (floors.capacity() * 17) as u64,
+        }
+    }
 }
 
 /// A scheduled event. Ordered by `(time, seq)`; `seq` is the global push
@@ -70,24 +131,26 @@ impl<M> Ord for Event<M> {
     }
 }
 
-/// Reusable simulation state for repeated asynchronous trials: the `Θ(n²)`
-/// [`PortMap`], the flat per-link FIFO-floor array (also `Θ(n²)`), the
+/// Reusable simulation state for repeated asynchronous trials: the
+/// [`PortMap`], the per-link FIFO-floor storage (a flat `Θ(n²)` array on
+/// the dense backend, a hashed touched-links map on the sparse one), the
 /// event queue's heap storage, and the outbox.
 ///
 /// The asynchronous mirror of [`clique_sync::SyncArena`]: build through
 /// [`AsyncSimBuilder::build_in`], finish with [`AsyncSim::run_reusing`],
-/// and consecutive trials at the same `n` skip both quadratic
+/// and consecutive trials at the same `n` (and backend) skip the big
 /// initializations (the map via [`PortMap::reset`] in O(touched-state),
-/// the FIFO floors via an in-place zero fill with no reallocation), with
+/// the FIFO floors via an in-place clear with no reallocation), with
 /// bit-identical outcomes. One arena serves any mix of algorithms and
 /// sizes; typed buffers are recycled when the message type matches and
-/// cheaply rebuilt when it does not.
+/// cheaply rebuilt when it does not; the map is rebuilt when the
+/// requested backend changes.
 ///
 /// [`clique_sync::SyncArena`]: ../clique_sync/struct.SyncArena.html
 #[derive(Default)]
 pub struct AsyncArena {
     ports: Option<PortMap>,
-    fifo_front: Vec<f64>,
+    fifo_front: FifoFloors,
     buffers: Option<Box<dyn Any>>,
 }
 
@@ -103,16 +166,27 @@ impl AsyncArena {
         *self = AsyncArena::default();
     }
 
-    /// Takes a map for an `n`-node trial: the recycled one (reset in
-    /// O(touched-state)) when the size matches, a fresh one otherwise.
-    fn take_ports(&mut self, n: usize) -> Result<PortMap, ModelError> {
+    /// Takes a map for an `n`-node trial on `backend`: the recycled one
+    /// (reset in O(touched-state)) when both the size and the resolved
+    /// backend match, a fresh one otherwise.
+    fn take_ports(&mut self, n: usize, backend: PortBackend) -> Result<PortMap, ModelError> {
+        let backend = backend.resolve(n);
         match self.ports.take() {
-            Some(mut map) if map.n() == n => {
+            Some(mut map) if map.n() == n && map.backend() == backend => {
                 map.reset();
                 Ok(map)
             }
-            _ => PortMap::new(n),
+            _ => PortMap::with_backend(n, backend),
         }
+    }
+
+    /// Backend-reported estimate of the bytes resident in the recycled
+    /// engine tables: the port map plus the FIFO-floor storage (the two
+    /// structures whose size depends on the storage backend). The sweep
+    /// harness records this per cell so dense-vs-sparse footprints appear
+    /// in every experiment CSV.
+    pub fn resident_bytes(&self) -> u64 {
+        self.ports.as_ref().map_or(0, PortMap::resident_bytes) + self.fifo_front.resident_bytes()
     }
 }
 
@@ -120,7 +194,7 @@ impl std::fmt::Debug for AsyncArena {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("AsyncArena")
             .field("ports", &self.ports.as_ref().map(|p| p.n()))
-            .field("fifo_capacity", &self.fifo_front.capacity())
+            .field("fifo_bytes", &self.fifo_front.resident_bytes())
             .field("has_buffers", &self.buffers.is_some())
             .finish()
     }
@@ -155,6 +229,7 @@ pub struct AsyncSimBuilder {
     wake: Option<AsyncWakeSchedule>,
     resolver: Option<Box<dyn PortResolver>>,
     delays: Option<Box<dyn DelayStrategy>>,
+    backend: Option<PortBackend>,
     max_events: Option<u64>,
 }
 
@@ -180,6 +255,7 @@ impl AsyncSimBuilder {
             wake: None,
             resolver: None,
             delays: None,
+            backend: None,
             max_events: None,
         }
     }
@@ -217,6 +293,15 @@ impl AsyncSimBuilder {
     /// Sets the message delay strategy (default: [`UniformDelay::full`]).
     pub fn delays(mut self, delays: Box<dyn DelayStrategy>) -> Self {
         self.delays = Some(delays);
+        self
+    }
+
+    /// Pins the port-map storage backend (default: the `LE_BACKEND`
+    /// environment selection, `auto` when unset; see [`PortBackend`]).
+    /// The per-link FIFO-floor storage follows the same choice, so a
+    /// sparse-backend asynchronous trial holds no `Θ(n²)` state at all.
+    pub fn backend(mut self, backend: PortBackend) -> Self {
+        self.backend = Some(backend);
         self
     }
 
@@ -281,10 +366,12 @@ impl AsyncSimBuilder {
                 n,
             });
         }
-        let ports = arena.take_ports(n)?;
-        let mut fifo_front = std::mem::take(&mut arena.fifo_front);
-        fifo_front.clear();
-        fifo_front.resize(n * n, 0.0);
+        let backend = self
+            .backend
+            .unwrap_or_else(PortBackend::from_env)
+            .resolve(n);
+        let ports = arena.take_ports(n, backend)?;
+        let fifo_front = std::mem::take(&mut arena.fifo_front).recycle(backend, n);
         let mut bufs: AsyncBuffers<N::Message> = arena
             .buffers
             .take()
@@ -360,9 +447,10 @@ pub struct AsyncSim<N: AsyncNode> {
     queue: BinaryHeap<Event<N::Message>>,
     seq: u64,
     /// Per directed link `src·n + dst`: the latest delivery time already
-    /// scheduled, enforcing FIFO order. Flat (dense) rather than hashed —
-    /// this sits on the per-message dispatch path.
-    fifo_front: Vec<f64>,
+    /// scheduled, enforcing FIFO order. Flat under the dense backend
+    /// (this sits on the per-message dispatch path), hashed under the
+    /// sparse backend (memory over raw speed at very large `n`).
+    fifo_front: FifoFloors,
     max_events: u64,
     awake: Vec<bool>,
     stats: MessageStats,
@@ -562,9 +650,9 @@ impl<N: AsyncNode> AsyncSim<N> {
             "delay strategy returned {raw}, outside (0, 1]"
         );
         let delay = raw.clamp(f64::MIN_POSITIVE, 1.0);
-        let key = src.0 * self.n + dst.node.0;
-        let deliver_at = (self.now + delay).max(self.fifo_front[key]);
-        self.fifo_front[key] = deliver_at;
+        let floor = self.fifo_front.floor_mut(src.0 * self.n + dst.node.0);
+        let deliver_at = (self.now + delay).max(*floor);
+        *floor = deliver_at;
         self.stats.record(self.now.floor() as usize + 1, src);
         self.queue.push(Event {
             time: deliver_at,
@@ -955,6 +1043,69 @@ mod tests {
             .unwrap();
         assert_eq!(o.halt, AsyncHaltReason::MaxEvents);
         arena.clear();
+    }
+
+    #[test]
+    fn sparse_backend_matches_dense_under_rng_free_resolution() {
+        // Round-robin resolution consumes no randomness and the delay/node
+        // RNG streams are backend-independent, so the whole asynchronous
+        // execution must be identical on both storage backends.
+        let run = |backend| {
+            let o = AsyncSimBuilder::new(16)
+                .seed(9)
+                .backend(backend)
+                .wake(AsyncWakeSchedule::single(NodeIndex(2)))
+                .resolver(Box::new(clique_model::ports::RoundRobinResolver))
+                .build(Flood::new)
+                .unwrap()
+                .run()
+                .unwrap();
+            (
+                o.time.to_bits(),
+                o.stats.total(),
+                o.unique_leader(),
+                o.decisions,
+            )
+        };
+        assert_eq!(run(PortBackend::Dense), run(PortBackend::Sparse));
+    }
+
+    #[test]
+    fn sparse_backend_arena_trials_match_fresh_sparse_trials() {
+        let mut arena = AsyncArena::new();
+        for seed in 0..6u64 {
+            let fresh = AsyncSimBuilder::new(12)
+                .seed(seed)
+                .backend(PortBackend::Sparse)
+                .wake(AsyncWakeSchedule::single(NodeIndex(1)))
+                .build(Flood::new)
+                .unwrap()
+                .run()
+                .unwrap();
+            let reused = AsyncSimBuilder::new(12)
+                .seed(seed)
+                .backend(PortBackend::Sparse)
+                .wake(AsyncWakeSchedule::single(NodeIndex(1)))
+                .build_in(&mut arena, Flood::new)
+                .unwrap()
+                .run_reusing(&mut arena)
+                .unwrap();
+            assert_eq!(
+                (
+                    fresh.time.to_bits(),
+                    fresh.stats.total(),
+                    fresh.unique_leader()
+                ),
+                (
+                    reused.time.to_bits(),
+                    reused.stats.total(),
+                    reused.unique_leader()
+                ),
+            );
+        }
+        // Sparse floors + sparse map: far below the dense n² tables even
+        // at this tiny n once both structures are hashed.
+        assert!(arena.resident_bytes() > 0);
     }
 
     #[test]

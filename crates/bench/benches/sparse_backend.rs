@@ -1,0 +1,104 @@
+//! Dense-vs-sparse port-map backend micro-benchmarks. Recorded in
+//! `BENCH_sparse_backend.json` at the repository root (see the runbook in
+//! `README.md`).
+//!
+//! * `sparse_backend_construct` — map construction across sizes: the dense
+//!   backend pays `Θ(n²)` eager table initialization, the sparse backend
+//!   O(n); past `n = 16384` only sparse is measured (the dense tables
+//!   would not fit a sane bench budget).
+//! * `sparse_backend_resolve` — the resolution hot path (every node
+//!   resolves four ports against a recycled map, `RandomResolver`): the
+//!   per-operation price of hashed touched-state tables plus the keyed
+//!   Feistel permutations, versus dense flat-array reads. This is the
+//!   CPU cost the sparse backend trades for its O(links) memory.
+//! * `sparse_backend_sweep_lv_20x16384` — the end-to-end payoff workload:
+//!   a 20-seed Las Vegas sweep at `n = 16384` (the largest size where
+//!   both backends are practical to compare head-to-head), dense versus
+//!   sparse through one recycled `SyncArena` each.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use clique_model::ports::{Port, PortBackend, PortMap, RandomResolver};
+use clique_model::rng::rng_from_seed;
+use clique_model::NodeIndex;
+use clique_sync::{SyncArena, SyncSimBuilder};
+use leader_election::sync::las_vegas;
+
+/// The touched-state profile of a sublinear-message trial: every node
+/// resolves its first four ports.
+fn sparse_trial(map: &mut PortMap, n: usize) -> usize {
+    let mut resolver = RandomResolver;
+    let mut rng = rng_from_seed(1);
+    for u in 0..n {
+        for p in 0..4 {
+            map.resolve(NodeIndex(u), Port(p), &mut resolver, &mut rng)
+                .unwrap();
+        }
+    }
+    map.link_count()
+}
+
+fn bench_construct(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sparse_backend_construct");
+    group.sample_size(10);
+    for n in [4096usize, 16384, 65536] {
+        if n <= 16384 {
+            group.bench_with_input(BenchmarkId::new("dense", n), &n, |b, &n| {
+                b.iter(|| PortMap::with_backend(n, PortBackend::Dense).unwrap().n())
+            });
+        }
+        group.bench_with_input(BenchmarkId::new("sparse", n), &n, |b, &n| {
+            b.iter(|| PortMap::with_backend(n, PortBackend::Sparse).unwrap().n())
+        });
+    }
+    group.finish();
+}
+
+fn bench_resolve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sparse_backend_resolve");
+    group.sample_size(10);
+    for n in [4096usize, 16384] {
+        for backend in [PortBackend::Dense, PortBackend::Sparse] {
+            group.bench_with_input(BenchmarkId::new(backend.to_string(), n), &n, |b, &n| {
+                let mut map = PortMap::with_backend(n, backend).unwrap();
+                b.iter(|| {
+                    map.reset();
+                    sparse_trial(&mut map, n)
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_lv_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sparse_backend_sweep_lv_20x16384");
+    group.sample_size(10);
+    let n = 16384usize;
+    for backend in [PortBackend::Dense, PortBackend::Sparse] {
+        group.bench_function(backend.to_string(), |b| {
+            let mut arena = SyncArena::new();
+            b.iter(|| {
+                let mut total = 0u64;
+                for seed in 0..20u64 {
+                    total += SyncSimBuilder::new(n)
+                        .seed(seed)
+                        .backend(backend)
+                        .build_in(&mut arena, |id, _| {
+                            las_vegas::Node::new(id, las_vegas::Config::default())
+                        })
+                        .unwrap()
+                        .run_reusing(&mut arena)
+                        .unwrap()
+                        .stats
+                        .total();
+                }
+                total
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_construct, bench_resolve, bench_lv_sweep);
+criterion_main!(benches);

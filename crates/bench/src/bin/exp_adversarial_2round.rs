@@ -91,6 +91,7 @@ fn main() {
                     format!("{:.0}%", guarantee * 100.0),
                     fmt_count(formulas::thm42_message_lower_bound(n)),
                 ]);
+                runner.record_resident_bytes(arena.resident_bytes());
                 runner.emit(&[
                     n.to_string(),
                     eps.to_string(),

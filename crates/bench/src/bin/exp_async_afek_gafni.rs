@@ -90,6 +90,7 @@ fn main() {
                 fmt_count(formulas::thm514_message_upper_bound(n)),
                 format!("{:.1}", formulas::log2(n)),
             ]);
+            runner.record_resident_bytes(arena.resident_bytes());
             runner.emit(&[
                 n.to_string(),
                 delay_name.into(),

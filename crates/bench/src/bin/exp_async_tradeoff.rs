@@ -107,6 +107,7 @@ fn main() {
                     fmt_count(msg_bound),
                     format!("{:.0}%", ok * 100.0),
                 ]);
+                runner.record_resident_bytes(arena.resident_bytes());
                 runner.emit(&[
                     n.to_string(),
                     k.to_string(),

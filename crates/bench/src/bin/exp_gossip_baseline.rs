@@ -105,6 +105,7 @@ fn main() {
             }
             .into(),
         ]);
+        runner.record_resident_bytes(arena.resident_bytes());
         runner.emit(&[
             n.to_string(),
             g_msgs.mean.to_string(),

@@ -45,10 +45,12 @@ fn measure_mc(n: usize, seed: u64, arena: &mut SyncArena) -> (u64, bool) {
 }
 
 fn main() {
-    // Full sweep tops out at 32768: the dense engine tables are ~28 bytes
-    // per ordered node pair, so n = 65536 would need ~120 GB — beyond this
-    // box (see EXPERIMENTS.md). 32768 (~30 GB) still spans two decades.
-    let ns = sweep(&[256usize, 1024, 4096, 16384, 32768], &[256, 1024]);
+    // The full sweep reaches 65536: under the default `auto` backend the
+    // cells at n ≥ 32768 run on the sparse port-map store (O(touched-state)
+    // memory), so the ~120 GB the dense tables would need at 65536 is never
+    // allocated (see EXPERIMENTS.md; `peak_resident_bytes` records what the
+    // backend actually held per row).
+    let ns = sweep(&[256usize, 1024, 4096, 16384, 32768, 65536], &[256, 1024]);
     let seed_list = seeds(if le_bench::quick() { 5 } else { 20 });
 
     let mut runner = SweepRunner::new(
@@ -108,6 +110,7 @@ fn main() {
             fmt_count(lv_floor),
             fmt_count(formulas::mc16_message_upper_bound(n)),
         ]);
+        runner.record_resident_bytes(arena.resident_bytes());
         runner.emit(&[
             n.to_string(),
             lv_msgs.mean.to_string(),

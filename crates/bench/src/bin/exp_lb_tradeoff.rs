@@ -102,6 +102,7 @@ fn main() {
                         "VIOLATED".into()
                     },
                 ]);
+                runner.record_resident_bytes(arena.resident_bytes());
                 runner.emit(&[
                     n.to_string(),
                     f.to_string(),

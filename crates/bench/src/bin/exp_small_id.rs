@@ -94,6 +94,7 @@ fn main() {
                 budget_rounds.to_string(),
                 le_bench::ratio(msgs.mean, nlogn),
             ]);
+            runner.record_resident_bytes(arena.resident_bytes());
             runner.emit(&[
                 n.to_string(),
                 d.to_string(),

@@ -384,6 +384,7 @@ fn main() {
             row.measured_messages.clone(),
             row.success.clone(),
         ]);
+        runner.record_resident_bytes(arena.resident_bytes().max(async_arena.resident_bytes()));
         runner.emit(&[
             row.name,
             &row.paper_time,

@@ -102,6 +102,7 @@ fn main() {
                 fmt_count(ub),
                 format!("{:.2}", improved.mean / ag.mean),
             ]);
+            runner.record_resident_bytes(arena.resident_bytes());
             runner.emit(&[
                 n.to_string(),
                 ell.to_string(),

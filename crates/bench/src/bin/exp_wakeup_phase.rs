@@ -94,6 +94,7 @@ fn main() {
                     format!("{}", k + 4),
                     fmt_count(msgs.mean),
                 ]);
+                runner.record_resident_bytes(arena.resident_bytes());
                 runner.emit(&[
                     n.to_string(),
                     k.to_string(),

@@ -113,6 +113,7 @@ pub fn ratio(measured: f64, predicted: f64) -> String {
 ///             .total()
 ///     });
 ///     let mean = msgs.iter().sum::<u64>() as f64 / msgs.len() as f64;
+///     runner.record_resident_bytes(arena.resident_bytes());
 ///     runner.emit(&[n.to_string(), mean.to_string()]);
 /// }
 /// runner.finish();
@@ -125,11 +126,18 @@ pub struct SweepRunner {
     started: Instant,
     cells: u64,
     trials: u64,
+    /// Peak backend-reported resident bytes observed since the last
+    /// emitted row (see [`SweepRunner::record_resident_bytes`]).
+    peak_resident_bytes: u64,
 }
 
 impl SweepRunner {
     /// Opens the sweep for experiment `exp`, creating (or truncating) its
-    /// CSV sink at `results/{exp}.csv` with the given header.
+    /// CSV sink at `results/{exp}.csv` with the given header plus an
+    /// implicit trailing `peak_resident_bytes` column: every row records
+    /// the peak engine-table footprint its cells reported, so
+    /// dense-vs-sparse backend footprints are visible in every experiment
+    /// CSV.
     ///
     /// # Panics
     ///
@@ -137,7 +145,9 @@ impl SweepRunner {
     /// without their output sink.
     pub fn new(exp: &str, columns: &[&str]) -> SweepRunner {
         let csv_path = results_path(&format!("{exp}.csv"));
-        let csv = CsvWriter::create(&csv_path, columns).expect("results/ is writable");
+        let mut columns = columns.to_vec();
+        columns.push("peak_resident_bytes");
+        let csv = CsvWriter::create(&csv_path, &columns).expect("results/ is writable");
         SweepRunner {
             exp: exp.to_string(),
             csv,
@@ -145,7 +155,18 @@ impl SweepRunner {
             started: Instant::now(),
             cells: 0,
             trials: 0,
+            peak_resident_bytes: 0,
         }
+    }
+
+    /// Reports the backend-observed resident bytes of the engine tables a
+    /// cell just ran on (`SyncArena::resident_bytes` /
+    /// `AsyncArena::resident_bytes`, or `PortMap::resident_bytes` for
+    /// hand-driven simulations). The maximum reported value since the last
+    /// [`SweepRunner::emit`] lands in that row's `peak_resident_bytes`
+    /// column; rows emitted without a report record 0.
+    pub fn record_resident_bytes(&mut self, bytes: u64) {
+        self.peak_resident_bytes = self.peak_resident_bytes.max(bytes);
     }
 
     /// Runs one grid cell: executes `trial` once per seed, collects the
@@ -184,13 +205,19 @@ impl SweepRunner {
         }
     }
 
-    /// Writes one data row to the experiment's CSV.
+    /// Writes one data row to the experiment's CSV, appending the peak
+    /// resident bytes reported since the previous row (the implicit
+    /// `peak_resident_bytes` column) and resetting the peak for the next
+    /// row.
     ///
     /// # Panics
     ///
     /// Panics on I/O errors or a row/header column-count mismatch.
     pub fn emit<S: AsRef<str>>(&mut self, row: &[S]) {
-        self.csv.write_row(row).expect("results/ is writable");
+        let mut full: Vec<&str> = row.iter().map(AsRef::as_ref).collect();
+        let bytes = std::mem::take(&mut self.peak_resident_bytes).to_string();
+        full.push(&bytes);
+        self.csv.write_row(&full).expect("results/ is writable");
     }
 
     /// Flushes the CSV and prints the uniform completion summary: total
@@ -247,6 +274,11 @@ mod tests {
             let results = runner.cell(format!("n={n}"), &[0, 1, 2], |seed| n + seed);
             assert_eq!(results.len(), 3);
             total += results.iter().sum::<u64>();
+            if n == 8 {
+                runner.record_resident_bytes(100);
+                runner.record_resident_bytes(512);
+                runner.record_resident_bytes(7);
+            }
             runner.emit(&[n.to_string(), total.to_string()]);
         }
         let once = runner.cell_once("single", || 41 + 1);
@@ -256,6 +288,11 @@ mod tests {
         runner.finish();
         let written = std::fs::read_to_string(results_path("probe_sweep.csv")).unwrap();
         assert_eq!(written.lines().count(), 3, "header + one row per n");
-        assert!(written.starts_with("n,sum"));
+        let mut lines = written.lines();
+        assert_eq!(lines.next(), Some("n,sum,peak_resident_bytes"));
+        // No bytes reported before the first row, peak-of-three in the
+        // second, and the peak resets between rows.
+        assert!(lines.next().unwrap().ends_with(",0"));
+        assert!(lines.next().unwrap().ends_with(",512"));
     }
 }

@@ -17,7 +17,9 @@
 //!   paper's theorems condition on),
 //! * [`ports`] — lazily-resolved bijective port mappings with pluggable
 //!   [`PortResolver`](ports::PortResolver) strategies (uniform random,
-//!   round-robin, or the adaptive adversary of the lower bounds),
+//!   round-robin, or the adaptive adversary of the lower bounds) *and*
+//!   pluggable storage backends ([`ports::PortBackend`]: dense `Θ(n²)`
+//!   tables or sparse O(links) touched-state tables for `n = 65536+`),
 //! * [`rng`] — deterministic seed derivation and sampling helpers,
 //! * [`decision`] — the tri-state leader/non-leader output of a node,
 //! * [`metrics`] — message accounting histograms,
@@ -66,7 +68,8 @@ pub use election::ElectionViolation;
 pub use error::ModelError;
 pub use ids::{Id, IdAssignment, IdSpace};
 pub use ports::{
-    CirculantResolver, Endpoint, Port, PortMap, PortResolver, RandomResolver, RoundRobinResolver,
+    CirculantResolver, Endpoint, Port, PortBackend, PortMap, PortResolver, RandomResolver,
+    RoundRobinResolver,
 };
 
 /// Index of a node inside the simulated network, in `0..n`.

@@ -1,0 +1,329 @@
+//! The dense backend: today's flat tables, verbatim.
+//!
+//! All tables are dense row-major arrays (`O(n²)` words, allocated once in
+//! [`DenseStore::new`]): a forward table `(u, i) → (v, j)`, a peer-to-port
+//! table `(u, v) → i`, and — the piece that makes uniform resolution O(1) —
+//! one *partitioned permutation* per node over its peers and one over its
+//! ports. The first `degree(u)` entries of `u`'s peer permutation are its
+//! connected peers; the remainder are the unconnected ones, so a uniform
+//! fresh peer is a single indexed draw (partial Fisher–Yates) instead of
+//! rejection sampling, and connecting a pair is two O(1) swaps. The port
+//! permutation is maintained identically for free-port draws. Every
+//! operation on the store is O(1) with no hashing — which is why this
+//! backend stays the default wherever its `Θ(n²)` words fit.
+
+use super::{Endpoint, Port, PortStore};
+use crate::error::ModelError;
+use crate::NodeIndex;
+
+/// Sentinel for "unassigned" entries of the flat tables.
+const EMPTY_U32: u32 = u32::MAX;
+/// Sentinel for unassigned forward-table entries.
+const EMPTY_U64: u64 = u64::MAX;
+
+/// The flat-table storage backend (see the module docs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(super) struct DenseStore {
+    n: usize,
+    /// `forward[u·(n−1) + i] = (v << 32) | j` for each assigned port `i` of
+    /// `u`, [`EMPTY_U64`] otherwise.
+    forward: Vec<u64>,
+    /// `port_of[u·n + v] = i` iff `u`'s port `i` connects to `v`,
+    /// [`EMPTY_U32`] otherwise.
+    port_of: Vec<u32>,
+    /// Row `u` is a permutation of all nodes `≠ u`; the first `degree[u]`
+    /// entries are the connected peers, the rest the unconnected ones.
+    peer_perm: Vec<u32>,
+    /// `peer_pos[u·n + v]` = position of `v` in row `u` of `peer_perm`
+    /// (diagonal entries unused).
+    peer_pos: Vec<u32>,
+    /// Row `u` is a permutation of `u`'s ports; the first `degree[u]`
+    /// entries are assigned, the rest free.
+    port_perm: Vec<u32>,
+    /// `port_pos[u·(n−1) + p]` = position of port `p` in row `u` of
+    /// `port_perm`.
+    port_pos: Vec<u32>,
+    /// Links incident to each node (also: assigned ports of each node).
+    degree: Vec<u32>,
+    /// Total number of links fixed so far.
+    links: usize,
+    /// Nodes whose rows differ from the pristine state (pushed on the
+    /// 0 → 1 degree transition); exactly the rows [`DenseStore::reset`]
+    /// must restore.
+    dirty: Vec<u32>,
+}
+
+impl DenseStore {
+    /// Allocates and eagerly initializes the flat tables for an `n`-node
+    /// clique (`n ≥ 2`, validated by the facade).
+    pub(super) fn new(n: usize) -> Self {
+        debug_assert!(n >= 2);
+        debug_assert!(n < EMPTY_U32 as usize, "node indices must fit in u32");
+        let ports = n - 1;
+        let mut peer_perm = vec![0u32; n * ports];
+        let mut peer_pos = vec![EMPTY_U32; n * n];
+        let mut port_perm = vec![0u32; n * ports];
+        let mut port_pos = vec![0u32; n * ports];
+        for u in 0..n {
+            let row = u * ports;
+            for k in 0..ports {
+                // Row u enumerates 0..n skipping u, in ascending order.
+                let v = k + usize::from(k >= u);
+                peer_perm[row + k] = v as u32;
+                peer_pos[u * n + v] = k as u32;
+                port_perm[row + k] = k as u32;
+                port_pos[row + k] = k as u32;
+            }
+        }
+        DenseStore {
+            n,
+            forward: vec![EMPTY_U64; n * ports],
+            port_of: vec![EMPTY_U32; n * n],
+            peer_perm,
+            peer_pos,
+            port_perm,
+            port_pos,
+            degree: vec![0; n],
+            links: 0,
+            dirty: Vec::new(),
+        }
+    }
+
+    #[inline]
+    fn peer_row(&self, u: usize) -> &[u32] {
+        &self.peer_perm[u * (self.n - 1)..(u + 1) * (self.n - 1)]
+    }
+
+    #[inline]
+    fn port_row(&self, u: usize) -> &[u32] {
+        &self.port_perm[u * (self.n - 1)..(u + 1) * (self.n - 1)]
+    }
+
+    /// Swaps peer `v` and port `p` into the connected prefix of `u`'s
+    /// partitioned permutations (two O(1) partial-Fisher–Yates steps).
+    fn promote(&mut self, u: usize, v: usize, p: usize) {
+        let d = self.degree[u] as usize;
+        let row = u * (self.n - 1);
+
+        let k = self.peer_pos[u * self.n + v] as usize;
+        debug_assert!(k >= d, "promoting an already-connected peer");
+        let w = self.peer_perm[row + d] as usize;
+        self.peer_perm.swap(row + d, row + k);
+        self.peer_pos[u * self.n + v] = d as u32;
+        self.peer_pos[u * self.n + w] = k as u32;
+
+        let kp = self.port_pos[row + p] as usize;
+        debug_assert!(kp >= d, "promoting an already-assigned port");
+        let q = self.port_perm[row + d] as usize;
+        self.port_perm.swap(row + d, row + kp);
+        self.port_pos[row + p] = d as u32;
+        self.port_pos[row + q] = kp as u32;
+    }
+}
+
+impl PortStore for DenseStore {
+    #[inline]
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    #[inline]
+    fn link_count(&self) -> usize {
+        self.links
+    }
+
+    #[inline]
+    fn degree(&self, u: NodeIndex) -> usize {
+        self.degree[u.0] as usize
+    }
+
+    #[inline]
+    fn connected(&self, u: NodeIndex, v: NodeIndex) -> bool {
+        self.port_of[u.0 * self.n + v.0] != EMPTY_U32
+    }
+
+    #[inline]
+    fn peer(&self, u: NodeIndex, p: Port) -> Option<Endpoint> {
+        let enc = self.forward[u.0 * (self.n - 1) + p.0];
+        if enc == EMPTY_U64 {
+            None
+        } else {
+            Some(Endpoint {
+                node: NodeIndex((enc >> 32) as usize),
+                port: Port((enc & 0xFFFF_FFFF) as usize),
+            })
+        }
+    }
+
+    #[inline]
+    fn port_to(&self, u: NodeIndex, v: NodeIndex) -> Option<Port> {
+        let p = self.port_of[u.0 * self.n + v.0];
+        (p != EMPTY_U32).then_some(Port(p as usize))
+    }
+
+    #[inline]
+    fn peer_at_pos(&self, u: NodeIndex, k: usize) -> NodeIndex {
+        NodeIndex(self.peer_row(u.0)[k] as usize)
+    }
+
+    #[inline]
+    fn port_at_pos(&self, u: NodeIndex, k: usize) -> Port {
+        Port(self.port_row(u.0)[k] as usize)
+    }
+
+    fn insert_link(&mut self, u: NodeIndex, pu: Port, v: NodeIndex, pv: Port) {
+        let ports = self.n - 1;
+        if self.degree[u.0] == 0 {
+            self.dirty.push(u.0 as u32);
+        }
+        if self.degree[v.0] == 0 {
+            self.dirty.push(v.0 as u32);
+        }
+        self.forward[u.0 * ports + pu.0] = ((v.0 as u64) << 32) | pv.0 as u64;
+        self.forward[v.0 * ports + pv.0] = ((u.0 as u64) << 32) | pu.0 as u64;
+        self.port_of[u.0 * self.n + v.0] = pu.0 as u32;
+        self.port_of[v.0 * self.n + u.0] = pv.0 as u32;
+        self.promote(u.0, v.0, pu.0);
+        self.promote(v.0, u.0, pv.0);
+        self.degree[u.0] += 1;
+        self.degree[v.0] += 1;
+        self.links += 1;
+    }
+
+    /// Un-connects everything, returning the store to the exact state
+    /// [`DenseStore::new`] produces — without reallocating any table.
+    ///
+    /// Cost is proportional to the state actually touched since
+    /// construction (or the previous reset): only the rows of nodes with at
+    /// least one link are visited, and each such row is restored in
+    /// O(degree) — the partitioned permutations are swapped back to
+    /// canonical ascending order by chasing displacement cycles, every swap
+    /// of which parks one entry in its home slot for good.
+    fn reset(&mut self) {
+        let ports = self.n - 1;
+        let dirty = std::mem::take(&mut self.dirty);
+        for &u in &dirty {
+            let u = u as usize;
+            let d = self.degree[u] as usize;
+            let row = u * ports;
+            // Clear the forward and peer-index entries of every link of u.
+            // The connected peers and assigned ports are exactly the first
+            // d entries of the partitioned permutations.
+            for k in 0..d {
+                let v = self.peer_perm[row + k] as usize;
+                self.port_of[u * self.n + v] = EMPTY_U32;
+                let p = self.port_perm[row + k] as usize;
+                self.forward[row + p] = EMPTY_U64;
+            }
+            self.degree[u] = 0;
+            // Restore the canonical permutations. Every displacement cycle
+            // passes through the connected prefix `0..d` (each `promote`
+            // swapped the then-boundary position with a position at or
+            // beyond it), so chasing cycles from the prefix restores the
+            // whole row in O(d) swaps.
+            for k in 0..d {
+                loop {
+                    let v = self.peer_perm[row + k] as usize;
+                    let home = v - usize::from(v > u);
+                    if home == k {
+                        break;
+                    }
+                    let w = self.peer_perm[row + home] as usize;
+                    self.peer_perm.swap(row + k, row + home);
+                    self.peer_pos[u * self.n + v] = home as u32;
+                    self.peer_pos[u * self.n + w] = k as u32;
+                }
+                loop {
+                    let p = self.port_perm[row + k] as usize;
+                    if p == k {
+                        break;
+                    }
+                    let q = self.port_perm[row + p] as usize;
+                    self.port_perm.swap(row + k, row + p);
+                    self.port_pos[row + p] = p as u32;
+                    self.port_pos[row + q] = k as u32;
+                }
+            }
+        }
+        self.links = 0;
+    }
+
+    fn validate(&self) -> Result<(), ModelError> {
+        let fail = |u: usize, p: usize, reason: &'static str| {
+            Err(ModelError::InvalidResolution {
+                node: NodeIndex(u),
+                port: Port(p),
+                reason,
+            })
+        };
+        let ports = self.n - 1;
+        let mut counted = 0usize;
+        for u in 0..self.n {
+            let mut assigned = 0usize;
+            for i in 0..ports {
+                let Some(Endpoint { node: v, port: j }) = self.peer(NodeIndex(u), Port(i)) else {
+                    continue;
+                };
+                counted += 1;
+                assigned += 1;
+                if v.0 == u {
+                    return fail(u, i, "self-link");
+                }
+                let back = self.peer(v, j);
+                if back
+                    != Some(Endpoint {
+                        node: NodeIndex(u),
+                        port: Port(i),
+                    })
+                {
+                    return fail(u, i, "asymmetric link");
+                }
+                if self.port_of[u * self.n + v.0] != i as u32 {
+                    return fail(u, i, "peer index out of sync");
+                }
+            }
+            if assigned != self.degree[u] as usize {
+                return fail(u, 0, "degree out of sync with forward table");
+            }
+            // The peer/port permutation rows must be partitioned exactly at
+            // degree[u], with pos tables as their inverses.
+            let d = self.degree[u] as usize;
+            for (k, &v) in self.peer_row(u).iter().enumerate() {
+                if self.peer_pos[u * self.n + v as usize] != k as u32 {
+                    return fail(u, 0, "peer permutation/position out of sync");
+                }
+                let connected = self.port_of[u * self.n + v as usize] != EMPTY_U32;
+                if connected != (k < d) {
+                    return fail(u, 0, "peer permutation partition broken");
+                }
+            }
+            for (k, &p) in self.port_row(u).iter().enumerate() {
+                if self.port_pos[u * ports + p as usize] != k as u32 {
+                    return fail(u, 0, "port permutation/position out of sync");
+                }
+                let taken = self.forward[u * ports + p as usize] != EMPTY_U64;
+                if taken != (k < d) {
+                    return fail(u, 0, "port permutation partition broken");
+                }
+            }
+        }
+        if counted != 2 * self.links {
+            return fail(0, 0, "link count out of sync");
+        }
+        if let Err(reason) = super::validate_dirty_list(&self.degree, &self.dirty) {
+            return fail(0, 0, reason);
+        }
+        Ok(())
+    }
+
+    fn resident_bytes(&self) -> u64 {
+        let u32s = self.port_of.capacity()
+            + self.peer_perm.capacity()
+            + self.peer_pos.capacity()
+            + self.port_perm.capacity()
+            + self.port_pos.capacity()
+            + self.degree.capacity()
+            + self.dirty.capacity();
+        (self.forward.capacity() * 8 + u32s * 4) as u64
+    }
+}

@@ -1,0 +1,1259 @@
+//! Lazily-resolved bijective port mappings (the KT0 "clean network" model).
+//!
+//! Formally (paper, Section 2) a port mapping `p` maps each pair `(u, i)` —
+//! node `u`, port `i` — to some pair `(v, j)` with `p((v, j)) = (u, i)`:
+//! a message sent by `u` over port `i` is received by `v` over port `j`.
+//! Neither endpoint knows where a port leads until a message crosses it.
+//!
+//! # Lazy resolution
+//!
+//! [`PortMap`] keeps a *partial port mapping* (paper, Section 2) and extends
+//! it on first use. The extension strategy is a [`PortResolver`]:
+//!
+//! * [`RandomResolver`] — each unused port leads to a uniformly random node
+//!   among those the sender is not yet connected to. For randomized
+//!   algorithms this is distributionally equivalent to the oblivious
+//!   pre-committed uniform mapping the paper assumes (each fresh port is a
+//!   uniform sample without replacement over peers, which is the only
+//!   property the analyses of Theorems 4.1 and 5.1 use).
+//! * [`RoundRobinResolver`] — a deterministic canonical mapping for tests.
+//! * The adaptive adversary of the lower bounds (Lemma 3.3 / Lemma 3.9)
+//!   lives in the `le-bounds` crate and implements the same trait: for
+//!   deterministic algorithms the model explicitly allows choosing the
+//!   mapping of unused ports adaptively.
+//!
+//! # Storage backends
+//!
+//! The *representation* of the partial mapping is pluggable
+//! ([`PortBackend`]); both backends maintain identical partial-bijection
+//! invariants and identical partitioned-permutation structure (the first
+//! `degree(u)` positions of each node's peer/port permutation are the
+//! connected prefix, so a uniform fresh draw is one indexed lookup):
+//!
+//! * **Dense** (`dense` submodule) — flat row-major arrays, `Θ(n²)` words
+//!   (~28 bytes per ordered node pair) allocated once at construction;
+//!   every operation is O(1) with no hashing. The right choice wherever
+//!   the tables fit: `n = 4096` is a few hundred MB.
+//! * **Sparse** (`sparse` submodule) — hashed tables holding only
+//!   *touched* state, with each node's untouched peer/port permutations
+//!   represented implicitly by a keyed small-domain Feistel permutation
+//!   evaluated on demand. Memory is O(n + links) instead of `Θ(n²)`,
+//!   which reopens `n = 65536+` for the paper's sublinear-message regime;
+//!   operations stay O(1) expected.
+//!
+//! Selection: [`PortMap::new`] honours the `LE_BACKEND` environment
+//! variable (`dense`, `sparse`, or `auto`; unset means `auto`), and
+//! [`PortMap::with_backend`] / the engine builders' `.backend(…)` pin a
+//! choice programmatically. `auto` picks dense while the flat tables fit
+//! a fixed budget (8 GiB, i.e. up to `n = 16384`) and sparse beyond.
+//!
+//! RNG-free resolvers (round-robin, circulant, the lower-bound
+//! adversaries) resolve identically on both backends — enforced by
+//! `tests/portmap_equivalence.rs`. RNG-driven resolvers draw through the
+//! backend's enumeration order, which differs between backends, so the
+//! per-seed mappings differ while their distributions coincide; golden
+//! fingerprints are therefore *backend-scoped* (recorded on dense).
+//!
+//! # Trial recycling
+//!
+//! Construction cost is paid once per *map*, not once per *trial*:
+//! [`PortMap::reset`] returns a used map to the exact state construction
+//! produces, in time proportional to the state the previous trial actually
+//! touched (a dirty-node list records which rows have links; each dirty row
+//! is restored by swapping its partitioned permutations back to canonical
+//! order — no reallocation, no full-table sweep — on *both* backends). A
+//! reset map is observationally identical to a fresh one: the same
+//! resolver draws from the same RNG state produce the same mapping.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::error::ModelError;
+use crate::NodeIndex;
+
+mod dense;
+mod perm;
+mod sparse;
+
+use dense::DenseStore;
+use sparse::SparseStore;
+
+pub use sparse::KeyHasher;
+
+/// A port number local to one node, in `0 .. n-1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Port(pub usize);
+
+impl Port {
+    /// Returns the underlying port number.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl std::fmt::Display for Port {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// One end of a link: a `(node, port)` pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Endpoint {
+    /// The node owning the port.
+    pub node: NodeIndex,
+    /// The port local to `node`.
+    pub port: Port,
+}
+
+impl std::fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.node, self.port)
+    }
+}
+
+/// The uniform storage interface both backends implement.
+///
+/// [`PortMap`] validates every mutation (bounds, bijectivity, resolver
+/// sanity) before it reaches the store, so implementations only maintain
+/// the representation: the forward/peer tables plus the partitioned
+/// peer/port permutations whose first `degree(u)` positions are the
+/// connected prefix.
+trait PortStore {
+    /// Number of nodes.
+    fn n(&self) -> usize;
+    /// Number of links fixed so far.
+    fn link_count(&self) -> usize;
+    /// Number of links incident to `u`.
+    fn degree(&self, u: NodeIndex) -> usize;
+    /// Whether `u` and `v` are connected by a fixed link.
+    fn connected(&self, u: NodeIndex, v: NodeIndex) -> bool;
+    /// The endpoint reached from `u`'s port `p`, if assigned.
+    fn peer(&self, u: NodeIndex, p: Port) -> Option<Endpoint>;
+    /// The port of `u` connecting to `v`, if such a link is fixed.
+    fn port_to(&self, u: NodeIndex, v: NodeIndex) -> Option<Port>;
+    /// The peer at position `k` of `u`'s partitioned peer permutation.
+    fn peer_at_pos(&self, u: NodeIndex, k: usize) -> NodeIndex;
+    /// The port at position `k` of `u`'s partitioned port permutation.
+    fn port_at_pos(&self, u: NodeIndex, k: usize) -> Port;
+    /// Fixes the (pre-validated) link `(u, pu) ↔ (v, pv)`.
+    fn insert_link(&mut self, u: NodeIndex, pu: Port, v: NodeIndex, pv: Port);
+    /// Returns the store to its pristine state in O(touched-state).
+    fn reset(&mut self);
+    /// Exhaustively checks representation invariants (test helper).
+    fn validate(&self) -> Result<(), ModelError>;
+    /// Estimated bytes of resident storage currently held.
+    fn resident_bytes(&self) -> u64;
+}
+
+/// Shared `validate` helper: the dirty list must hold exactly the nodes
+/// with at least one link, each once (pushed only on the 0 → 1 degree
+/// transition) — the discipline both backends' `reset` relies on.
+fn validate_dirty_list(degree: &[u32], dirty_list: &[u32]) -> Result<(), &'static str> {
+    let mut dirty = dirty_list.to_vec();
+    dirty.sort_unstable();
+    dirty.dedup();
+    if dirty.len() != dirty_list.len() {
+        return Err("duplicate dirty-list entry");
+    }
+    let with_links: Vec<u32> = (0..degree.len() as u32)
+        .filter(|&u| degree[u as usize] > 0)
+        .collect();
+    if dirty != with_links {
+        return Err("dirty list out of sync with degrees");
+    }
+    Ok(())
+}
+
+/// Monomorphic dispatch over the two storage backends: the body is
+/// duplicated per variant, so store methods inline with no virtual call on
+/// the resolution hot path.
+macro_rules! with_store {
+    ($map:expr, $s:ident => $e:expr) => {
+        match &$map.store {
+            Store::Dense($s) => $e,
+            Store::Sparse($s) => $e,
+        }
+    };
+}
+
+macro_rules! with_store_mut {
+    ($map:expr, $s:ident => $e:expr) => {
+        match &mut $map.store {
+            Store::Dense($s) => $e,
+            Store::Sparse($s) => $e,
+        }
+    };
+}
+
+/// Which storage backend a [`PortMap`] uses (or how to choose one).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PortBackend {
+    /// Flat `Θ(n²)` tables: O(1) operations, no hashing, ~28 bytes per
+    /// ordered node pair. The recorded golden fingerprints assume this
+    /// backend.
+    Dense,
+    /// Hashed O(n + links) tables with implicit keyed permutations:
+    /// O(1)-expected operations, memory proportional to touched state.
+    Sparse,
+    /// Resolve per size: dense while [`PortBackend::dense_table_bytes`]
+    /// fits [`PortBackend::AUTO_DENSE_CAP_BYTES`] (up to `n = 16384`),
+    /// sparse beyond. The default, and what unset `LE_BACKEND` means.
+    #[default]
+    Auto,
+}
+
+impl PortBackend {
+    /// The `auto` budget: dense is chosen while its tables fit 8 GiB.
+    ///
+    /// The boundary sits between `n = 16384` (~7.5 GiB of tables — the
+    /// largest size the pre-backend experiment grids ran dense, kept
+    /// dense so those recorded numbers never re-roll) and `n = 32768`
+    /// (~30 GiB), past which the quadratic tables crowd out everything
+    /// else on a typical box. The budget is deliberately a *size*
+    /// heuristic, not a workload one: at `n ≤ 16384` the grids include
+    /// dense-traffic cells (full-clique `d = n` sweeps, full-wake-up
+    /// `Θ(n^{3/2})` floods) where hashed touched-state storage loses on
+    /// both speed and memory, while every `auto`-sparse size above it is
+    /// only feasible for o(n)-per-node workloads in the first place.
+    /// Pin `PortBackend::Sparse` explicitly to run a sublinear workload
+    /// sparse at a small `n`.
+    pub const AUTO_DENSE_CAP_BYTES: u64 = 8 * 1024 * 1024 * 1024;
+
+    /// Reads the backend selection from the `LE_BACKEND` environment
+    /// variable: `dense`, `sparse`, or `auto`; unset (or empty) means
+    /// [`PortBackend::Auto`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unrecognized value — a typo silently falling back to a
+    /// different backend would invalidate recorded numbers.
+    pub fn from_env() -> PortBackend {
+        match std::env::var("LE_BACKEND") {
+            Err(std::env::VarError::NotPresent) => PortBackend::Auto,
+            Err(std::env::VarError::NotUnicode(v)) => {
+                panic!("LE_BACKEND must be dense|sparse|auto, got non-unicode {v:?}")
+            }
+            Ok(v) => match v.as_str() {
+                "dense" => PortBackend::Dense,
+                "sparse" => PortBackend::Sparse,
+                "auto" | "" => PortBackend::Auto,
+                other => panic!("LE_BACKEND must be dense|sparse|auto, got {other:?}"),
+            },
+        }
+    }
+
+    /// Resolves `Auto` against the network size; `Dense` and `Sparse`
+    /// return themselves. The result is always a concrete backend.
+    pub fn resolve(self, n: usize) -> PortBackend {
+        match self {
+            PortBackend::Auto => {
+                if PortBackend::dense_table_bytes(n) <= PortBackend::AUTO_DENSE_CAP_BYTES {
+                    PortBackend::Dense
+                } else {
+                    PortBackend::Sparse
+                }
+            }
+            concrete => concrete,
+        }
+    }
+
+    /// Bytes the dense backend's tables occupy at size `n` (the quantity
+    /// the `auto` heuristic budgets): one `u64` forward entry plus three
+    /// `u32` permutation/position entries per port, two `u32` peer-indexed
+    /// entries per ordered pair, one `u32` degree per node — the
+    /// documented ~28 bytes per ordered node pair.
+    pub fn dense_table_bytes(n: usize) -> u64 {
+        let n = n as u64;
+        let ports = n.saturating_sub(1);
+        8 * n * ports + 12 * n * ports + 8 * n * n + 4 * n
+    }
+}
+
+impl std::fmt::Display for PortBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            PortBackend::Dense => "dense",
+            PortBackend::Sparse => "sparse",
+            PortBackend::Auto => "auto",
+        })
+    }
+}
+
+/// Read-only view of the partial port mapping handed to resolvers.
+///
+/// Exposes exactly what an adaptive adversary may condition on: the current
+/// connectivity structure (which is determined by the execution so far), not
+/// private node state.
+#[derive(Debug)]
+pub struct PortView<'a> {
+    map: &'a PortMap,
+}
+
+impl<'a> PortView<'a> {
+    /// Number of nodes in the network.
+    pub fn n(&self) -> usize {
+        self.map.n()
+    }
+
+    /// Whether a link between `u` and `v` has already been fixed.
+    pub fn is_connected(&self, u: NodeIndex, v: NodeIndex) -> bool {
+        self.map.connected(u, v)
+    }
+
+    /// Number of already-fixed links incident to `u`.
+    pub fn degree(&self, u: NodeIndex) -> usize {
+        self.map.degree(u)
+    }
+
+    /// Whether port `p` of node `u` has already been mapped.
+    pub fn is_port_assigned(&self, u: NodeIndex, p: Port) -> bool {
+        self.map.peer(u, p).is_some()
+    }
+
+    /// Iterates over the peers already connected to `u`.
+    pub fn peers_of(&self, u: NodeIndex) -> impl Iterator<Item = NodeIndex> + '_ {
+        let map = self.map;
+        (0..map.degree(u)).map(move |k| map.peer_at_pos(u, k))
+    }
+
+    /// Number of nodes not yet connected to `u` (excluding `u` itself).
+    ///
+    /// Equals the number of `u`'s free ports: every fixed link consumes
+    /// exactly one port on each side.
+    pub fn unconnected_count(&self, u: NodeIndex) -> usize {
+        self.map.n() - 1 - self.map.degree(u)
+    }
+
+    /// The `k`-th node not yet connected to `u`, for `k` in
+    /// `0..unconnected_count(u)`.
+    ///
+    /// The enumeration order is an implementation-defined (and
+    /// backend-defined) permutation that changes as links are fixed; a
+    /// uniform index gives a uniform unconnected peer, which is all
+    /// [`RandomResolver`] needs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= unconnected_count(u)`.
+    pub fn unconnected_peer(&self, u: NodeIndex, k: usize) -> NodeIndex {
+        assert!(
+            k < self.unconnected_count(u),
+            "unconnected-peer index {k} out of range for {u}"
+        );
+        self.map.peer_at_pos(u, self.map.degree(u) + k)
+    }
+
+    /// The `k`-th unassigned port of `u`, for `k` in
+    /// `0..unconnected_count(u)` (free ports and unconnected peers are
+    /// equinumerous).
+    ///
+    /// Like [`PortView::unconnected_peer`], the order is an
+    /// implementation-defined permutation; a uniform index gives a uniform
+    /// free port.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= unconnected_count(u)`.
+    pub fn free_port(&self, u: NodeIndex, k: usize) -> Port {
+        assert!(
+            k < self.unconnected_count(u),
+            "free-port index {k} out of range for {u}"
+        );
+        self.map.port_at_pos(u, self.map.degree(u) + k)
+    }
+}
+
+/// Strategy deciding where an unused port leads when it is first used.
+///
+/// Implementations must return a peer `v ≠ u` that is not already connected
+/// to `u`; [`PortMap::resolve`] validates this and errors otherwise.
+pub trait PortResolver {
+    /// Chooses the destination node for the first message sent by `src` over
+    /// `src_port`.
+    fn choose_peer(
+        &mut self,
+        view: PortView<'_>,
+        src: NodeIndex,
+        src_port: Port,
+        rng: &mut SmallRng,
+    ) -> NodeIndex;
+
+    /// Chooses which of `peer`'s free ports receives the link.
+    ///
+    /// The default picks a uniformly random free port, which no algorithm in
+    /// the KT0 model can distinguish from any other rule.
+    fn choose_peer_port(
+        &mut self,
+        view: PortView<'_>,
+        _src: NodeIndex,
+        _src_port: Port,
+        peer: NodeIndex,
+        rng: &mut SmallRng,
+    ) -> Port {
+        uniform_free_port(&view, peer, rng)
+    }
+}
+
+/// Picks a uniformly random unassigned port of `node` in O(1): one draw
+/// into the node's free-port permutation.
+pub fn uniform_free_port(view: &PortView<'_>, node: NodeIndex, rng: &mut SmallRng) -> Port {
+    let free = view.unconnected_count(node);
+    assert!(free > 0, "node {node} has no free ports left");
+    view.free_port(node, rng.gen_range(0..free))
+}
+
+/// Resolver drawing each fresh port's destination uniformly among the nodes
+/// not yet connected to the sender — one O(1) indexed draw into the
+/// sender's unconnected-peers permutation (partial Fisher–Yates), never
+/// rejection sampling.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RandomResolver;
+
+impl PortResolver for RandomResolver {
+    fn choose_peer(
+        &mut self,
+        view: PortView<'_>,
+        src: NodeIndex,
+        _src_port: Port,
+        rng: &mut SmallRng,
+    ) -> NodeIndex {
+        let free = view.unconnected_count(src);
+        debug_assert!(free > 0, "{src} is already connected to everyone");
+        view.unconnected_peer(src, rng.gen_range(0..free))
+    }
+}
+
+/// Deterministic canonical resolver: port `i` of node `u` prefers node
+/// `(u + i + 1) mod n`, skipping forward over already-connected peers.
+///
+/// Useful for reproducible unit tests and as a "benign" mapping contrasting
+/// with adversarial ones. Peer ports are assigned lowest-free-first.
+/// Consumes no randomness, so its resolutions are identical on every
+/// storage backend.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RoundRobinResolver;
+
+impl PortResolver for RoundRobinResolver {
+    fn choose_peer(
+        &mut self,
+        view: PortView<'_>,
+        src: NodeIndex,
+        src_port: Port,
+        _rng: &mut SmallRng,
+    ) -> NodeIndex {
+        let n = view.n();
+        let mut v = (src.0 + src_port.0 + 1) % n;
+        for _ in 0..n {
+            if v != src.0 && !view.is_connected(src, NodeIndex(v)) {
+                return NodeIndex(v);
+            }
+            v = (v + 1) % n;
+        }
+        unreachable!("{src} is already connected to everyone");
+    }
+
+    fn choose_peer_port(
+        &mut self,
+        view: PortView<'_>,
+        _src: NodeIndex,
+        _src_port: Port,
+        peer: NodeIndex,
+        _rng: &mut SmallRng,
+    ) -> Port {
+        (0..view.n() - 1)
+            .map(Port)
+            .find(|&p| !view.is_port_assigned(peer, p))
+            .expect("peer has no free ports left")
+    }
+}
+
+/// The closed-form circulant mapping: port `i` of node `u` connects to node
+/// `(u + i + 1) mod n`, arriving on that node's port `n − i − 2`.
+///
+/// Unlike [`RandomResolver`] and [`RoundRobinResolver`], the outcome does
+/// not depend on the *order* in which ports are resolved — the full mapping
+/// is fixed in advance (an *oblivious* adversary). This makes it the right
+/// mapping for experiments that must compare two executions that resolve
+/// ports in different orders, such as the Lemma 3.12 single-send
+/// simulation in `le-bounds`.
+///
+/// The mapping is a valid port mapping: symmetric
+/// (`p(p(u, i)) = (u, i)`), self-loop-free (a self-loop would need
+/// `i = n − 1`, which is not a port), and port-bijective.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CirculantResolver;
+
+impl PortResolver for CirculantResolver {
+    fn choose_peer(
+        &mut self,
+        view: PortView<'_>,
+        src: NodeIndex,
+        src_port: Port,
+        _rng: &mut SmallRng,
+    ) -> NodeIndex {
+        NodeIndex((src.0 + src_port.0 + 1) % view.n())
+    }
+
+    fn choose_peer_port(
+        &mut self,
+        view: PortView<'_>,
+        _src: NodeIndex,
+        src_port: Port,
+        _peer: NodeIndex,
+        _rng: &mut SmallRng,
+    ) -> Port {
+        Port(view.n() - src_port.0 - 2)
+    }
+}
+
+/// The two concrete stores behind a [`PortMap`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Store {
+    /// Flat tables (see [`dense`]).
+    Dense(DenseStore),
+    /// Hashed touched-state tables (see [`sparse`]).
+    Sparse(SparseStore),
+}
+
+/// A partial, lazily-extended, bijective port mapping over `n` nodes.
+///
+/// Invariants maintained at all times (checked by [`PortMap::validate`]):
+///
+/// 1. **Symmetry**: `p((u, i)) = (v, j)` iff `p((v, j)) = (u, i)`.
+/// 2. **Simplicity**: at most one link between any pair of nodes, never a
+///    self-link.
+/// 3. **Port-injectivity**: each port of each node is used by at most one
+///    link.
+///
+/// Storage is pluggable — see the module docs and [`PortBackend`]. Two
+/// maps compare equal only if they use the same backend *and* hold the
+/// same mapping in the same internal state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PortMap {
+    store: Store,
+}
+
+impl PortMap {
+    /// Creates an empty partial mapping for an `n`-node clique on the
+    /// backend selected by `LE_BACKEND` (unset means `auto` — see
+    /// [`PortBackend::from_env`] and [`PortBackend::resolve`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::NetworkTooSmall`] if `n < 2`.
+    pub fn new(n: usize) -> Result<Self, ModelError> {
+        PortMap::with_backend(n, PortBackend::from_env())
+    }
+
+    /// Creates an empty partial mapping on an explicit backend (`Auto`
+    /// resolves against `n`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::NetworkTooSmall`] if `n < 2`.
+    pub fn with_backend(n: usize, backend: PortBackend) -> Result<Self, ModelError> {
+        if n < 2 {
+            return Err(ModelError::NetworkTooSmall { n });
+        }
+        let store = match backend.resolve(n) {
+            PortBackend::Dense => Store::Dense(DenseStore::new(n)),
+            PortBackend::Sparse => Store::Sparse(SparseStore::new(n)),
+            PortBackend::Auto => unreachable!("resolve() always returns a concrete backend"),
+        };
+        Ok(PortMap { store })
+    }
+
+    /// The concrete backend this map stores its state in (never `Auto`).
+    pub fn backend(&self) -> PortBackend {
+        match &self.store {
+            Store::Dense(_) => PortBackend::Dense,
+            Store::Sparse(_) => PortBackend::Sparse,
+        }
+    }
+
+    /// Estimated bytes of storage currently resident for this map — the
+    /// number the sweep harness reports per cell so dense-vs-sparse
+    /// footprints are visible in every experiment CSV.
+    pub fn resident_bytes(&self) -> u64 {
+        with_store!(self, s => s.resident_bytes())
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        with_store!(self, s => s.n())
+    }
+
+    /// Number of ports per node (`n - 1`).
+    pub fn ports_per_node(&self) -> usize {
+        self.n() - 1
+    }
+
+    /// Number of links fixed so far.
+    pub fn link_count(&self) -> usize {
+        with_store!(self, s => s.link_count())
+    }
+
+    /// Number of links incident to `u`.
+    #[inline]
+    pub fn degree(&self, u: NodeIndex) -> usize {
+        with_store!(self, s => s.degree(u))
+    }
+
+    /// Whether `u` and `v` are already connected by a fixed link.
+    #[inline]
+    pub fn connected(&self, u: NodeIndex, v: NodeIndex) -> bool {
+        with_store!(self, s => s.connected(u, v))
+    }
+
+    /// The endpoint reached from `u`'s port `p`, if that port is assigned.
+    #[inline]
+    pub fn peer(&self, u: NodeIndex, p: Port) -> Option<Endpoint> {
+        with_store!(self, s => s.peer(u, p))
+    }
+
+    /// The port of `u` that connects to `v`, if such a link is fixed.
+    #[inline]
+    pub fn port_to(&self, u: NodeIndex, v: NodeIndex) -> Option<Port> {
+        with_store!(self, s => s.port_to(u, v))
+    }
+
+    /// The peer at position `k` of `u`'s partitioned peer permutation
+    /// (connected prefix first).
+    #[inline]
+    fn peer_at_pos(&self, u: NodeIndex, k: usize) -> NodeIndex {
+        with_store!(self, s => s.peer_at_pos(u, k))
+    }
+
+    /// The port at position `k` of `u`'s partitioned port permutation.
+    #[inline]
+    fn port_at_pos(&self, u: NodeIndex, k: usize) -> Port {
+        with_store!(self, s => s.port_at_pos(u, k))
+    }
+
+    /// Read-only view for resolvers and observers.
+    pub fn view(&self) -> PortView<'_> {
+        PortView { map: self }
+    }
+
+    /// Resolves `(u, port)`: returns the existing destination if the port is
+    /// already mapped, otherwise asks `resolver` where it leads and fixes
+    /// both directions.
+    ///
+    /// # Errors
+    ///
+    /// * [`ModelError::NodeOutOfRange`] / [`ModelError::PortOutOfRange`] on
+    ///   invalid coordinates;
+    /// * [`ModelError::InvalidResolution`] if the resolver picks the sender
+    ///   itself, an already-connected peer, or a taken peer port.
+    pub fn resolve(
+        &mut self,
+        u: NodeIndex,
+        port: Port,
+        resolver: &mut dyn PortResolver,
+        rng: &mut SmallRng,
+    ) -> Result<Endpoint, ModelError> {
+        let n = self.n();
+        if u.0 >= n {
+            return Err(ModelError::NodeOutOfRange { node: u, n });
+        }
+        if port.0 >= n - 1 {
+            return Err(ModelError::PortOutOfRange {
+                node: u,
+                port,
+                ports_per_node: n - 1,
+            });
+        }
+        if let Some(dest) = self.peer(u, port) {
+            return Ok(dest);
+        }
+        let v = resolver.choose_peer(self.view(), u, port, rng);
+        if v.0 >= n {
+            return Err(ModelError::InvalidResolution {
+                node: u,
+                port,
+                reason: "resolver chose an out-of-range peer",
+            });
+        }
+        if v == u {
+            return Err(ModelError::InvalidResolution {
+                node: u,
+                port,
+                reason: "resolver chose the sender itself",
+            });
+        }
+        if self.connected(u, v) {
+            return Err(ModelError::InvalidResolution {
+                node: u,
+                port,
+                reason: "resolver chose an already-connected peer",
+            });
+        }
+        let j = resolver.choose_peer_port(self.view(), u, port, v, rng);
+        if j.0 >= n - 1 {
+            return Err(ModelError::InvalidResolution {
+                node: u,
+                port,
+                reason: "resolver chose an out-of-range peer port",
+            });
+        }
+        if self.peer(v, j).is_some() {
+            return Err(ModelError::InvalidResolution {
+                node: u,
+                port,
+                reason: "resolver chose a taken peer port",
+            });
+        }
+        with_store_mut!(self, s => s.insert_link(u, port, v, j));
+        Ok(Endpoint { node: v, port: j })
+    }
+
+    /// Fixes a link explicitly (used by tests and by adversaries that
+    /// pre-wire part of the network).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`PortMap::resolve`], plus
+    /// [`ModelError::InvalidResolution`] if `(u, port)` is already assigned.
+    pub fn connect(
+        &mut self,
+        u: NodeIndex,
+        pu: Port,
+        v: NodeIndex,
+        pv: Port,
+    ) -> Result<(), ModelError> {
+        let n = self.n();
+        if u.0 >= n || v.0 >= n {
+            let node = if u.0 >= n { u } else { v };
+            return Err(ModelError::NodeOutOfRange { node, n });
+        }
+        for (node, port) in [(u, pu), (v, pv)] {
+            if port.0 >= n - 1 {
+                return Err(ModelError::PortOutOfRange {
+                    node,
+                    port,
+                    ports_per_node: n - 1,
+                });
+            }
+        }
+        if u == v {
+            return Err(ModelError::InvalidResolution {
+                node: u,
+                port: pu,
+                reason: "cannot connect a node to itself",
+            });
+        }
+        if self.connected(u, v) {
+            return Err(ModelError::InvalidResolution {
+                node: u,
+                port: pu,
+                reason: "nodes already connected",
+            });
+        }
+        if self.peer(u, pu).is_some() || self.peer(v, pv).is_some() {
+            return Err(ModelError::InvalidResolution {
+                node: u,
+                port: pu,
+                reason: "endpoint port already taken",
+            });
+        }
+        with_store_mut!(self, s => s.insert_link(u, pu, v, pv));
+        Ok(())
+    }
+
+    /// Un-connects everything, returning the map to the exact state
+    /// construction produces — without reallocating any table.
+    ///
+    /// On *both* backends the cost is proportional to the state actually
+    /// touched since construction (or the previous reset): only the rows
+    /// of nodes with at least one link are visited, each restored in
+    /// O(degree) by chasing displacement cycles of the partitioned
+    /// permutations. Repeated trials over one map therefore pay the
+    /// construction cost once and O(links) per trial.
+    ///
+    /// Afterwards the map is observationally identical to a freshly
+    /// constructed one: the same sequence of resolver choices (and RNG
+    /// draws) yields the same mapping, which is what lets sweep harnesses
+    /// recycle one map across seeds without changing any recorded number.
+    pub fn reset(&mut self) {
+        with_store_mut!(self, s => s.reset());
+    }
+
+    /// Exhaustively checks the bijectivity invariants *and* the internal
+    /// consistency of the backend's tables; intended for tests (O(n²)).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidResolution`] describing the first
+    /// violated invariant.
+    pub fn validate(&self) -> Result<(), ModelError> {
+        with_store!(self, s => s.validate())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::rng_from_seed;
+
+    /// A sparse-backend map for the mirror tests below.
+    fn sparse_map(n: usize) -> PortMap {
+        PortMap::with_backend(n, PortBackend::Sparse).unwrap()
+    }
+
+    #[test]
+    fn rejects_tiny_network() {
+        assert!(matches!(
+            PortMap::new(1),
+            Err(ModelError::NetworkTooSmall { n: 1 })
+        ));
+        assert!(matches!(
+            PortMap::with_backend(0, PortBackend::Sparse),
+            Err(ModelError::NetworkTooSmall { n: 0 })
+        ));
+    }
+
+    #[test]
+    fn auto_heuristic_switches_at_the_dense_budget() {
+        assert_eq!(PortBackend::Auto.resolve(64), PortBackend::Dense);
+        assert_eq!(PortBackend::Auto.resolve(4096), PortBackend::Dense);
+        assert_eq!(PortBackend::Auto.resolve(8192), PortBackend::Dense);
+        assert_eq!(PortBackend::Auto.resolve(16384), PortBackend::Dense);
+        assert_eq!(PortBackend::Auto.resolve(32768), PortBackend::Sparse);
+        assert_eq!(PortBackend::Auto.resolve(65536), PortBackend::Sparse);
+        // Explicit choices are never overridden.
+        assert_eq!(PortBackend::Dense.resolve(1 << 20), PortBackend::Dense);
+        assert_eq!(PortBackend::Sparse.resolve(2), PortBackend::Sparse);
+        // The budgeted quantity matches the documented ~28 bytes per pair.
+        let n = 8192u64;
+        let per_pair = PortBackend::dense_table_bytes(8192) / (n * n);
+        assert_eq!(per_pair, 27, "dense bytes per ordered pair drifted");
+    }
+
+    #[test]
+    fn backend_is_reported_and_part_of_equality() {
+        let dense = PortMap::with_backend(16, PortBackend::Dense).unwrap();
+        let sparse = sparse_map(16);
+        assert_eq!(dense.backend(), PortBackend::Dense);
+        assert_eq!(sparse.backend(), PortBackend::Sparse);
+        assert_ne!(dense, sparse, "maps on different backends compare equal");
+        assert!(dense.resident_bytes() > sparse.resident_bytes());
+    }
+
+    #[test]
+    fn resolve_is_idempotent() {
+        for mut map in [PortMap::new(8).unwrap(), sparse_map(8)] {
+            let mut r = RandomResolver;
+            let mut rng = rng_from_seed(1);
+            let d1 = map
+                .resolve(NodeIndex(0), Port(2), &mut r, &mut rng)
+                .unwrap();
+            let d2 = map
+                .resolve(NodeIndex(0), Port(2), &mut r, &mut rng)
+                .unwrap();
+            assert_eq!(d1, d2);
+            assert_eq!(map.link_count(), 1);
+            map.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn reverse_direction_is_fixed() {
+        for mut map in [PortMap::new(8).unwrap(), sparse_map(8)] {
+            let mut r = RandomResolver;
+            let mut rng = rng_from_seed(2);
+            let d = map
+                .resolve(NodeIndex(3), Port(0), &mut r, &mut rng)
+                .unwrap();
+            // Sending back over the destination port must reach (3, 0).
+            let back = map.resolve(d.node, d.port, &mut r, &mut rng).unwrap();
+            assert_eq!(
+                back,
+                Endpoint {
+                    node: NodeIndex(3),
+                    port: Port(0)
+                }
+            );
+            assert_eq!(map.link_count(), 1);
+        }
+    }
+
+    #[test]
+    fn full_resolution_forms_clique() {
+        let n = 10;
+        for mut map in [PortMap::new(n).unwrap(), sparse_map(n)] {
+            let mut r = RandomResolver;
+            let mut rng = rng_from_seed(3);
+            for u in 0..n {
+                for p in 0..n - 1 {
+                    map.resolve(NodeIndex(u), Port(p), &mut r, &mut rng)
+                        .unwrap();
+                }
+            }
+            assert_eq!(map.link_count(), n * (n - 1) / 2);
+            map.validate().unwrap();
+            for u in 0..n {
+                for v in 0..n {
+                    assert_eq!(map.connected(NodeIndex(u), NodeIndex(v)), u != v);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn round_robin_is_deterministic() {
+        let build = |backend| {
+            let mut map = PortMap::with_backend(6, backend).unwrap();
+            let mut r = RoundRobinResolver;
+            let mut rng = rng_from_seed(9);
+            let mut dests = Vec::new();
+            for p in 0..5 {
+                dests.push(
+                    map.resolve(NodeIndex(0), Port(p), &mut r, &mut rng)
+                        .unwrap(),
+                );
+            }
+            (map.link_count(), dests)
+        };
+        assert_eq!(build(PortBackend::Dense), build(PortBackend::Dense));
+        // Round-robin resolution consumes no randomness, so the sparse
+        // backend resolves identically to the dense one.
+        assert_eq!(build(PortBackend::Dense), build(PortBackend::Sparse));
+    }
+
+    #[test]
+    fn round_robin_prefers_offset_neighbor() {
+        let mut map = PortMap::new(6).unwrap();
+        let mut r = RoundRobinResolver;
+        let mut rng = rng_from_seed(9);
+        let d = map
+            .resolve(NodeIndex(2), Port(1), &mut r, &mut rng)
+            .unwrap();
+        assert_eq!(d.node, NodeIndex(4)); // (2 + 1 + 1) mod 6
+    }
+
+    #[test]
+    fn connect_rejects_conflicts() {
+        for mut map in [PortMap::new(5).unwrap(), sparse_map(5)] {
+            map.connect(NodeIndex(0), Port(0), NodeIndex(1), Port(0))
+                .unwrap();
+            // same pair again
+            assert!(map
+                .connect(NodeIndex(0), Port(1), NodeIndex(1), Port(1))
+                .is_err());
+            // taken port
+            assert!(map
+                .connect(NodeIndex(0), Port(0), NodeIndex(2), Port(0))
+                .is_err());
+            // self link
+            assert!(map
+                .connect(NodeIndex(3), Port(0), NodeIndex(3), Port(1))
+                .is_err());
+            map.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn port_to_finds_the_link() {
+        for mut map in [PortMap::new(5).unwrap(), sparse_map(5)] {
+            map.connect(NodeIndex(0), Port(3), NodeIndex(4), Port(1))
+                .unwrap();
+            assert_eq!(map.port_to(NodeIndex(0), NodeIndex(4)), Some(Port(3)));
+            assert_eq!(map.port_to(NodeIndex(4), NodeIndex(0)), Some(Port(1)));
+            assert_eq!(map.port_to(NodeIndex(0), NodeIndex(1)), None);
+        }
+    }
+
+    #[test]
+    fn random_resolver_is_roughly_uniform() {
+        // Port 0 of node 0 should hit each of the other 9 nodes ~1/9 of the
+        // time across many fresh maps — on either backend.
+        let n = 10;
+        let trials = 18_000;
+        for backend in [PortBackend::Dense, PortBackend::Sparse] {
+            let mut counts = vec![0usize; n];
+            let mut rng = rng_from_seed(77);
+            for _ in 0..trials {
+                let mut map = PortMap::with_backend(n, backend).unwrap();
+                let mut r = RandomResolver;
+                let d = map
+                    .resolve(NodeIndex(0), Port(0), &mut r, &mut rng)
+                    .unwrap();
+                counts[d.node.0] += 1;
+            }
+            assert_eq!(counts[0], 0);
+            for &c in &counts[1..] {
+                let freq = c as f64 / trials as f64;
+                assert!(
+                    (freq - 1.0 / 9.0).abs() < 0.02,
+                    "{backend}: frequency {freq} too far from 1/9"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_free_port_is_roughly_uniform() {
+        // After port 0 of node 1 is taken, the free-port draw must cover
+        // the remaining ports ~uniformly — on either backend.
+        let n = 6;
+        let trials = 18_000;
+        for backend in [PortBackend::Dense, PortBackend::Sparse] {
+            let mut counts = vec![0usize; n - 1];
+            let mut rng = rng_from_seed(41);
+            for _ in 0..trials {
+                let mut map = PortMap::with_backend(n, backend).unwrap();
+                map.connect(NodeIndex(1), Port(0), NodeIndex(2), Port(0))
+                    .unwrap();
+                let p = uniform_free_port(&map.view(), NodeIndex(1), &mut rng);
+                assert_ne!(p, Port(0), "taken port drawn");
+                counts[p.0] += 1;
+            }
+            for &c in &counts[1..] {
+                let freq = c as f64 / trials as f64;
+                assert!(
+                    (freq - 0.25).abs() < 0.02,
+                    "{backend}: frequency {freq} too far from 1/4"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn partitioned_permutations_track_connectivity() {
+        let n = 7;
+        for mut map in [PortMap::new(n).unwrap(), sparse_map(n)] {
+            map.connect(NodeIndex(0), Port(2), NodeIndex(4), Port(5))
+                .unwrap();
+            map.connect(NodeIndex(0), Port(0), NodeIndex(6), Port(3))
+                .unwrap();
+            let view = map.view();
+            assert_eq!(view.unconnected_count(NodeIndex(0)), n - 3);
+            let peers: Vec<NodeIndex> = view.peers_of(NodeIndex(0)).collect();
+            assert_eq!(peers.len(), 2);
+            assert!(peers.contains(&NodeIndex(4)) && peers.contains(&NodeIndex(6)));
+            for k in 0..view.unconnected_count(NodeIndex(0)) {
+                let v = view.unconnected_peer(NodeIndex(0), k);
+                assert!(!view.is_connected(NodeIndex(0), v) && v != NodeIndex(0));
+            }
+            for k in 0..view.unconnected_count(NodeIndex(0)) {
+                let p = view.free_port(NodeIndex(0), k);
+                assert!(!view.is_port_assigned(NodeIndex(0), p));
+            }
+            map.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn circulant_mapping_is_order_independent_and_valid() {
+        // Resolve in two very different orders; the mapping must coincide
+        // and satisfy all invariants — on either backend.
+        let n = 9;
+        for backend in [PortBackend::Dense, PortBackend::Sparse] {
+            let resolve_all = |order: &mut dyn Iterator<Item = (usize, usize)>| {
+                let mut map = PortMap::with_backend(n, backend).unwrap();
+                let mut r = CirculantResolver;
+                let mut rng = rng_from_seed(0);
+                for (u, p) in order {
+                    map.resolve(NodeIndex(u), Port(p), &mut r, &mut rng)
+                        .unwrap();
+                }
+                map.validate().unwrap();
+                map
+            };
+            let forward = resolve_all(&mut (0..n).flat_map(|u| (0..n - 1).map(move |p| (u, p))));
+            let backward = resolve_all(
+                &mut (0..n)
+                    .rev()
+                    .flat_map(|u| (0..n - 1).rev().map(move |p| (u, p))),
+            );
+            for u in 0..n {
+                for p in 0..n - 1 {
+                    assert_eq!(
+                        forward.peer(NodeIndex(u), Port(p)),
+                        backward.peer(NodeIndex(u), Port(p))
+                    );
+                }
+            }
+            assert_eq!(forward.link_count(), n * (n - 1) / 2);
+        }
+    }
+
+    #[test]
+    fn circulant_mapping_is_symmetric() {
+        let n = 6;
+        let mut map = PortMap::new(n).unwrap();
+        let mut r = CirculantResolver;
+        let mut rng = rng_from_seed(0);
+        let d = map
+            .resolve(NodeIndex(1), Port(2), &mut r, &mut rng)
+            .unwrap();
+        assert_eq!(d.node, NodeIndex(4)); // (1 + 2 + 1) mod 6
+        assert_eq!(d.port, Port(2)); // 6 - 2 - 2
+        let back = map.resolve(d.node, d.port, &mut r, &mut rng).unwrap();
+        assert_eq!(back.node, NodeIndex(1));
+        assert_eq!(back.port, Port(2));
+        assert_eq!(map.link_count(), 1);
+    }
+
+    #[test]
+    fn reset_restores_pristine_state() {
+        let n = 12;
+        for backend in [PortBackend::Dense, PortBackend::Sparse] {
+            let mut map = PortMap::with_backend(n, backend).unwrap();
+            let mut r = RandomResolver;
+            let mut rng = rng_from_seed(5);
+            for u in 0..n {
+                for p in 0..3 {
+                    map.resolve(NodeIndex(u), Port(p), &mut r, &mut rng)
+                        .unwrap();
+                }
+            }
+            assert!(map.link_count() > 0);
+            map.reset();
+            map.validate().unwrap();
+            assert_eq!(map, PortMap::with_backend(n, backend).unwrap());
+        }
+    }
+
+    #[test]
+    fn reset_after_full_clique_restores_pristine_state() {
+        let n = 9;
+        for backend in [PortBackend::Dense, PortBackend::Sparse] {
+            let mut map = PortMap::with_backend(n, backend).unwrap();
+            let mut r = RandomResolver;
+            let mut rng = rng_from_seed(8);
+            for u in 0..n {
+                for p in 0..n - 1 {
+                    map.resolve(NodeIndex(u), Port(p), &mut r, &mut rng)
+                        .unwrap();
+                }
+            }
+            map.reset();
+            assert_eq!(map, PortMap::with_backend(n, backend).unwrap());
+            assert_eq!(map.link_count(), 0);
+        }
+    }
+
+    #[test]
+    fn reset_preserves_draw_schedule() {
+        // The same resolver draws from the same RNG state must produce the
+        // same mapping on a reset map as on a fresh one — on either
+        // backend.
+        let n = 16;
+        for backend in [PortBackend::Dense, PortBackend::Sparse] {
+            let mut recycled = PortMap::with_backend(n, backend).unwrap();
+            let mut r = RandomResolver;
+            let mut warmup_rng = rng_from_seed(123);
+            for u in 0..n {
+                recycled
+                    .resolve(NodeIndex(u), Port(0), &mut r, &mut warmup_rng)
+                    .unwrap();
+            }
+            recycled.reset();
+            let mut fresh = PortMap::with_backend(n, backend).unwrap();
+            let mut rng_a = rng_from_seed(42);
+            let mut rng_b = rng_from_seed(42);
+            for u in 0..n {
+                for p in 0..4 {
+                    let da = recycled
+                        .resolve(NodeIndex(u), Port(p), &mut r, &mut rng_a)
+                        .unwrap();
+                    let db = fresh
+                        .resolve(NodeIndex(u), Port(p), &mut r, &mut rng_b)
+                        .unwrap();
+                    assert_eq!(da, db);
+                }
+            }
+            assert_eq!(recycled, fresh);
+        }
+    }
+
+    #[test]
+    fn reset_is_reusable_across_many_trials() {
+        let n = 10;
+        for backend in [PortBackend::Dense, PortBackend::Sparse] {
+            let mut map = PortMap::with_backend(n, backend).unwrap();
+            let mut r = RandomResolver;
+            for trial in 0..20u64 {
+                let mut rng = rng_from_seed(trial);
+                for u in 0..n {
+                    map.resolve(NodeIndex(u), Port(0), &mut r, &mut rng)
+                        .unwrap();
+                }
+                map.validate().unwrap();
+                map.reset();
+                map.validate().unwrap();
+            }
+            assert_eq!(map, PortMap::with_backend(n, backend).unwrap());
+        }
+    }
+
+    #[test]
+    fn sparse_memory_stays_proportional_to_touched_state() {
+        // Resolve one port per node at n = 2048: the sparse footprint must
+        // be far below the dense tables' ~28 bytes per ordered pair.
+        let n = 2048;
+        let mut map = sparse_map(n);
+        let mut r = RandomResolver;
+        let mut rng = rng_from_seed(11);
+        for u in 0..n {
+            map.resolve(NodeIndex(u), Port(0), &mut r, &mut rng)
+                .unwrap();
+        }
+        let sparse_bytes = map.resident_bytes();
+        let dense_bytes = PortBackend::dense_table_bytes(n);
+        assert!(
+            sparse_bytes * 20 < dense_bytes,
+            "sparse resident {sparse_bytes} B is not sublinear in the dense \
+             {dense_bytes} B"
+        );
+        // And reset keeps the map reusable without growing it.
+        map.reset();
+        assert_eq!(map, sparse_map(n));
+    }
+
+    #[test]
+    fn sparse_random_resolver_sequence_is_pinned() {
+        // The sparse backend's RandomResolver destinations are a function
+        // of the keyed base permutations; pin one sequence so an
+        // accidental change to the Feistel network or key derivation is
+        // caught (an intentional change invalidates recorded sparse
+        // experiment numbers and must re-record this, mirroring the dense
+        // golden policy).
+        let n = 17;
+        let mut map = sparse_map(n);
+        let mut resolver = RandomResolver;
+        let mut rng = rng_from_seed(0);
+        let seq: Vec<usize> = (0..8)
+            .map(|p| {
+                map.resolve(NodeIndex(0), Port(p), &mut resolver, &mut rng)
+                    .unwrap()
+                    .node
+                    .0
+            })
+            .collect();
+        map.validate().unwrap();
+        // Recorded on the initial sparse backend (keyed 4-round Feistel,
+        // splitmix64 key schedule), n = 17, seed 0.
+        const EXPECTED: [usize; 8] = [15, 11, 9, 2, 7, 14, 6, 10];
+        assert_eq!(seq, EXPECTED, "sparse RandomResolver schedule drifted");
+    }
+
+    #[test]
+    fn out_of_range_errors() {
+        for mut map in [PortMap::new(4).unwrap(), sparse_map(4)] {
+            let mut r = RandomResolver;
+            let mut rng = rng_from_seed(0);
+            assert!(matches!(
+                map.resolve(NodeIndex(7), Port(0), &mut r, &mut rng),
+                Err(ModelError::NodeOutOfRange { .. })
+            ));
+            assert!(matches!(
+                map.resolve(NodeIndex(0), Port(3), &mut r, &mut rng),
+                Err(ModelError::PortOutOfRange { .. })
+            ));
+        }
+    }
+}

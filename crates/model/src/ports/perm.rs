@@ -1,0 +1,203 @@
+//! Keyed small-domain pseudo-random permutations.
+//!
+//! The sparse port-map backend represents each node's *untouched* peer and
+//! port permutations implicitly: instead of materializing an `n − 1`-entry
+//! array per node (the dense layout's `Θ(n²)` words), it evaluates a keyed
+//! bijection over `[0, m)` on demand. [`KeyedPerm`] is that bijection: a
+//! four-round balanced Feistel network over the smallest even-bit-width
+//! power-of-two domain `≥ m`, shrunk to exactly `[0, m)` by cycle-walking.
+//!
+//! Properties the sparse backend relies on:
+//!
+//! * **Bijectivity** — a Feistel network is a permutation of its padded
+//!   domain for *any* round function, and cycle-walking restricts a
+//!   permutation to a sub-domain without breaking bijectivity (the walk
+//!   follows the orbit of the input, which must re-enter `[0, m)` because
+//!   the input itself lies there).
+//! * **O(1) expected evaluation** — the padded domain is `< 4m`, so each
+//!   walking step lands inside `[0, m)` with probability `> 1/4`; both
+//!   [`KeyedPerm::apply`] and [`KeyedPerm::invert`] take `< 4` Feistel
+//!   evaluations in expectation.
+//! * **Determinism** — the permutation is a pure function of `(m, key)`,
+//!   which is what lets [`PortMap::reset`](super::PortMap::reset) restore a
+//!   sparse map to a state *observationally identical* to a fresh one
+//!   without storing anything per untouched node.
+
+/// `splitmix64`'s finalizer: a cheap, well-mixed `u64 → u64` bijection used
+/// for round keys, round functions, and hash-map key hashing.
+#[inline]
+pub(crate) fn mix64(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// A keyed pseudo-random permutation over `[0, m)` with O(1)-expected
+/// forward and inverse evaluation and zero per-element storage.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct KeyedPerm {
+    /// Domain size.
+    m: u64,
+    /// Bits per Feistel half; the padded domain is `2^(2·half_bits) ≥ m`.
+    half_bits: u32,
+    /// Round keys derived from the seed key.
+    keys: [u64; 4],
+}
+
+impl KeyedPerm {
+    /// Smallest number of bits per half such that the padded Feistel domain
+    /// `4^half_bits` covers `[0, m)`.
+    #[inline]
+    pub(crate) fn half_bits_for(m: usize) -> u32 {
+        let mut half_bits = 1u32;
+        while (1u64 << (2 * half_bits)) < m as u64 {
+            half_bits += 1;
+        }
+        half_bits
+    }
+
+    /// Builds the permutation over `[0, m)` keyed by `key` (`m ≥ 1`).
+    #[cfg(test)]
+    pub(crate) fn new(m: usize, key: u64) -> KeyedPerm {
+        KeyedPerm::with_half_bits(m, KeyedPerm::half_bits_for(m), key)
+    }
+
+    /// Like [`KeyedPerm::new`] with the half-width precomputed once by the
+    /// caller (the sparse store evaluates permutations of one fixed `m` on
+    /// its hot path).
+    #[inline]
+    pub(crate) fn with_half_bits(m: usize, half_bits: u32, key: u64) -> KeyedPerm {
+        debug_assert!(m >= 1, "empty permutation domain");
+        debug_assert_eq!(half_bits, KeyedPerm::half_bits_for(m));
+        let mut keys = [0u64; 4];
+        let mut k = key;
+        for slot in &mut keys {
+            k = mix64(k.wrapping_add(0x9e37_79b9_7f4a_7c15));
+            *slot = k;
+        }
+        KeyedPerm {
+            m: m as u64,
+            half_bits,
+            keys,
+        }
+    }
+
+    /// One pass of the Feistel network over the padded domain.
+    #[inline]
+    fn feistel(&self, x: u64) -> u64 {
+        let mask = (1u64 << self.half_bits) - 1;
+        let mut l = x >> self.half_bits;
+        let mut r = x & mask;
+        for &k in &self.keys {
+            let next = l ^ (mix64(r ^ k) & mask);
+            l = r;
+            r = next;
+        }
+        (l << self.half_bits) | r
+    }
+
+    /// The inverse pass (round keys in reverse, halves unswapped).
+    #[inline]
+    fn feistel_inv(&self, x: u64) -> u64 {
+        let mask = (1u64 << self.half_bits) - 1;
+        let mut l = x >> self.half_bits;
+        let mut r = x & mask;
+        for &k in self.keys.iter().rev() {
+            let prev = r ^ (mix64(l ^ k) & mask);
+            r = l;
+            l = prev;
+        }
+        (l << self.half_bits) | r
+    }
+
+    /// `π(k)` for `k ∈ [0, m)`, by cycle-walking the padded Feistel
+    /// permutation until it re-enters the domain.
+    #[inline]
+    pub(crate) fn apply(&self, k: usize) -> usize {
+        debug_assert!((k as u64) < self.m, "input outside permutation domain");
+        let mut x = k as u64;
+        loop {
+            x = self.feistel(x);
+            if x < self.m {
+                return x as usize;
+            }
+        }
+    }
+
+    /// `π⁻¹(v)` for `v ∈ [0, m)`.
+    #[inline]
+    pub(crate) fn invert(&self, v: usize) -> usize {
+        debug_assert!((v as u64) < self.m, "input outside permutation domain");
+        let mut x = v as u64;
+        loop {
+            x = self.feistel_inv(x);
+            if x < self.m {
+                return x as usize;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn is_a_bijection_with_correct_inverse() {
+        for m in [1usize, 2, 3, 7, 16, 63, 64, 65, 255, 1024, 4099] {
+            let perm = KeyedPerm::new(m, 0xDEAD_BEEF ^ m as u64);
+            let mut seen = vec![false; m];
+            for k in 0..m {
+                let v = perm.apply(k);
+                assert!(v < m, "m = {m}: image {v} escaped the domain");
+                assert!(!seen[v], "m = {m}: value {v} hit twice");
+                seen[v] = true;
+                assert_eq!(perm.invert(v), k, "m = {m}: inverse broken at {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn is_deterministic_per_key_and_key_sensitive() {
+        let a = KeyedPerm::new(1000, 1);
+        let b = KeyedPerm::new(1000, 1);
+        let c = KeyedPerm::new(1000, 2);
+        let seq = |p: &KeyedPerm| (0..1000).map(|k| p.apply(k)).collect::<Vec<_>>();
+        assert_eq!(seq(&a), seq(&b));
+        assert_ne!(
+            seq(&a),
+            seq(&c),
+            "different keys produced equal permutations"
+        );
+    }
+
+    #[test]
+    fn scrambles_rather_than_shifts() {
+        // Not a proof of pseudorandomness — just a guard that the network
+        // is not accidentally the identity or a rotation.
+        let perm = KeyedPerm::new(4096, 7);
+        let fixed = (0..4096).filter(|&k| perm.apply(k) == k).count();
+        assert!(fixed < 64, "{fixed} fixed points looks like a broken mix");
+        let shifted = (0..4095)
+            .filter(|&k| perm.apply(k + 1) == (perm.apply(k) + 1) % 4096)
+            .count();
+        assert!(shifted < 64, "{shifted} successive pairs look like a shift");
+    }
+
+    #[test]
+    fn tiny_domains_work() {
+        // m = 1 (an n = 2 clique has one peer) must map 0 → 0.
+        let perm = KeyedPerm::new(1, 99);
+        assert_eq!(perm.apply(0), 0);
+        assert_eq!(perm.invert(0), 0);
+    }
+
+    #[test]
+    fn half_bits_cover_the_domain() {
+        for m in 1usize..5000 {
+            let b = KeyedPerm::half_bits_for(m);
+            assert!(1u64 << (2 * b) >= m as u64);
+            assert!(b == 1 || 1u64 << (2 * (b - 1)) < m as u64);
+        }
+    }
+}

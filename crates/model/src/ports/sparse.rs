@@ -1,0 +1,505 @@
+//! The sparse backend: O(total links) memory instead of `Θ(n²)`.
+//!
+//! Every table the dense backend materializes is replaced by a hash map
+//! holding only *touched* state, and each node's untouched peer/port
+//! permutations are represented implicitly by a keyed pseudo-random
+//! permutation ([`KeyedPerm`], a small-domain Feistel network with
+//! cycle-walking) evaluated on demand:
+//!
+//! * the forward table and the peer→port index store one entry per fixed
+//!   half-link;
+//! * the partitioned permutations store only their *deviation* from the
+//!   node's base permutation — a position→value override and its inverse,
+//!   with entries removed the moment a slot returns to its base value, so
+//!   "untouched" is always represented by *absence*.
+//!
+//! The partial-Fisher–Yates structure is identical to the dense backend's
+//! (the first `degree(u)` positions of each permutation are the connected
+//! prefix), so `RandomResolver` and `uniform_free_port` remain one uniform
+//! indexed draw — O(1) expected per draw, with the base permutation
+//! evaluated in O(1) expected time and at most O(degree) override entries
+//! per node. Memory is O(n) fixed (the degree table) plus O(links) hashed
+//! entries, which is what reopens `n = 65536+` on boxes where the dense
+//! tables would need ~28 bytes per ordered node pair.
+//!
+//! The enumeration *order* of unconnected peers and free ports differs
+//! from the dense backend (keyed pseudo-random versus ascending), so
+//! RNG-driven resolvers draw different — identically distributed —
+//! mappings. RNG-free resolvers (round-robin, circulant, the lower-bound
+//! adversaries) observe identical resolutions on both backends; the
+//! dense-vs-sparse equivalence suite pins exactly that.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+use super::perm::{mix64, KeyedPerm};
+use super::{Endpoint, Port, PortStore};
+use crate::error::ModelError;
+use crate::NodeIndex;
+
+/// Key-stream tweak separating the peer-permutation keys from the
+/// port-permutation keys.
+const PEER_STREAM: u64 = 0x7065_6572_7065_726d; // "peerperm"
+/// Key-stream tweak for the port permutations.
+const PORT_STREAM: u64 = 0x706f_7274_7065_726d; // "portperm"
+
+/// A pre-mixed `u64` identity hasher for the sparse tables' packed
+/// `(node, index)` keys.
+///
+/// The std `HashMap`'s default SipHash is needlessly expensive for keys we
+/// control completely; one `splitmix64` finalizer round is a strong enough
+/// scrambler for packed small integers and keeps the sparse backend's
+/// per-operation cost close to the dense backend's array reads.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct KeyHasher(u64);
+
+impl Hasher for KeyHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Generic fallback (unused by the u64-keyed maps below).
+        for &b in bytes {
+            self.0 = mix64(self.0 ^ u64::from(b));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, x: u64) {
+        self.0 = mix64(x);
+    }
+}
+
+/// A `u64`-keyed hash map using [`KeyHasher`].
+pub(crate) type KeyMap<V> = HashMap<u64, V, BuildHasherDefault<KeyHasher>>;
+
+/// Packs a `(node, index)` coordinate into one map key.
+#[inline]
+fn key(u: usize, x: usize) -> u64 {
+    ((u as u64) << 32) | x as u64
+}
+
+/// Packs an endpoint into a forward-table value.
+#[inline]
+fn enc(v: usize, p: usize) -> u64 {
+    ((v as u64) << 32) | p as u64
+}
+
+/// The sparse storage backend (see the module docs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(super) struct SparseStore {
+    n: usize,
+    /// Precomputed Feistel half-width for the shared domain `n − 1`.
+    half_bits: u32,
+    /// Links incident to each node — the only Θ(n) table.
+    degree: Vec<u32>,
+    /// Total number of links fixed so far.
+    links: usize,
+    /// Nodes with at least one link (pushed on the 0 → 1 transition).
+    dirty: Vec<u32>,
+    /// `(u, i) → (v << 32) | j` for each assigned port `i` of `u`.
+    fwd: KeyMap<u64>,
+    /// `(u, v) → i` iff `u`'s port `i` connects to `v`.
+    by_peer: KeyMap<u32>,
+    /// Peer-permutation overrides: `(u, k) → v` where position `k` of
+    /// `u`'s peer permutation deviates from the base permutation.
+    peer_val: KeyMap<u32>,
+    /// Inverse overrides: `(u, v) → k`.
+    peer_pos: KeyMap<u32>,
+    /// Port-permutation overrides: `(u, k) → p`.
+    port_val: KeyMap<u32>,
+    /// Inverse overrides: `(u, p) → k`.
+    port_pos: KeyMap<u32>,
+}
+
+impl SparseStore {
+    /// Creates an empty sparse store for an `n`-node clique (`n ≥ 2`,
+    /// validated by the facade). O(n) time and memory — no quadratic
+    /// initialization to pay or amortize.
+    pub(super) fn new(n: usize) -> Self {
+        debug_assert!(n >= 2);
+        debug_assert!(n < u32::MAX as usize, "node indices must fit in u32");
+        SparseStore {
+            n,
+            half_bits: KeyedPerm::half_bits_for(n - 1),
+            degree: vec![0; n],
+            links: 0,
+            dirty: Vec::new(),
+            fwd: KeyMap::default(),
+            by_peer: KeyMap::default(),
+            peer_val: KeyMap::default(),
+            peer_pos: KeyMap::default(),
+            port_val: KeyMap::default(),
+            port_pos: KeyMap::default(),
+        }
+    }
+
+    /// Node `u`'s keyed base permutation over peer *positions*.
+    #[inline]
+    fn peer_perm(&self, u: usize) -> KeyedPerm {
+        KeyedPerm::with_half_bits(self.n - 1, self.half_bits, mix64(u as u64 ^ PEER_STREAM))
+    }
+
+    /// Node `u`'s keyed base permutation over port *positions*.
+    #[inline]
+    fn port_perm(&self, u: usize) -> KeyedPerm {
+        KeyedPerm::with_half_bits(self.n - 1, self.half_bits, mix64(u as u64 ^ PORT_STREAM))
+    }
+
+    /// The base (untouched) peer at position `k` of `u`'s permutation: the
+    /// keyed permutation composed with the skip-`u` enumeration of peers.
+    #[inline]
+    fn base_peer(&self, u: usize, k: usize) -> u32 {
+        let v = self.peer_perm(u).apply(k);
+        (v + usize::from(v >= u)) as u32
+    }
+
+    /// The base position of peer `v` in `u`'s permutation.
+    #[inline]
+    fn base_peer_pos(&self, u: usize, v: usize) -> u32 {
+        self.peer_perm(u).invert(v - usize::from(v > u)) as u32
+    }
+
+    /// The base (untouched) port at position `k` of `u`'s permutation.
+    #[inline]
+    fn base_port(&self, u: usize, k: usize) -> u32 {
+        self.port_perm(u).apply(k) as u32
+    }
+
+    /// The base position of port `p` in `u`'s permutation.
+    #[inline]
+    fn base_port_pos(&self, u: usize, p: usize) -> u32 {
+        self.port_perm(u).invert(p) as u32
+    }
+
+    /// The peer at position `k`: the override if the slot was displaced,
+    /// the base permutation otherwise.
+    #[inline]
+    fn peer_at(&self, u: usize, k: usize) -> u32 {
+        match self.peer_val.get(&key(u, k)) {
+            Some(&v) => v,
+            None => self.base_peer(u, k),
+        }
+    }
+
+    /// The position of peer `v` in `u`'s permutation.
+    #[inline]
+    fn pos_of_peer(&self, u: usize, v: usize) -> u32 {
+        match self.peer_pos.get(&key(u, v)) {
+            Some(&k) => k,
+            None => self.base_peer_pos(u, v),
+        }
+    }
+
+    /// The port at position `k`.
+    #[inline]
+    fn port_at(&self, u: usize, k: usize) -> u32 {
+        match self.port_val.get(&key(u, k)) {
+            Some(&p) => p,
+            None => self.base_port(u, k),
+        }
+    }
+
+    /// The position of port `p` in `u`'s permutation.
+    #[inline]
+    fn pos_of_port(&self, u: usize, p: usize) -> u32 {
+        match self.port_pos.get(&key(u, p)) {
+            Some(&k) => k,
+            None => self.base_port_pos(u, p),
+        }
+    }
+
+    /// Writes position `k` of `u`'s peer permutation, removing the
+    /// override when the slot returns to its base value so the maps hold
+    /// only genuine deviations.
+    #[inline]
+    fn set_peer_at(&mut self, u: usize, k: usize, v: u32) {
+        if self.base_peer(u, k) == v {
+            self.peer_val.remove(&key(u, k));
+        } else {
+            self.peer_val.insert(key(u, k), v);
+        }
+    }
+
+    /// Inverse of [`SparseStore::set_peer_at`].
+    #[inline]
+    fn set_pos_of_peer(&mut self, u: usize, v: usize, k: u32) {
+        if self.base_peer_pos(u, v) == k {
+            self.peer_pos.remove(&key(u, v));
+        } else {
+            self.peer_pos.insert(key(u, v), k);
+        }
+    }
+
+    /// Writes position `k` of `u`'s port permutation.
+    #[inline]
+    fn set_port_at(&mut self, u: usize, k: usize, p: u32) {
+        if self.base_port(u, k) == p {
+            self.port_val.remove(&key(u, k));
+        } else {
+            self.port_val.insert(key(u, k), p);
+        }
+    }
+
+    /// Inverse of [`SparseStore::set_port_at`].
+    #[inline]
+    fn set_pos_of_port(&mut self, u: usize, p: usize, k: u32) {
+        if self.base_port_pos(u, p) == k {
+            self.port_pos.remove(&key(u, p));
+        } else {
+            self.port_pos.insert(key(u, p), k);
+        }
+    }
+
+    /// Swaps peer `v` and port `p` into the connected prefix of `u`'s
+    /// partitioned permutations — the same two partial-Fisher–Yates steps
+    /// as the dense backend, through the override maps.
+    fn promote(&mut self, u: usize, v: usize, p: usize) {
+        let d = self.degree[u] as usize;
+
+        let k = self.pos_of_peer(u, v) as usize;
+        debug_assert!(k >= d, "promoting an already-connected peer");
+        let w = self.peer_at(u, d);
+        self.set_peer_at(u, d, v as u32);
+        self.set_peer_at(u, k, w);
+        self.set_pos_of_peer(u, v, d as u32);
+        self.set_pos_of_peer(u, w as usize, k as u32);
+
+        let kp = self.pos_of_port(u, p) as usize;
+        debug_assert!(kp >= d, "promoting an already-assigned port");
+        let q = self.port_at(u, d);
+        self.set_port_at(u, d, p as u32);
+        self.set_port_at(u, kp, q);
+        self.set_pos_of_port(u, p, d as u32);
+        self.set_pos_of_port(u, q as usize, kp as u32);
+    }
+}
+
+impl PortStore for SparseStore {
+    #[inline]
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    #[inline]
+    fn link_count(&self) -> usize {
+        self.links
+    }
+
+    #[inline]
+    fn degree(&self, u: NodeIndex) -> usize {
+        self.degree[u.0] as usize
+    }
+
+    #[inline]
+    fn connected(&self, u: NodeIndex, v: NodeIndex) -> bool {
+        self.by_peer.contains_key(&key(u.0, v.0))
+    }
+
+    #[inline]
+    fn peer(&self, u: NodeIndex, p: Port) -> Option<Endpoint> {
+        self.fwd.get(&key(u.0, p.0)).map(|&enc| Endpoint {
+            node: NodeIndex((enc >> 32) as usize),
+            port: Port((enc & 0xFFFF_FFFF) as usize),
+        })
+    }
+
+    #[inline]
+    fn port_to(&self, u: NodeIndex, v: NodeIndex) -> Option<Port> {
+        self.by_peer.get(&key(u.0, v.0)).map(|&p| Port(p as usize))
+    }
+
+    #[inline]
+    fn peer_at_pos(&self, u: NodeIndex, k: usize) -> NodeIndex {
+        NodeIndex(self.peer_at(u.0, k) as usize)
+    }
+
+    #[inline]
+    fn port_at_pos(&self, u: NodeIndex, k: usize) -> Port {
+        Port(self.port_at(u.0, k) as usize)
+    }
+
+    fn insert_link(&mut self, u: NodeIndex, pu: Port, v: NodeIndex, pv: Port) {
+        let (u, pu, v, pv) = (u.0, pu.0, v.0, pv.0);
+        if self.degree[u] == 0 {
+            self.dirty.push(u as u32);
+        }
+        if self.degree[v] == 0 {
+            self.dirty.push(v as u32);
+        }
+        self.fwd.insert(key(u, pu), enc(v, pv));
+        self.fwd.insert(key(v, pv), enc(u, pu));
+        self.by_peer.insert(key(u, v), pu as u32);
+        self.by_peer.insert(key(v, u), pv as u32);
+        self.promote(u, v, pu);
+        self.promote(v, u, pv);
+        self.degree[u] += 1;
+        self.degree[v] += 1;
+        self.links += 1;
+    }
+
+    /// Un-connects everything in O(touched-state): only dirty rows are
+    /// visited, each restored in O(degree) by the same cycle-chasing walk
+    /// as the dense backend — every swap parks one entry at its *base*
+    /// position, which removes its overrides, so a fully reset store holds
+    /// no hashed entries at all and is `==` to a freshly constructed one.
+    fn reset(&mut self) {
+        let dirty = std::mem::take(&mut self.dirty);
+        for &u in &dirty {
+            let u = u as usize;
+            let d = self.degree[u] as usize;
+            // The connected peers and assigned ports are exactly the first
+            // d entries of the partitioned permutations.
+            for k in 0..d {
+                let v = self.peer_at(u, k);
+                self.by_peer.remove(&key(u, v as usize));
+                let p = self.port_at(u, k);
+                self.fwd.remove(&key(u, p as usize));
+            }
+            self.degree[u] = 0;
+            // Chase displacement cycles from the prefix (see the dense
+            // backend's reset for the argument that this restores the
+            // whole row): each swap returns one value to its base slot,
+            // shrinking the override maps until they are empty for u.
+            for k in 0..d {
+                loop {
+                    let v = self.peer_at(u, k) as usize;
+                    let home = self.base_peer_pos(u, v) as usize;
+                    if home == k {
+                        break;
+                    }
+                    let w = self.peer_at(u, home);
+                    self.set_peer_at(u, k, w);
+                    self.set_peer_at(u, home, v as u32);
+                    self.set_pos_of_peer(u, v, home as u32);
+                    self.set_pos_of_peer(u, w as usize, k as u32);
+                }
+                loop {
+                    let p = self.port_at(u, k) as usize;
+                    let home = self.base_port_pos(u, p) as usize;
+                    if home == k {
+                        break;
+                    }
+                    let q = self.port_at(u, home);
+                    self.set_port_at(u, k, q);
+                    self.set_port_at(u, home, p as u32);
+                    self.set_pos_of_port(u, p, home as u32);
+                    self.set_pos_of_port(u, q as usize, k as u32);
+                }
+            }
+        }
+        self.links = 0;
+    }
+
+    fn validate(&self) -> Result<(), ModelError> {
+        let fail = |u: usize, p: usize, reason: &'static str| {
+            Err(ModelError::InvalidResolution {
+                node: NodeIndex(u),
+                port: Port(p),
+                reason,
+            })
+        };
+        let ports = self.n - 1;
+        // Hashed-table bookkeeping: one entry per half-link in each table.
+        if self.fwd.len() != 2 * self.links || self.by_peer.len() != 2 * self.links {
+            return fail(0, 0, "link count out of sync");
+        }
+        for (&k, &e) in &self.fwd {
+            let (u, i) = ((k >> 32) as usize, (k & 0xFFFF_FFFF) as usize);
+            let (v, j) = ((e >> 32) as usize, (e & 0xFFFF_FFFF) as usize);
+            if u >= self.n || v >= self.n || i >= ports || j >= ports {
+                return fail(u, i, "forward entry out of range");
+            }
+            if v == u {
+                return fail(u, i, "self-link");
+            }
+            if self.fwd.get(&key(v, j)) != Some(&enc(u, i)) {
+                return fail(u, i, "asymmetric link");
+            }
+            if self.by_peer.get(&key(u, v)) != Some(&(i as u32)) {
+                return fail(u, i, "peer index out of sync");
+            }
+        }
+        // Overrides must be genuine deviations with exact inverses; the
+        // remove-on-return-to-base discipline keeps "untouched" == absent.
+        for (&k, &v) in &self.peer_val {
+            let (u, pos) = ((k >> 32) as usize, (k & 0xFFFF_FFFF) as usize);
+            if self.base_peer(u, pos) == v {
+                return fail(u, 0, "redundant peer override");
+            }
+        }
+        for (&k, &pos) in &self.peer_pos {
+            let (u, v) = ((k >> 32) as usize, (k & 0xFFFF_FFFF) as usize);
+            if self.base_peer_pos(u, v) == pos {
+                return fail(u, 0, "redundant peer position override");
+            }
+        }
+        for (&k, &p) in &self.port_val {
+            let (u, pos) = ((k >> 32) as usize, (k & 0xFFFF_FFFF) as usize);
+            if self.base_port(u, pos) == p {
+                return fail(u, 0, "redundant port override");
+            }
+        }
+        for (&k, &pos) in &self.port_pos {
+            let (u, p) = ((k >> 32) as usize, (k & 0xFFFF_FFFF) as usize);
+            if self.base_port_pos(u, p) == pos {
+                return fail(u, 0, "redundant port position override");
+            }
+        }
+        // Exhaustive per-node partition and inverse checks — mirrors the
+        // dense validate (O(n²); intended for tests, like the facade docs
+        // say).
+        for u in 0..self.n {
+            let d = self.degree[u] as usize;
+            let mut assigned = 0usize;
+            for i in 0..ports {
+                if self.fwd.contains_key(&key(u, i)) {
+                    assigned += 1;
+                }
+            }
+            if assigned != d {
+                return fail(u, 0, "degree out of sync with forward table");
+            }
+            for k in 0..ports {
+                let v = self.peer_at(u, k);
+                if self.pos_of_peer(u, v as usize) != k as u32 {
+                    return fail(u, 0, "peer permutation/position out of sync");
+                }
+                let connected = self.by_peer.contains_key(&key(u, v as usize));
+                if connected != (k < d) {
+                    return fail(u, 0, "peer permutation partition broken");
+                }
+                let p = self.port_at(u, k);
+                if self.pos_of_port(u, p as usize) != k as u32 {
+                    return fail(u, 0, "port permutation/position out of sync");
+                }
+                let taken = self.fwd.contains_key(&key(u, p as usize));
+                if taken != (k < d) {
+                    return fail(u, 0, "port permutation partition broken");
+                }
+            }
+        }
+        if let Err(reason) = super::validate_dirty_list(&self.degree, &self.dirty) {
+            return fail(0, 0, reason);
+        }
+        Ok(())
+    }
+
+    fn resident_bytes(&self) -> u64 {
+        // Hash-map entries cost key + value + ~1 control byte per usable
+        // slot; capacity() already reflects the usable slot count, so
+        // this is an estimate, not an exact allocator sum.
+        fn map_bytes<V>(m: &KeyMap<V>) -> u64 {
+            (m.capacity() * (8 + std::mem::size_of::<V>() + 1)) as u64
+        }
+        (self.degree.capacity() * 4 + self.dirty.capacity() * 4) as u64
+            + map_bytes(&self.fwd)
+            + map_bytes(&self.by_peer)
+            + map_bytes(&self.peer_val)
+            + map_bytes(&self.peer_pos)
+            + map_bytes(&self.port_val)
+            + map_bytes(&self.port_pos)
+    }
+}

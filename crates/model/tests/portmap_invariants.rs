@@ -1,11 +1,16 @@
-//! Property-based invariants of the flat `PortMap`: after *any*
-//! interleaved sequence of resolutions and explicit connections the
-//! mapping must remain a partial bijection — no self-loops, no duplicate
-//! peers, degrees consistent with the peer enumeration and the
-//! partitioned permutations — and exhaustive resolution of all
-//! `n·(n−1)` half-links must yield a perfect matching of endpoints.
+//! Property-based invariants of `PortMap`, exercised against **both**
+//! storage backends (dense flat tables and sparse touched-state tables):
+//! after *any* interleaved sequence of resolutions and explicit
+//! connections the mapping must remain a partial bijection — no
+//! self-loops, no duplicate peers, degrees consistent with the peer
+//! enumeration and the partitioned permutations — exhaustive resolution
+//! of all `n·(n−1)` half-links must yield a perfect matching of
+//! endpoints, and `reset()` must leave either backend observationally
+//! identical to a fresh map.
 
-use clique_model::ports::{Port, PortMap, PortResolver, RandomResolver, RoundRobinResolver};
+use clique_model::ports::{
+    Port, PortBackend, PortMap, PortResolver, RandomResolver, RoundRobinResolver,
+};
 use clique_model::rng::rng_from_seed;
 use clique_model::NodeIndex;
 use proptest::prelude::*;
@@ -15,8 +20,10 @@ use proptest::prelude::*;
 /// fifth step first attempts an explicit `connect` of the op's endpoints
 /// on their lowest free ports (ignoring rejections, which the map must
 /// survive unchanged).
-fn apply_ops(n: usize, seed: u64, ops: &[(usize, usize, usize)]) -> PortMap {
-    let mut map = PortMap::new(n).unwrap();
+const BACKENDS: [PortBackend; 2] = [PortBackend::Dense, PortBackend::Sparse];
+
+fn apply_ops(n: usize, seed: u64, ops: &[(usize, usize, usize)], backend: PortBackend) -> PortMap {
+    let mut map = PortMap::with_backend(n, backend).unwrap();
     let mut random = RandomResolver;
     let mut round_robin = RoundRobinResolver;
     let mut rng = rng_from_seed(seed);
@@ -57,7 +64,8 @@ proptest! {
         seed in 0u64..1000,
         ops in prop::collection::vec((0usize..28, 0usize..27, 0usize..28), 1..80),
     ) {
-        let map = apply_ops(n, seed, &ops);
+        for backend in BACKENDS {
+        let map = apply_ops(n, seed, &ops, backend);
         map.validate().unwrap();
 
         let view = map.view();
@@ -90,6 +98,7 @@ proptest! {
             }
         }
         prop_assert_eq!(total_degree, 2 * map.link_count());
+        }
     }
 
     /// Resolving every half-link (in a scrambled order) yields a perfect
@@ -108,7 +117,8 @@ proptest! {
         while gcd(stride, total) != 1 {
             stride += 1;
         }
-        let mut map = PortMap::new(n).unwrap();
+        for backend in BACKENDS {
+        let mut map = PortMap::with_backend(n, backend).unwrap();
         let mut resolver = RandomResolver;
         let mut rng = rng_from_seed(seed);
         for s in 0..total {
@@ -131,6 +141,7 @@ proptest! {
             let expected: Vec<usize> = (0..n).filter(|&v| v != u.0).collect();
             prop_assert_eq!(hit, expected);
         }
+        }
     }
 
     /// After any interleaved op sequence, `reset()` returns the map to a
@@ -148,14 +159,15 @@ proptest! {
         ops in prop::collection::vec((0usize..28, 0usize..27), 1..80),
     ) {
         // Dirty the map with one op sequence, then reset it.
-        let mut recycled = apply_ops(n, warm_seed, &warm_ops);
+        for backend in BACKENDS {
+        let mut recycled = apply_ops(n, warm_seed, &warm_ops, backend);
         recycled.reset();
         recycled.validate().unwrap();
         prop_assert_eq!(recycled.link_count(), 0);
 
         // Replay a second sequence on the reset map and on a fresh map,
         // with identical RNG states; every resolution must coincide.
-        let mut fresh = PortMap::new(n).unwrap();
+        let mut fresh = PortMap::with_backend(n, backend).unwrap();
         let mut resolver = RandomResolver;
         let mut rng_recycled = rng_from_seed(seed);
         let mut rng_fresh = rng_from_seed(seed);
@@ -176,7 +188,8 @@ proptest! {
         recycled.reset();
         fresh.reset();
         prop_assert_eq!(&recycled, &fresh);
-        prop_assert_eq!(&recycled, &PortMap::new(n).unwrap());
+        prop_assert_eq!(&recycled, &PortMap::with_backend(n, backend).unwrap());
+        }
     }
 
     /// The unconnected-peers permutation exposed to resolvers always
@@ -187,7 +200,8 @@ proptest! {
         seed in 0u64..1000,
         ops in prop::collection::vec((0usize..24, 0usize..23), 1..60),
     ) {
-        let mut map = PortMap::new(n).unwrap();
+        for backend in BACKENDS {
+        let mut map = PortMap::with_backend(n, backend).unwrap();
         let mut resolver = RandomResolver;
         let mut rng = rng_from_seed(seed);
         for &(u, p) in &ops {
@@ -213,6 +227,7 @@ proptest! {
                 .filter(|&p| map.peer(u, Port(p)).is_none())
                 .collect();
             prop_assert_eq!(free, unassigned);
+        }
         }
     }
 }

@@ -4,7 +4,7 @@ use std::any::Any;
 
 use clique_model::ids::{Id, IdAssignment, IdSpace};
 use clique_model::metrics::MessageStats;
-use clique_model::ports::{Endpoint, PortMap, PortResolver, RandomResolver};
+use clique_model::ports::{Endpoint, PortBackend, PortMap, PortResolver, RandomResolver};
 use clique_model::rng::{derive_seed, rng_from_seed};
 use clique_model::{Decision, ModelError, NodeIndex};
 use rand::rngs::SmallRng;
@@ -80,16 +80,26 @@ impl SyncArena {
         *self = SyncArena::default();
     }
 
-    /// Takes a map for an `n`-node trial: the recycled one (reset in
-    /// O(touched-state)) when the size matches, a fresh one otherwise.
-    fn take_ports(&mut self, n: usize) -> Result<PortMap, ModelError> {
+    /// Takes a map for an `n`-node trial on `backend`: the recycled one
+    /// (reset in O(touched-state)) when both the size and the resolved
+    /// backend match, a fresh one otherwise.
+    fn take_ports(&mut self, n: usize, backend: PortBackend) -> Result<PortMap, ModelError> {
+        let backend = backend.resolve(n);
         match self.ports.take() {
-            Some(mut map) if map.n() == n => {
+            Some(mut map) if map.n() == n && map.backend() == backend => {
                 map.reset();
                 Ok(map)
             }
-            _ => PortMap::new(n),
+            _ => PortMap::with_backend(n, backend),
         }
+    }
+
+    /// Backend-reported estimate of the bytes resident in the recycled
+    /// engine tables (currently the port map — the only state whose size
+    /// depends on the storage backend). The sweep harness records this per
+    /// cell so dense-vs-sparse footprints appear in every experiment CSV.
+    pub fn resident_bytes(&self) -> u64 {
+        self.ports.as_ref().map_or(0, PortMap::resident_bytes)
     }
 }
 
@@ -131,6 +141,7 @@ pub struct SyncSimBuilder {
     ids: Option<IdAssignment>,
     wake: Option<WakeSchedule>,
     resolver: Option<Box<dyn PortResolver>>,
+    backend: Option<PortBackend>,
     max_rounds: Option<usize>,
 }
 
@@ -155,6 +166,7 @@ impl SyncSimBuilder {
             ids: None,
             wake: None,
             resolver: None,
+            backend: None,
             max_rounds: None,
         }
     }
@@ -181,6 +193,19 @@ impl SyncSimBuilder {
     /// Sets the port resolution strategy (default: [`RandomResolver`]).
     pub fn resolver(mut self, resolver: Box<dyn PortResolver>) -> Self {
         self.resolver = Some(resolver);
+        self
+    }
+
+    /// Pins the port-map storage backend (default: the `LE_BACKEND`
+    /// environment selection, which is `auto` when unset — dense tables
+    /// while they fit the budget, sparse touched-state tables beyond; see
+    /// [`PortBackend`]).
+    ///
+    /// RNG-free resolvers resolve identically on both backends; under
+    /// [`RandomResolver`] the backends draw different, identically
+    /// distributed mappings per seed.
+    pub fn backend(mut self, backend: PortBackend) -> Self {
+        self.backend = Some(backend);
         self
     }
 
@@ -245,7 +270,7 @@ impl SyncSimBuilder {
                 n,
             });
         }
-        let ports = arena.take_ports(n)?;
+        let ports = arena.take_ports(n, self.backend.unwrap_or_else(PortBackend::from_env))?;
         let mut bufs: SyncBuffers<N::Message> = arena
             .buffers
             .take()
@@ -958,6 +983,77 @@ mod tests {
             .run_reusing(&mut arena)
             .unwrap();
         assert_eq!(o.stats.total(), 8 * 7);
+    }
+
+    #[test]
+    fn sparse_backend_matches_dense_under_rng_free_resolution() {
+        // Round-robin resolution consumes no randomness, so the whole
+        // execution — rounds, messages, decisions — must be identical on
+        // both storage backends.
+        let run = |backend| {
+            let o = SyncSimBuilder::new(24)
+                .seed(5)
+                .backend(backend)
+                .resolver(Box::new(clique_model::ports::RoundRobinResolver))
+                .build(max_broadcast)
+                .unwrap()
+                .run()
+                .unwrap();
+            (
+                o.rounds,
+                o.stats.total(),
+                o.unique_leader(),
+                o.decisions,
+                o.awake,
+            )
+        };
+        assert_eq!(run(PortBackend::Dense), run(PortBackend::Sparse));
+    }
+
+    #[test]
+    fn sparse_backend_arena_trials_match_fresh_sparse_trials() {
+        let mut arena = SyncArena::new();
+        for seed in 0..8u64 {
+            let fresh = SyncSimBuilder::new(16)
+                .seed(seed)
+                .backend(PortBackend::Sparse)
+                .build(max_broadcast)
+                .unwrap()
+                .run()
+                .unwrap();
+            let reused = SyncSimBuilder::new(16)
+                .seed(seed)
+                .backend(PortBackend::Sparse)
+                .build_in(&mut arena, max_broadcast)
+                .unwrap()
+                .run_reusing(&mut arena)
+                .unwrap();
+            assert_eq!(
+                (fresh.rounds, fresh.stats.total(), fresh.unique_leader()),
+                (reused.rounds, reused.stats.total(), reused.unique_leader()),
+            );
+        }
+        assert!(arena.resident_bytes() > 0);
+    }
+
+    #[test]
+    fn arena_rebuilds_map_on_backend_change() {
+        let mut arena = SyncArena::new();
+        for backend in [
+            PortBackend::Dense,
+            PortBackend::Sparse,
+            PortBackend::Dense,
+            PortBackend::Auto, // resolves to Dense at this n — map recycled
+        ] {
+            let o = SyncSimBuilder::new(12)
+                .seed(2)
+                .backend(backend)
+                .build_in(&mut arena, max_broadcast)
+                .unwrap()
+                .run_reusing(&mut arena)
+                .unwrap();
+            assert_eq!(o.stats.total(), 12 * 11);
+        }
     }
 
     #[test]

@@ -38,7 +38,7 @@ use improved_le::algorithms::sync::{
     two_round_adversarial,
 };
 use improved_le::model::ids::IdSpace;
-use improved_le::model::ports::{Port, PortMap, RandomResolver, RoundRobinResolver};
+use improved_le::model::ports::{Port, PortBackend, PortMap, RandomResolver, RoundRobinResolver};
 use improved_le::model::rng::rng_from_seed;
 use improved_le::model::NodeIndex;
 use improved_le::sync::{SyncSimBuilder, WakeSchedule};
@@ -86,7 +86,7 @@ const EXPECTED: &[(&str, usize, usize, u64, Option<usize>)] = &[
     ("two_round_eps01", 256, 2, 13786, Some(66)),
 ];
 
-fn fingerprint(algo: &str, n: usize) -> (usize, u64, Option<usize>) {
+fn fingerprint(algo: &str, n: usize, backend: PortBackend) -> (usize, u64, Option<usize>) {
     let rr = || Box::new(RoundRobinResolver);
     let leader = |o: &improved_le::sync::Outcome| o.unique_leader().map(|l| l.0);
     match algo {
@@ -94,6 +94,7 @@ fn fingerprint(algo: &str, n: usize) -> (usize, u64, Option<usize>) {
             let cfg = improved_tradeoff::Config::with_rounds(3);
             let o = SyncSimBuilder::new(n)
                 .seed(0)
+                .backend(backend)
                 .resolver(rr())
                 .build(|id, n| improved_tradeoff::Node::new(id, n, cfg))
                 .unwrap()
@@ -105,6 +106,7 @@ fn fingerprint(algo: &str, n: usize) -> (usize, u64, Option<usize>) {
             let cfg = afek_gafni::Config::with_rounds(2);
             let o = SyncSimBuilder::new(n)
                 .seed(0)
+                .backend(backend)
                 .resolver(rr())
                 .build(|id, n| afek_gafni::Node::new(id, n, cfg))
                 .unwrap()
@@ -117,6 +119,7 @@ fn fingerprint(algo: &str, n: usize) -> (usize, u64, Option<usize>) {
             let cfg = gossip_baseline::Config::new(2.min(n - 1), 2);
             let o = SyncSimBuilder::new(n)
                 .seed(0)
+                .backend(backend)
                 .max_rounds(cfg.total_rounds(n) + 2)
                 .resolver(rr())
                 .build(|id, _| gossip_baseline::Node::new(id, cfg))
@@ -129,6 +132,7 @@ fn fingerprint(algo: &str, n: usize) -> (usize, u64, Option<usize>) {
             let cfg = las_vegas::Config::default();
             let o = SyncSimBuilder::new(n)
                 .seed(0)
+                .backend(backend)
                 .resolver(rr())
                 .build(|id, _| las_vegas::Node::new(id, cfg))
                 .unwrap()
@@ -140,6 +144,7 @@ fn fingerprint(algo: &str, n: usize) -> (usize, u64, Option<usize>) {
             let cfg = sublinear_mc::Config::default();
             let o = SyncSimBuilder::new(n)
                 .seed(0)
+                .backend(backend)
                 .resolver(rr())
                 .build(|_, _| sublinear_mc::Node::new(cfg))
                 .unwrap()
@@ -154,6 +159,7 @@ fn fingerprint(algo: &str, n: usize) -> (usize, u64, Option<usize>) {
                 .unwrap();
             let o = SyncSimBuilder::new(n)
                 .seed(0)
+                .backend(backend)
                 .ids(ids)
                 .max_rounds(cfg.max_rounds(n) + 1)
                 .resolver(rr())
@@ -166,6 +172,7 @@ fn fingerprint(algo: &str, n: usize) -> (usize, u64, Option<usize>) {
         "two_round_eps01" => {
             let o = SyncSimBuilder::new(n)
                 .seed(0)
+                .backend(backend)
                 .wake(WakeSchedule::simultaneous(n))
                 .max_rounds(2)
                 .resolver(rr())
@@ -196,7 +203,7 @@ fn round_robin_outcomes_match_legacy_engine() {
     if std::env::var_os("LE_RECORD_EXPECT").is_some() {
         for algo in ALGOS {
             for n in SIZES {
-                let (r, m, l) = fingerprint(algo, n);
+                let (r, m, l) = fingerprint(algo, n, PortBackend::Dense);
                 println!("    (\"{algo}\", {n}, {r}, {m}, {l:?}),");
             }
         }
@@ -209,10 +216,62 @@ fn round_robin_outcomes_match_legacy_engine() {
     );
     for &(algo, n, rounds, messages, leader) in EXPECTED {
         assert_eq!(
-            fingerprint(algo, n),
+            fingerprint(algo, n, PortBackend::Dense),
             (rounds, messages, leader),
             "{algo} at n = {n} diverged from the legacy hash-map engine"
         );
+    }
+}
+
+/// The dense-vs-sparse outcome cross-check: under round-robin resolution
+/// (which consumes no randomness and conditions only on connectivity) the
+/// sparse backend must reproduce the *same* outcome table as the dense
+/// backend — and hence as the legacy hash-map engine — for every
+/// synchronous algorithm at every size. This is the execution-level half
+/// of the backend-parity guarantee; golden fingerprints under
+/// `RandomResolver` stay dense-scoped because the backends enumerate
+/// unconnected peers in different orders.
+#[test]
+fn sparse_backend_outcomes_match_dense_table() {
+    if std::env::var_os("LE_RECORD_EXPECT").is_some() {
+        return; // the dense table above is the single source of truth
+    }
+    for &(algo, n, rounds, messages, leader) in EXPECTED {
+        assert_eq!(
+            fingerprint(algo, n, PortBackend::Sparse),
+            (rounds, messages, leader),
+            "{algo} at n = {n}: sparse backend diverged from the dense outcome table"
+        );
+    }
+}
+
+/// Endpoint-level dense-vs-sparse differential: both backends resolve the
+/// same scrambled round-robin schedule to identical endpoints, and both
+/// stay internally valid throughout.
+#[test]
+fn sparse_portmap_matches_dense_endpoint_for_endpoint() {
+    for n in SIZES {
+        let mut dense = PortMap::with_backend(n, PortBackend::Dense).unwrap();
+        let mut sparse = PortMap::with_backend(n, PortBackend::Sparse).unwrap();
+        let mut resolver = RoundRobinResolver;
+        let mut rng = rng_from_seed(0);
+        let total = n * (n - 1);
+        let schedule = (0..total).map(|s| {
+            let x = (s * 7919) % total;
+            (x / (n - 1), x % (n - 1))
+        });
+        for (u, p) in schedule {
+            let d = dense
+                .resolve(NodeIndex(u), Port(p), &mut resolver, &mut rng)
+                .unwrap();
+            let s = sparse
+                .resolve(NodeIndex(u), Port(p), &mut resolver, &mut rng)
+                .unwrap();
+            assert_eq!(d, s, "n = {n}: port ({u}, {p}) resolved differently");
+        }
+        dense.validate().unwrap();
+        sparse.validate().unwrap();
+        assert_eq!(sparse.link_count(), n * (n - 1) / 2);
     }
 }
 
