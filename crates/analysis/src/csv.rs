@@ -1,5 +1,11 @@
-//! Minimal CSV export (no external dependency needed for plain numeric
-//! experiment dumps).
+//! Minimal CSV export and import (no external dependency needed for plain
+//! numeric experiment dumps).
+//!
+//! Writer and reader agree on RFC 4180: cells containing commas, quotes,
+//! or newlines are quoted with doubled quotes, and [`read_csv`] /
+//! [`parse_csv`] undo exactly what [`CsvWriter`] produced — adversary
+//! names like `bimodal(0.5, 0.1, 1.0)` round-trip intact instead of
+//! silently splitting a row.
 
 use std::fs::File;
 use std::io::{self, BufWriter, Write};
@@ -80,11 +86,60 @@ impl CsvWriter {
 }
 
 fn escape(cell: &str) -> String {
-    if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+    if cell.contains(',') || cell.contains('"') || cell.contains('\n') || cell.contains('\r') {
         format!("\"{}\"", cell.replace('"', "\"\""))
     } else {
         cell.to_string()
     }
+}
+
+/// Reads an RFC 4180 CSV file into rows of cells (header row first) —
+/// the inverse of [`CsvWriter`].
+///
+/// # Errors
+///
+/// Propagates I/O errors from reading the file.
+pub fn read_csv<P: AsRef<Path>>(path: P) -> io::Result<Vec<Vec<String>>> {
+    Ok(parse_csv(&std::fs::read_to_string(path)?))
+}
+
+/// Parses RFC 4180 CSV text: quoted cells, doubled quotes, embedded
+/// commas and newlines. Lenient on input [`CsvWriter`] never produces
+/// (an unterminated quote runs to end-of-input).
+pub fn parse_csv(text: &str) -> Vec<Vec<String>> {
+    let mut rows = Vec::new();
+    let mut row = Vec::new();
+    let mut cell = String::new();
+    let mut chars = text.chars().peekable();
+    let mut quoted = false;
+    while let Some(c) = chars.next() {
+        if quoted {
+            match c {
+                '"' if chars.peek() == Some(&'"') => {
+                    chars.next();
+                    cell.push('"');
+                }
+                '"' => quoted = false,
+                _ => cell.push(c),
+            }
+        } else {
+            match c {
+                '"' => quoted = true,
+                ',' => row.push(std::mem::take(&mut cell)),
+                '\n' => {
+                    row.push(std::mem::take(&mut cell));
+                    rows.push(std::mem::take(&mut row));
+                }
+                '\r' if chars.peek() == Some(&'\n') => {}
+                _ => cell.push(c),
+            }
+        }
+    }
+    if !cell.is_empty() || !row.is_empty() {
+        row.push(cell);
+        rows.push(row);
+    }
+    rows
 }
 
 #[cfg(test)]
@@ -126,6 +181,56 @@ mod tests {
         let mut w = CsvWriter::create(&path, &["a", "b"]).unwrap();
         let err = w.write_row(&["only"]).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn adversary_names_round_trip_through_read_csv() {
+        // Regression: a cell like `bimodal(0.5, 0.1, 1.0)` (the adversary
+        // column of exp_adversary_stress) contains commas; an unescaped
+        // writer would silently split it across columns.
+        let path = tmp("roundtrip.csv");
+        let header = ["algorithm", "adversary", "time"];
+        let rows = [
+            ["tradeoff(k=2)", "bimodal(0.5, 0.1, 1.0)", "9.51"],
+            ["afek_gafni", "targeted-slowdown(1, 0.05)", "7.00"],
+            ["afek_gafni", "quote\"inside", "1.25"],
+        ];
+        let mut w = CsvWriter::create(&path, &header).unwrap();
+        for row in &rows {
+            w.write_row(row).unwrap();
+        }
+        w.finish().unwrap();
+        let parsed = read_csv(&path).unwrap();
+        assert_eq!(parsed[0], header.to_vec());
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(&parsed[i + 1], row, "row {i} corrupted by round-trip");
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn parse_csv_handles_crlf_and_embedded_newlines() {
+        let parsed = parse_csv("a,b\r\n\"multi\nline\",2\r\n");
+        assert_eq!(
+            parsed,
+            vec![
+                vec!["a".to_string(), "b".into()],
+                vec!["multi\nline".into(), "2".into()],
+            ]
+        );
+    }
+
+    #[test]
+    fn bare_carriage_return_cells_round_trip() {
+        // A cell ending in '\r' must be quoted (RFC 4180), or the reader's
+        // CRLF handling would silently truncate it.
+        let path = tmp("cr.csv");
+        let mut w = CsvWriter::create(&path, &["a", "b"]).unwrap();
+        w.write_row(&["ends-in-cr\r", "plain"]).unwrap();
+        w.finish().unwrap();
+        let parsed = read_csv(&path).unwrap();
+        assert_eq!(parsed[1], vec!["ends-in-cr\r".to_string(), "plain".into()]);
         std::fs::remove_file(path).ok();
     }
 

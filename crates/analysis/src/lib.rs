@@ -35,7 +35,7 @@ pub mod regression;
 pub mod stats;
 pub mod table;
 
-pub use csv::CsvWriter;
+pub use csv::{parse_csv, read_csv, CsvWriter};
 pub use regression::{fit_linear, fit_power_law, LinearFit, PowerLawFit};
 pub use stats::Summary;
 pub use table::Table;

@@ -4,7 +4,7 @@
 
 use le_analysis::regression::{fit_linear, fit_power_law};
 use le_analysis::stats::{geometric_mean, quantile, success_rate, Summary};
-use le_analysis::CsvWriter;
+use le_analysis::{read_csv, CsvWriter};
 
 #[test]
 fn quantiles_interpolate_between_order_statistics() {
@@ -152,48 +152,11 @@ fn csv_round_trip_preserves_experiment_rows() {
     }
     w.finish().unwrap();
 
-    let text = std::fs::read_to_string(&path).unwrap();
-    let parsed = parse_csv(&text);
+    // Round-trip through the library's own RFC 4180 reader.
+    let parsed = read_csv(&path).unwrap();
     assert_eq!(parsed[0], header.to_vec());
     for (i, row) in rows.iter().enumerate() {
         assert_eq!(&parsed[i + 1], row, "row {i} corrupted by round-trip");
     }
     std::fs::remove_file(path).ok();
-}
-
-/// A tiny RFC 4180 reader — quoted cells, doubled quotes, embedded
-/// newlines — enough to verify the writer's escaping end-to-end.
-fn parse_csv(text: &str) -> Vec<Vec<String>> {
-    let mut rows = Vec::new();
-    let mut row = Vec::new();
-    let mut cell = String::new();
-    let mut chars = text.chars().peekable();
-    let mut quoted = false;
-    while let Some(c) = chars.next() {
-        if quoted {
-            match c {
-                '"' if chars.peek() == Some(&'"') => {
-                    chars.next();
-                    cell.push('"');
-                }
-                '"' => quoted = false,
-                _ => cell.push(c),
-            }
-        } else {
-            match c {
-                '"' => quoted = true,
-                ',' => row.push(std::mem::take(&mut cell)),
-                '\n' => {
-                    row.push(std::mem::take(&mut cell));
-                    rows.push(std::mem::take(&mut row));
-                }
-                _ => cell.push(c),
-            }
-        }
-    }
-    if !cell.is_empty() || !row.is_empty() {
-        row.push(cell);
-        rows.push(row);
-    }
-    rows
 }

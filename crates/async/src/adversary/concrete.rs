@@ -1,0 +1,389 @@
+//! Concrete adversaries of the link-static and adaptive tiers.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use rand::rngs::SmallRng;
+
+use super::{Adversary, Capability, MessageClass, Observation};
+
+/// The *rushing* adversary: races every message of one chosen class ahead
+/// at the smallest representable positive delay while stalling everything
+/// else for a full time unit.
+///
+/// This is the schedule that breaks naive translations of synchronous
+/// algorithms (Section 5.4's motivation: "the arbitrary delay of messages
+/// ... is the source of the increase in the time complexity") — e.g.
+/// rushing `⟨compete⟩` probes lets late candidates reach referees before
+/// the wake-up wave has covered the network.
+#[derive(Debug, Clone, Copy)]
+pub struct RushingAdversary {
+    target: MessageClass,
+}
+
+impl RushingAdversary {
+    /// Races messages of `target` class; stalls all others at 1.0.
+    pub fn new(target: MessageClass) -> Self {
+        RushingAdversary { target }
+    }
+}
+
+impl Adversary for RushingAdversary {
+    fn delay(&mut self, obs: &Observation<'_>, _rng: &mut SmallRng) -> f64 {
+        if obs.class == self.target {
+            f64::MIN_POSITIVE
+        } else {
+            1.0
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("rushing({})", self.target)
+    }
+
+    fn capability(&self) -> Capability {
+        Capability::Adaptive
+    }
+}
+
+/// The *targeted slowdown* adversary: adaptively throttles every outgoing
+/// link of the current frontrunner (the node with the most sent messages,
+/// per the transcript) to the maximal delay while everyone else's traffic
+/// moves fast.
+///
+/// Against Algorithm 2 this starves the heaviest candidate's competes and
+/// its leader broadcast; against asynchronized Afek–Gafni it stalls the
+/// highest-level candidate's support requests — the schedules the
+/// `O(1)`-per-phase arguments (Lemmas 5.10/5.12) must absorb.
+#[derive(Debug, Clone, Copy)]
+pub struct TargetedSlowdown {
+    fast: f64,
+}
+
+impl TargetedSlowdown {
+    /// Throttles the frontrunner to delay 1.0; everyone else gets `fast`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < fast <= 1`.
+    pub fn new(fast: f64) -> Self {
+        assert!(
+            fast > 0.0 && fast <= 1.0,
+            "fast delay must be in (0, 1], got {fast}"
+        );
+        TargetedSlowdown { fast }
+    }
+}
+
+impl Adversary for TargetedSlowdown {
+    fn delay(&mut self, obs: &Observation<'_>, _rng: &mut SmallRng) -> f64 {
+        if obs.src == obs.transcript.top_sender() {
+            1.0
+        } else {
+            self.fast
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("targeted-slowdown(1, {})", self.fast)
+    }
+
+    fn capability(&self) -> Capability {
+        Capability::Adaptive
+    }
+}
+
+/// The *partition* adversary: splits the nodes into a fast half
+/// (indices `< ⌈n/2⌉`) and a slow half, delivers messages *within* the
+/// fast half at `fast` and everything touching the slow half at a full
+/// unit — a coordinated two-speed network.
+///
+/// Link-static: the speed of a link is fixed before the execution starts
+/// and never revised, so this sits strictly between the oblivious
+/// strategies (which cannot coordinate halves) and the adaptive tier.
+/// It stresses the wake-up phase: the fast half finishes electing while
+/// the slow half is still asleep, so decision broadcasts must cross the
+/// slow frontier.
+#[derive(Debug, Clone, Copy)]
+pub struct PartitionAdversary {
+    fast: f64,
+}
+
+impl PartitionAdversary {
+    /// Intra-fast-half delay `fast`; every other link takes 1.0.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < fast <= 1`.
+    pub fn new(fast: f64) -> Self {
+        assert!(
+            fast > 0.0 && fast <= 1.0,
+            "fast delay must be in (0, 1], got {fast}"
+        );
+        PartitionAdversary { fast }
+    }
+}
+
+impl Adversary for PartitionAdversary {
+    fn delay(&mut self, obs: &Observation<'_>, _rng: &mut SmallRng) -> f64 {
+        let fast_half = obs.transcript.n().div_ceil(2);
+        if obs.src.0 < fast_half && obs.dst.0 < fast_half {
+            self.fast
+        } else {
+            1.0
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("partition({}, 1)", self.fast)
+    }
+
+    fn capability(&self) -> Capability {
+        Capability::LinkStatic
+    }
+}
+
+/// Shared handle to a delay trace being captured by a [`Recorder`].
+///
+/// Cloning shares the underlying buffer; read it after the recording run
+/// finished with [`TraceHandle::snapshot`].
+#[derive(Debug, Clone, Default)]
+pub struct TraceHandle(Rc<RefCell<Vec<f64>>>);
+
+impl TraceHandle {
+    /// A copy of the delays recorded so far, in dispatch order.
+    pub fn snapshot(&self) -> Vec<f64> {
+        self.0.borrow().clone()
+    }
+
+    /// Number of delays recorded so far.
+    pub fn len(&self) -> usize {
+        self.0.borrow().len()
+    }
+
+    /// Whether nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.0.borrow().is_empty()
+    }
+}
+
+/// Wraps any adversary and records every delay it assigns, in dispatch
+/// order, into a [`TraceHandle`] — the capture side of
+/// [`RecordedSchedule`].
+pub struct Recorder {
+    inner: Box<dyn Adversary>,
+    trace: TraceHandle,
+}
+
+impl Recorder {
+    /// Starts recording `inner`'s delays; the returned handle stays
+    /// readable after the recorder has been consumed by a builder.
+    pub fn new(inner: Box<dyn Adversary>) -> (Self, TraceHandle) {
+        let trace = TraceHandle::default();
+        (
+            Recorder {
+                inner,
+                trace: trace.clone(),
+            },
+            trace,
+        )
+    }
+}
+
+impl Adversary for Recorder {
+    fn delay(&mut self, obs: &Observation<'_>, rng: &mut SmallRng) -> f64 {
+        let d = self.inner.delay(obs, rng);
+        self.trace.0.borrow_mut().push(d);
+        d
+    }
+
+    fn name(&self) -> String {
+        format!("recording({})", self.inner.name())
+    }
+
+    fn capability(&self) -> Capability {
+        self.inner.capability()
+    }
+}
+
+/// Replays a captured delay trace verbatim, one delay per dispatched
+/// message in order — the mechanism for *replayable worst-case
+/// schedules*: capture the trace of the worst observed execution with a
+/// [`Recorder`], persist it, and replay it against the same configuration
+/// (or a modified algorithm) to a byte-identical schedule.
+///
+/// Node and resolver RNG streams are independent of the delay stream, so
+/// replaying the recorded delays against the recording run's seed
+/// reproduces the recorded execution exactly.
+#[derive(Debug, Clone)]
+pub struct RecordedSchedule {
+    trace: Vec<f64>,
+    next: usize,
+}
+
+impl RecordedSchedule {
+    /// Replays `trace` from the beginning.
+    pub fn from_trace(trace: Vec<f64>) -> Self {
+        RecordedSchedule { trace, next: 0 }
+    }
+
+    /// Remaining (unreplayed) delays.
+    pub fn remaining(&self) -> usize {
+        self.trace.len() - self.next
+    }
+}
+
+impl Adversary for RecordedSchedule {
+    /// # Panics
+    ///
+    /// Panics when the trace is exhausted: the execution dispatched more
+    /// messages than the recorded one, i.e. the schedule diverged from the
+    /// recording (different seed, algorithm, or configuration).
+    fn delay(&mut self, _obs: &Observation<'_>, _rng: &mut SmallRng) -> f64 {
+        assert!(
+            self.next < self.trace.len(),
+            "recorded schedule exhausted after {} delays — this execution \
+             diverged from the recorded one",
+            self.trace.len()
+        );
+        let d = self.trace[self.next];
+        self.next += 1;
+        d
+    }
+
+    fn name(&self) -> String {
+        format!("recorded({} delays)", self.trace.len())
+    }
+
+    fn capability(&self) -> Capability {
+        Capability::Adaptive
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{Oblivious, Transcript, UniformDelay};
+    use super::*;
+    use clique_model::rng::rng_from_seed;
+    use clique_model::NodeIndex;
+
+    fn obs<'a>(
+        src: usize,
+        dst: usize,
+        class: MessageClass,
+        transcript: &'a Transcript,
+    ) -> Observation<'a> {
+        Observation {
+            src: NodeIndex(src),
+            dst: NodeIndex(dst),
+            now: 0.0,
+            class,
+            transcript,
+        }
+    }
+
+    #[test]
+    fn rushing_races_only_its_class() {
+        let mut adv = RushingAdversary::new(MessageClass::WakeUp);
+        let t = Transcript::new(4);
+        let mut rng = rng_from_seed(0);
+        assert_eq!(
+            adv.delay(&obs(0, 1, MessageClass::WakeUp, &t), &mut rng),
+            f64::MIN_POSITIVE
+        );
+        assert_eq!(
+            adv.delay(&obs(0, 1, MessageClass::Reply, &t), &mut rng),
+            1.0
+        );
+        assert_eq!(adv.name(), "rushing(wake-up)");
+        assert_eq!(adv.capability(), Capability::Adaptive);
+    }
+
+    #[test]
+    fn targeted_slowdown_follows_the_frontrunner() {
+        let mut adv = TargetedSlowdown::new(0.05);
+        let mut t = Transcript::new(3);
+        let mut rng = rng_from_seed(0);
+        // Node 0 leads initially (tie); its links are slow.
+        assert_eq!(
+            adv.delay(&obs(0, 1, MessageClass::Probe, &t), &mut rng),
+            1.0
+        );
+        assert_eq!(
+            adv.delay(&obs(1, 0, MessageClass::Probe, &t), &mut rng),
+            0.05
+        );
+        // Node 2 takes the lead; the target moves with it.
+        t.record_send(NodeIndex(2));
+        t.record_send(NodeIndex(2));
+        assert_eq!(
+            adv.delay(&obs(2, 0, MessageClass::Probe, &t), &mut rng),
+            1.0
+        );
+        assert_eq!(
+            adv.delay(&obs(0, 2, MessageClass::Probe, &t), &mut rng),
+            0.05
+        );
+        assert_eq!(adv.name(), "targeted-slowdown(1, 0.05)");
+    }
+
+    #[test]
+    #[should_panic(expected = "fast delay must be in (0, 1]")]
+    fn targeted_slowdown_rejects_zero() {
+        let _ = TargetedSlowdown::new(0.0);
+    }
+
+    #[test]
+    fn partition_speeds_depend_only_on_the_link() {
+        let mut adv = PartitionAdversary::new(0.1);
+        let t = Transcript::new(4); // fast half: {0, 1}
+        let mut rng = rng_from_seed(0);
+        for class in [MessageClass::WakeUp, MessageClass::Decide] {
+            assert_eq!(adv.delay(&obs(0, 1, class, &t), &mut rng), 0.1);
+            assert_eq!(adv.delay(&obs(1, 2, class, &t), &mut rng), 1.0);
+            assert_eq!(adv.delay(&obs(3, 0, class, &t), &mut rng), 1.0);
+            assert_eq!(adv.delay(&obs(2, 3, class, &t), &mut rng), 1.0);
+        }
+        assert_eq!(adv.capability(), Capability::LinkStatic);
+        // Odd n: the fast half rounds up.
+        let t5 = Transcript::new(5); // fast half: {0, 1, 2}
+        assert_eq!(
+            adv.delay(&obs(2, 0, MessageClass::Probe, &t5), &mut rng),
+            0.1
+        );
+    }
+
+    #[test]
+    fn recorder_captures_and_replay_reproduces() {
+        let (mut rec, handle) = Recorder::new(Box::new(Oblivious::new(UniformDelay::full())));
+        let t = Transcript::new(3);
+        let mut rng = rng_from_seed(7);
+        let original: Vec<f64> = (0..20)
+            .map(|i| rec.delay(&obs(i % 3, (i + 1) % 3, MessageClass::Probe, &t), &mut rng))
+            .collect();
+        assert_eq!(handle.len(), 20);
+        assert_eq!(handle.snapshot(), original);
+        assert!(rec.name().starts_with("recording(uniform"));
+
+        let mut replay = RecordedSchedule::from_trace(handle.snapshot());
+        assert_eq!(replay.remaining(), 20);
+        // A different RNG stream must not matter: the trace is verbatim.
+        let mut other_rng = rng_from_seed(999);
+        let replayed: Vec<f64> = (0..20)
+            .map(|_| replay.delay(&obs(0, 1, MessageClass::Decide, &t), &mut other_rng))
+            .collect();
+        assert_eq!(replayed, original);
+        assert_eq!(replay.remaining(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "diverged")]
+    fn exhausted_replay_panics_with_context() {
+        let mut replay = RecordedSchedule::from_trace(vec![0.5]);
+        let t = Transcript::new(2);
+        let mut rng = rng_from_seed(0);
+        let o = obs(0, 1, MessageClass::Probe, &t);
+        let _ = replay.delay(&o, &mut rng);
+        let _ = replay.delay(&o, &mut rng);
+    }
+}

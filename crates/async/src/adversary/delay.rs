@@ -1,10 +1,15 @@
-//! Adversarial message delay strategies.
+//! *Oblivious* adversarial message delay strategies.
 //!
 //! In the asynchronous model every message takes some amount of time in
 //! `(0, 1]` chosen by the adversary, where 1 is the *time unit* — the upper
-//! bound on any transmission time. Different strategies model different
-//! adversaries; the paper's time bounds (e.g. `k + 8` in Theorem 5.1) must
-//! hold for all of them.
+//! bound on any transmission time. The strategies here are the
+//! [`Capability::Oblivious`] tier of the adversary hierarchy: they see only
+//! the directed link and the clock, never message contents or the
+//! transcript. Stronger adversaries live in [`crate::adversary`]; the
+//! paper's time bounds (e.g. `k + 8` in Theorem 5.1) must hold for all of
+//! them.
+//!
+//! [`Capability::Oblivious`]: crate::adversary::Capability::Oblivious
 
 use clique_model::NodeIndex;
 use rand::rngs::SmallRng;
@@ -12,11 +17,38 @@ use rand::Rng;
 
 /// Chooses per-message delays.
 ///
-/// Returned delays must lie in `(0, 1]`; the engine clamps and panics (in
-/// debug builds) on violations to surface buggy strategies.
+/// Returned delays must lie in `(0, 1]`; the engine rejects violations
+/// (including `NaN`) with [`ModelError::InvalidDelay`] in *all* build
+/// profiles, surfacing buggy strategies instead of letting a non-finite
+/// time poison the event queue.
+///
+/// Any `DelayStrategy` can serve wherever an [`Adversary`] is expected by
+/// wrapping it in the [`Oblivious`] adapter (which
+/// [`AsyncSimBuilder::delays`] does automatically).
+///
+/// [`ModelError::InvalidDelay`]: clique_model::ModelError::InvalidDelay
+/// [`Adversary`]: crate::adversary::Adversary
+/// [`Oblivious`]: crate::adversary::Oblivious
+/// [`AsyncSimBuilder::delays`]: crate::engine::AsyncSimBuilder::delays
 pub trait DelayStrategy {
     /// The delay for a message sent by `src` to `dst` at time `now`.
     fn delay(&mut self, src: NodeIndex, dst: NodeIndex, now: f64, rng: &mut SmallRng) -> f64;
+
+    /// Human-readable strategy name, used in experiment CSV columns and in
+    /// [`ModelError::InvalidDelay`](clique_model::ModelError::InvalidDelay).
+    fn name(&self) -> String {
+        "oblivious".into()
+    }
+}
+
+impl DelayStrategy for Box<dyn DelayStrategy> {
+    fn delay(&mut self, src: NodeIndex, dst: NodeIndex, now: f64, rng: &mut SmallRng) -> f64 {
+        self.as_mut().delay(src, dst, now, rng)
+    }
+
+    fn name(&self) -> String {
+        self.as_ref().name()
+    }
 }
 
 /// Every message takes exactly `d` time units — `ConstDelay::new(1.0)` is
@@ -47,12 +79,20 @@ impl DelayStrategy for ConstDelay {
     fn delay(&mut self, _src: NodeIndex, _dst: NodeIndex, _now: f64, _rng: &mut SmallRng) -> f64 {
         self.d
     }
+
+    fn name(&self) -> String {
+        format!("const({})", self.d)
+    }
 }
 
-/// Delays drawn uniformly from `[lo, hi] ⊂ (0, 1]`, independently per
+/// Delays drawn uniformly from `[lo, hi] ⊂ (0, 1]` (or, via
+/// [`UniformDelay::full`], from the open-ended `(0, 1]`), independently per
 /// message.
 #[derive(Debug, Clone, Copy)]
 pub struct UniformDelay {
+    /// `lo == 0.0` encodes the open interval `(0, hi]` — constructible only
+    /// through [`UniformDelay::full`]; [`UniformDelay::new`] requires
+    /// `lo > 0`.
     lo: f64,
     hi: f64,
 }
@@ -71,16 +111,32 @@ impl UniformDelay {
         UniformDelay { lo, hi }
     }
 
-    /// The full-range strategy `(0, 1]` (lower end clipped to 0.01 to keep
-    /// delays strictly positive).
+    /// The full-range strategy: truly open-interval `(0, 1]` delays, the
+    /// engine's default delay model. Sampled as `1 − U` for
+    /// `U ~ [0, 1)`, so the infimum 0 is never drawn and 1 is attainable —
+    /// no artificial delay floor (an earlier revision clipped the lower end
+    /// to 0.01, silently flooring every async trial's delays).
     pub fn full() -> Self {
-        UniformDelay { lo: 0.01, hi: 1.0 }
+        UniformDelay { lo: 0.0, hi: 1.0 }
     }
 }
 
 impl DelayStrategy for UniformDelay {
     fn delay(&mut self, _src: NodeIndex, _dst: NodeIndex, _now: f64, rng: &mut SmallRng) -> f64 {
-        rng.gen_range(self.lo..=self.hi)
+        if self.lo == 0.0 {
+            // Open interval (0, hi]: gen::<f64>() is uniform on [0, 1).
+            self.hi * (1.0 - rng.gen::<f64>())
+        } else {
+            rng.gen_range(self.lo..=self.hi)
+        }
+    }
+
+    fn name(&self) -> String {
+        if self.lo == 0.0 {
+            format!("uniform(0, {}]", self.hi)
+        } else {
+            format!("uniform[{}, {}]", self.lo, self.hi)
+        }
     }
 }
 
@@ -125,6 +181,10 @@ impl DelayStrategy for BimodalDelay {
             self.slow
         }
     }
+
+    fn name(&self) -> String {
+        format!("bimodal({}, {}, {})", self.p_fast, self.fast, self.slow)
+    }
 }
 
 #[cfg(test)]
@@ -159,6 +219,40 @@ mod tests {
             let x = d.delay(NodeIndex(0), NodeIndex(1), 0.0, &mut rng);
             assert!((0.25..=0.75).contains(&x));
         }
+    }
+
+    #[test]
+    fn full_range_is_open_interval_with_no_floor() {
+        // The documented range is (0, 1]: strictly positive, reaching below
+        // the old 0.01 clip with ~1% probability per draw.
+        let mut d = UniformDelay::full();
+        let mut rng = rng_from_seed(3);
+        let mut below_old_floor = 0;
+        for _ in 0..10_000 {
+            let x = d.delay(NodeIndex(0), NodeIndex(1), 0.0, &mut rng);
+            assert!(x > 0.0 && x <= 1.0, "delay {x} outside (0, 1]");
+            if x < 0.01 {
+                below_old_floor += 1;
+            }
+        }
+        assert!(
+            below_old_floor > 20,
+            "only {below_old_floor}/10000 draws below 0.01 — floor is back"
+        );
+    }
+
+    #[test]
+    fn strategy_names_identify_parameters() {
+        assert_eq!(ConstDelay::max().name(), "const(1)");
+        assert_eq!(UniformDelay::full().name(), "uniform(0, 1]");
+        assert_eq!(UniformDelay::new(0.25, 0.75).name(), "uniform[0.25, 0.75]");
+        assert_eq!(
+            BimodalDelay::new(0.5, 0.1, 1.0).name(),
+            "bimodal(0.5, 0.1, 1)"
+        );
+        // Boxing preserves the name (the adapter path the builder takes).
+        let boxed: Box<dyn DelayStrategy> = Box::new(ConstDelay::max());
+        assert_eq!(boxed.name(), "const(1)");
     }
 
     #[test]

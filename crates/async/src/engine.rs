@@ -12,7 +12,9 @@ use clique_model::rng::{derive_seed, rng_from_seed};
 use clique_model::{Decision, ModelError, NodeIndex, WakeCause};
 use rand::rngs::SmallRng;
 
-use crate::delay::{DelayStrategy, UniformDelay};
+use crate::adversary::{
+    Adversary, DelayStrategy, Oblivious, Observation, Transcript, UniformDelay,
+};
 use crate::node::{AsyncContext, AsyncNode, Received};
 use crate::outcome::{AsyncHaltReason, AsyncOutcome};
 use crate::wakeup::AsyncWakeSchedule;
@@ -122,7 +124,8 @@ impl<M> PartialOrd for Event<M> {
 impl<M> Ord for Event<M> {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reversed: BinaryHeap is a max-heap, we want the earliest event.
-        // Times are always finite (the engine never schedules NaN).
+        // Times are always finite: the engine validates every adversary
+        // delay (rejecting NaN/out-of-range) before scheduling.
         other
             .time
             .partial_cmp(&self.time)
@@ -220,15 +223,16 @@ impl<M> Default for AsyncBuffers<M> {
 ///
 /// All settings have defaults: master seed 0, quasilinear ID universe
 /// (randomly assigned), a single adversarial wake-up of node 0 at time 0,
-/// uniform random *oblivious* port resolution, uniform random delays over
-/// `(0, 1]`, and an event cap of `64·n² + 4096`.
+/// uniform random *oblivious* port resolution, an oblivious adversary
+/// drawing uniform random delays over `(0, 1]`, and an event cap of
+/// `64·n² + 4096`.
 pub struct AsyncSimBuilder {
     n: usize,
     seed: u64,
     ids: Option<IdAssignment>,
     wake: Option<AsyncWakeSchedule>,
     resolver: Option<Box<dyn PortResolver>>,
-    delays: Option<Box<dyn DelayStrategy>>,
+    adversary: Option<Box<dyn Adversary>>,
     backend: Option<PortBackend>,
     max_events: Option<u64>,
 }
@@ -254,7 +258,7 @@ impl AsyncSimBuilder {
             ids: None,
             wake: None,
             resolver: None,
-            delays: None,
+            adversary: None,
             backend: None,
             max_events: None,
         }
@@ -290,9 +294,25 @@ impl AsyncSimBuilder {
         self
     }
 
-    /// Sets the message delay strategy (default: [`UniformDelay::full`]).
+    /// Sets an *oblivious* message delay strategy (default:
+    /// [`UniformDelay::full`]) — shorthand for wrapping it in the
+    /// [`Oblivious`] adapter and calling [`AsyncSimBuilder::adversary`].
     pub fn delays(mut self, delays: Box<dyn DelayStrategy>) -> Self {
-        self.delays = Some(delays);
+        self.adversary = Some(Box::new(Oblivious::new(delays)));
+        self
+    }
+
+    /// Sets the message-scheduling adversary — any [`Capability`] tier,
+    /// from oblivious delay distributions to adaptive class/transcript-
+    /// aware schedulers (see [`crate::adversary`]).
+    ///
+    /// The adversary is consumed by this one simulation (recycled
+    /// [`AsyncArena`] trials construct a fresh one per seed), so adaptive
+    /// state can never leak between trials.
+    ///
+    /// [`Capability`]: crate::adversary::Capability
+    pub fn adversary(mut self, adversary: Box<dyn Adversary>) -> Self {
+        self.adversary = Some(adversary);
         self
     }
 
@@ -408,10 +428,11 @@ impl AsyncSimBuilder {
             ports,
             resolver: self.resolver.unwrap_or_else(|| Box::new(RandomResolver)),
             resolver_rng: rng_from_seed(derive_seed(self.seed, STREAM_RESOLVER)),
-            delays: self
-                .delays
-                .unwrap_or_else(|| Box::new(UniformDelay::full())),
+            adversary: self
+                .adversary
+                .unwrap_or_else(|| Box::new(Oblivious::new(UniformDelay::full()))),
             delay_rng: rng_from_seed(derive_seed(self.seed, STREAM_DELAYS)),
+            transcript: Transcript::new(n),
             queue,
             seq,
             fifo_front,
@@ -442,8 +463,10 @@ pub struct AsyncSim<N: AsyncNode> {
     ports: PortMap,
     resolver: Box<dyn PortResolver>,
     resolver_rng: SmallRng,
-    delays: Box<dyn DelayStrategy>,
+    adversary: Box<dyn Adversary>,
     delay_rng: SmallRng,
+    /// Per-node sent/delivered counts, maintained for adaptive adversaries.
+    transcript: Transcript,
     queue: BinaryHeap<Event<N::Message>>,
     seq: u64,
     /// Per directed link `src·n + dst`: the latest delivery time already
@@ -505,12 +528,19 @@ impl<N: AsyncNode> AsyncSim<N> {
         &self.ports
     }
 
+    /// The running per-node sent/delivered transcript (what an adaptive
+    /// adversary sees).
+    pub fn transcript(&self) -> &Transcript {
+        &self.transcript
+    }
+
     /// Runs until the event queue drains (or the event cap fires).
     ///
     /// # Errors
     ///
     /// Propagates [`ModelError`] from port resolution (only possible with a
-    /// faulty custom resolver).
+    /// faulty custom resolver) or from an adversary returning a delay
+    /// outside `(0, 1]`.
     pub fn run(mut self) -> Result<AsyncOutcome, ModelError> {
         let halt = self.drive()?;
         Ok(self.into_outcome(halt))
@@ -540,7 +570,8 @@ impl<N: AsyncNode> AsyncSim<N> {
     /// # Errors
     ///
     /// Propagates [`ModelError`] from port resolution (only possible with a
-    /// faulty custom resolver).
+    /// faulty custom resolver) or from an adversary returning a delay
+    /// outside `(0, 1]`.
     pub fn run_reusing(mut self, arena: &mut AsyncArena) -> Result<AsyncOutcome, ModelError>
     where
         N::Message: 'static,
@@ -554,7 +585,8 @@ impl<N: AsyncNode> AsyncSim<N> {
     ///
     /// # Errors
     ///
-    /// Propagates [`ModelError`] from port resolution.
+    /// Propagates [`ModelError`] from port resolution or from an adversary
+    /// returning a delay outside `(0, 1]`.
     pub fn step(&mut self) -> Result<bool, ModelError> {
         let Some(ev) = self.queue.pop() else {
             return Ok(false);
@@ -568,6 +600,7 @@ impl<N: AsyncNode> AsyncSim<N> {
                 }
             }
             EventKind::Deliver { dst, dst_port, msg } => {
+                self.transcript.record_delivery(dst);
                 if self.nodes[dst.0].is_terminated() {
                     self.messages_to_terminated += 1;
                 } else {
@@ -636,20 +669,30 @@ impl<N: AsyncNode> AsyncSim<N> {
         Ok(())
     }
 
-    /// Resolves the port, assigns an adversarial delay, and enqueues the
+    /// Resolves the port, asks the adversary for a delay, and enqueues the
     /// delivery (respecting per-link FIFO order).
     fn dispatch(&mut self, src: NodeIndex, port: Port, msg: N::Message) -> Result<(), ModelError> {
         let dst = self
             .ports
             .resolve(src, port, self.resolver.as_mut(), &mut self.resolver_rng)?;
-        let raw = self
-            .delays
-            .delay(src, dst.node, self.now, &mut self.delay_rng);
-        debug_assert!(
-            raw > 0.0 && raw <= 1.0,
-            "delay strategy returned {raw}, outside (0, 1]"
-        );
-        let delay = raw.clamp(f64::MIN_POSITIVE, 1.0);
+        let obs = Observation {
+            src,
+            dst: dst.node,
+            now: self.now,
+            class: N::classify(&msg),
+            transcript: &self.transcript,
+        };
+        let delay = self.adversary.delay(&obs, &mut self.delay_rng);
+        // Enforced in every build profile: a NaN here would survive any
+        // clamp, poison `deliver_at` and the FIFO floor, and break the
+        // event heap's ordering (which requires finite times).
+        if !(delay > 0.0 && delay <= 1.0) {
+            return Err(ModelError::InvalidDelay {
+                adversary: self.adversary.name(),
+                delay: format!("{delay}"),
+            });
+        }
+        self.transcript.record_send(src);
         let floor = self.fifo_front.floor_mut(src.0 * self.n + dst.node.0);
         let deliver_at = (self.now + delay).max(*floor);
         *floor = deliver_at;
@@ -728,7 +771,7 @@ impl<N: AsyncNode> AsyncSim<N> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::delay::{BimodalDelay, ConstDelay};
+    use crate::adversary::delay::{BimodalDelay, ConstDelay};
     use crate::node::Received;
 
     /// Flood: on wake, send over every port once; elect the max ID after
@@ -1106,6 +1149,115 @@ mod tests {
         // Sparse floors + sparse map: far below the dense n² tables even
         // at this tiny n once both structures are hashed.
         assert!(arena.resident_bytes() > 0);
+    }
+
+    #[test]
+    fn hostile_delay_strategies_are_rejected_in_all_profiles() {
+        // Regression: a NaN used to pass `raw.clamp(f64::MIN_POSITIVE, 1.0)`
+        // unchanged in release builds (clamp propagates NaN), poisoning the
+        // delivery time, the FIFO floor, and the event heap's ordering. The
+        // engine must now fail the run with a descriptive error — in release
+        // builds too — for NaN and for every out-of-range value.
+        struct Hostile(f64);
+        impl crate::adversary::DelayStrategy for Hostile {
+            fn delay(
+                &mut self,
+                _src: NodeIndex,
+                _dst: NodeIndex,
+                _now: f64,
+                _rng: &mut SmallRng,
+            ) -> f64 {
+                self.0
+            }
+            fn name(&self) -> String {
+                "hostile".into()
+            }
+        }
+        for bad in [f64::NAN, 0.0, -0.25, 1.5, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = AsyncSimBuilder::new(4)
+                .seed(1)
+                .delays(Box::new(Hostile(bad)))
+                .build(Flood::new)
+                .unwrap()
+                .run()
+                .unwrap_err();
+            match err {
+                ModelError::InvalidDelay { adversary, delay } => {
+                    assert_eq!(adversary, "hostile");
+                    assert_eq!(delay, format!("{bad}"));
+                }
+                other => panic!("expected InvalidDelay for {bad}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_adversary_sees_classes_and_transcript() {
+        use crate::adversary::{Adversary, Capability, MessageClass, Observation};
+
+        // An adversary that records what it observed; Flood never overrides
+        // `classify`, so every message must arrive tagged with the default
+        // Probe class, and the transcript must exclude the current message.
+        struct Probe {
+            first_transcript_total: std::rc::Rc<std::cell::Cell<u64>>,
+            classes_ok: std::rc::Rc<std::cell::Cell<bool>>,
+        }
+        impl Adversary for Probe {
+            fn delay(&mut self, obs: &Observation<'_>, _rng: &mut SmallRng) -> f64 {
+                if obs.class != MessageClass::Probe {
+                    self.classes_ok.set(false);
+                }
+                if self.first_transcript_total.get() == u64::MAX {
+                    let total: u64 = (0..obs.transcript.n())
+                        .map(|u| obs.transcript.sent(NodeIndex(u)))
+                        .sum();
+                    self.first_transcript_total.set(total);
+                }
+                0.5
+            }
+            fn name(&self) -> String {
+                "probe".into()
+            }
+            fn capability(&self) -> Capability {
+                Capability::Adaptive
+            }
+        }
+        let first = std::rc::Rc::new(std::cell::Cell::new(u64::MAX));
+        let ok = std::rc::Rc::new(std::cell::Cell::new(true));
+        let outcome = AsyncSimBuilder::new(6)
+            .seed(3)
+            .adversary(Box::new(Probe {
+                first_transcript_total: first.clone(),
+                classes_ok: ok.clone(),
+            }))
+            .build(Flood::new)
+            .unwrap()
+            .run()
+            .unwrap();
+        outcome.validate_explicit().unwrap();
+        assert!(ok.get(), "default classify must tag everything Probe");
+        assert_eq!(
+            first.get(),
+            0,
+            "the very first observation must see an empty transcript"
+        );
+    }
+
+    #[test]
+    fn transcript_accounting_matches_message_stats() {
+        let sim = AsyncSimBuilder::new(8)
+            .seed(2)
+            .wake(AsyncWakeSchedule::single(NodeIndex(0)))
+            .build(Flood::new)
+            .unwrap();
+        let mut sim = sim;
+        while sim.step().unwrap() {}
+        let sent_total: u64 = (0..8).map(|u| sim.transcript().sent(NodeIndex(u))).sum();
+        let delivered_total: u64 = (0..8)
+            .map(|u| sim.transcript().delivered(NodeIndex(u)))
+            .sum();
+        assert_eq!(sent_total, sim.stats().total());
+        assert_eq!(delivered_total, sim.stats().total(), "queue drained");
     }
 
     #[test]

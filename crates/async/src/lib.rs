@@ -8,7 +8,9 @@
 //!   with an RNG stream independent of the nodes' streams;
 //! * every message suffers an adversarial delay in `(0, 1]`, where one
 //!   *time unit* is an upper bound on any transmission time — modelled by a
-//!   pluggable [`DelayStrategy`];
+//!   pluggable [`Adversary`] (graded by observation power: oblivious
+//!   [`DelayStrategy`] distributions, link-static schedules, and fully
+//!   adaptive class/transcript-aware schedulers — see [`adversary`]);
 //! * links deliver in FIFO order;
 //! * the adversary wakes an arbitrary non-empty subset of nodes; everyone
 //!   else sleeps until a message arrives;
@@ -59,13 +61,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod delay;
+pub mod adversary;
 pub mod engine;
 pub mod node;
 pub mod outcome;
 pub mod wakeup;
 
-pub use delay::{BimodalDelay, ConstDelay, DelayStrategy, UniformDelay};
+pub use adversary::delay::{BimodalDelay, ConstDelay, DelayStrategy, UniformDelay};
+// Path-compatibility alias: the delay strategies predate the adversary
+// subsystem and were importable as `clique_async::delay::*`.
+pub use adversary::delay;
+pub use adversary::{
+    Adversary, Capability, MessageClass, Oblivious, Observation, PartitionAdversary,
+    RecordedSchedule, Recorder, RushingAdversary, TargetedSlowdown, TraceHandle, Transcript,
+};
 pub use engine::{AsyncArena, AsyncSim, AsyncSimBuilder};
 pub use node::{AsyncContext, AsyncNode, Received};
 pub use outcome::{AsyncHaltReason, AsyncOutcome};

@@ -1,5 +1,6 @@
 //! The node-side programming interface of the asynchronous engine.
 
+use crate::adversary::MessageClass;
 use clique_model::ids::Id;
 use clique_model::ports::Port;
 use clique_model::rng::sample_distinct;
@@ -112,6 +113,19 @@ pub trait AsyncNode {
 
     /// The node's current (irrevocable once non-undecided) output.
     fn decision(&self) -> Decision;
+
+    /// The algorithm-visible [`MessageClass`] of a message, exposed to
+    /// adaptive adversaries (the scheduler may race or stall whole message
+    /// classes — see [`crate::adversary`]).
+    ///
+    /// The default tags everything as [`MessageClass::Probe`], which keeps
+    /// class-blind algorithms working under every adversary; algorithms
+    /// should override it so class-aware adversaries (e.g.
+    /// [`RushingAdversary`](crate::adversary::RushingAdversary)) have a
+    /// real attack surface.
+    fn classify(_msg: &Self::Message) -> MessageClass {
+        MessageClass::Probe
+    }
 
     /// Whether the node has halted and will ignore all further events.
     ///

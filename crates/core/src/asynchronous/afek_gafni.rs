@@ -48,7 +48,7 @@
 
 use std::collections::VecDeque;
 
-use clique_async::{AsyncContext, AsyncNode, Received};
+use clique_async::{AsyncContext, AsyncNode, MessageClass, Received};
 use clique_model::ids::Id;
 use clique_model::ports::Port;
 use clique_model::{Decision, WakeCause};
@@ -301,6 +301,17 @@ impl AsyncNode for Node {
     fn decision(&self) -> Decision {
         self.decision
     }
+
+    /// Algorithm-visible classes for adaptive adversaries: support
+    /// requests and cancel queries probe, acks and cancel verdicts reply,
+    /// and a kill announces the requester's defeat.
+    fn classify(msg: &Msg) -> MessageClass {
+        match msg {
+            Msg::Request { .. } | Msg::CancelQuery { .. } => MessageClass::Probe,
+            Msg::Ack | Msg::CancelRefused | Msg::CancelAccepted => MessageClass::Reply,
+            Msg::Kill => MessageClass::Decide,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -412,6 +423,60 @@ mod tests {
         outcome.validate_implicit().unwrap();
         assert!(outcome.last_adversarial_wake > 0.0);
         assert!(outcome.time_since_last_spontaneous_wake() <= outcome.time);
+    }
+
+    #[test]
+    fn survives_every_adversary_tier() {
+        use clique_async::{
+            Adversary, MessageClass, PartitionAdversary, RushingAdversary, TargetedSlowdown,
+        };
+        // Correctness is deterministic for this algorithm: exactly one
+        // leader under EVERY adversary, including adaptive ones.
+        let adversaries: Vec<fn() -> Box<dyn Adversary>> = vec![
+            || Box::new(RushingAdversary::new(MessageClass::Probe)),
+            || Box::new(RushingAdversary::new(MessageClass::Reply)),
+            || Box::new(TargetedSlowdown::new(0.02)),
+            || Box::new(PartitionAdversary::new(0.05)),
+        ];
+        for make in &adversaries {
+            for seed in 0..4 {
+                let outcome = AsyncSimBuilder::new(24)
+                    .seed(seed)
+                    .wake(AsyncWakeSchedule::simultaneous(24))
+                    .adversary(make())
+                    .build(Node::new)
+                    .unwrap()
+                    .run()
+                    .unwrap();
+                assert_eq!(outcome.halt, AsyncHaltReason::QueueDrained);
+                outcome
+                    .validate_implicit()
+                    .unwrap_or_else(|v| panic!("{}: {v:?}", make().name()));
+            }
+        }
+    }
+
+    #[test]
+    fn message_classes_cover_the_protocol() {
+        use clique_async::{AsyncNode as _, MessageClass};
+        assert_eq!(
+            Node::classify(&Msg::Request {
+                id: Id(1),
+                level: 2
+            }),
+            MessageClass::Probe
+        );
+        assert_eq!(
+            Node::classify(&Msg::CancelQuery {
+                challenger_level: 1,
+                challenger_id: Id(2)
+            }),
+            MessageClass::Probe
+        );
+        for reply in [Msg::Ack, Msg::CancelRefused, Msg::CancelAccepted] {
+            assert_eq!(Node::classify(&reply), MessageClass::Reply);
+        }
+        assert_eq!(Node::classify(&Msg::Kill), MessageClass::Decide);
     }
 
     #[test]

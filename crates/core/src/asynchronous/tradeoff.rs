@@ -46,7 +46,7 @@
 
 use std::collections::VecDeque;
 
-use clique_async::{AsyncContext, AsyncNode, Received};
+use clique_async::{AsyncContext, AsyncNode, MessageClass, Received};
 use clique_model::ids::rank_universe;
 use clique_model::ports::Port;
 use clique_model::rng::coin;
@@ -346,6 +346,20 @@ impl AsyncNode for Node {
     fn decision(&self) -> Decision {
         self.decision
     }
+
+    /// Algorithm-visible classes for adaptive adversaries: wake-up pings,
+    /// compete/consult probes, referee verdicts and consult replies, and
+    /// the leader's broadcast.
+    fn classify(msg: &Msg) -> MessageClass {
+        match msg {
+            Msg::WakeUp => MessageClass::WakeUp,
+            Msg::Compete(_) | Msg::Confirm => MessageClass::Probe,
+            Msg::YouWin | Msg::YouLose | Msg::ConfirmLeader | Msg::ConfirmDropped => {
+                MessageClass::Reply
+            }
+            Msg::Elected => MessageClass::Decide,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -479,6 +493,60 @@ mod tests {
                 continue;
             }
         }
+    }
+
+    #[test]
+    fn survives_every_adversary_tier() {
+        use clique_async::{Adversary, PartitionAdversary, RushingAdversary, TargetedSlowdown};
+        // The Theorem 5.1 guarantees are claimed for *every* adversary;
+        // exercise one per capability tier beyond the oblivious defaults.
+        let adversaries: Vec<fn() -> Box<dyn Adversary>> = vec![
+            || Box::new(RushingAdversary::new(MessageClass::WakeUp)),
+            || Box::new(RushingAdversary::new(MessageClass::Reply)),
+            || Box::new(TargetedSlowdown::new(0.05)),
+            || Box::new(PartitionAdversary::new(0.1)),
+        ];
+        for make in &adversaries {
+            let mut ok = 0;
+            let trials = 8;
+            for seed in 0..trials {
+                let outcome = AsyncSimBuilder::new(96)
+                    .seed(seed)
+                    .wake(AsyncWakeSchedule::single(NodeIndex(1)))
+                    .adversary(make())
+                    .build(|_, _| Node::new(Config::new(3)))
+                    .unwrap()
+                    .run()
+                    .unwrap();
+                assert_eq!(outcome.halt, AsyncHaltReason::QueueDrained);
+                assert!(outcome.time.is_finite());
+                if outcome.validate_implicit().is_ok() {
+                    ok += 1;
+                }
+            }
+            assert!(
+                ok >= trials - 1,
+                "{}: only {ok}/{trials} runs elected uniquely",
+                make().name()
+            );
+        }
+    }
+
+    #[test]
+    fn message_classes_cover_the_protocol() {
+        use clique_async::AsyncNode as _;
+        assert_eq!(Node::classify(&Msg::WakeUp), MessageClass::WakeUp);
+        assert_eq!(Node::classify(&Msg::Compete(7)), MessageClass::Probe);
+        assert_eq!(Node::classify(&Msg::Confirm), MessageClass::Probe);
+        for reply in [
+            Msg::YouWin,
+            Msg::YouLose,
+            Msg::ConfirmLeader,
+            Msg::ConfirmDropped,
+        ] {
+            assert_eq!(Node::classify(&reply), MessageClass::Reply);
+        }
+        assert_eq!(Node::classify(&Msg::Elected), MessageClass::Decide);
     }
 
     #[test]

@@ -50,6 +50,15 @@ pub enum ModelError {
         /// The duplicated identifier value.
         id: u64,
     },
+    /// A delay strategy or adversary returned a delay outside `(0, 1]`
+    /// (including `NaN` or an infinity). Checked in *all* build profiles:
+    /// a non-finite delay would poison the event queue's time ordering.
+    InvalidDelay {
+        /// The offending adversary's name.
+        adversary: String,
+        /// The offending delay, pre-formatted (`f64` is not `Eq`).
+        delay: String,
+    },
 }
 
 impl std::fmt::Display for ModelError {
@@ -77,6 +86,10 @@ impl std::fmt::Display for ModelError {
                 write!(f, "invalid resolution for {node} port {port}: {reason}")
             }
             ModelError::DuplicateId { id } => write!(f, "duplicate ID {id} in assignment"),
+            ModelError::InvalidDelay { adversary, delay } => write!(
+                f,
+                "adversary {adversary} returned delay {delay}, outside (0, 1]"
+            ),
         }
     }
 }
@@ -96,6 +109,14 @@ mod tests {
         );
         let e = ModelError::DuplicateId { id: 9 };
         assert_eq!(e.to_string(), "duplicate ID 9 in assignment");
+        let e = ModelError::InvalidDelay {
+            adversary: "hostile".into(),
+            delay: "NaN".into(),
+        };
+        assert_eq!(
+            e.to_string(),
+            "adversary hostile returned delay NaN, outside (0, 1]"
+        );
     }
 
     #[test]

@@ -170,6 +170,74 @@ fn golden_fingerprint_two_round_adversarial_seed0() {
     }
 }
 
+/// Golden fingerprints for the *asynchronous* engine: both async
+/// algorithms at `seed = 0` under the default adversary
+/// (`Oblivious(UniformDelay::full())`), pinning `(time_bits, messages,
+/// leader)` at two scales. Anything that shifts the delay draw schedule,
+/// the adversary plumbing, the ID stream, or the resolver stream moves
+/// these.
+///
+/// Async goldens are **adversary-scoped**: they pin the default oblivious
+/// uniform adversary only (other adversaries are covered by the
+/// `adversary_suite` invariants and the `RecordedSchedule` replay test).
+/// Re-record procedure: as for
+/// [`golden_fingerprint_improved_tradeoff_seed0`], printing
+/// `(time.to_bits(), stats.total(), unique_leader())`.
+///
+/// History: recorded after `UniformDelay::full()` was fixed to sample the
+/// documented open interval `(0, 1]` — it previously clipped the lower end
+/// to 0.01, silently flooring every async trial's delays, and drew through
+/// `gen_range` instead of `1 − gen::<f64>()`. That fix changed every
+/// default-delay async execution, so these constants deliberately pin the
+/// *corrected* schedule (there were no async goldens before it).
+#[test]
+fn golden_fingerprint_async_seed0() {
+    for (n, golden_time_bits, golden_msgs, golden_leader) in [
+        (64usize, 4616551870472006621u64, 2013u64, 15usize),
+        (256, 4618253587610216838, 14799, 70),
+    ] {
+        let o = AsyncSimBuilder::new(n)
+            .seed(0)
+            .wake(AsyncWakeSchedule::single(NodeIndex(0)))
+            .build(|_, _| a_tr::Node::new(a_tr::Config::new(2)))
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(
+            (o.time.to_bits(), o.stats.total(), o.unique_leader()),
+            (
+                golden_time_bits,
+                golden_msgs,
+                Some(NodeIndex(golden_leader))
+            ),
+            "async tradeoff golden drifted at n = {n} (time = {})",
+            o.time
+        );
+    }
+    for (n, golden_time_bits, golden_msgs, golden_leader) in [
+        (64usize, 4625275065130365182u64, 544u64, 51usize),
+        (256, 4626122797709239310, 2400, 26),
+    ] {
+        let o = AsyncSimBuilder::new(n)
+            .seed(0)
+            .wake(AsyncWakeSchedule::simultaneous(n))
+            .build(a_ag::Node::new)
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(
+            (o.time.to_bits(), o.stats.total(), o.unique_leader()),
+            (
+                golden_time_bits,
+                golden_msgs,
+                Some(NodeIndex(golden_leader))
+            ),
+            "async Afek–Gafni golden drifted at n = {n} (time = {})",
+            o.time
+        );
+    }
+}
+
 #[test]
 fn seed_isolation_between_components() {
     // Changing only the wake schedule must not change the ID assignment
