@@ -8,7 +8,7 @@
 //! silently splitting a row.
 
 use std::fs::File;
-use std::io::{self, BufWriter, Write};
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::path::Path;
 
 /// Writes rows of simple values into a CSV file.
@@ -73,6 +73,51 @@ impl CsvWriter {
             .collect::<Vec<_>>()
             .join(",");
         writeln!(self.out, "{line}")
+    }
+
+    /// Opens an existing CSV for appending, after validating that its
+    /// header row is exactly the one [`CsvWriter::create`] would write for
+    /// `headers` — resuming into a file with a different shape is an
+    /// error, not silent corruption.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors; returns [`io::ErrorKind::InvalidData`] if
+    /// the existing header row does not match `headers`.
+    pub fn append<P: AsRef<Path>>(path: P, headers: &[&str]) -> io::Result<CsvWriter> {
+        let expected = headers
+            .iter()
+            .map(|c| escape(c))
+            .collect::<Vec<_>>()
+            .join(",");
+        let mut first_line = String::new();
+        BufReader::new(File::open(&path)?).read_line(&mut first_line)?;
+        if first_line.trim_end_matches(['\r', '\n']) != expected {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "existing header {:?} does not match expected {expected:?}",
+                    first_line.trim_end_matches(['\r', '\n'])
+                ),
+            ));
+        }
+        let file = std::fs::OpenOptions::new().append(true).open(path)?;
+        Ok(CsvWriter {
+            out: BufWriter::new(file),
+            columns: headers.len(),
+        })
+    }
+
+    /// Flushes buffered rows to disk without closing the writer, returning
+    /// the durable byte length of the file — the value incremental
+    /// checkpoints record as their resume offset.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from flushing or from querying the length.
+    pub fn flush(&mut self) -> io::Result<u64> {
+        self.out.flush()?;
+        Ok(self.out.get_ref().metadata()?.len())
     }
 
     /// Flushes and closes the file.
@@ -181,6 +226,37 @@ mod tests {
         let mut w = CsvWriter::create(&path, &["a", "b"]).unwrap();
         let err = w.write_row(&["only"]).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn append_continues_an_existing_file() {
+        let path = tmp("append.csv");
+        let mut w = CsvWriter::create(&path, &["n", "msgs"]).unwrap();
+        w.write_row(&["16", "240"]).unwrap();
+        let durable = w.flush().unwrap();
+        assert_eq!(durable, "n,msgs\n16,240\n".len() as u64);
+        w.finish().unwrap();
+
+        let mut w = CsvWriter::append(&path, &["n", "msgs"]).unwrap();
+        w.write_row(&["32", "992"]).unwrap();
+        let durable = w.flush().unwrap();
+        assert_eq!(durable, "n,msgs\n16,240\n32,992\n".len() as u64);
+        w.finish().unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text, "n,msgs\n16,240\n32,992\n");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn append_rejects_mismatched_header() {
+        let path = tmp("append-mismatch.csv");
+        CsvWriter::create(&path, &["n", "msgs"])
+            .unwrap()
+            .finish()
+            .unwrap();
+        let err = CsvWriter::append(&path, &["n", "rounds"]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
         std::fs::remove_file(path).ok();
     }
 

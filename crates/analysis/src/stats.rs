@@ -185,6 +185,35 @@ mod tests {
     }
 
     #[test]
+    fn quantile_boundaries_and_interior() {
+        let sample = [4.0, 1.0, 3.0, 2.0];
+        assert_eq!(quantile(&sample, 0.0), Some(1.0));
+        assert_eq!(quantile(&sample, 1.0), Some(4.0));
+        assert_eq!(quantile(&sample, 0.5), Some(2.5));
+        // Type-7 interpolation at an interior, non-midpoint q.
+        let q25 = quantile(&sample, 0.25).unwrap();
+        assert!((q25 - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_rejects_out_of_range_and_non_finite_q() {
+        // Regression guard: q outside [0, 1] once indexed `sorted` out of
+        // bounds (e.g. q = 1.1 on a 4-element sample computes hi = 4).
+        let sample = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&sample, 1.1), None);
+        assert_eq!(quantile(&sample, -0.1), None);
+        assert_eq!(quantile(&sample, f64::NAN), None);
+        assert_eq!(quantile(&sample, f64::INFINITY), None);
+        assert_eq!(quantile(&sample, f64::NEG_INFINITY), None);
+        // Next-representable values outside the closed interval.
+        assert_eq!(quantile(&sample, 1.0 + f64::EPSILON), None);
+        assert_eq!(quantile(&sample, -f64::MIN_POSITIVE), None);
+        // Degenerate samples stay rejected whatever q is.
+        assert_eq!(quantile(&[], 0.5), None);
+        assert_eq!(quantile(&[1.0, f64::NAN], 0.5), None);
+    }
+
+    #[test]
     fn success_rate_edges() {
         assert_eq!(success_rate(&[]), 0.0);
         assert_eq!(success_rate(&[true]), 1.0);

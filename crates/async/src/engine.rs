@@ -154,7 +154,9 @@ impl<M> Ord for Event<M> {
 pub struct AsyncArena {
     ports: Option<PortMap>,
     fifo_front: FifoFloors,
-    buffers: Option<Box<dyn Any>>,
+    // `+ Send` keeps the whole arena `Send`, so sweep worker threads can
+    // own recycled arenas (message types are `Send` by trait bound).
+    buffers: Option<Box<dyn Any + Send>>,
 }
 
 impl AsyncArena {
@@ -773,6 +775,14 @@ mod tests {
     use super::*;
     use crate::adversary::delay::{BimodalDelay, ConstDelay};
     use crate::node::Received;
+
+    #[test]
+    fn arena_is_send() {
+        // Sweep workers own recycled arenas; if a field regresses to a
+        // non-Send type this fails to compile, not at runtime.
+        fn assert_send<T: Send>() {}
+        assert_send::<AsyncArena>();
+    }
 
     /// Flood: on wake, send over every port once; elect the max ID after
     /// having heard from everyone (counting distinct ports).

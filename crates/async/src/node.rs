@@ -100,7 +100,11 @@ impl<'a, M> AsyncContext<'a, M> {
 /// machine per node.
 pub trait AsyncNode {
     /// Payload type of this algorithm's messages.
-    type Message;
+    ///
+    /// `Send` so that a recycled [`AsyncArena`](crate::AsyncArena) (which
+    /// retains the event queue between trials) can migrate between sweep
+    /// worker threads; message payloads are plain data in every algorithm.
+    type Message: Send;
 
     /// Called exactly once when the node wakes: either the adversary woke it
     /// (at its scheduled time) or its first message arrived (in which case

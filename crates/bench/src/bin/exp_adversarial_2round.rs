@@ -34,7 +34,6 @@ fn measure(
 fn main() {
     let ns = sweep(&[256usize, 1024, 4096, 16384], &[256, 1024]);
     let seed_list = seeds(if le_bench::quick() { 10 } else { 30 });
-    let mut wake_rng = rng_from_seed(0xA11CE);
 
     let mut runner = SweepRunner::new(
         "exp_adversarial_2round",
@@ -48,11 +47,67 @@ fn main() {
             "lb_thm42",
         ],
     );
-    let mut arena = SyncArena::new();
 
-    let mut scale_points: Vec<(f64, f64)> = Vec::new();
+    // One task per (n, ε, |wake set|). The adversarial wake set is drawn
+    // from a per-trial stream (`seed ^ 0xA11CE`) instead of one RNG shared
+    // across cells — sharing would couple a cell's draws to how many cells
+    // ran before it, breaking thread-count and resume invariance.
+    let mut handles = Vec::new();
     for &n in &ns {
         let sqrt_n = (n as f64).sqrt() as usize;
+        for &eps in &[0.25f64, 0.0625] {
+            for &wake_size in &[1usize, sqrt_n, n] {
+                let seed_list = seed_list.clone();
+                handles.push(
+                    runner.task(format!("n={n} eps={eps} wake={wake_size}"), move |ws| {
+                        let runs = ws.cell(
+                            format!("n={n} eps={eps} wake={wake_size}"),
+                            &seed_list,
+                            |s, arenas| {
+                                let wake = if wake_size == n {
+                                    WakeSchedule::simultaneous(n)
+                                } else {
+                                    let mut wake_rng = rng_from_seed(s ^ 0xA11CE);
+                                    WakeSchedule::random_subset(n, wake_size, &mut wake_rng)
+                                };
+                                measure(n, eps, wake, s, &mut arenas.sync)
+                            },
+                        );
+                        let msgs =
+                            Summary::from_counts(&runs.iter().map(|r| r.0).collect::<Vec<_>>())
+                                .expect("non-empty sample");
+                        let ok = success_rate(&runs.iter().map(|r| r.1).collect::<Vec<_>>());
+                        let guarantee = 1.0 - eps - 1.0 / n as f64;
+                        ws.emit(&[
+                            n.to_string(),
+                            eps.to_string(),
+                            wake_size.to_string(),
+                            msgs.mean.to_string(),
+                            ok.to_string(),
+                            guarantee.to_string(),
+                            formulas::thm42_message_lower_bound(n).to_string(),
+                        ]);
+                        let row = vec![
+                            format!("{eps}"),
+                            wake_size.to_string(),
+                            fmt_count(msgs.mean),
+                            format!("{:.0}%", ok * 100.0),
+                            format!("{:.0}%", guarantee * 100.0),
+                            fmt_count(formulas::thm42_message_lower_bound(n)),
+                        ];
+                        let scale_point =
+                            (eps == 0.0625 && wake_size == n).then_some((n as f64, msgs.mean));
+                        (row, scale_point)
+                    }),
+                );
+            }
+        }
+    }
+
+    let mut handles = handles.into_iter();
+    let mut scale_points: Vec<(f64, f64)> = Vec::new();
+    let mut any_restored = false;
+    for &n in &ns {
         let mut table = Table::new(vec![
             "ε",
             "|wake set|",
@@ -65,53 +120,32 @@ fn main() {
             "2-round algorithm under adversarial wake-up, n = {n} ({} seeds)",
             seed_list.len()
         ));
-        for &eps in &[0.25f64, 0.0625] {
-            for &wake_size in &[1usize, sqrt_n, n] {
-                let runs = runner.cell(
-                    format!("n={n} eps={eps} wake={wake_size}"),
-                    &seed_list,
-                    |s| {
-                        let wake = if wake_size == n {
-                            WakeSchedule::simultaneous(n)
-                        } else {
-                            WakeSchedule::random_subset(n, wake_size, &mut wake_rng)
-                        };
-                        measure(n, eps, wake, s, &mut arena)
-                    },
-                );
-                let msgs =
-                    Summary::from_counts(&runs.iter().map(|r| r.0).collect::<Vec<_>>()).unwrap();
-                let ok = success_rate(&runs.iter().map(|r| r.1).collect::<Vec<_>>());
-                let guarantee = 1.0 - eps - 1.0 / n as f64;
-                table.add_row(vec![
-                    format!("{eps}"),
-                    wake_size.to_string(),
-                    fmt_count(msgs.mean),
-                    format!("{:.0}%", ok * 100.0),
-                    format!("{:.0}%", guarantee * 100.0),
-                    fmt_count(formulas::thm42_message_lower_bound(n)),
-                ]);
-                runner.record_resident_bytes(arena.resident_bytes());
-                runner.emit(&[
-                    n.to_string(),
-                    eps.to_string(),
-                    wake_size.to_string(),
-                    msgs.mean.to_string(),
-                    ok.to_string(),
-                    guarantee.to_string(),
-                    formulas::thm42_message_lower_bound(n).to_string(),
-                ]);
-                if eps == 0.0625 && wake_size == n {
-                    scale_points.push((n as f64, msgs.mean));
+        let mut restored = 0;
+        for _ in 0..6 {
+            match runner.wait(handles.next().expect("one handle per row")) {
+                Some((row, scale_point)) => {
+                    table.add_row(row);
+                    scale_points.extend(scale_point);
                 }
+                None => restored += 1,
             }
         }
         println!("{table}");
+        if restored > 0 {
+            any_restored = true;
+            println!("({restored} row(s) restored from a checkpointed run; see the CSV)");
+        }
     }
 
-    let (xs, ys): (Vec<f64>, Vec<f64>) = scale_points.iter().copied().unzip();
-    if let Some(fit) = fit_power_law(&xs, &ys) {
-        println!("Message scaling at full wake-up: {fit} — Theorems 4.1/4.2 predict exponent 3/2");
+    if any_restored {
+        println!("(scaling fit skipped — some points restored from a checkpointed run)");
+    } else {
+        let (xs, ys): (Vec<f64>, Vec<f64>) = scale_points.iter().copied().unzip();
+        if let Some(fit) = fit_power_law(&xs, &ys) {
+            println!(
+                "Message scaling at full wake-up: {fit} — Theorems 4.1/4.2 predict exponent 3/2"
+            );
+        }
     }
     runner.finish();
 }

@@ -18,7 +18,7 @@
 //! compared to the oblivious baseline, but never past it.
 
 use clique_async::{
-    Adversary, AsyncArena, AsyncSimBuilder, AsyncWakeSchedule, ConstDelay, MessageClass, Oblivious,
+    Adversary, AsyncSimBuilder, AsyncWakeSchedule, ConstDelay, MessageClass, Oblivious,
     PartitionAdversary, RushingAdversary, TargetedSlowdown, UniformDelay,
 };
 use clique_model::NodeIndex;
@@ -30,7 +30,7 @@ use le_bounds::formulas;
 use leader_election::asynchronous::{afek_gafni, tradeoff};
 
 /// A per-trial adversary factory (adaptive state must never leak across
-/// seeds).
+/// seeds). A plain `fn` pointer, so tasks can carry it across threads.
 type MakeAdversary = fn() -> Box<dyn Adversary>;
 
 /// The adversary grid, one factory per capability-tier representative.
@@ -87,8 +87,102 @@ fn main() {
             "success_rate",
         ],
     );
-    let mut arena = AsyncArena::new();
 
+    let grid = adversary_grid();
+    let mut handles = Vec::new();
+    for &n in &ns {
+        for &(adv_name, make) in &grid {
+            for algo in ["tradeoff(k=2)", "afek_gafni"] {
+                let seed_list = seed_list.clone();
+                handles.push(runner.task(
+                    format!("algo={algo} n={n} adversary={adv_name}"),
+                    move |ws| {
+                        let runs = ws.cell(
+                            format!("algo={algo} n={n} adversary={adv_name}"),
+                            &seed_list,
+                            |seed, arenas| {
+                                let arena = &mut arenas.asynch;
+                                let builder = AsyncSimBuilder::new(n).seed(seed).adversary(make());
+                                let outcome = match algo {
+                                    "tradeoff(k=2)" => builder
+                                        .wake(AsyncWakeSchedule::single(NodeIndex(0)))
+                                        .build_in(arena, |_, _| {
+                                            tradeoff::Node::new(tradeoff::Config::new(k))
+                                        })
+                                        .expect("valid configuration")
+                                        .run_reusing(arena)
+                                        .expect("in-range adversary delays"),
+                                    _ => builder
+                                        .wake(AsyncWakeSchedule::simultaneous(n))
+                                        .build_in(arena, afek_gafni::Node::new)
+                                        .expect("valid configuration")
+                                        .run_reusing(arena)
+                                        .expect("in-range adversary delays"),
+                                };
+                                CellOutcome {
+                                    msgs: outcome.stats.total(),
+                                    time: outcome.time,
+                                    ok: outcome.validate_implicit().is_ok(),
+                                }
+                            },
+                        );
+                        let capability = make().capability().to_string();
+                        let msgs =
+                            Summary::from_counts(&runs.iter().map(|r| r.msgs).collect::<Vec<_>>())
+                                .expect("non-empty sample");
+                        let ok = success_rate(&runs.iter().map(|r| r.ok).collect::<Vec<_>>());
+                        // The time assertion covers successful elections; the rare
+                        // whp failure modes of Algorithm 2 (no candidate, disjoint
+                        // referee sets) are counted by the success column instead.
+                        let time_max = runs
+                            .iter()
+                            .filter(|r| r.ok)
+                            .map(|r| r.time)
+                            .fold(0.0f64, f64::max);
+                        let bound = match algo {
+                            "tradeoff(k=2)" => {
+                                formulas::thm51_time_upper_bound(k) + tradeoff_slack(n)
+                            }
+                            _ => 6.0 * (n as f64).log2() + 8.0,
+                        };
+                        assert!(
+                            time_max <= bound,
+                            "{algo} under {adv_name} at n = {n}: measured {time_max:.2} \
+                             exceeds the theory bound {bound:.2} — an adversary broke \
+                             the paper's time guarantee"
+                        );
+                        assert!(
+                            ok >= 0.75,
+                            "{algo} under {adv_name} at n = {n}: success rate {ok} \
+                             below the whp envelope"
+                        );
+                        ws.emit(&[
+                            algo.to_string(),
+                            n.to_string(),
+                            make().name(),
+                            capability.clone(),
+                            time_max.to_string(),
+                            bound.to_string(),
+                            msgs.mean.to_string(),
+                            ok.to_string(),
+                        ]);
+                        vec![
+                            algo.into(),
+                            adv_name.into(),
+                            capability,
+                            format!("{time_max:.2}"),
+                            format!("{bound:.1}"),
+                            fmt_count(msgs.mean),
+                            format!("{:.0}%", ok * 100.0),
+                        ]
+                    },
+                ));
+            }
+        }
+    }
+
+    let rows_per_n = grid.len() * 2;
+    let mut handles = handles.into_iter();
     for &n in &ns {
         let mut table = Table::new(vec![
             "algorithm",
@@ -103,86 +197,19 @@ fn main() {
             "Adversary stress, n = {n} ({} seeds)",
             seed_list.len()
         ));
-        for (adv_name, make) in adversary_grid() {
-            for algo in ["tradeoff(k=2)", "afek_gafni"] {
-                let runs = runner.cell(
-                    format!("algo={algo} n={n} adversary={adv_name}"),
-                    &seed_list,
-                    |seed| {
-                        let builder = AsyncSimBuilder::new(n).seed(seed).adversary(make());
-                        let outcome = match algo {
-                            "tradeoff(k=2)" => builder
-                                .wake(AsyncWakeSchedule::single(NodeIndex(0)))
-                                .build_in(&mut arena, |_, _| {
-                                    tradeoff::Node::new(tradeoff::Config::new(k))
-                                })
-                                .expect("valid configuration")
-                                .run_reusing(&mut arena)
-                                .expect("in-range adversary delays"),
-                            _ => builder
-                                .wake(AsyncWakeSchedule::simultaneous(n))
-                                .build_in(&mut arena, afek_gafni::Node::new)
-                                .expect("valid configuration")
-                                .run_reusing(&mut arena)
-                                .expect("in-range adversary delays"),
-                        };
-                        CellOutcome {
-                            msgs: outcome.stats.total(),
-                            time: outcome.time,
-                            ok: outcome.validate_implicit().is_ok(),
-                        }
-                    },
-                );
-                let capability = make().capability().to_string();
-                let msgs =
-                    Summary::from_counts(&runs.iter().map(|r| r.msgs).collect::<Vec<_>>()).unwrap();
-                let ok = success_rate(&runs.iter().map(|r| r.ok).collect::<Vec<_>>());
-                // The time assertion covers successful elections; the rare
-                // whp failure modes of Algorithm 2 (no candidate, disjoint
-                // referee sets) are counted by the success column instead.
-                let time_max = runs
-                    .iter()
-                    .filter(|r| r.ok)
-                    .map(|r| r.time)
-                    .fold(0.0f64, f64::max);
-                let bound = match algo {
-                    "tradeoff(k=2)" => formulas::thm51_time_upper_bound(k) + tradeoff_slack(n),
-                    _ => 6.0 * (n as f64).log2() + 8.0,
-                };
-                assert!(
-                    time_max <= bound,
-                    "{algo} under {adv_name} at n = {n}: measured {time_max:.2} \
-                     exceeds the theory bound {bound:.2} — an adversary broke \
-                     the paper's time guarantee"
-                );
-                assert!(
-                    ok >= 0.75,
-                    "{algo} under {adv_name} at n = {n}: success rate {ok} \
-                     below the whp envelope"
-                );
-                table.add_row(vec![
-                    algo.into(),
-                    adv_name.into(),
-                    capability.clone(),
-                    format!("{time_max:.2}"),
-                    format!("{bound:.1}"),
-                    fmt_count(msgs.mean),
-                    format!("{:.0}%", ok * 100.0),
-                ]);
-                runner.record_resident_bytes(arena.resident_bytes());
-                runner.emit(&[
-                    algo.to_string(),
-                    n.to_string(),
-                    make().name(),
-                    capability,
-                    time_max.to_string(),
-                    bound.to_string(),
-                    msgs.mean.to_string(),
-                    ok.to_string(),
-                ]);
+        let mut restored = 0;
+        for _ in 0..rows_per_n {
+            match runner.wait(handles.next().expect("one handle per row")) {
+                Some(row) => {
+                    table.add_row(row);
+                }
+                None => restored += 1,
             }
         }
         println!("{table}");
+        if restored > 0 {
+            println!("({restored} row(s) restored from a checkpointed run; see the CSV)");
+        }
     }
     println!(
         "All cells within their theory bounds (Theorem 5.1: k + 8 + \

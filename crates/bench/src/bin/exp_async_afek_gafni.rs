@@ -54,7 +54,49 @@ fn main() {
             "log2_n",
         ],
     );
-    let mut arena = AsyncArena::new();
+
+    let mut handles = Vec::new();
+    for &n in &ns {
+        for delay_name in ["uniform(0,1]", "const(1)"] {
+            let seed_list = seed_list.clone();
+            handles.push(runner.task(format!("n={n} delay={delay_name}"), move |ws| {
+                let runs = ws.cell(
+                    format!("n={n} delay={delay_name}"),
+                    &seed_list,
+                    |s, arenas| {
+                        let delays: Box<dyn DelayStrategy> = match delay_name {
+                            "uniform(0,1]" => Box::new(UniformDelay::full()),
+                            _ => Box::new(ConstDelay::max()),
+                        };
+                        measure(n, s, delays, &mut arenas.asynch)
+                    },
+                );
+                let msgs = Summary::from_counts(&runs.iter().map(|r| r.0).collect::<Vec<_>>())
+                    .expect("non-empty sample");
+                let time = Summary::from_sample(&runs.iter().map(|r| r.1).collect::<Vec<_>>())
+                    .expect("non-empty sample");
+                ws.emit(&[
+                    n.to_string(),
+                    delay_name.into(),
+                    msgs.mean.to_string(),
+                    time.mean.to_string(),
+                    formulas::thm514_message_upper_bound(n).to_string(),
+                    formulas::log2(n).to_string(),
+                ]);
+                let row = vec![
+                    n.to_string(),
+                    delay_name.into(),
+                    fmt_count(msgs.mean),
+                    format!("{:.2}", time.mean),
+                    fmt_count(formulas::thm514_message_upper_bound(n)),
+                    format!("{:.1}", formulas::log2(n)),
+                ];
+                let fit_points = (delay_name == "const(1)")
+                    .then_some(((n as f64, msgs.mean), (formulas::log2(n), time.mean)));
+                (row, fit_points)
+            }));
+        }
+    }
 
     let mut table = Table::new(vec![
         "n",
@@ -71,53 +113,37 @@ fn main() {
 
     let mut msg_points = Vec::new();
     let mut time_points = Vec::new();
-    for &n in &ns {
-        for delay_name in ["uniform(0,1]", "const(1)"] {
-            let runs = runner.cell(format!("n={n} delay={delay_name}"), &seed_list, |s| {
-                let delays: Box<dyn DelayStrategy> = match delay_name {
-                    "uniform(0,1]" => Box::new(UniformDelay::full()),
-                    _ => Box::new(ConstDelay::max()),
-                };
-                measure(n, s, delays, &mut arena)
-            });
-            let msgs = Summary::from_counts(&runs.iter().map(|r| r.0).collect::<Vec<_>>()).unwrap();
-            let time = Summary::from_sample(&runs.iter().map(|r| r.1).collect::<Vec<_>>()).unwrap();
-            table.add_row(vec![
-                n.to_string(),
-                delay_name.into(),
-                fmt_count(msgs.mean),
-                format!("{:.2}", time.mean),
-                fmt_count(formulas::thm514_message_upper_bound(n)),
-                format!("{:.1}", formulas::log2(n)),
-            ]);
-            runner.record_resident_bytes(arena.resident_bytes());
-            runner.emit(&[
-                n.to_string(),
-                delay_name.into(),
-                msgs.mean.to_string(),
-                time.mean.to_string(),
-                formulas::thm514_message_upper_bound(n).to_string(),
-                formulas::log2(n).to_string(),
-            ]);
-            if delay_name == "const(1)" {
-                msg_points.push((n as f64, msgs.mean));
-                time_points.push((formulas::log2(n), time.mean));
+    let mut restored = 0;
+    for handle in handles {
+        match runner.wait(handle) {
+            Some((row, fit_points)) => {
+                table.add_row(row);
+                if let Some((msg_point, time_point)) = fit_points {
+                    msg_points.push(msg_point);
+                    time_points.push(time_point);
+                }
             }
+            None => restored += 1,
         }
     }
     println!("{table}");
-
-    let (xs, ys): (Vec<f64>, Vec<f64>) = msg_points.iter().copied().unzip();
-    if let Some(fit) = fit_power_law(&xs, &ys) {
-        println!("Message scaling: {fit} — theory predicts exponent 1 (+log factor)");
-    }
-    let (xs, ys): (Vec<f64>, Vec<f64>) = time_points.iter().copied().unzip();
-    if let Some(fit) = fit_linear(&xs, &ys) {
+    if restored > 0 {
         println!(
-            "Time vs log₂n: slope {:.2}, R² = {:.3} — theory predicts a linear \
-             relationship (O(1) time per level)",
-            fit.slope, fit.r_squared
+            "({restored} row(s) restored from a checkpointed run; see the CSV — fits skipped)"
         );
+    } else {
+        let (xs, ys): (Vec<f64>, Vec<f64>) = msg_points.iter().copied().unzip();
+        if let Some(fit) = fit_power_law(&xs, &ys) {
+            println!("Message scaling: {fit} — theory predicts exponent 1 (+log factor)");
+        }
+        let (xs, ys): (Vec<f64>, Vec<f64>) = time_points.iter().copied().unzip();
+        if let Some(fit) = fit_linear(&xs, &ys) {
+            println!(
+                "Time vs log₂n: slope {:.2}, R² = {:.3} — theory predicts a linear \
+                 relationship (O(1) time per level)",
+                fit.slope, fit.r_squared
+            );
+        }
     }
     runner.finish();
 }

@@ -60,12 +60,72 @@ fn main() {
             "success_rate",
         ],
     );
-    let mut arena = AsyncArena::new();
 
+    let mut handles = Vec::new();
+    let mut rows_per_n = Vec::new();
+    for &n in &ns {
+        let mut rows = 0;
+        for &k in &ks {
+            if k > Config::max_k(n) {
+                continue;
+            }
+            for delay_name in ["uniform(0,1]", "const(1)"] {
+                let seed_list = seed_list.clone();
+                handles.push(
+                    runner.task(format!("n={n} k={k} delay={delay_name}"), move |ws| {
+                        let runs = ws.cell(
+                            format!("n={n} k={k} delay={delay_name}"),
+                            &seed_list,
+                            |s, arenas| {
+                                let delays: Box<dyn DelayStrategy> = match delay_name {
+                                    "uniform(0,1]" => Box::new(UniformDelay::full()),
+                                    _ => Box::new(ConstDelay::max()),
+                                };
+                                measure(n, k, s, delays, &mut arenas.asynch)
+                            },
+                        );
+                        let msgs =
+                            Summary::from_counts(&runs.iter().map(|r| r.0).collect::<Vec<_>>())
+                                .expect("non-empty sample");
+                        let time_max = runs.iter().map(|r| r.1).fold(0.0f64, f64::max);
+                        let ok = success_rate(&runs.iter().map(|r| r.2).collect::<Vec<_>>());
+                        let time_bound = formulas::thm51_time_upper_bound(k);
+                        let msg_bound = formulas::thm51_message_upper_bound(n, k);
+                        ws.emit(&[
+                            n.to_string(),
+                            k.to_string(),
+                            delay_name.into(),
+                            msgs.mean.to_string(),
+                            time_max.to_string(),
+                            time_bound.to_string(),
+                            msg_bound.to_string(),
+                            ok.to_string(),
+                        ]);
+                        let row = vec![
+                            k.to_string(),
+                            delay_name.into(),
+                            fmt_count(msgs.mean),
+                            format!("{time_max:.2}"),
+                            format!("{time_bound:.0}"),
+                            fmt_count(msg_bound),
+                            format!("{:.0}%", ok * 100.0),
+                        ];
+                        let fit_point =
+                            (delay_name == "uniform(0,1]").then_some((k, n as f64, msgs.mean));
+                        (row, fit_point)
+                    }),
+                );
+                rows += 1;
+            }
+        }
+        rows_per_n.push(rows);
+    }
+
+    let mut handles = handles.into_iter();
     let mut per_k_points: std::collections::BTreeMap<usize, Vec<(f64, f64)>> =
         std::collections::BTreeMap::new();
-
-    for &n in &ns {
+    let mut any_restored = false;
+    for (&n, &rows) in ns.iter().zip(&rows_per_n) {
         let mut table = Table::new(vec![
             "k",
             "delay adversary",
@@ -79,67 +139,40 @@ fn main() {
             "Asynchronous tradeoff (Theorem 5.1), n = {n} ({} seeds)",
             seed_list.len()
         ));
-        for &k in &ks {
-            if k > Config::max_k(n) {
-                continue;
-            }
-            for delay_name in ["uniform(0,1]", "const(1)"] {
-                let runs =
-                    runner.cell(format!("n={n} k={k} delay={delay_name}"), &seed_list, |s| {
-                        let delays: Box<dyn DelayStrategy> = match delay_name {
-                            "uniform(0,1]" => Box::new(UniformDelay::full()),
-                            _ => Box::new(ConstDelay::max()),
-                        };
-                        measure(n, k, s, delays, &mut arena)
-                    });
-                let msgs =
-                    Summary::from_counts(&runs.iter().map(|r| r.0).collect::<Vec<_>>()).unwrap();
-                let time_max = runs.iter().map(|r| r.1).fold(0.0f64, f64::max);
-                let ok = success_rate(&runs.iter().map(|r| r.2).collect::<Vec<_>>());
-                let time_bound = formulas::thm51_time_upper_bound(k);
-                let msg_bound = formulas::thm51_message_upper_bound(n, k);
-                table.add_row(vec![
-                    k.to_string(),
-                    delay_name.into(),
-                    fmt_count(msgs.mean),
-                    format!("{time_max:.2}"),
-                    format!("{time_bound:.0}"),
-                    fmt_count(msg_bound),
-                    format!("{:.0}%", ok * 100.0),
-                ]);
-                runner.record_resident_bytes(arena.resident_bytes());
-                runner.emit(&[
-                    n.to_string(),
-                    k.to_string(),
-                    delay_name.into(),
-                    msgs.mean.to_string(),
-                    time_max.to_string(),
-                    time_bound.to_string(),
-                    msg_bound.to_string(),
-                    ok.to_string(),
-                ]);
-                if delay_name == "uniform(0,1]" {
-                    per_k_points
-                        .entry(k)
-                        .or_default()
-                        .push((n as f64, msgs.mean));
+        let mut restored = 0;
+        for _ in 0..rows {
+            match runner.wait(handles.next().expect("one handle per row")) {
+                Some((row, fit_point)) => {
+                    table.add_row(row);
+                    if let Some((k, x, y)) = fit_point {
+                        per_k_points.entry(k).or_default().push((x, y));
+                    }
                 }
+                None => restored += 1,
             }
         }
         println!("{table}");
+        if restored > 0 {
+            any_restored = true;
+            println!("({restored} row(s) restored from a checkpointed run; see the CSV)");
+        }
     }
 
-    println!("Fitted message exponents (uniform delays):");
-    for (k, points) in &per_k_points {
-        if points.len() < 2 {
-            continue;
-        }
-        let (xs, ys): (Vec<f64>, Vec<f64>) = points.iter().copied().unzip();
-        if let Some(fit) = fit_power_law(&xs, &ys) {
-            println!(
-                "  k = {k}: measured {fit} vs theory exponent {:.3}",
-                1.0 + 1.0 / *k as f64
-            );
+    if any_restored {
+        println!("(exponent fits skipped — some points restored from a checkpointed run)");
+    } else {
+        println!("Fitted message exponents (uniform delays):");
+        for (k, points) in &per_k_points {
+            if points.len() < 2 {
+                continue;
+            }
+            let (xs, ys): (Vec<f64>, Vec<f64>) = points.iter().copied().unzip();
+            if let Some(fit) = fit_power_law(&xs, &ys) {
+                println!(
+                    "  k = {k}: measured {fit} vs theory exponent {:.3}",
+                    1.0 + 1.0 / *k as f64
+                );
+            }
         }
     }
     runner.finish();

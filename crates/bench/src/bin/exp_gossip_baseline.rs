@@ -62,7 +62,46 @@ fn main() {
             "n_three_halves",
         ],
     );
-    let mut arena = SyncArena::new();
+
+    let mut handles = Vec::new();
+    for &n in &ns {
+        let seed_list = seed_list.clone();
+        handles.push(runner.task(format!("n={n}"), move |ws| {
+            let gossip = ws.cell(format!("n={n} alg=gossip"), &seed_list, |s, arenas| {
+                measure_gossip(n, s, &mut arenas.sync)
+            });
+            let two = ws.cell(format!("n={n} alg=two_round"), &seed_list, |s, arenas| {
+                measure_two_round(n, s, &mut arenas.sync)
+            });
+            let g_msgs = Summary::from_counts(&gossip.iter().map(|r| r.0).collect::<Vec<_>>())
+                .expect("non-empty");
+            let g_rounds = gossip.iter().map(|r| r.1).max().expect("non-empty");
+            let t_msgs = Summary::from_counts(&two).expect("non-empty");
+            ws.emit(&[
+                n.to_string(),
+                g_msgs.mean.to_string(),
+                g_rounds.to_string(),
+                t_msgs.mean.to_string(),
+                (n as f64 * formulas::log2(n)).to_string(),
+                (n as f64).powf(1.5).to_string(),
+            ]);
+            let row = vec![
+                n.to_string(),
+                fmt_count(g_msgs.mean),
+                g_rounds.to_string(),
+                fmt_count(t_msgs.mean),
+                fmt_count(n as f64 * formulas::log2(n)),
+                fmt_count((n as f64).powf(1.5)),
+                if g_msgs.mean < t_msgs.mean {
+                    "yes"
+                } else {
+                    "not yet"
+                }
+                .into(),
+            ];
+            (row, (n as f64, g_msgs.mean))
+        }));
+    }
 
     let mut table = Table::new(vec![
         "n",
@@ -80,49 +119,30 @@ fn main() {
     ));
 
     let mut points = Vec::new();
-    for &n in &ns {
-        let gossip = runner.cell(format!("n={n} alg=gossip"), &seed_list, |s| {
-            measure_gossip(n, s, &mut arena)
-        });
-        let two = runner.cell(format!("n={n} alg=two_round"), &seed_list, |s| {
-            measure_two_round(n, s, &mut arena)
-        });
-        let g_msgs = Summary::from_counts(&gossip.iter().map(|r| r.0).collect::<Vec<_>>()).unwrap();
-        let g_rounds = gossip.iter().map(|r| r.1).max().unwrap();
-        let t_msgs = Summary::from_counts(&two).unwrap();
-        points.push((n as f64, g_msgs.mean));
-        table.add_row(vec![
-            n.to_string(),
-            fmt_count(g_msgs.mean),
-            g_rounds.to_string(),
-            fmt_count(t_msgs.mean),
-            fmt_count(n as f64 * formulas::log2(n)),
-            fmt_count((n as f64).powf(1.5)),
-            if g_msgs.mean < t_msgs.mean {
-                "yes"
-            } else {
-                "not yet"
+    let mut restored = 0;
+    for handle in handles {
+        match runner.wait(handle) {
+            Some((row, point)) => {
+                table.add_row(row);
+                points.push(point);
             }
-            .into(),
-        ]);
-        runner.record_resident_bytes(arena.resident_bytes());
-        runner.emit(&[
-            n.to_string(),
-            g_msgs.mean.to_string(),
-            g_rounds.to_string(),
-            t_msgs.mean.to_string(),
-            (n as f64 * formulas::log2(n)).to_string(),
-            (n as f64).powf(1.5).to_string(),
-        ]);
+            None => restored += 1,
+        }
     }
     println!("{table}");
-
-    let (xs, ys): (Vec<f64>, Vec<f64>) = points.iter().copied().unzip();
-    if let Some(fit) = fit_power_law(&xs, &ys) {
+    if restored > 0 {
         println!(
-            "Gossip message scaling: {fit} — quasilinear (exponent ≈ 1 plus log drift); \
-             the paper's [14] achieves O(n), one log factor less (see EXPERIMENTS.md)"
+            "({restored} row(s) restored from a checkpointed run; see the CSV — \
+             scaling fit skipped)"
         );
+    } else {
+        let (xs, ys): (Vec<f64>, Vec<f64>) = points.iter().copied().unzip();
+        if let Some(fit) = fit_power_law(&xs, &ys) {
+            println!(
+                "Gossip message scaling: {fit} — quasilinear (exponent ≈ 1 plus log drift); \
+                 the paper's [14] achieves O(n), one log factor less (see EXPERIMENTS.md)"
+            );
+        }
     }
     runner.finish();
 }

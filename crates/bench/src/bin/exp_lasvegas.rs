@@ -65,7 +65,54 @@ fn main() {
             "mc16_bound",
         ],
     );
-    let mut arena = SyncArena::new();
+
+    // One task per n (both algorithm cells), returning the table row plus
+    // the two fit points.
+    let mut handles = Vec::new();
+    for &n in &ns {
+        let seed_list = seed_list.clone();
+        handles.push(runner.task(format!("n={n}"), move |ws| {
+            let lv = ws.cell(format!("n={n} alg=las_vegas"), &seed_list, |s, arenas| {
+                measure_lv(n, s, &mut arenas.sync)
+            });
+            let mc = ws.cell(
+                format!("n={n} alg=sublinear_mc"),
+                &seed_list,
+                |s, arenas| measure_mc(n, s, &mut arenas.sync),
+            );
+            let lv_msgs = Summary::from_counts(&lv.iter().map(|r| r.0).collect::<Vec<_>>())
+                .expect("non-empty");
+            let lv_rounds_max = lv.iter().map(|r| r.1).max().expect("non-empty");
+            let mc_msgs = Summary::from_counts(&mc.iter().map(|r| r.0).collect::<Vec<_>>())
+                .expect("non-empty");
+            let mc_ok =
+                le_analysis::stats::success_rate(&mc.iter().map(|r| r.1).collect::<Vec<_>>());
+            let lv_floor = formulas::lasvegas_message_lower_bound(n);
+            assert!(
+                lv_msgs.min >= lv_floor,
+                "a Las Vegas run sent fewer than the Ω(n) floor"
+            );
+            ws.emit(&[
+                n.to_string(),
+                lv_msgs.mean.to_string(),
+                lv_rounds_max.to_string(),
+                mc_msgs.mean.to_string(),
+                mc_ok.to_string(),
+                lv_floor.to_string(),
+                formulas::mc16_message_upper_bound(n).to_string(),
+            ]);
+            let row = vec![
+                n.to_string(),
+                fmt_count(lv_msgs.mean),
+                lv_rounds_max.to_string(),
+                fmt_count(mc_msgs.mean),
+                format!("{:.0}%", mc_ok * 100.0),
+                fmt_count(lv_floor),
+                fmt_count(formulas::mc16_message_upper_bound(n)),
+            ];
+            (row, (n as f64, lv_msgs.mean), (n as f64, mc_msgs.mean))
+        }));
+    }
 
     let mut table = Table::new(vec![
         "n",
@@ -83,53 +130,32 @@ fn main() {
 
     let mut lv_points: Vec<(f64, f64)> = Vec::new();
     let mut mc_points: Vec<(f64, f64)> = Vec::new();
-    for &n in &ns {
-        let lv = runner.cell(format!("n={n} alg=las_vegas"), &seed_list, |s| {
-            measure_lv(n, s, &mut arena)
-        });
-        let mc = runner.cell(format!("n={n} alg=sublinear_mc"), &seed_list, |s| {
-            measure_mc(n, s, &mut arena)
-        });
-        let lv_msgs = Summary::from_counts(&lv.iter().map(|r| r.0).collect::<Vec<_>>()).unwrap();
-        let lv_rounds_max = lv.iter().map(|r| r.1).max().unwrap();
-        let mc_msgs = Summary::from_counts(&mc.iter().map(|r| r.0).collect::<Vec<_>>()).unwrap();
-        let mc_ok = le_analysis::stats::success_rate(&mc.iter().map(|r| r.1).collect::<Vec<_>>());
-        let lv_floor = formulas::lasvegas_message_lower_bound(n);
-        assert!(
-            lv_msgs.min >= lv_floor,
-            "a Las Vegas run sent fewer than the Ω(n) floor"
-        );
-        lv_points.push((n as f64, lv_msgs.mean));
-        mc_points.push((n as f64, mc_msgs.mean));
-        table.add_row(vec![
-            n.to_string(),
-            fmt_count(lv_msgs.mean),
-            lv_rounds_max.to_string(),
-            fmt_count(mc_msgs.mean),
-            format!("{:.0}%", mc_ok * 100.0),
-            fmt_count(lv_floor),
-            fmt_count(formulas::mc16_message_upper_bound(n)),
-        ]);
-        runner.record_resident_bytes(arena.resident_bytes());
-        runner.emit(&[
-            n.to_string(),
-            lv_msgs.mean.to_string(),
-            lv_rounds_max.to_string(),
-            mc_msgs.mean.to_string(),
-            mc_ok.to_string(),
-            lv_floor.to_string(),
-            formulas::mc16_message_upper_bound(n).to_string(),
-        ]);
+    let mut restored = 0;
+    for handle in handles {
+        match runner.wait(handle) {
+            Some((row, lv_point, mc_point)) => {
+                table.add_row(row);
+                lv_points.push(lv_point);
+                mc_points.push(mc_point);
+            }
+            None => restored += 1,
+        }
     }
     println!("{table}");
-
-    let (xs, ys): (Vec<f64>, Vec<f64>) = lv_points.iter().copied().unzip();
-    if let Some(fit) = fit_power_law(&xs, &ys) {
-        println!("Las Vegas scaling: {fit} — expected exponent → 1 (linear)");
-    }
-    let (xs, ys): (Vec<f64>, Vec<f64>) = mc_points.iter().copied().unzip();
-    if let Some(fit) = fit_power_law(&xs, &ys) {
-        println!("Monte Carlo scaling: {fit} — expected exponent → 0.5 + polylog drift");
+    if restored > 0 {
+        println!(
+            "({restored} row(s) restored from a checkpointed run; see the CSV — \
+             scaling fits skipped)"
+        );
+    } else {
+        let (xs, ys): (Vec<f64>, Vec<f64>) = lv_points.iter().copied().unzip();
+        if let Some(fit) = fit_power_law(&xs, &ys) {
+            println!("Las Vegas scaling: {fit} — expected exponent → 1 (linear)");
+        }
+        let (xs, ys): (Vec<f64>, Vec<f64>) = mc_points.iter().copied().unzip();
+        if let Some(fit) = fit_power_law(&xs, &ys) {
+            println!("Monte Carlo scaling: {fit} — expected exponent → 0.5 + polylog drift");
+        }
     }
     runner.finish();
 }

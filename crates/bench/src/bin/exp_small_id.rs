@@ -52,14 +52,56 @@ fn main() {
             "n_log_n",
         ],
     );
-    let mut arena = SyncArena::new();
 
+    let mut handles = Vec::new();
     for &n in &ns {
         let log2n = formulas::log2(n);
         // Three points on the tradeoff: sublinear time + o(n log n)
         // messages (the Theorem 3.11 escape), √n-balanced, and 1-round.
         let half_log = ((log2n / 2.0).floor() as usize).max(1);
         let ds = [half_log, (n as f64).sqrt() as usize, n];
+        for &d in &ds {
+            let seed_list = seed_list.clone();
+            handles.push(runner.task(format!("n={n} d={d}"), move |ws| {
+                let runs = ws.cell(format!("n={n} d={d} g={g}"), &seed_list, |s, arenas| {
+                    measure(n, d, g, s, &mut arenas.sync)
+                });
+                let msgs = Summary::from_counts(&runs.iter().map(|r| r.0).collect::<Vec<_>>())
+                    .expect("non-empty");
+                let rounds =
+                    Summary::from_sample(&runs.iter().map(|r| r.1 as f64).collect::<Vec<_>>())
+                        .expect("non-empty");
+                let budget_msgs = formulas::thm315_messages(n, d, g);
+                let budget_rounds = formulas::thm315_rounds(n, d);
+                assert!(msgs.max <= budget_msgs, "message budget breached");
+                assert!(rounds.max <= budget_rounds as f64, "round budget breached");
+                let nlogn = n as f64 * log2n;
+                ws.emit(&[
+                    n.to_string(),
+                    d.to_string(),
+                    g.to_string(),
+                    msgs.mean.to_string(),
+                    budget_msgs.to_string(),
+                    rounds.mean.to_string(),
+                    budget_rounds.to_string(),
+                    nlogn.to_string(),
+                ]);
+                vec![
+                    d.to_string(),
+                    fmt_count(msgs.mean),
+                    fmt_count(budget_msgs),
+                    format!("{:.1}", rounds.mean),
+                    budget_rounds.to_string(),
+                    le_bench::ratio(msgs.mean, nlogn),
+                ]
+            }));
+        }
+    }
+
+    let mut handles = handles.into_iter();
+    for &n in &ns {
+        let log2n = formulas::log2(n);
+        let half_log = ((log2n / 2.0).floor() as usize).max(1);
         let mut table = Table::new(vec![
             "d",
             "messages (mean)",
@@ -73,40 +115,19 @@ fn main() {
             n as u64 * g,
             seed_list.len()
         ));
-        for &d in &ds {
-            let runs = runner.cell(format!("n={n} d={d} g={g}"), &seed_list, |s| {
-                measure(n, d, g, s, &mut arena)
-            });
-            let msgs = Summary::from_counts(&runs.iter().map(|r| r.0).collect::<Vec<_>>())
-                .expect("non-empty");
-            let rounds = Summary::from_sample(&runs.iter().map(|r| r.1 as f64).collect::<Vec<_>>())
-                .expect("non-empty");
-            let budget_msgs = formulas::thm315_messages(n, d, g);
-            let budget_rounds = formulas::thm315_rounds(n, d);
-            assert!(msgs.max <= budget_msgs, "message budget breached");
-            assert!(rounds.max <= budget_rounds as f64, "round budget breached");
-            let nlogn = n as f64 * log2n;
-            table.add_row(vec![
-                d.to_string(),
-                fmt_count(msgs.mean),
-                fmt_count(budget_msgs),
-                format!("{:.1}", rounds.mean),
-                budget_rounds.to_string(),
-                le_bench::ratio(msgs.mean, nlogn),
-            ]);
-            runner.record_resident_bytes(arena.resident_bytes());
-            runner.emit(&[
-                n.to_string(),
-                d.to_string(),
-                g.to_string(),
-                msgs.mean.to_string(),
-                budget_msgs.to_string(),
-                rounds.mean.to_string(),
-                budget_rounds.to_string(),
-                nlogn.to_string(),
-            ]);
+        let mut restored = 0;
+        for _ in 0..3 {
+            match runner.wait(handles.next().expect("one handle per d")) {
+                Some(row) => {
+                    table.add_row(row);
+                }
+                None => restored += 1,
+            }
         }
         println!("{table}");
+        if restored > 0 {
+            println!("({restored} row(s) restored from a checkpointed run; see the CSV)");
+        }
         println!(
             "Theorem 3.11 floor for unrestricted ID spaces: Ω(n·log n) ≈ {} — \
              d = {half_log} sends a fraction of it, which a quasi-polynomial ID \

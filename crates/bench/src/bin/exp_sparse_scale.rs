@@ -34,50 +34,35 @@ struct Cell {
     successes: usize,
 }
 
-fn run_alg(
-    runner: &mut SweepRunner,
-    arena: &mut SyncArena,
-    n: usize,
-    alg: &str,
-    seed_list: &[u64],
-) -> Cell {
-    let mut rounds_max = 0;
-    let mut successes = 0;
-    let messages = runner.cell(format!("n={n} alg={alg}"), seed_list, |s| {
-        let builder = SyncSimBuilder::new(n).seed(s).backend(PortBackend::Sparse);
-        let outcome = match alg {
-            "las_vegas" => builder
-                .build_in(arena, |id, _| {
-                    las_vegas::Node::new(id, las_vegas::Config::default())
-                })
-                .expect("valid configuration")
-                .run_reusing(arena)
-                .expect("no resolver faults"),
-            "sublinear_mc" => builder
-                .build_in(arena, |_, _| {
-                    sublinear_mc::Node::new(sublinear_mc::Config::default())
-                })
-                .expect("valid configuration")
-                .run_reusing(arena)
-                .expect("no resolver faults"),
-            other => panic!("unknown algorithm {other}"),
-        };
-        rounds_max = rounds_max.max(outcome.rounds);
-        if outcome.validate_implicit().is_ok() {
-            successes += 1;
-        }
-        if alg == "las_vegas" {
-            outcome
-                .validate_explicit()
-                .expect("Las Vegas algorithms never fail");
-        }
-        outcome.stats.total()
-    });
-    Cell {
-        messages,
-        rounds_max,
-        successes,
+fn run_trial(arena: &mut SyncArena, n: usize, alg: &str, s: u64) -> (u64, usize, bool) {
+    let builder = SyncSimBuilder::new(n).seed(s).backend(PortBackend::Sparse);
+    let outcome = match alg {
+        "las_vegas" => builder
+            .build_in(arena, |id, _| {
+                las_vegas::Node::new(id, las_vegas::Config::default())
+            })
+            .expect("valid configuration")
+            .run_reusing(arena)
+            .expect("no resolver faults"),
+        "sublinear_mc" => builder
+            .build_in(arena, |_, _| {
+                sublinear_mc::Node::new(sublinear_mc::Config::default())
+            })
+            .expect("valid configuration")
+            .run_reusing(arena)
+            .expect("no resolver faults"),
+        other => panic!("unknown algorithm {other}"),
+    };
+    if alg == "las_vegas" {
+        outcome
+            .validate_explicit()
+            .expect("Las Vegas algorithms never fail");
     }
+    (
+        outcome.stats.total(),
+        outcome.rounds,
+        outcome.validate_implicit().is_ok(),
+    )
 }
 
 fn main() {
@@ -99,7 +84,66 @@ fn main() {
             "dense_equiv_bytes",
         ],
     );
-    let mut arena = SyncArena::new();
+
+    let mut handles = Vec::new();
+    for &n in &ns {
+        for alg in ["las_vegas", "sublinear_mc"] {
+            let seed_list = seed_list.clone();
+            handles.push(runner.task(format!("n={n} alg={alg}"), move |ws| {
+                // The sparse maps of this sweep dwarf anything another
+                // task may have left in the worker's arena; start clean so
+                // the recycled map is at this cell's working size.
+                ws.arenas.sync.clear();
+                let mut rounds_max = 0;
+                let mut successes = 0;
+                let messages = ws.cell(format!("n={n} alg={alg}"), &seed_list, |s, arenas| {
+                    let (msgs, rounds, ok) = run_trial(&mut arenas.sync, n, alg, s);
+                    rounds_max = rounds_max.max(rounds);
+                    if ok {
+                        successes += 1;
+                    }
+                    msgs
+                });
+                let cell = Cell {
+                    messages,
+                    rounds_max,
+                    successes,
+                };
+                let msgs = Summary::from_counts(&cell.messages).expect("non-empty cell");
+                if alg == "las_vegas" {
+                    let floor = formulas::lasvegas_message_lower_bound(n);
+                    assert!(
+                        msgs.min >= floor,
+                        "a Las Vegas run sent fewer than the Ω(n) floor"
+                    );
+                }
+                let success = cell.successes as f64 / cell.messages.len() as f64;
+                let per_node = msgs.mean / n as f64;
+                let dense_bytes = PortBackend::dense_table_bytes(n);
+                let resident = ws.arenas.sync.resident_bytes();
+                ws.emit(&[
+                    n.to_string(),
+                    alg.to_string(),
+                    msgs.mean.to_string(),
+                    msgs.max.to_string(),
+                    per_node.to_string(),
+                    cell.rounds_max.to_string(),
+                    success.to_string(),
+                    dense_bytes.to_string(),
+                ]);
+                vec![
+                    n.to_string(),
+                    alg.to_string(),
+                    fmt_count(msgs.mean),
+                    format!("{per_node:.1}"),
+                    cell.rounds_max.to_string(),
+                    format!("{:.0}%", success * 100.0),
+                    format!("{:.1} GB", dense_bytes as f64 / 1e9),
+                    format!("{:.1} MB", resident as f64 / 1e6),
+                ]
+            }));
+        }
+    }
 
     let mut table = Table::new(vec![
         "n",
@@ -116,48 +160,19 @@ fn main() {
         seed_list.len()
     ));
 
-    for &n in &ns {
-        // One arena per n keeps the recycled map at the sweep's working
-        // size; clear between sizes so the smaller map is not shadowed.
-        arena.clear();
-        for alg in ["las_vegas", "sublinear_mc"] {
-            let cell = run_alg(&mut runner, &mut arena, n, alg, &seed_list);
-            let msgs = Summary::from_counts(&cell.messages).expect("non-empty cell");
-            if alg == "las_vegas" {
-                let floor = formulas::lasvegas_message_lower_bound(n);
-                assert!(
-                    msgs.min >= floor,
-                    "a Las Vegas run sent fewer than the Ω(n) floor"
-                );
+    let mut restored = 0;
+    for handle in handles {
+        match runner.wait(handle) {
+            Some(row) => {
+                table.add_row(row);
             }
-            let success = cell.successes as f64 / cell.messages.len() as f64;
-            let per_node = msgs.mean / n as f64;
-            let dense_bytes = PortBackend::dense_table_bytes(n);
-            let resident = arena.resident_bytes();
-            runner.record_resident_bytes(resident);
-            table.add_row(vec![
-                n.to_string(),
-                alg.to_string(),
-                fmt_count(msgs.mean),
-                format!("{per_node:.1}"),
-                cell.rounds_max.to_string(),
-                format!("{:.0}%", success * 100.0),
-                format!("{:.1} GB", dense_bytes as f64 / 1e9),
-                format!("{:.1} MB", resident as f64 / 1e6),
-            ]);
-            runner.emit(&[
-                n.to_string(),
-                alg.to_string(),
-                msgs.mean.to_string(),
-                msgs.max.to_string(),
-                per_node.to_string(),
-                cell.rounds_max.to_string(),
-                success.to_string(),
-                dense_bytes.to_string(),
-            ]);
+            None => restored += 1,
         }
     }
     println!("{table}");
+    if restored > 0 {
+        println!("({restored} row(s) restored from a checkpointed run; see the CSV)");
+    }
     println!(
         "note: every cell runs on PortBackend::Sparse; dense_equiv_bytes is \
          what the flat tables would have allocated per simulation."

@@ -62,8 +62,51 @@ fn main() {
             "ub_thm310",
         ],
     );
-    let mut arena = SyncArena::new();
 
+    // One task per (n, ℓ): both measured cells plus the CSV row, returning
+    // the rendered table row for the per-n report below.
+    let mut handles = Vec::new();
+    for &n in &ns {
+        for &ell in &ells {
+            let seed_list = seed_list.clone();
+            handles.push(runner.task(format!("n={n} ell={ell}"), move |ws| {
+                let improved = Summary::from_counts(&ws.cell(
+                    format!("n={n} ell={ell} alg=improved"),
+                    &seed_list,
+                    |s, arenas| measure_improved(n, ell, s, &mut arenas.sync),
+                ))
+                .expect("non-empty sample");
+                // The baseline's round budget must be even; ℓ+1 gives it one
+                // MORE round than the improved algorithm, i.e. an advantage.
+                let ag = Summary::from_counts(&ws.cell(
+                    format!("n={n} ell={} alg=afek_gafni", ell + 1),
+                    &seed_list,
+                    |s, arenas| measure_afek_gafni(n, ell + 1, s, &mut arenas.sync),
+                ))
+                .expect("non-empty sample");
+                let lb = formulas::thm38_message_lower_bound(n, ell);
+                let ub = formulas::thm310_message_upper_bound(n, ell);
+                ws.emit(&[
+                    n.to_string(),
+                    ell.to_string(),
+                    improved.mean.to_string(),
+                    ag.mean.to_string(),
+                    lb.to_string(),
+                    ub.to_string(),
+                ]);
+                vec![
+                    ell.to_string(),
+                    fmt_count(improved.mean),
+                    fmt_count(ag.mean),
+                    fmt_count(lb),
+                    fmt_count(ub),
+                    format!("{:.2}", improved.mean / ag.mean),
+                ]
+            }));
+        }
+    }
+
+    let mut handles = handles.into_iter();
     for &n in &ns {
         let mut table = Table::new(vec![
             "ℓ (rounds)",
@@ -77,42 +120,19 @@ fn main() {
             "Deterministic tradeoff, n = {n} (simultaneous wake-up; mean of {} seeds)",
             seed_list.len()
         ));
-        for &ell in &ells {
-            let improved = Summary::from_counts(&runner.cell(
-                format!("n={n} ell={ell} alg=improved"),
-                &seed_list,
-                |s| measure_improved(n, ell, s, &mut arena),
-            ))
-            .expect("non-empty sample");
-            // The baseline's round budget must be even; ℓ+1 gives it one
-            // MORE round than the improved algorithm, i.e. an advantage.
-            let ag = Summary::from_counts(&runner.cell(
-                format!("n={n} ell={} alg=afek_gafni", ell + 1),
-                &seed_list,
-                |s| measure_afek_gafni(n, ell + 1, s, &mut arena),
-            ))
-            .expect("non-empty sample");
-            let lb = formulas::thm38_message_lower_bound(n, ell);
-            let ub = formulas::thm310_message_upper_bound(n, ell);
-            table.add_row(vec![
-                ell.to_string(),
-                fmt_count(improved.mean),
-                fmt_count(ag.mean),
-                fmt_count(lb),
-                fmt_count(ub),
-                format!("{:.2}", improved.mean / ag.mean),
-            ]);
-            runner.record_resident_bytes(arena.resident_bytes());
-            runner.emit(&[
-                n.to_string(),
-                ell.to_string(),
-                improved.mean.to_string(),
-                ag.mean.to_string(),
-                lb.to_string(),
-                ub.to_string(),
-            ]);
+        let mut restored = 0;
+        for _ in &ells {
+            match runner.wait(handles.next().expect("one handle per (n, ell)")) {
+                Some(row) => {
+                    table.add_row(row);
+                }
+                None => restored += 1,
+            }
         }
         println!("{table}");
+        if restored > 0 {
+            println!("({restored} row(s) restored from a checkpointed run; see the CSV)");
+        }
     }
     runner.finish();
 }

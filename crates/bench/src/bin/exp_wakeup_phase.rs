@@ -59,9 +59,57 @@ fn main() {
             "messages_mean",
         ],
     );
-    let mut arena = AsyncArena::new();
 
+    let mut handles = Vec::new();
+    let mut rows_per_n = Vec::new();
     for &n in &ns {
+        let mut rows = 0;
+        for &k in &ks {
+            if k > Config::max_k(n) {
+                continue;
+            }
+            for &wake_size in &[1usize, (n as f64).sqrt() as usize] {
+                let seed_list = seed_list.clone();
+                handles.push(
+                    runner.task(format!("n={n} k={k} wake={wake_size}"), move |ws| {
+                        let runs = ws.cell(
+                            format!("n={n} k={k} wake={wake_size}"),
+                            &seed_list,
+                            |s, arenas| measure(n, k, wake_size, s, &mut arenas.asynch),
+                        );
+                        let covered =
+                            success_rate(&runs.iter().map(|r| r.0.is_some()).collect::<Vec<_>>());
+                        let wake_max = runs.iter().filter_map(|r| r.0).fold(0.0f64, f64::max);
+                        let msgs =
+                            Summary::from_counts(&runs.iter().map(|r| r.1).collect::<Vec<_>>())
+                                .expect("non-empty sample");
+                        ws.emit(&[
+                            n.to_string(),
+                            k.to_string(),
+                            wake_size.to_string(),
+                            covered.to_string(),
+                            wake_max.to_string(),
+                            (k + 4).to_string(),
+                            msgs.mean.to_string(),
+                        ]);
+                        vec![
+                            k.to_string(),
+                            wake_size.to_string(),
+                            format!("{:.0}%", covered * 100.0),
+                            format!("{wake_max:.2}"),
+                            format!("{}", k + 4),
+                            fmt_count(msgs.mean),
+                        ]
+                    }),
+                );
+                rows += 1;
+            }
+        }
+        rows_per_n.push(rows);
+    }
+
+    let mut handles = handles.into_iter();
+    for (&n, &rows) in ns.iter().zip(&rows_per_n) {
         let mut table = Table::new(vec![
             "k",
             "|wake set|",
@@ -74,39 +122,19 @@ fn main() {
             "Wake-up phase (Lemma 5.2), n = {n} ({} seeds)",
             seed_list.len()
         ));
-        for &k in &ks {
-            if k > Config::max_k(n) {
-                continue;
-            }
-            for &wake_size in &[1usize, (n as f64).sqrt() as usize] {
-                let runs = runner.cell(format!("n={n} k={k} wake={wake_size}"), &seed_list, |s| {
-                    measure(n, k, wake_size, s, &mut arena)
-                });
-                let covered = success_rate(&runs.iter().map(|r| r.0.is_some()).collect::<Vec<_>>());
-                let wake_max = runs.iter().filter_map(|r| r.0).fold(0.0f64, f64::max);
-                let msgs =
-                    Summary::from_counts(&runs.iter().map(|r| r.1).collect::<Vec<_>>()).unwrap();
-                table.add_row(vec![
-                    k.to_string(),
-                    wake_size.to_string(),
-                    format!("{:.0}%", covered * 100.0),
-                    format!("{wake_max:.2}"),
-                    format!("{}", k + 4),
-                    fmt_count(msgs.mean),
-                ]);
-                runner.record_resident_bytes(arena.resident_bytes());
-                runner.emit(&[
-                    n.to_string(),
-                    k.to_string(),
-                    wake_size.to_string(),
-                    covered.to_string(),
-                    wake_max.to_string(),
-                    (k + 4).to_string(),
-                    msgs.mean.to_string(),
-                ]);
+        let mut restored = 0;
+        for _ in 0..rows {
+            match runner.wait(handles.next().expect("one handle per row")) {
+                Some(row) => {
+                    table.add_row(row);
+                }
+                None => restored += 1,
             }
         }
         println!("{table}");
+        if restored > 0 {
+            println!("({restored} row(s) restored from a checkpointed run; see the CSV)");
+        }
     }
     runner.finish();
 }

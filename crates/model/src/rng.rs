@@ -93,6 +93,10 @@ pub fn sample_distinct(rng: &mut impl Rng, universe: usize, k: usize) -> Vec<usi
 
 /// Returns `true` with probability `p` (clamped to `[0, 1]`).
 ///
+/// The clamped paths — `p <= 0`, `p >= 1`, and a NaN `p` (treated as 0)
+/// — consume **no** RNG draw, so a degenerate probability never shifts
+/// the caller's draw schedule.
+///
 /// # Example
 ///
 /// ```
@@ -100,13 +104,17 @@ pub fn sample_distinct(rng: &mut impl Rng, universe: usize, k: usize) -> Vec<usi
 /// let mut rng = rng_from_seed(11);
 /// assert!(coin(&mut rng, 1.5), "p >= 1 always succeeds");
 /// assert!(!coin(&mut rng, -0.2), "p <= 0 never succeeds");
+/// assert!(!coin(&mut rng, f64::NAN), "NaN never succeeds");
 /// ```
 pub fn coin(rng: &mut impl Rng, p: f64) -> bool {
+    // NaN must be rejected explicitly (every NaN comparison is false): the
+    // `p <= 0.0` guard alone let NaN fall through to the draw, which
+    // burned one RNG value and silently skewed every later draw.
+    if p.is_nan() || p <= 0.0 {
+        return false;
+    }
     if p >= 1.0 {
         return true;
-    }
-    if p <= 0.0 {
-        return false;
     }
     rng.gen::<f64>() < p
 }
@@ -167,6 +175,37 @@ mod tests {
     fn sample_distinct_panics_when_oversampling() {
         let mut rng = rng_from_seed(1);
         let _ = sample_distinct(&mut rng, 3, 4);
+    }
+
+    #[test]
+    fn coin_clamped_paths_leave_draw_schedule_untouched() {
+        // The clamped probabilities must not consume a draw: after any
+        // number of them, the RNG is still at the same stream position as
+        // an untouched twin. NaN is the regression case — it used to fall
+        // through both clamp guards and burn one draw.
+        let mut probed = rng_from_seed(1);
+        let mut twin = rng_from_seed(1);
+        for p in [f64::NAN, 0.0, -0.2, f64::NEG_INFINITY] {
+            assert!(!coin(&mut probed, p), "p = {p} must fail");
+        }
+        for p in [1.0, 1.5, f64::INFINITY] {
+            assert!(coin(&mut probed, p), "p = {p} must succeed");
+        }
+        assert_eq!(
+            probed.gen::<u64>(),
+            twin.gen::<u64>(),
+            "a clamped coin consumed an RNG draw"
+        );
+
+        // And an in-range probability consumes exactly one draw.
+        let _ = coin(&mut probed, 0.5);
+        let schedule: Vec<u64> = (0..4).map(|_| probed.gen()).collect();
+        let _ = twin.gen::<f64>();
+        let twin_schedule: Vec<u64> = (0..4).map(|_| twin.gen()).collect();
+        assert_eq!(
+            schedule, twin_schedule,
+            "in-range coin must draw exactly once"
+        );
     }
 
     #[test]

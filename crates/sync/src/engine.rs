@@ -65,7 +65,9 @@ const STREAM_NODE_BASE: u64 = 0;
 pub struct SyncArena {
     ports: Option<PortMap>,
     wake_plan: Vec<(usize, Vec<NodeIndex>)>,
-    buffers: Option<Box<dyn Any>>,
+    // `+ Send` keeps the whole arena `Send`, so sweep worker threads can
+    // own recycled arenas (message types are `Send` by trait bound).
+    buffers: Option<Box<dyn Any + Send>>,
 }
 
 impl SyncArena {
@@ -692,6 +694,14 @@ mod tests {
     use super::*;
     use crate::node::Received;
     use clique_model::ports::Port;
+
+    #[test]
+    fn arena_is_send() {
+        // Sweep workers own recycled arenas; if a field regresses to a
+        // non-Send type this fails to compile, not at runtime.
+        fn assert_send<T: Send>() {}
+        assert_send::<SyncArena>();
+    }
 
     /// Elects the max ID by full broadcast in round 1.
     struct MaxBroadcast {

@@ -145,7 +145,12 @@ impl<'a, M> Context<'a, M> {
 /// again.
 pub trait SyncNode {
     /// Payload type of this algorithm's messages.
-    type Message;
+    ///
+    /// `Send` so that a recycled [`SyncArena`](crate::SyncArena) (which
+    /// retains the message buffers between trials) can migrate between
+    /// sweep worker threads; message payloads are plain data in every
+    /// algorithm.
+    type Message: Send;
 
     /// Called exactly once when the node wakes up: at the start of round 1
     /// (simultaneous wake-up), at the start of its scheduled round
