@@ -2,12 +2,11 @@
 
 use std::any::Any;
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashMap};
-use std::hash::BuildHasherDefault;
+use std::collections::BinaryHeap;
 
 use clique_model::ids::{Id, IdAssignment, IdSpace};
 use clique_model::metrics::MessageStats;
-use clique_model::ports::{KeyHasher, Port, PortBackend, PortMap, PortResolver, RandomResolver};
+use clique_model::ports::{OpenTable, Port, PortBackend, PortMap, PortResolver, RandomResolver};
 use clique_model::rng::{derive_seed, rng_from_seed};
 use clique_model::{Decision, ModelError, NodeIndex, WakeCause};
 use rand::rngs::SmallRng;
@@ -41,14 +40,15 @@ enum EventKind<M> {
 /// Per-directed-link FIFO delivery floors (the latest delivery time
 /// already scheduled on each link), stored to match the port-map backend:
 /// a flat `Θ(n²)` array under the dense backend (one random access per
-/// dispatch), a hashed touched-links map under the sparse one (O(active
-/// links) entries — the piece that would otherwise keep the asynchronous
-/// engine quadratic at `n = 65536+` after the port map goes sparse).
+/// dispatch), an open-addressing touched-links table under the sparse and
+/// chunked ones (O(active links) entries — the piece that would otherwise
+/// keep the asynchronous engine quadratic at `n = 65536+` after the port
+/// map goes sparse).
 enum FifoFloors {
     /// Flat `src·n + dst`-indexed array.
     Dense(Vec<f64>),
-    /// Hashed map over touched directed links only.
-    Sparse(HashMap<u64, f64, BuildHasherDefault<KeyHasher>>),
+    /// Open-addressing table over touched directed links only.
+    Hashed(OpenTable<f64>),
 }
 
 impl Default for FifoFloors {
@@ -65,15 +65,24 @@ impl FifoFloors {
         match (self, backend) {
             (FifoFloors::Dense(mut floors), PortBackend::Dense) => {
                 floors.clear();
-                floors.resize(n * n, 0.0);
+                // Checked even though the port map allocates first: at
+                // n ≥ 2³² the flat index arithmetic itself would wrap, so
+                // fail loudly rather than corrupt FIFO order.
+                floors.resize(n.checked_mul(n).expect("dense floor index overflow"), 0.0);
                 FifoFloors::Dense(floors)
             }
-            (FifoFloors::Sparse(mut floors), PortBackend::Sparse) => {
+            (FifoFloors::Hashed(mut floors), PortBackend::Sparse | PortBackend::Chunked) => {
                 floors.clear();
-                FifoFloors::Sparse(floors)
+                floors.end_trial();
+                FifoFloors::Hashed(floors)
             }
-            (_, PortBackend::Dense) => FifoFloors::Dense(vec![0.0; n * n]),
-            (_, PortBackend::Sparse) => FifoFloors::Sparse(HashMap::default()),
+            (_, PortBackend::Dense) => {
+                FifoFloors::Dense(vec![
+                    0.0;
+                    n.checked_mul(n).expect("dense floor index overflow")
+                ])
+            }
+            (_, PortBackend::Sparse | PortBackend::Chunked) => FifoFloors::Hashed(OpenTable::new()),
             (_, PortBackend::Auto) => unreachable!("backend is resolved before recycling"),
         }
     }
@@ -84,7 +93,7 @@ impl FifoFloors {
     fn floor_mut(&mut self, key: usize) -> &mut f64 {
         match self {
             FifoFloors::Dense(floors) => &mut floors[key],
-            FifoFloors::Sparse(floors) => floors.entry(key as u64).or_insert(0.0),
+            FifoFloors::Hashed(floors) => floors.get_or_insert_mut(key as u64, 0.0),
         }
     }
 
@@ -92,8 +101,7 @@ impl FifoFloors {
     fn resident_bytes(&self) -> u64 {
         match self {
             FifoFloors::Dense(floors) => (floors.capacity() * 8) as u64,
-            // key + value + ~1 control byte per usable slot.
-            FifoFloors::Sparse(floors) => (floors.capacity() * 17) as u64,
+            FifoFloors::Hashed(floors) => floors.resident_bytes(),
         }
     }
 }
@@ -1102,7 +1110,7 @@ mod tests {
     fn sparse_backend_matches_dense_under_rng_free_resolution() {
         // Round-robin resolution consumes no randomness and the delay/node
         // RNG streams are backend-independent, so the whole asynchronous
-        // execution must be identical on both storage backends.
+        // execution must be identical on every storage backend.
         let run = |backend| {
             let o = AsyncSimBuilder::new(16)
                 .seed(9)
@@ -1121,44 +1129,71 @@ mod tests {
             )
         };
         assert_eq!(run(PortBackend::Dense), run(PortBackend::Sparse));
+        assert_eq!(run(PortBackend::Dense), run(PortBackend::Chunked));
     }
 
     #[test]
-    fn sparse_backend_arena_trials_match_fresh_sparse_trials() {
-        let mut arena = AsyncArena::new();
-        for seed in 0..6u64 {
-            let fresh = AsyncSimBuilder::new(12)
-                .seed(seed)
-                .backend(PortBackend::Sparse)
-                .wake(AsyncWakeSchedule::single(NodeIndex(1)))
+    fn chunked_backend_matches_sparse_under_rng_driven_resolution() {
+        // Chunked and sparse share one draw schedule, so even the
+        // RNG-driven default resolver must produce bit-identical
+        // executions across the two backends.
+        let run = |backend| {
+            let o = AsyncSimBuilder::new(14)
+                .seed(6)
+                .backend(backend)
+                .wake(AsyncWakeSchedule::single(NodeIndex(0)))
                 .build(Flood::new)
                 .unwrap()
                 .run()
                 .unwrap();
-            let reused = AsyncSimBuilder::new(12)
-                .seed(seed)
-                .backend(PortBackend::Sparse)
-                .wake(AsyncWakeSchedule::single(NodeIndex(1)))
-                .build_in(&mut arena, Flood::new)
-                .unwrap()
-                .run_reusing(&mut arena)
-                .unwrap();
-            assert_eq!(
-                (
-                    fresh.time.to_bits(),
-                    fresh.stats.total(),
-                    fresh.unique_leader()
-                ),
-                (
-                    reused.time.to_bits(),
-                    reused.stats.total(),
-                    reused.unique_leader()
-                ),
-            );
+            (
+                o.time.to_bits(),
+                o.stats.total(),
+                o.unique_leader(),
+                o.decisions,
+            )
+        };
+        assert_eq!(run(PortBackend::Sparse), run(PortBackend::Chunked));
+    }
+
+    #[test]
+    fn sparse_backend_arena_trials_match_fresh_sparse_trials() {
+        for backend in [PortBackend::Sparse, PortBackend::Chunked] {
+            let mut arena = AsyncArena::new();
+            for seed in 0..6u64 {
+                let fresh = AsyncSimBuilder::new(12)
+                    .seed(seed)
+                    .backend(backend)
+                    .wake(AsyncWakeSchedule::single(NodeIndex(1)))
+                    .build(Flood::new)
+                    .unwrap()
+                    .run()
+                    .unwrap();
+                let reused = AsyncSimBuilder::new(12)
+                    .seed(seed)
+                    .backend(backend)
+                    .wake(AsyncWakeSchedule::single(NodeIndex(1)))
+                    .build_in(&mut arena, Flood::new)
+                    .unwrap()
+                    .run_reusing(&mut arena)
+                    .unwrap();
+                assert_eq!(
+                    (
+                        fresh.time.to_bits(),
+                        fresh.stats.total(),
+                        fresh.unique_leader()
+                    ),
+                    (
+                        reused.time.to_bits(),
+                        reused.stats.total(),
+                        reused.unique_leader()
+                    ),
+                );
+            }
+            // Hashed floors + sparse map: far below the dense n² tables
+            // even at this tiny n once both structures are hashed.
+            assert!(arena.resident_bytes() > 0);
         }
-        // Sparse floors + sparse map: far below the dense n² tables even
-        // at this tiny n once both structures are hashed.
-        assert!(arena.resident_bytes() > 0);
     }
 
     #[test]

@@ -1,0 +1,770 @@
+//! The chunked backend: sparse by default, dense per row where traffic
+//! concentrates.
+//!
+//! The sparse backend wins whenever every node touches o(n) of its ports,
+//! and the dense backend wins whenever rows fill up — flat-array reads
+//! beat hashed overrides once a node's override set stops being small.
+//! Real workloads mix both regimes: a handful of coordinator nodes talk to
+//! everyone while the rest of the clique stays sparse. [`ChunkedStore`]
+//! serves exactly that mix. It embeds a [`SparseStore`] and starts out
+//! behaving identically; the first time a node's degree crosses a
+//! threshold (default 64, tunable via `LE_CHUNK_THRESHOLD`, read once per
+//! process), that node's row is *materialized*: flat permutation arrays
+//! are snapshotted from the current (partly overridden) permutation
+//! state, the node's half-links move from the shared hashed tables into
+//! flat per-row link tables, the row's hashed overrides are dropped, and
+//! every later operation on the node is a flat-array read or swap — zero
+//! hashed operations on a hot row.
+//!
+//! # Draw-schedule identity with the sparse backend
+//!
+//! Materialization snapshots the permutation *values the sparse
+//! representation would have produced* and the subsequent flat swaps apply
+//! the same partial-Fisher–Yates algebra the override maps implement, so a
+//! chunked map is **observationally identical to a sparse map at every
+//! step** — not merely identically distributed. RNG-driven resolvers
+//! drawing through a chunked map consume the same randomness and fix the
+//! same links as on a sparse map; the pinned sparse `RandomResolver`
+//! schedule holds verbatim on this backend, and `tests/portmap_equivalence.rs`
+//! pins chunked==sparse endpoint-for-endpoint under a shared RNG. Flipping
+//! the `auto` heuristic from sparse to chunked therefore re-rolls nothing.
+//!
+//! # Reset
+//!
+//! [`PortStore::reset`] stays O(touched-state): sparse-resident dirty rows
+//! restore through the shared cycle-chasing walk, and materialized dirty
+//! rows cycle-chase their flat arrays back to base order (O(degree) swaps,
+//! positions via the memoized base permutations). Materialized rows are
+//! *kept* across resets — a pristine row holds exactly the base
+//! permutation, so a reset chunked map remains observationally identical
+//! to a fresh one while retaining its flat-read speed for the next trial.
+
+use super::sparse::{enc, key, SparseStore};
+use super::{Endpoint, Port, PortStore};
+use crate::error::ModelError;
+use crate::NodeIndex;
+
+/// Default materialization threshold: past ~64 links a node's override
+/// churn (hashed insert+remove per promote) costs more than the one-time
+/// `O(n)` row snapshot amortized over the row's remaining operations.
+const DEFAULT_THRESHOLD: u32 = 64;
+
+/// The materialization threshold from `LE_CHUNK_THRESHOLD`, latched once
+/// per process so concurrently constructed maps can never disagree.
+/// `0` materializes a row on its first link.
+fn env_threshold() -> u32 {
+    static THRESHOLD: std::sync::OnceLock<u32> = std::sync::OnceLock::new();
+    *THRESHOLD.get_or_init(|| match std::env::var("LE_CHUNK_THRESHOLD") {
+        Err(_) => DEFAULT_THRESHOLD,
+        Ok(v) if v.is_empty() => DEFAULT_THRESHOLD,
+        Ok(v) => v.parse().unwrap_or_else(|_| {
+            panic!("LE_CHUNK_THRESHOLD must be a non-negative integer, got {v:?}")
+        }),
+    })
+}
+
+/// Empty-slot sentinel in a materialized row's forward table.
+const NO_LINK: u64 = u64::MAX;
+/// Empty-slot sentinel in a materialized row's peer→port table.
+const NO_PORT: u32 = u32::MAX;
+
+/// One node's materialized state: the same flat arrays the dense backend
+/// keeps per row — permutations *and* link tables, so a hot row performs
+/// no hashed operations at all.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct MatRow {
+    /// Position → peer (length `n − 1`).
+    peer_at: Vec<u32>,
+    /// Peer → position (length `n`, indexed by peer value; the `u` slot is
+    /// unused).
+    peer_pos: Vec<u32>,
+    /// Position → port (length `n − 1`).
+    port_at: Vec<u32>,
+    /// Port → position (length `n − 1`).
+    port_pos: Vec<u32>,
+    /// Port → packed endpoint (length `n − 1`, [`NO_LINK`] when free):
+    /// this node's half-links, moved out of the shared hashed table.
+    fwd: Vec<u64>,
+    /// Peer → port (length `n`, [`NO_PORT`] when unconnected).
+    by_peer: Vec<u32>,
+}
+
+/// The chunked storage backend (see the module docs).
+#[derive(Debug, Clone)]
+pub(super) struct ChunkedStore {
+    /// Shared link tables, override maps, and base-permutation machinery;
+    /// authoritative for every non-materialized row.
+    sparse: SparseStore,
+    /// Materialized flat rows, `None` while a node stays sparse.
+    rows: Vec<Option<Box<MatRow>>>,
+    /// Nodes with materialized rows, in materialization order — keeps
+    /// equality and accounting O(materialized), not O(n).
+    materialized: Vec<u32>,
+    /// Degree at which a row materializes.
+    threshold: u32,
+}
+
+/// Observational equality: two chunked stores are equal iff they hold the
+/// same mapping in the same permutation state, *regardless of which rows
+/// happen to be materialized*. A pristine materialized row holds exactly
+/// the base permutation, so a reset store with retained rows equals a
+/// fresh one — the same contract the sparse backend's absent-override
+/// discipline provides.
+impl PartialEq for ChunkedStore {
+    fn eq(&self, other: &Self) -> bool {
+        if self.sparse.n != other.sparse.n
+            || self.sparse.links != other.sparse.links
+            || self.sparse.degree != other.sparse.degree
+            || self.sparse.dirty != other.sparse.dirty
+        {
+            return false;
+        }
+        // Links and permutation state can exist only on dirty rows, and
+        // representation (shared hashed tables versus flat row arrays)
+        // can differ only on materialized rows; compare those
+        // observationally, position by position and port by port.
+        let mut candidates: Vec<u32> = self
+            .sparse
+            .dirty
+            .iter()
+            .chain(&self.materialized)
+            .chain(&other.materialized)
+            .copied()
+            .collect();
+        candidates.sort_unstable();
+        candidates.dedup();
+        let n = self.sparse.n;
+        candidates.into_iter().all(|u| {
+            let u = u as usize;
+            (0..n - 1).all(|k| {
+                self.peer_at(u, k) == other.peer_at(u, k)
+                    && self.port_at(u, k) == other.port_at(u, k)
+                    && self.half_link(u, k) == other.half_link(u, k)
+            }) && (0..n).all(|v| self.port_index(u, v) == other.port_index(u, v))
+        })
+    }
+}
+
+impl Eq for ChunkedStore {}
+
+impl ChunkedStore {
+    /// Creates an empty chunked store with the process-wide threshold.
+    pub(super) fn new(n: usize) -> Self {
+        ChunkedStore::with_threshold(n, env_threshold())
+    }
+
+    /// Creates an empty chunked store with an explicit materialization
+    /// threshold (tests pin small thresholds to exercise crossings at
+    /// small `n`).
+    pub(super) fn with_threshold(n: usize, threshold: u32) -> Self {
+        ChunkedStore {
+            sparse: SparseStore::new(n),
+            rows: vec![None; n],
+            materialized: Vec::new(),
+            threshold,
+        }
+    }
+
+    /// Whether node `u`'s row is materialized (test hook).
+    #[cfg(test)]
+    fn is_materialized(&self, u: usize) -> bool {
+        self.rows[u].is_some()
+    }
+
+    /// The peer at position `k` of `u`'s permutation: flat read on a
+    /// materialized row, shared sparse path otherwise.
+    #[inline]
+    fn peer_at(&self, u: usize, k: usize) -> u32 {
+        match &self.rows[u] {
+            Some(row) => row.peer_at[k],
+            None => self.sparse.peer_at(u, k),
+        }
+    }
+
+    /// The position of peer `v` in `u`'s permutation.
+    #[inline]
+    fn pos_of_peer(&self, u: usize, v: usize) -> u32 {
+        match &self.rows[u] {
+            Some(row) => row.peer_pos[v],
+            None => self.sparse.pos_of_peer(u, v),
+        }
+    }
+
+    /// The port at position `k` of `u`'s permutation.
+    #[inline]
+    fn port_at(&self, u: usize, k: usize) -> u32 {
+        match &self.rows[u] {
+            Some(row) => row.port_at[k],
+            None => self.sparse.port_at(u, k),
+        }
+    }
+
+    /// The position of port `p` in `u`'s permutation.
+    #[inline]
+    fn pos_of_port(&self, u: usize, p: usize) -> u32 {
+        match &self.rows[u] {
+            Some(row) => row.port_pos[p],
+            None => self.sparse.pos_of_port(u, p),
+        }
+    }
+
+    /// `u`'s half-link on port `p` (packed endpoint), wherever it lives.
+    #[inline]
+    fn half_link(&self, u: usize, p: usize) -> Option<u64> {
+        match &self.rows[u] {
+            Some(row) => {
+                let e = row.fwd[p];
+                (e != NO_LINK).then_some(e)
+            }
+            None => self.sparse.fwd.get(key(u, p)),
+        }
+    }
+
+    /// The port `u` uses to reach `v`, if connected.
+    #[inline]
+    fn port_index(&self, u: usize, v: usize) -> Option<u32> {
+        match &self.rows[u] {
+            Some(row) => {
+                let p = row.by_peer[v];
+                (p != NO_PORT).then_some(p)
+            }
+            None => self.sparse.by_peer.get(key(u, v)),
+        }
+    }
+
+    /// Records `u`'s half of a new link: flat stores on a materialized
+    /// row, shared hashed inserts otherwise.
+    #[inline]
+    fn set_half_link(&mut self, u: usize, p: usize, v: usize, packed: u64) {
+        match self.rows[u].as_deref_mut() {
+            Some(row) => {
+                row.fwd[p] = packed;
+                row.by_peer[v] = p as u32;
+            }
+            None => {
+                self.sparse.fwd.insert(key(u, p), packed);
+                self.sparse.by_peer.insert(key(u, v), p as u32);
+            }
+        }
+    }
+
+    /// The promote step, dispatched per row representation. The flat-row
+    /// branch performs the identical two partial-Fisher–Yates swaps the
+    /// sparse override maps implement — that identity is what keeps the
+    /// chunked draw schedule equal to the sparse one.
+    fn promote_node(&mut self, u: usize, v: usize, p: usize) {
+        let d = self.sparse.degree[u] as usize;
+        if let Some(row) = self.rows[u].as_deref_mut() {
+            let k = row.peer_pos[v] as usize;
+            debug_assert!(k >= d, "promoting an already-connected peer");
+            let w = row.peer_at[d] as usize;
+            row.peer_at[d] = v as u32;
+            row.peer_at[k] = w as u32;
+            row.peer_pos[v] = d as u32;
+            row.peer_pos[w] = k as u32;
+
+            let kp = row.port_pos[p] as usize;
+            debug_assert!(kp >= d, "promoting an already-assigned port");
+            let q = row.port_at[d] as usize;
+            row.port_at[d] = p as u32;
+            row.port_at[kp] = q as u32;
+            row.port_pos[p] = d as u32;
+            row.port_pos[q] = kp as u32;
+        } else {
+            self.sparse.promote(u, v, p);
+        }
+    }
+
+    /// Materializes `u`'s row once its degree reaches the threshold: the
+    /// flat arrays snapshot the *current* permutation values (base
+    /// composed with whatever overrides accumulated), the node's
+    /// half-links move out of the shared hashed tables, and the captured
+    /// overrides are dropped from the shared maps.
+    fn maybe_materialize(&mut self, u: usize) {
+        if self.rows[u].is_some() || self.sparse.degree[u] < self.threshold {
+            return;
+        }
+        let n = self.sparse.n;
+        let m = n - 1;
+        let mut row = Box::new(MatRow {
+            peer_at: vec![0; m],
+            peer_pos: vec![0; n],
+            port_at: vec![0; m],
+            port_pos: vec![0; m],
+            fwd: vec![NO_LINK; m],
+            by_peer: vec![NO_PORT; n],
+        });
+        for k in 0..m {
+            let v = self.sparse.peer_at(u, k) as usize;
+            row.peer_at[k] = v as u32;
+            row.peer_pos[v] = k as u32;
+            let p = self.sparse.port_at(u, k) as usize;
+            row.port_at[k] = p as u32;
+            row.port_pos[p] = k as u32;
+            // Any override for this slot is captured by the snapshot;
+            // drop it so the shared maps keep only sparse-resident rows.
+            self.sparse.peer_val.remove(key(u, k));
+            self.sparse.peer_pos.remove(key(u, v));
+            self.sparse.port_val.remove(key(u, k));
+            self.sparse.port_pos.remove(key(u, p));
+        }
+        // The connected prefix names this node's half-links; move each
+        // from the shared tables into the row's flat link tables.
+        for k in 0..self.sparse.degree[u] as usize {
+            let v = row.peer_at[k] as usize;
+            let p = self
+                .sparse
+                .by_peer
+                .remove(key(u, v))
+                .expect("connected peer has a port index") as usize;
+            row.by_peer[v] = p as u32;
+            row.fwd[p] = self
+                .sparse
+                .fwd
+                .remove(key(u, p))
+                .expect("assigned port has a forward entry");
+        }
+        self.rows[u] = Some(row);
+        self.materialized.push(u as u32);
+    }
+
+    /// Restores one materialized dirty row in O(degree): clears its flat
+    /// link tables along the connected prefix, then cycle-chases the flat
+    /// permutation arrays back to base order (the dense backend's reset
+    /// walk, with home positions from the memoized base permutations).
+    /// The row stays materialized — pristine — for the next trial, and no
+    /// hashed table is touched at all.
+    fn reset_materialized(&mut self, u: usize) {
+        let d = self.sparse.degree[u] as usize;
+        {
+            let row = self.rows[u].as_deref_mut().expect("materialized row");
+            for k in 0..d {
+                row.by_peer[row.peer_at[k] as usize] = NO_PORT;
+                row.fwd[row.port_at[k] as usize] = NO_LINK;
+            }
+        }
+        self.sparse.degree[u] = 0;
+        let sparse = &self.sparse;
+        let row = self.rows[u].as_deref_mut().expect("materialized row");
+        for k in 0..d {
+            loop {
+                let v = row.peer_at[k] as usize;
+                let home = sparse.base_peer_pos(u, v) as usize;
+                if home == k {
+                    break;
+                }
+                row.peer_at[k] = row.peer_at[home];
+                row.peer_at[home] = v as u32;
+                row.peer_pos[v] = home as u32;
+                row.peer_pos[row.peer_at[k] as usize] = k as u32;
+            }
+            loop {
+                let p = row.port_at[k] as usize;
+                let home = sparse.base_port_pos(u, p) as usize;
+                if home == k {
+                    break;
+                }
+                row.port_at[k] = row.port_at[home];
+                row.port_at[home] = p as u32;
+                row.port_pos[p] = home as u32;
+                row.port_pos[row.port_at[k] as usize] = k as u32;
+            }
+        }
+    }
+}
+
+impl PortStore for ChunkedStore {
+    #[inline]
+    fn n(&self) -> usize {
+        self.sparse.n
+    }
+
+    #[inline]
+    fn link_count(&self) -> usize {
+        self.sparse.links
+    }
+
+    #[inline]
+    fn degree(&self, u: NodeIndex) -> usize {
+        self.sparse.degree[u.0] as usize
+    }
+
+    #[inline]
+    fn connected(&self, u: NodeIndex, v: NodeIndex) -> bool {
+        self.port_index(u.0, v.0).is_some()
+    }
+
+    #[inline]
+    fn peer(&self, u: NodeIndex, p: Port) -> Option<Endpoint> {
+        self.half_link(u.0, p.0).map(|enc| Endpoint {
+            node: NodeIndex((enc >> 32) as usize),
+            port: Port((enc & 0xFFFF_FFFF) as usize),
+        })
+    }
+
+    #[inline]
+    fn port_to(&self, u: NodeIndex, v: NodeIndex) -> Option<Port> {
+        self.port_index(u.0, v.0).map(|p| Port(p as usize))
+    }
+
+    #[inline]
+    fn peer_at_pos(&self, u: NodeIndex, k: usize) -> NodeIndex {
+        NodeIndex(self.peer_at(u.0, k) as usize)
+    }
+
+    #[inline]
+    fn port_at_pos(&self, u: NodeIndex, k: usize) -> Port {
+        Port(self.port_at(u.0, k) as usize)
+    }
+
+    fn insert_link(&mut self, u: NodeIndex, pu: Port, v: NodeIndex, pv: Port) {
+        let (u, pu, v, pv) = (u.0, pu.0, v.0, pv.0);
+        if self.sparse.degree[u] == 0 {
+            self.sparse.dirty.push(u as u32);
+        }
+        if self.sparse.degree[v] == 0 {
+            self.sparse.dirty.push(v as u32);
+        }
+        self.set_half_link(u, pu, v, enc(v, pv));
+        self.set_half_link(v, pv, u, enc(u, pu));
+        self.promote_node(u, v, pu);
+        self.promote_node(v, u, pv);
+        self.sparse.degree[u] += 1;
+        self.sparse.degree[v] += 1;
+        self.sparse.links += 1;
+        self.maybe_materialize(u);
+        self.maybe_materialize(v);
+    }
+
+    fn reset(&mut self) {
+        let dirty = std::mem::take(&mut self.sparse.dirty);
+        for &u in &dirty {
+            let u = u as usize;
+            if self.rows[u].is_some() {
+                self.reset_materialized(u);
+            } else {
+                self.sparse.reset_node(u);
+            }
+        }
+        self.sparse.links = 0;
+        self.sparse.end_trial();
+    }
+
+    fn validate(&self) -> Result<(), ModelError> {
+        let fail = |u: usize, reason: &'static str| {
+            Err(ModelError::InvalidResolution {
+                node: NodeIndex(u),
+                port: Port(0),
+                reason,
+            })
+        };
+        let n = self.sparse.n;
+        let ports = n - 1;
+        // Link tables, dispatched: a half-link lives in the shared hashed
+        // tables iff its owner is sparse-resident, in the owner's flat row
+        // otherwise. Walk every half wherever it lives and check range,
+        // symmetry, and peer-index sync across representations.
+        let mut halves = 0usize;
+        let check_half = |u: usize, i: usize, e: u64| -> Result<(), ModelError> {
+            let fail2 = |u: usize, p: usize, reason: &'static str| {
+                Err(ModelError::InvalidResolution {
+                    node: NodeIndex(u),
+                    port: Port(p),
+                    reason,
+                })
+            };
+            let (v, j) = ((e >> 32) as usize, (e & 0xFFFF_FFFF) as usize);
+            if u >= n || v >= n || i >= ports || j >= ports {
+                return fail2(u, i, "forward entry out of range");
+            }
+            if v == u {
+                return fail2(u, i, "self-link");
+            }
+            if self.half_link(v, j) != Some(enc(u, i)) {
+                return fail2(u, i, "asymmetric link");
+            }
+            if self.port_index(u, v) != Some(i as u32) {
+                return fail2(u, i, "peer index out of sync");
+            }
+            Ok(())
+        };
+        for (k, e) in self.sparse.fwd.iter() {
+            let (u, i) = ((k >> 32) as usize, (k & 0xFFFF_FFFF) as usize);
+            if u < n && self.rows[u].is_some() {
+                return fail(u, "shared half-link for a materialized row");
+            }
+            check_half(u, i, e)?;
+            halves += 1;
+        }
+        for &u in &self.materialized {
+            let u = u as usize;
+            let row = self.rows[u].as_deref().expect("listed row");
+            let mut connected = 0usize;
+            for (i, &e) in row.fwd.iter().enumerate() {
+                if e != NO_LINK {
+                    check_half(u, i, e)?;
+                    halves += 1;
+                }
+            }
+            for &p in &row.by_peer {
+                if p != NO_PORT {
+                    connected += 1;
+                }
+            }
+            if connected != self.sparse.degree[u] as usize {
+                return fail(u, "row peer table out of sync with degree");
+            }
+        }
+        if halves != 2 * self.sparse.links || self.sparse.by_peer.len() != self.sparse.fwd.len() {
+            return fail(0, "link count out of sync");
+        }
+        // Overrides may exist only for sparse-resident rows.
+        self.sparse.validate_overrides(|u| self.rows[u].is_none())?;
+        // Materialized-list discipline: exactly the Some rows, each once.
+        let mut listed = self.materialized.clone();
+        listed.sort_unstable();
+        listed.dedup();
+        if listed.len() != self.materialized.len() {
+            return fail(0, "duplicate materialized-list entry");
+        }
+        let with_rows: Vec<u32> = (0..n as u32)
+            .filter(|&u| self.rows[u as usize].is_some())
+            .collect();
+        if listed != with_rows {
+            return fail(0, "materialized list out of sync with rows");
+        }
+        // Materialized rows must be genuine permutations with exact
+        // inverses.
+        for &u in &self.materialized {
+            let u = u as usize;
+            let row = self.rows[u].as_deref().expect("listed row");
+            let mut seen_peer = vec![false; n];
+            let mut seen_port = vec![false; ports];
+            for k in 0..ports {
+                let v = row.peer_at[k] as usize;
+                if v >= n || v == u || seen_peer[v] {
+                    return fail(u, "materialized peer row is not a permutation");
+                }
+                seen_peer[v] = true;
+                if row.peer_pos[v] as usize != k {
+                    return fail(u, "materialized peer row inverse broken");
+                }
+                let p = row.port_at[k] as usize;
+                if p >= ports || seen_port[p] {
+                    return fail(u, "materialized port row is not a permutation");
+                }
+                seen_port[p] = true;
+                if row.port_pos[p] as usize != k {
+                    return fail(u, "materialized port row inverse broken");
+                }
+            }
+            if self.sparse.degree[u] > 0 && self.sparse.degree[u] < self.threshold {
+                return fail(u, "materialized row below the threshold");
+            }
+        }
+        // Exhaustive per-node partition checks through the dispatched
+        // accessors (O(n²); test helper, like the facade docs say).
+        for u in 0..n {
+            let d = self.sparse.degree[u] as usize;
+            let mut assigned = 0usize;
+            for i in 0..ports {
+                if self.half_link(u, i).is_some() {
+                    assigned += 1;
+                }
+            }
+            if assigned != d {
+                return fail(u, "degree out of sync with forward table");
+            }
+            for k in 0..ports {
+                let v = self.peer_at(u, k);
+                if self.pos_of_peer(u, v as usize) != k as u32 {
+                    return fail(u, "peer permutation/position out of sync");
+                }
+                let connected = self.port_index(u, v as usize).is_some();
+                if connected != (k < d) {
+                    return fail(u, "peer permutation partition broken");
+                }
+                let p = self.port_at(u, k);
+                if self.pos_of_port(u, p as usize) != k as u32 {
+                    return fail(u, "port permutation/position out of sync");
+                }
+                let taken = self.half_link(u, p as usize).is_some();
+                if taken != (k < d) {
+                    return fail(u, "port permutation partition broken");
+                }
+            }
+        }
+        if let Err(reason) = super::validate_dirty_list(&self.sparse.degree, &self.sparse.dirty) {
+            return fail(0, reason);
+        }
+        Ok(())
+    }
+
+    fn resident_bytes(&self) -> u64 {
+        let n = self.sparse.n as u64;
+        // Each materialized row: peer_at/port_at/port_pos (n−1) + peer_pos
+        // (n) + by_peer (n) u32 entries, plus fwd (n−1) u64 entries.
+        let row_bytes = 4 * (3 * (n - 1) + 2 * n) + 8 * (n - 1);
+        self.sparse.resident_bytes()
+            + (self.rows.capacity() * std::mem::size_of::<Option<Box<MatRow>>>()) as u64
+            + (self.materialized.capacity() * 4) as u64
+            + self.materialized.len() as u64 * row_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::perm::mix64;
+    use super::super::PortStore;
+    use super::*;
+
+    /// Drives identical pseudo-random link schedules into a chunked store
+    /// and a plain sparse store, drawing every choice *through the chunked
+    /// map's own enumeration* — if the two representations ever diverged,
+    /// the schedules would fork and the stores would disagree.
+    fn churn(
+        chunked: &mut ChunkedStore,
+        sparse: &mut SparseStore,
+        n: usize,
+        ops: usize,
+        seed: u64,
+    ) {
+        let mut s = seed;
+        let mut step = |bound: usize| {
+            s = mix64(s.wrapping_add(0x9e37_79b9_7f4a_7c15));
+            (s % bound as u64) as usize
+        };
+        for _ in 0..ops {
+            let u = step(n);
+            let free = n - 1 - chunked.sparse.degree[u] as usize;
+            if free == 0 {
+                continue;
+            }
+            let d = chunked.sparse.degree[u] as usize;
+            let kv = d + step(free);
+            let kp = d + step(free);
+            let v = chunked.peer_at(u, kv) as usize;
+            let pu = chunked.port_at(u, kp) as usize;
+            let dv = chunked.sparse.degree[v] as usize;
+            let kq = dv + step(n - 1 - dv);
+            let pv = chunked.port_at(v, kq) as usize;
+            // The sparse twin must enumerate identically before the op...
+            assert_eq!(sparse.peer_at(u, kv) as usize, v, "peer draw diverged");
+            assert_eq!(sparse.port_at(u, kp) as usize, pu, "port draw diverged");
+            assert_eq!(
+                sparse.port_at(v, kq) as usize,
+                pv,
+                "peer-port draw diverged"
+            );
+            // ...and both apply it.
+            chunked.insert_link(NodeIndex(u), Port(pu), NodeIndex(v), Port(pv));
+            sparse.insert_link(NodeIndex(u), Port(pu), NodeIndex(v), Port(pv));
+        }
+    }
+
+    /// Full observational comparison against the sparse twin — the
+    /// permutations *and* the link tables, wherever each row stores them.
+    fn assert_mirrors(chunked: &ChunkedStore, sparse: &SparseStore, n: usize) {
+        for u in 0..n {
+            assert_eq!(chunked.sparse.degree[u], sparse.degree[u]);
+            for k in 0..n - 1 {
+                assert_eq!(chunked.peer_at(u, k), sparse.peer_at(u, k), "peer {u}/{k}");
+                assert_eq!(chunked.port_at(u, k), sparse.port_at(u, k), "port {u}/{k}");
+                assert_eq!(
+                    chunked.peer(NodeIndex(u), Port(k)),
+                    sparse.peer(NodeIndex(u), Port(k)),
+                    "half-link {u}/{k}"
+                );
+            }
+            for v in 0..n {
+                assert_eq!(
+                    chunked.port_to(NodeIndex(u), NodeIndex(v)),
+                    sparse.port_to(NodeIndex(u), NodeIndex(v)),
+                    "peer index {u}/{v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn materializes_exactly_at_the_threshold_and_stays_consistent() {
+        let n = 12;
+        let mut chunked = ChunkedStore::with_threshold(n, 3);
+        let mut sparse = SparseStore::new(n);
+        // Wire node 0 to peers one at a time through both stores.
+        for (i, v) in [3usize, 7, 5, 9, 2].iter().enumerate() {
+            assert_eq!(
+                chunked.is_materialized(0),
+                i >= 3,
+                "row 0 materialization state wrong after {i} links"
+            );
+            let pu = chunked.port_at(0, chunked.sparse.degree[0] as usize) as usize;
+            let pv = chunked.port_at(*v, chunked.sparse.degree[*v] as usize) as usize;
+            chunked.insert_link(NodeIndex(0), Port(pu), NodeIndex(*v), Port(pv));
+            sparse.insert_link(NodeIndex(0), Port(pu), NodeIndex(*v), Port(pv));
+            assert_mirrors(&chunked, &sparse, n);
+            chunked.validate().unwrap();
+        }
+        assert!(chunked.is_materialized(0));
+        // The snapshot captured the overridden (promoted) state, not the
+        // base permutation: the connected prefix survived materialization.
+        for (k, v) in [3usize, 7, 5, 9, 2].iter().enumerate() {
+            assert_eq!(chunked.peer_at(0, k) as usize, *v);
+        }
+    }
+
+    #[test]
+    fn threshold_zero_materializes_on_first_link() {
+        let mut chunked = ChunkedStore::with_threshold(8, 0);
+        assert!(!chunked.is_materialized(2));
+        let pu = chunked.port_at(2, 0) as usize;
+        let pv = chunked.port_at(5, 0) as usize;
+        chunked.insert_link(NodeIndex(2), Port(pu), NodeIndex(5), Port(pv));
+        assert!(chunked.is_materialized(2));
+        assert!(chunked.is_materialized(5));
+        chunked.validate().unwrap();
+    }
+
+    #[test]
+    fn mirrors_sparse_under_random_churn_across_the_threshold() {
+        let n = 24;
+        for seed in 0..6u64 {
+            let mut chunked = ChunkedStore::with_threshold(n, 4);
+            let mut sparse = SparseStore::new(n);
+            churn(&mut chunked, &mut sparse, n, 160, seed);
+            assert!(
+                !chunked.materialized.is_empty(),
+                "seed {seed}: churn never crossed the threshold"
+            );
+            assert_mirrors(&chunked, &sparse, n);
+            chunked.validate().unwrap();
+            sparse.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn reset_keeps_rows_materialized_and_observationally_fresh() {
+        let n = 16;
+        let mut chunked = ChunkedStore::with_threshold(n, 2);
+        let mut sparse = SparseStore::new(n);
+        churn(&mut chunked, &mut sparse, n, 80, 99);
+        let mat_before: Vec<u32> = chunked.materialized.clone();
+        assert!(!mat_before.is_empty());
+        chunked.reset();
+        sparse.reset();
+        chunked.validate().unwrap();
+        // Rows survive the reset (pristine), and the store equals a fresh
+        // one observationally.
+        assert_eq!(chunked.materialized, mat_before);
+        assert_eq!(chunked, ChunkedStore::with_threshold(n, 2));
+        assert_mirrors(&chunked, &sparse, n);
+        // A second identical trial over the recycled stores reproduces the
+        // first one's state exactly.
+        let mut chunked2 = ChunkedStore::with_threshold(n, 2);
+        let mut sparse2 = SparseStore::new(n);
+        churn(&mut chunked, &mut sparse, n, 80, 99);
+        churn(&mut chunked2, &mut sparse2, n, 80, 99);
+        assert_eq!(chunked, chunked2);
+        assert_mirrors(&chunked, &sparse2, n);
+    }
+}

@@ -25,7 +25,7 @@
 //! # Storage backends
 //!
 //! The *representation* of the partial mapping is pluggable
-//! ([`PortBackend`]); both backends maintain identical partial-bijection
+//! ([`PortBackend`]); all backends maintain identical partial-bijection
 //! invariants and identical partitioned-permutation structure (the first
 //! `degree(u)` positions of each node's peer/port permutation are the
 //! connected prefix, so a uniform fresh draw is one indexed lookup):
@@ -34,25 +34,36 @@
 //!   (~28 bytes per ordered node pair) allocated once at construction;
 //!   every operation is O(1) with no hashing. The right choice wherever
 //!   the tables fit: `n = 4096` is a few hundred MB.
-//! * **Sparse** (`sparse` submodule) — hashed tables holding only
-//!   *touched* state, with each node's untouched peer/port permutations
-//!   represented implicitly by a keyed small-domain Feistel permutation
-//!   evaluated on demand. Memory is O(n + links) instead of `Θ(n²)`,
+//! * **Sparse** (`sparse` submodule) — open-addressing tables
+//!   ([`OpenTable`]) holding only *touched* state, with each node's
+//!   untouched peer/port permutations represented implicitly by a keyed
+//!   small-domain Feistel permutation evaluated on demand (and memoized in
+//!   direct-mapped caches). Memory is O(n + links) instead of `Θ(n²)`,
 //!   which reopens `n = 65536+` for the paper's sublinear-message regime;
 //!   operations stay O(1) expected.
+//! * **Chunked** (`chunked` submodule) — sparse by default, with any
+//!   node whose degree crosses a threshold (default 64, env knob
+//!   `LE_CHUNK_THRESHOLD`) lazily *materializing* a dense flat row.
+//!   Draw-schedule identical to sparse at every step, so switching
+//!   between the two re-rolls nothing; memory stays O(n + links +
+//!   n·hot-nodes) while dense-traffic rows get flat-array speed.
 //!
 //! Selection: [`PortMap::new`] honours the `LE_BACKEND` environment
-//! variable (`dense`, `sparse`, or `auto`; unset means `auto`), and
-//! [`PortMap::with_backend`] / the engine builders' `.backend(…)` pin a
-//! choice programmatically. `auto` picks dense while the flat tables fit
-//! a fixed budget (8 GiB, i.e. up to `n = 16384`) and sparse beyond.
+//! variable (`dense`, `sparse`, `chunked`, or `auto`; unset means
+//! `auto`), and [`PortMap::with_backend`] / the engine builders'
+//! `.backend(…)` pin a choice programmatically. `auto` picks dense while
+//! the flat tables fit a fixed budget (8 GiB, i.e. up to `n = 16384`) and
+//! chunked beyond — past the budget the *workload* decides per node, at
+//! runtime, which rows deserve dense storage.
 //!
 //! RNG-free resolvers (round-robin, circulant, the lower-bound
-//! adversaries) resolve identically on both backends — enforced by
+//! adversaries) resolve identically on all backends — enforced by
 //! `tests/portmap_equivalence.rs`. RNG-driven resolvers draw through the
-//! backend's enumeration order, which differs between backends, so the
-//! per-seed mappings differ while their distributions coincide; golden
-//! fingerprints are therefore *backend-scoped* (recorded on dense).
+//! backend's enumeration order, which differs between dense and
+//! sparse/chunked, so the per-seed mappings differ while their
+//! distributions coincide; golden fingerprints are therefore
+//! *backend-scoped* (recorded on dense; the sparse pins bind chunked too,
+//! since the two share one draw schedule).
 //!
 //! # Trial recycling
 //!
@@ -71,14 +82,17 @@ use rand::Rng;
 use crate::error::ModelError;
 use crate::NodeIndex;
 
+mod chunked;
 mod dense;
 mod perm;
 mod sparse;
+mod table;
 
+use chunked::ChunkedStore;
 use dense::DenseStore;
 use sparse::SparseStore;
 
-pub use sparse::KeyHasher;
+pub use table::OpenTable;
 
 /// A port number local to one node, in `0 .. n-1`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
@@ -166,14 +180,15 @@ fn validate_dirty_list(degree: &[u32], dirty_list: &[u32]) -> Result<(), &'stati
     Ok(())
 }
 
-/// Monomorphic dispatch over the two storage backends: the body is
-/// duplicated per variant, so store methods inline with no virtual call on
-/// the resolution hot path.
+/// Monomorphic dispatch over the storage backends: the body is duplicated
+/// per variant, so store methods inline with no virtual call on the
+/// resolution hot path.
 macro_rules! with_store {
     ($map:expr, $s:ident => $e:expr) => {
         match &$map.store {
             Store::Dense($s) => $e,
             Store::Sparse($s) => $e,
+            Store::Chunked($s) => $e,
         }
     };
 }
@@ -183,6 +198,7 @@ macro_rules! with_store_mut {
         match &mut $map.store {
             Store::Dense($s) => $e,
             Store::Sparse($s) => $e,
+            Store::Chunked($s) => $e,
         }
     };
 }
@@ -197,9 +213,17 @@ pub enum PortBackend {
     /// Hashed O(n + links) tables with implicit keyed permutations:
     /// O(1)-expected operations, memory proportional to touched state.
     Sparse,
-    /// Resolve per size: dense while [`PortBackend::dense_table_bytes`]
-    /// fits [`PortBackend::AUTO_DENSE_CAP_BYTES`] (up to `n = 16384`),
-    /// sparse beyond. The default, and what unset `LE_BACKEND` means.
+    /// Sparse storage that lazily materializes a dense flat row for any
+    /// node whose degree crosses the `LE_CHUNK_THRESHOLD` (default 64).
+    /// Draw-schedule identical to [`PortBackend::Sparse`] — the sparse
+    /// pinned schedules and recorded numbers carry over verbatim.
+    Chunked,
+    /// Resolve per size and workload: dense while
+    /// [`PortBackend::dense_table_bytes`] fits
+    /// [`PortBackend::AUTO_DENSE_CAP_BYTES`] (up to `n = 16384`), chunked
+    /// beyond — past the budget the per-node degree distribution decides
+    /// at runtime which rows get dense storage. The default, and what
+    /// unset `LE_BACKEND` means.
     #[default]
     Auto,
 }
@@ -222,8 +246,8 @@ impl PortBackend {
     pub const AUTO_DENSE_CAP_BYTES: u64 = 8 * 1024 * 1024 * 1024;
 
     /// Reads the backend selection from the `LE_BACKEND` environment
-    /// variable: `dense`, `sparse`, or `auto`; unset (or empty) means
-    /// [`PortBackend::Auto`].
+    /// variable: `dense`, `sparse`, `chunked`, or `auto`; unset (or
+    /// empty) means [`PortBackend::Auto`].
     ///
     /// # Panics
     ///
@@ -233,26 +257,33 @@ impl PortBackend {
         match std::env::var("LE_BACKEND") {
             Err(std::env::VarError::NotPresent) => PortBackend::Auto,
             Err(std::env::VarError::NotUnicode(v)) => {
-                panic!("LE_BACKEND must be dense|sparse|auto, got non-unicode {v:?}")
+                panic!("LE_BACKEND must be dense|sparse|chunked|auto, got non-unicode {v:?}")
             }
             Ok(v) => match v.as_str() {
                 "dense" => PortBackend::Dense,
                 "sparse" => PortBackend::Sparse,
+                "chunked" => PortBackend::Chunked,
                 "auto" | "" => PortBackend::Auto,
-                other => panic!("LE_BACKEND must be dense|sparse|auto, got {other:?}"),
+                other => panic!("LE_BACKEND must be dense|sparse|chunked|auto, got {other:?}"),
             },
         }
     }
 
-    /// Resolves `Auto` against the network size; `Dense` and `Sparse`
-    /// return themselves. The result is always a concrete backend.
+    /// Resolves `Auto` against the network size; concrete backends return
+    /// themselves. The result is always a concrete backend.
+    ///
+    /// Above the dense budget `Auto` picks chunked rather than plain
+    /// sparse: chunked draws the identical schedule (no recorded sparse
+    /// number re-rolls) and adapts per node to the workload's degree
+    /// distribution, so it is never slower than sparse by more than the
+    /// one-time row-materialization cost on hot rows.
     pub fn resolve(self, n: usize) -> PortBackend {
         match self {
             PortBackend::Auto => {
                 if PortBackend::dense_table_bytes(n) <= PortBackend::AUTO_DENSE_CAP_BYTES {
                     PortBackend::Dense
                 } else {
-                    PortBackend::Sparse
+                    PortBackend::Chunked
                 }
             }
             concrete => concrete,
@@ -264,10 +295,16 @@ impl PortBackend {
     /// `u32` permutation/position entries per port, two `u32` peer-indexed
     /// entries per ordered pair, one `u32` degree per node — the
     /// documented ~28 bytes per ordered node pair.
+    ///
+    /// Computed in `u128` and saturated: at `n` near `u32::MAX` the `8n²`
+    /// term alone overflows a `u64`, and a wrapped size would make `auto`
+    /// pick dense for exactly the networks whose tables could never be
+    /// allocated.
     pub fn dense_table_bytes(n: usize) -> u64 {
-        let n = n as u64;
+        let n = n as u128;
         let ports = n.saturating_sub(1);
-        8 * n * ports + 12 * n * ports + 8 * n * n + 4 * n
+        let bytes = 8 * n * ports + 12 * n * ports + 8 * n * n + 4 * n;
+        u64::try_from(bytes).unwrap_or(u64::MAX)
     }
 }
 
@@ -276,6 +313,7 @@ impl std::fmt::Display for PortBackend {
         f.write_str(match self {
             PortBackend::Dense => "dense",
             PortBackend::Sparse => "sparse",
+            PortBackend::Chunked => "chunked",
             PortBackend::Auto => "auto",
         })
     }
@@ -508,13 +546,16 @@ impl PortResolver for CirculantResolver {
     }
 }
 
-/// The two concrete stores behind a [`PortMap`].
+/// The concrete stores behind a [`PortMap`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 enum Store {
     /// Flat tables (see [`dense`]).
     Dense(DenseStore),
     /// Hashed touched-state tables (see [`sparse`]).
     Sparse(SparseStore),
+    /// Sparse tables with lazily materialized dense rows (see
+    /// [`chunked`]).
+    Chunked(ChunkedStore),
 }
 
 /// A partial, lazily-extended, bijective port mapping over `n` nodes.
@@ -560,6 +601,7 @@ impl PortMap {
         let store = match backend.resolve(n) {
             PortBackend::Dense => Store::Dense(DenseStore::new(n)),
             PortBackend::Sparse => Store::Sparse(SparseStore::new(n)),
+            PortBackend::Chunked => Store::Chunked(ChunkedStore::new(n)),
             PortBackend::Auto => unreachable!("resolve() always returns a concrete backend"),
         };
         Ok(PortMap { store })
@@ -570,6 +612,7 @@ impl PortMap {
         match &self.store {
             Store::Dense(_) => PortBackend::Dense,
             Store::Sparse(_) => PortBackend::Sparse,
+            Store::Chunked(_) => PortBackend::Chunked,
         }
     }
 
@@ -802,6 +845,26 @@ mod tests {
         PortMap::with_backend(n, PortBackend::Sparse).unwrap()
     }
 
+    /// A chunked-backend map with an aggressive materialization threshold,
+    /// so the small-`n` mirror tests below actually cross it. (Going
+    /// through the env knob would race across test threads; the store
+    /// constructor takes the threshold directly.)
+    fn chunked_map(n: usize) -> PortMap {
+        PortMap {
+            store: Store::Chunked(ChunkedStore::with_threshold(n, 2)),
+        }
+    }
+
+    /// The three concrete backends, for equivalence loops. `chunked_map`
+    /// (threshold 2) is used instead where the test constructs maps by
+    /// hand — at these tiny sizes the default threshold of 64 would never
+    /// materialize anything.
+    const BACKENDS: [PortBackend; 3] = [
+        PortBackend::Dense,
+        PortBackend::Sparse,
+        PortBackend::Chunked,
+    ];
+
     #[test]
     fn rejects_tiny_network() {
         assert!(matches!(
@@ -820,11 +883,14 @@ mod tests {
         assert_eq!(PortBackend::Auto.resolve(4096), PortBackend::Dense);
         assert_eq!(PortBackend::Auto.resolve(8192), PortBackend::Dense);
         assert_eq!(PortBackend::Auto.resolve(16384), PortBackend::Dense);
-        assert_eq!(PortBackend::Auto.resolve(32768), PortBackend::Sparse);
-        assert_eq!(PortBackend::Auto.resolve(65536), PortBackend::Sparse);
+        // Past the budget auto picks chunked: same draw schedule as
+        // sparse, workload-adaptive row storage.
+        assert_eq!(PortBackend::Auto.resolve(32768), PortBackend::Chunked);
+        assert_eq!(PortBackend::Auto.resolve(65536), PortBackend::Chunked);
         // Explicit choices are never overridden.
         assert_eq!(PortBackend::Dense.resolve(1 << 20), PortBackend::Dense);
         assert_eq!(PortBackend::Sparse.resolve(2), PortBackend::Sparse);
+        assert_eq!(PortBackend::Chunked.resolve(2), PortBackend::Chunked);
         // The budgeted quantity matches the documented ~28 bytes per pair.
         let n = 8192u64;
         let per_pair = PortBackend::dense_table_bytes(8192) / (n * n);
@@ -832,18 +898,49 @@ mod tests {
     }
 
     #[test]
+    fn dense_table_bytes_is_overflow_safe_at_huge_n() {
+        // n = 2²⁰ is exact: 20n(n−1) + 8n² + 4n fits comfortably in u64.
+        let n = 1u64 << 20;
+        assert_eq!(
+            PortBackend::dense_table_bytes(1 << 20),
+            20 * n * (n - 1) + 8 * n * n + 4 * n
+        );
+        assert_eq!(PortBackend::Auto.resolve(1 << 20), PortBackend::Chunked);
+        // Near the u32 ceiling the true size exceeds u64::MAX only with
+        // the multiplications done in u128; a wrapped u64 computation
+        // would come out tiny and flip auto back to dense. The saturated
+        // value must stay above the budget.
+        let huge = (u32::MAX - 1) as usize;
+        assert!(PortBackend::dense_table_bytes(huge) > PortBackend::AUTO_DENSE_CAP_BYTES);
+        assert_eq!(PortBackend::Auto.resolve(huge), PortBackend::Chunked);
+        // Monotonicity across the whole supported range: a larger network
+        // never reports smaller tables (the signature a wrap would leave).
+        let mut prev = 0u64;
+        for shift in 1..32 {
+            let bytes = PortBackend::dense_table_bytes(1usize << shift);
+            assert!(bytes >= prev, "dense_table_bytes wrapped at 2^{shift}");
+            prev = bytes;
+        }
+    }
+
+    #[test]
     fn backend_is_reported_and_part_of_equality() {
         let dense = PortMap::with_backend(16, PortBackend::Dense).unwrap();
         let sparse = sparse_map(16);
+        let chunked = PortMap::with_backend(16, PortBackend::Chunked).unwrap();
         assert_eq!(dense.backend(), PortBackend::Dense);
         assert_eq!(sparse.backend(), PortBackend::Sparse);
+        assert_eq!(chunked.backend(), PortBackend::Chunked);
         assert_ne!(dense, sparse, "maps on different backends compare equal");
+        assert_ne!(dense, chunked, "maps on different backends compare equal");
+        assert_ne!(sparse, chunked, "maps on different backends compare equal");
         assert!(dense.resident_bytes() > sparse.resident_bytes());
+        assert!(dense.resident_bytes() > chunked.resident_bytes());
     }
 
     #[test]
     fn resolve_is_idempotent() {
-        for mut map in [PortMap::new(8).unwrap(), sparse_map(8)] {
+        for mut map in [PortMap::new(8).unwrap(), sparse_map(8), chunked_map(8)] {
             let mut r = RandomResolver;
             let mut rng = rng_from_seed(1);
             let d1 = map
@@ -860,7 +957,7 @@ mod tests {
 
     #[test]
     fn reverse_direction_is_fixed() {
-        for mut map in [PortMap::new(8).unwrap(), sparse_map(8)] {
+        for mut map in [PortMap::new(8).unwrap(), sparse_map(8), chunked_map(8)] {
             let mut r = RandomResolver;
             let mut rng = rng_from_seed(2);
             let d = map
@@ -882,7 +979,7 @@ mod tests {
     #[test]
     fn full_resolution_forms_clique() {
         let n = 10;
-        for mut map in [PortMap::new(n).unwrap(), sparse_map(n)] {
+        for mut map in [PortMap::new(n).unwrap(), sparse_map(n), chunked_map(n)] {
             let mut r = RandomResolver;
             let mut rng = rng_from_seed(3);
             for u in 0..n {
@@ -935,7 +1032,7 @@ mod tests {
 
     #[test]
     fn connect_rejects_conflicts() {
-        for mut map in [PortMap::new(5).unwrap(), sparse_map(5)] {
+        for mut map in [PortMap::new(5).unwrap(), sparse_map(5), chunked_map(5)] {
             map.connect(NodeIndex(0), Port(0), NodeIndex(1), Port(0))
                 .unwrap();
             // same pair again
@@ -956,7 +1053,7 @@ mod tests {
 
     #[test]
     fn port_to_finds_the_link() {
-        for mut map in [PortMap::new(5).unwrap(), sparse_map(5)] {
+        for mut map in [PortMap::new(5).unwrap(), sparse_map(5), chunked_map(5)] {
             map.connect(NodeIndex(0), Port(3), NodeIndex(4), Port(1))
                 .unwrap();
             assert_eq!(map.port_to(NodeIndex(0), NodeIndex(4)), Some(Port(3)));
@@ -971,7 +1068,7 @@ mod tests {
         // time across many fresh maps — on either backend.
         let n = 10;
         let trials = 18_000;
-        for backend in [PortBackend::Dense, PortBackend::Sparse] {
+        for backend in BACKENDS {
             let mut counts = vec![0usize; n];
             let mut rng = rng_from_seed(77);
             for _ in 0..trials {
@@ -999,7 +1096,7 @@ mod tests {
         // the remaining ports ~uniformly — on either backend.
         let n = 6;
         let trials = 18_000;
-        for backend in [PortBackend::Dense, PortBackend::Sparse] {
+        for backend in BACKENDS {
             let mut counts = vec![0usize; n - 1];
             let mut rng = rng_from_seed(41);
             for _ in 0..trials {
@@ -1023,7 +1120,7 @@ mod tests {
     #[test]
     fn partitioned_permutations_track_connectivity() {
         let n = 7;
-        for mut map in [PortMap::new(n).unwrap(), sparse_map(n)] {
+        for mut map in [PortMap::new(n).unwrap(), sparse_map(n), chunked_map(n)] {
             map.connect(NodeIndex(0), Port(2), NodeIndex(4), Port(5))
                 .unwrap();
             map.connect(NodeIndex(0), Port(0), NodeIndex(6), Port(3))
@@ -1050,7 +1147,7 @@ mod tests {
         // Resolve in two very different orders; the mapping must coincide
         // and satisfy all invariants — on either backend.
         let n = 9;
-        for backend in [PortBackend::Dense, PortBackend::Sparse] {
+        for backend in BACKENDS {
             let resolve_all = |order: &mut dyn Iterator<Item = (usize, usize)>| {
                 let mut map = PortMap::with_backend(n, backend).unwrap();
                 let mut r = CirculantResolver;
@@ -1100,7 +1197,7 @@ mod tests {
     #[test]
     fn reset_restores_pristine_state() {
         let n = 12;
-        for backend in [PortBackend::Dense, PortBackend::Sparse] {
+        for backend in BACKENDS {
             let mut map = PortMap::with_backend(n, backend).unwrap();
             let mut r = RandomResolver;
             let mut rng = rng_from_seed(5);
@@ -1120,7 +1217,7 @@ mod tests {
     #[test]
     fn reset_after_full_clique_restores_pristine_state() {
         let n = 9;
-        for backend in [PortBackend::Dense, PortBackend::Sparse] {
+        for backend in BACKENDS {
             let mut map = PortMap::with_backend(n, backend).unwrap();
             let mut r = RandomResolver;
             let mut rng = rng_from_seed(8);
@@ -1142,7 +1239,7 @@ mod tests {
         // same mapping on a reset map as on a fresh one — on either
         // backend.
         let n = 16;
-        for backend in [PortBackend::Dense, PortBackend::Sparse] {
+        for backend in BACKENDS {
             let mut recycled = PortMap::with_backend(n, backend).unwrap();
             let mut r = RandomResolver;
             let mut warmup_rng = rng_from_seed(123);
@@ -1173,7 +1270,7 @@ mod tests {
     #[test]
     fn reset_is_reusable_across_many_trials() {
         let n = 10;
-        for backend in [PortBackend::Dense, PortBackend::Sparse] {
+        for backend in BACKENDS {
             let mut map = PortMap::with_backend(n, backend).unwrap();
             let mut r = RandomResolver;
             for trial in 0..20u64 {
@@ -1242,8 +1339,44 @@ mod tests {
     }
 
     #[test]
+    fn chunked_random_resolver_matches_the_sparse_pin() {
+        // The chunked backend must draw the *identical* schedule as
+        // sparse — that identity is what lets `auto` switch from sparse
+        // to chunked without re-rolling any recorded number. Threshold 2
+        // forces node 0's row to materialize in the middle of the pinned
+        // sequence, so the pin crosses the representation switch.
+        let n = 17;
+        let mut map = chunked_map(n);
+        let mut resolver = RandomResolver;
+        let mut rng = rng_from_seed(0);
+        let seq: Vec<usize> = (0..8)
+            .map(|p| {
+                map.resolve(NodeIndex(0), Port(p), &mut resolver, &mut rng)
+                    .unwrap()
+                    .node
+                    .0
+            })
+            .collect();
+        map.validate().unwrap();
+        const EXPECTED: [usize; 8] = [15, 11, 9, 2, 7, 14, 6, 10];
+        assert_eq!(seq, EXPECTED, "chunked schedule diverged from sparse");
+        // And a reset map (rows still materialized) redraws it verbatim.
+        map.reset();
+        let mut rng = rng_from_seed(0);
+        let again: Vec<usize> = (0..8)
+            .map(|p| {
+                map.resolve(NodeIndex(0), Port(p), &mut resolver, &mut rng)
+                    .unwrap()
+                    .node
+                    .0
+            })
+            .collect();
+        assert_eq!(again, EXPECTED, "recycled chunked schedule drifted");
+    }
+
+    #[test]
     fn out_of_range_errors() {
-        for mut map in [PortMap::new(4).unwrap(), sparse_map(4)] {
+        for mut map in [PortMap::new(4).unwrap(), sparse_map(4), chunked_map(4)] {
             let mut r = RandomResolver;
             let mut rng = rng_from_seed(0);
             assert!(matches!(

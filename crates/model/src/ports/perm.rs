@@ -47,8 +47,13 @@ pub(crate) struct KeyedPerm {
 impl KeyedPerm {
     /// Smallest number of bits per half such that the padded Feistel domain
     /// `4^half_bits` covers `[0, m)`.
+    ///
+    /// The supported domain is `1 ≤ m < 2³²` — the port-map stores assert
+    /// `n < u32::MAX` at construction, so `m = n − 1` always fits, and the
+    /// loop below can never push `2·half_bits` to an overflowing shift.
     #[inline]
     pub(crate) fn half_bits_for(m: usize) -> u32 {
+        debug_assert!(m as u64 <= u64::from(u32::MAX), "domain exceeds u32 range");
         let mut half_bits = 1u32;
         while (1u64 << (2 * half_bits)) < m as u64 {
             half_bits += 1;
@@ -68,7 +73,16 @@ impl KeyedPerm {
     #[inline]
     pub(crate) fn with_half_bits(m: usize, half_bits: u32, key: u64) -> KeyedPerm {
         debug_assert!(m >= 1, "empty permutation domain");
-        debug_assert_eq!(half_bits, KeyedPerm::half_bits_for(m));
+        // Checked in release builds too: a half-width that disagrees with
+        // `half_bits_for(m)` still *produces a bijection* over `[0, m)`,
+        // but a different one — the store would silently draw a different
+        // (pinned!) schedule while every unit invariant stayed green. Two
+        // shifts and two compares make the drift impossible instead.
+        assert!(
+            (1u64 << (2 * half_bits)) >= m as u64
+                && (half_bits == 1 || (1u64 << (2 * (half_bits - 1))) < m as u64),
+            "half_bits {half_bits} is not the canonical width for domain {m}"
+        );
         let mut keys = [0u64; 4];
         let mut k = key;
         for slot in &mut keys {
@@ -199,5 +213,33 @@ mod tests {
             assert!(1u64 << (2 * b) >= m as u64);
             assert!(b == 1 || 1u64 << (2 * (b - 1)) < m as u64);
         }
+    }
+
+    #[test]
+    fn top_of_supported_range_round_trips() {
+        // The stores assert `n < u32::MAX`, so the largest domain a
+        // permutation ever sees is `m = u32::MAX − 1`. half_bits must cap
+        // at 16 (padded domain 2³²) and apply/invert must round-trip
+        // without the cycle-walk escaping.
+        let m = (u32::MAX - 1) as usize;
+        assert_eq!(KeyedPerm::half_bits_for(m), 16);
+        let perm = KeyedPerm::new(m, 0x5eed);
+        for k in [0usize, 1, 12345, m / 2, m - 2, m - 1] {
+            let v = perm.apply(k);
+            assert!(v < m);
+            assert_eq!(perm.invert(v), k, "inverse broken at {k}");
+        }
+    }
+
+    #[test]
+    fn mismatched_half_bits_is_rejected_in_release_builds() {
+        // The guard must hold without debug assertions — a silently
+        // different bijection would re-roll every pinned sparse schedule.
+        let oversized = std::panic::catch_unwind(|| KeyedPerm::with_half_bits(100, 16, 1));
+        assert!(oversized.is_err(), "oversized half width accepted");
+        let undersized = std::panic::catch_unwind(|| KeyedPerm::with_half_bits(100, 3, 1));
+        assert!(undersized.is_err(), "undersized half width accepted");
+        // The canonical width for m = 100 is 4 (4⁴ = 256 ≥ 100 > 64 = 4³).
+        KeyedPerm::with_half_bits(100, 4, 1);
     }
 }

@@ -1,10 +1,10 @@
 //! The sparse backend: O(total links) memory instead of `Θ(n²)`.
 //!
-//! Every table the dense backend materializes is replaced by a hash map
-//! holding only *touched* state, and each node's untouched peer/port
-//! permutations are represented implicitly by a keyed pseudo-random
-//! permutation ([`KeyedPerm`], a small-domain Feistel network with
-//! cycle-walking) evaluated on demand:
+//! Every table the dense backend materializes is replaced by an
+//! open-addressing hash table ([`OpenTable`]) holding only *touched*
+//! state, and each node's untouched peer/port permutations are represented
+//! implicitly by a keyed pseudo-random permutation ([`KeyedPerm`], a
+//! small-domain Feistel network with cycle-walking) evaluated on demand:
 //!
 //! * the forward table and the peer→port index store one entry per fixed
 //!   half-link;
@@ -22,6 +22,23 @@
 //! entries, which is what reopens `n = 65536+` on boxes where the dense
 //! tables would need ~28 bytes per ordered node pair.
 //!
+//! # The warm path
+//!
+//! Two structures close the gap to the dense backend's flat reads on
+//! recycled (warm) trials:
+//!
+//! * The six hashed tables are [`OpenTable`]s — one multiplicative hash,
+//!   linear probing over adjacent key/value pairs, backward-shift deletion
+//!   — instead of `std::HashMap`s, cutting the per-operation constant on
+//!   the insert/remove churn every promote performs.
+//! * Base-permutation evaluations are memoized in four direct-mapped
+//!   caches ([`RowCaches`]). A base permutation is a *pure function* of
+//!   `(n, node)`, so cached outputs are never invalidated — not by links,
+//!   not by [`PortStore::reset`] — and repeated draws along a node's hot
+//!   row skip the 4-round Feistel network entirely. The caches are
+//!   interior-mutable (`Cell`) so hits stay `&self`, and are excluded from
+//!   equality: they are a transparent view of pure computation, not state.
+//!
 //! The enumeration *order* of unconnected peers and free ports differs
 //! from the dense backend (keyed pseudo-random versus ascending), so
 //! RNG-driven resolvers draw different — identically distributed —
@@ -29,10 +46,10 @@
 //! adversaries) observe identical resolutions on both backends; the
 //! dense-vs-sparse equivalence suite pins exactly that.
 
-use std::collections::HashMap;
-use std::hash::{BuildHasherDefault, Hasher};
+use std::cell::Cell;
 
 use super::perm::{mix64, KeyedPerm};
+use super::table::OpenTable;
 use super::{Endpoint, Port, PortStore};
 use crate::error::ModelError;
 use crate::NodeIndex;
@@ -43,76 +60,147 @@ const PEER_STREAM: u64 = 0x7065_6572_7065_726d; // "peerperm"
 /// Key-stream tweak for the port permutations.
 const PORT_STREAM: u64 = 0x706f_7274_7065_726d; // "portperm"
 
-/// A pre-mixed `u64` identity hasher for the sparse tables' packed
-/// `(node, index)` keys.
-///
-/// The std `HashMap`'s default SipHash is needlessly expensive for keys we
-/// control completely; one `splitmix64` finalizer round is a strong enough
-/// scrambler for packed small integers and keeps the sparse backend's
-/// per-operation cost close to the dense backend's array reads.
-#[derive(Debug, Default, Clone, Copy)]
-pub struct KeyHasher(u64);
-
-impl Hasher for KeyHasher {
-    #[inline]
-    fn finish(&self) -> u64 {
-        self.0
-    }
-
-    fn write(&mut self, bytes: &[u8]) {
-        // Generic fallback (unused by the u64-keyed maps below).
-        for &b in bytes {
-            self.0 = mix64(self.0 ^ u64::from(b));
-        }
-    }
-
-    #[inline]
-    fn write_u64(&mut self, x: u64) {
-        self.0 = mix64(x);
-    }
-}
-
-/// A `u64`-keyed hash map using [`KeyHasher`].
-pub(crate) type KeyMap<V> = HashMap<u64, V, BuildHasherDefault<KeyHasher>>;
-
 /// Packs a `(node, index)` coordinate into one map key.
 #[inline]
-fn key(u: usize, x: usize) -> u64 {
+pub(super) fn key(u: usize, x: usize) -> u64 {
     ((u as u64) << 32) | x as u64
 }
 
 /// Packs an endpoint into a forward-table value.
 #[inline]
-fn enc(v: usize, p: usize) -> u64 {
+pub(super) fn enc(v: usize, p: usize) -> u64 {
     ((v as u64) << 32) | p as u64
 }
 
+/// A direct-mapped memo cache for one base-permutation direction: slot
+/// `hash(key)` holds the last `(key, output)` pair that landed there.
+///
+/// Collisions simply overwrite — the cache is pure memoization of a
+/// deterministic function, so a stale-slot miss costs one recomputation
+/// and nothing else.
+#[derive(Debug, Clone)]
+struct PermCache {
+    slots: Vec<Cell<(u64, u32)>>,
+    /// `64 − log2(slots.len())`, for Fibonacci indexing by high bits.
+    shift: u32,
+}
+
+/// Unused-key marker: real keys pack a node index `< u32::MAX` in the
+/// high half, so all-ones never occurs.
+const NO_KEY: u64 = u64::MAX;
+
+impl PermCache {
+    fn new(slots: usize) -> Self {
+        debug_assert!(slots.is_power_of_two());
+        PermCache {
+            slots: vec![Cell::new((NO_KEY, 0)); slots],
+            shift: 64 - slots.trailing_zeros(),
+        }
+    }
+
+    #[inline]
+    fn get_or(&self, key: u64, compute: impl FnOnce() -> u32) -> u32 {
+        let idx = (key.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> self.shift) as usize;
+        let (k, v) = self.slots[idx].get();
+        if k == key {
+            return v;
+        }
+        let v = compute();
+        self.slots[idx].set((key, v));
+        v
+    }
+
+    fn resident_bytes(&self) -> u64 {
+        (self.slots.len() * std::mem::size_of::<Cell<(u64, u32)>>()) as u64
+    }
+}
+
+/// The four memo caches: forward and inverse, peer and port permutations.
+#[derive(Debug, Clone)]
+pub(super) struct RowCaches {
+    peer_fwd: PermCache,
+    peer_inv: PermCache,
+    port_fwd: PermCache,
+    port_inv: PermCache,
+}
+
+impl RowCaches {
+    fn new(n: usize) -> Self {
+        // Scale with the network but stay bounded: ~4 slots per node keeps
+        // the per-trial working set (promotes touch a handful of positions
+        // per link) mostly resident, while the clamp caps the fixed
+        // footprint at 2 MiB per direction even at n = 131072+ and keeps
+        // tiny maps smaller than their dense twins.
+        let slots = (4 * n).next_power_of_two().clamp(64, 1 << 17);
+        RowCaches {
+            peer_fwd: PermCache::new(slots),
+            peer_inv: PermCache::new(slots),
+            port_fwd: PermCache::new(slots),
+            port_inv: PermCache::new(slots),
+        }
+    }
+
+    fn resident_bytes(&self) -> u64 {
+        self.peer_fwd.resident_bytes()
+            + self.peer_inv.resident_bytes()
+            + self.port_fwd.resident_bytes()
+            + self.port_inv.resident_bytes()
+    }
+}
+
 /// The sparse storage backend (see the module docs).
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Fields are `pub(super)` so the chunked backend can embed one and share
+/// its link tables, override discipline, and base-permutation machinery.
+#[derive(Debug, Clone)]
 pub(super) struct SparseStore {
-    n: usize,
+    pub(super) n: usize,
     /// Precomputed Feistel half-width for the shared domain `n − 1`.
     half_bits: u32,
     /// Links incident to each node — the only Θ(n) table.
-    degree: Vec<u32>,
+    pub(super) degree: Vec<u32>,
     /// Total number of links fixed so far.
-    links: usize,
+    pub(super) links: usize,
     /// Nodes with at least one link (pushed on the 0 → 1 transition).
-    dirty: Vec<u32>,
+    pub(super) dirty: Vec<u32>,
     /// `(u, i) → (v << 32) | j` for each assigned port `i` of `u`.
-    fwd: KeyMap<u64>,
+    pub(super) fwd: OpenTable<u64>,
     /// `(u, v) → i` iff `u`'s port `i` connects to `v`.
-    by_peer: KeyMap<u32>,
+    pub(super) by_peer: OpenTable<u32>,
     /// Peer-permutation overrides: `(u, k) → v` where position `k` of
     /// `u`'s peer permutation deviates from the base permutation.
-    peer_val: KeyMap<u32>,
+    pub(super) peer_val: OpenTable<u32>,
     /// Inverse overrides: `(u, v) → k`.
-    peer_pos: KeyMap<u32>,
+    pub(super) peer_pos: OpenTable<u32>,
     /// Port-permutation overrides: `(u, k) → p`.
-    port_val: KeyMap<u32>,
+    pub(super) port_val: OpenTable<u32>,
     /// Inverse overrides: `(u, p) → k`.
-    port_pos: KeyMap<u32>,
+    pub(super) port_pos: OpenTable<u32>,
+    /// Pure-function memo caches — excluded from equality and never
+    /// invalidated (see the module docs).
+    cache: RowCaches,
 }
+
+/// Everything but the memo caches: two stores are equal iff they hold the
+/// same mapping in the same internal state. Cache contents are a view of
+/// pure computation and must not affect equality (a warm recycled map
+/// would otherwise never equal a fresh one).
+impl PartialEq for SparseStore {
+    fn eq(&self, other: &Self) -> bool {
+        self.n == other.n
+            && self.links == other.links
+            && self.degree == other.degree
+            && self.dirty == other.dirty
+            && self.fwd == other.fwd
+            && self.by_peer == other.by_peer
+            && self.peer_val == other.peer_val
+            && self.peer_pos == other.peer_pos
+            && self.port_val == other.port_val
+            && self.port_pos == other.port_pos
+    }
+}
+
+impl Eq for SparseStore {}
 
 impl SparseStore {
     /// Creates an empty sparse store for an `n`-node clique (`n ≥ 2`,
@@ -127,12 +215,13 @@ impl SparseStore {
             degree: vec![0; n],
             links: 0,
             dirty: Vec::new(),
-            fwd: KeyMap::default(),
-            by_peer: KeyMap::default(),
-            peer_val: KeyMap::default(),
-            peer_pos: KeyMap::default(),
-            port_val: KeyMap::default(),
-            port_pos: KeyMap::default(),
+            fwd: OpenTable::new(),
+            by_peer: OpenTable::new(),
+            peer_val: OpenTable::new(),
+            peer_pos: OpenTable::new(),
+            port_val: OpenTable::new(),
+            port_pos: OpenTable::new(),
+            cache: RowCaches::new(n),
         }
     }
 
@@ -150,63 +239,73 @@ impl SparseStore {
 
     /// The base (untouched) peer at position `k` of `u`'s permutation: the
     /// keyed permutation composed with the skip-`u` enumeration of peers.
+    /// Memoized — a pure function of `(n, u, k)`.
     #[inline]
-    fn base_peer(&self, u: usize, k: usize) -> u32 {
-        let v = self.peer_perm(u).apply(k);
-        (v + usize::from(v >= u)) as u32
+    pub(super) fn base_peer(&self, u: usize, k: usize) -> u32 {
+        self.cache.peer_fwd.get_or(key(u, k), || {
+            let v = self.peer_perm(u).apply(k);
+            (v + usize::from(v >= u)) as u32
+        })
     }
 
-    /// The base position of peer `v` in `u`'s permutation.
+    /// The base position of peer `v` in `u`'s permutation. Memoized.
     #[inline]
-    fn base_peer_pos(&self, u: usize, v: usize) -> u32 {
-        self.peer_perm(u).invert(v - usize::from(v > u)) as u32
+    pub(super) fn base_peer_pos(&self, u: usize, v: usize) -> u32 {
+        self.cache.peer_inv.get_or(key(u, v), || {
+            self.peer_perm(u).invert(v - usize::from(v > u)) as u32
+        })
     }
 
     /// The base (untouched) port at position `k` of `u`'s permutation.
+    /// Memoized.
     #[inline]
-    fn base_port(&self, u: usize, k: usize) -> u32 {
-        self.port_perm(u).apply(k) as u32
+    pub(super) fn base_port(&self, u: usize, k: usize) -> u32 {
+        self.cache
+            .port_fwd
+            .get_or(key(u, k), || self.port_perm(u).apply(k) as u32)
     }
 
-    /// The base position of port `p` in `u`'s permutation.
+    /// The base position of port `p` in `u`'s permutation. Memoized.
     #[inline]
-    fn base_port_pos(&self, u: usize, p: usize) -> u32 {
-        self.port_perm(u).invert(p) as u32
+    pub(super) fn base_port_pos(&self, u: usize, p: usize) -> u32 {
+        self.cache
+            .port_inv
+            .get_or(key(u, p), || self.port_perm(u).invert(p) as u32)
     }
 
     /// The peer at position `k`: the override if the slot was displaced,
     /// the base permutation otherwise.
     #[inline]
-    fn peer_at(&self, u: usize, k: usize) -> u32 {
-        match self.peer_val.get(&key(u, k)) {
-            Some(&v) => v,
+    pub(super) fn peer_at(&self, u: usize, k: usize) -> u32 {
+        match self.peer_val.get(key(u, k)) {
+            Some(v) => v,
             None => self.base_peer(u, k),
         }
     }
 
     /// The position of peer `v` in `u`'s permutation.
     #[inline]
-    fn pos_of_peer(&self, u: usize, v: usize) -> u32 {
-        match self.peer_pos.get(&key(u, v)) {
-            Some(&k) => k,
+    pub(super) fn pos_of_peer(&self, u: usize, v: usize) -> u32 {
+        match self.peer_pos.get(key(u, v)) {
+            Some(k) => k,
             None => self.base_peer_pos(u, v),
         }
     }
 
     /// The port at position `k`.
     #[inline]
-    fn port_at(&self, u: usize, k: usize) -> u32 {
-        match self.port_val.get(&key(u, k)) {
-            Some(&p) => p,
+    pub(super) fn port_at(&self, u: usize, k: usize) -> u32 {
+        match self.port_val.get(key(u, k)) {
+            Some(p) => p,
             None => self.base_port(u, k),
         }
     }
 
     /// The position of port `p` in `u`'s permutation.
     #[inline]
-    fn pos_of_port(&self, u: usize, p: usize) -> u32 {
-        match self.port_pos.get(&key(u, p)) {
-            Some(&k) => k,
+    pub(super) fn pos_of_port(&self, u: usize, p: usize) -> u32 {
+        match self.port_pos.get(key(u, p)) {
+            Some(k) => k,
             None => self.base_port_pos(u, p),
         }
     }
@@ -217,7 +316,7 @@ impl SparseStore {
     #[inline]
     fn set_peer_at(&mut self, u: usize, k: usize, v: u32) {
         if self.base_peer(u, k) == v {
-            self.peer_val.remove(&key(u, k));
+            self.peer_val.remove(key(u, k));
         } else {
             self.peer_val.insert(key(u, k), v);
         }
@@ -227,7 +326,7 @@ impl SparseStore {
     #[inline]
     fn set_pos_of_peer(&mut self, u: usize, v: usize, k: u32) {
         if self.base_peer_pos(u, v) == k {
-            self.peer_pos.remove(&key(u, v));
+            self.peer_pos.remove(key(u, v));
         } else {
             self.peer_pos.insert(key(u, v), k);
         }
@@ -237,7 +336,7 @@ impl SparseStore {
     #[inline]
     fn set_port_at(&mut self, u: usize, k: usize, p: u32) {
         if self.base_port(u, k) == p {
-            self.port_val.remove(&key(u, k));
+            self.port_val.remove(key(u, k));
         } else {
             self.port_val.insert(key(u, k), p);
         }
@@ -247,7 +346,7 @@ impl SparseStore {
     #[inline]
     fn set_pos_of_port(&mut self, u: usize, p: usize, k: u32) {
         if self.base_port_pos(u, p) == k {
-            self.port_pos.remove(&key(u, p));
+            self.port_pos.remove(key(u, p));
         } else {
             self.port_pos.insert(key(u, p), k);
         }
@@ -256,7 +355,7 @@ impl SparseStore {
     /// Swaps peer `v` and port `p` into the connected prefix of `u`'s
     /// partitioned permutations — the same two partial-Fisher–Yates steps
     /// as the dense backend, through the override maps.
-    fn promote(&mut self, u: usize, v: usize, p: usize) {
+    pub(super) fn promote(&mut self, u: usize, v: usize, p: usize) {
         let d = self.degree[u] as usize;
 
         let k = self.pos_of_peer(u, v) as usize;
@@ -274,6 +373,156 @@ impl SparseStore {
         self.set_port_at(u, kp, q);
         self.set_pos_of_port(u, p, d as u32);
         self.set_pos_of_port(u, q as usize, kp as u32);
+    }
+
+    /// Restores one dirty node's row to pristine state: removes its
+    /// half-links from the shared tables, then chases displacement cycles
+    /// until every override is gone. Shared with [`PortStore::reset`] and
+    /// the chunked backend's per-node reset dispatch.
+    pub(super) fn reset_node(&mut self, u: usize) {
+        let d = self.degree[u] as usize;
+        // The connected peers and assigned ports are exactly the first
+        // d entries of the partitioned permutations.
+        for k in 0..d {
+            let v = self.peer_at(u, k);
+            self.by_peer.remove(key(u, v as usize));
+            let p = self.port_at(u, k);
+            self.fwd.remove(key(u, p as usize));
+        }
+        self.degree[u] = 0;
+        // Chase displacement cycles from the prefix (see the dense
+        // backend's reset for the argument that this restores the
+        // whole row): each swap returns one value to its base slot,
+        // shrinking the override maps until they are empty for u.
+        for k in 0..d {
+            loop {
+                let v = self.peer_at(u, k) as usize;
+                let home = self.base_peer_pos(u, v) as usize;
+                if home == k {
+                    break;
+                }
+                let w = self.peer_at(u, home);
+                self.set_peer_at(u, k, w);
+                self.set_peer_at(u, home, v as u32);
+                self.set_pos_of_peer(u, v, home as u32);
+                self.set_pos_of_peer(u, w as usize, k as u32);
+            }
+            loop {
+                let p = self.port_at(u, k) as usize;
+                let home = self.base_port_pos(u, p) as usize;
+                if home == k {
+                    break;
+                }
+                let q = self.port_at(u, home);
+                self.set_port_at(u, k, q);
+                self.set_port_at(u, home, p as u32);
+                self.set_pos_of_port(u, p, home as u32);
+                self.set_pos_of_port(u, q as usize, k as u32);
+            }
+        }
+    }
+
+    /// Trial-boundary bookkeeping shared with the chunked backend: apply
+    /// the shrink-if-oversized policy to every (now empty) hashed table.
+    /// The memo caches are deliberately *not* touched — their contents are
+    /// pure function outputs that stay valid across trials, which is where
+    /// the recycled warm path gets its Feistel hits from.
+    pub(super) fn end_trial(&mut self) {
+        self.fwd.end_trial();
+        self.by_peer.end_trial();
+        self.peer_val.end_trial();
+        self.peer_pos.end_trial();
+        self.port_val.end_trial();
+        self.port_pos.end_trial();
+    }
+
+    /// Validates the link tables (forward symmetry, peer-index sync, range
+    /// checks) — the representation shared verbatim with the chunked
+    /// backend.
+    pub(super) fn validate_link_tables(&self) -> Result<(), ModelError> {
+        let fail = |u: usize, p: usize, reason: &'static str| {
+            Err(ModelError::InvalidResolution {
+                node: NodeIndex(u),
+                port: Port(p),
+                reason,
+            })
+        };
+        let ports = self.n - 1;
+        // Hashed-table bookkeeping: one entry per half-link in each table.
+        if self.fwd.len() != 2 * self.links || self.by_peer.len() != 2 * self.links {
+            return fail(0, 0, "link count out of sync");
+        }
+        for (k, e) in self.fwd.iter() {
+            let (u, i) = ((k >> 32) as usize, (k & 0xFFFF_FFFF) as usize);
+            let (v, j) = ((e >> 32) as usize, (e & 0xFFFF_FFFF) as usize);
+            if u >= self.n || v >= self.n || i >= ports || j >= ports {
+                return fail(u, i, "forward entry out of range");
+            }
+            if v == u {
+                return fail(u, i, "self-link");
+            }
+            if self.fwd.get(key(v, j)) != Some(enc(u, i)) {
+                return fail(u, i, "asymmetric link");
+            }
+            if self.by_peer.get(key(u, v)) != Some(i as u32) {
+                return fail(u, i, "peer index out of sync");
+            }
+        }
+        Ok(())
+    }
+
+    /// Validates that every override is a genuine deviation with an exact
+    /// inverse; the remove-on-return-to-base discipline keeps "untouched"
+    /// == absent. `node_check` lets the chunked backend additionally
+    /// reject overrides for nodes whose rows are materialized.
+    pub(super) fn validate_overrides(
+        &self,
+        mut node_check: impl FnMut(usize) -> bool,
+    ) -> Result<(), ModelError> {
+        let fail = |u: usize, reason: &'static str| {
+            Err(ModelError::InvalidResolution {
+                node: NodeIndex(u),
+                port: Port(0),
+                reason,
+            })
+        };
+        for (k, v) in self.peer_val.iter() {
+            let (u, pos) = ((k >> 32) as usize, (k & 0xFFFF_FFFF) as usize);
+            if !node_check(u) {
+                return fail(u, "override for a materialized row");
+            }
+            if self.base_peer(u, pos) == v {
+                return fail(u, "redundant peer override");
+            }
+        }
+        for (k, pos) in self.peer_pos.iter() {
+            let (u, v) = ((k >> 32) as usize, (k & 0xFFFF_FFFF) as usize);
+            if !node_check(u) {
+                return fail(u, "override for a materialized row");
+            }
+            if self.base_peer_pos(u, v) == pos {
+                return fail(u, "redundant peer position override");
+            }
+        }
+        for (k, p) in self.port_val.iter() {
+            let (u, pos) = ((k >> 32) as usize, (k & 0xFFFF_FFFF) as usize);
+            if !node_check(u) {
+                return fail(u, "override for a materialized row");
+            }
+            if self.base_port(u, pos) == p {
+                return fail(u, "redundant port override");
+            }
+        }
+        for (k, pos) in self.port_pos.iter() {
+            let (u, p) = ((k >> 32) as usize, (k & 0xFFFF_FFFF) as usize);
+            if !node_check(u) {
+                return fail(u, "override for a materialized row");
+            }
+            if self.base_port_pos(u, p) == pos {
+                return fail(u, "redundant port position override");
+            }
+        }
+        Ok(())
     }
 }
 
@@ -295,12 +544,12 @@ impl PortStore for SparseStore {
 
     #[inline]
     fn connected(&self, u: NodeIndex, v: NodeIndex) -> bool {
-        self.by_peer.contains_key(&key(u.0, v.0))
+        self.by_peer.contains_key(key(u.0, v.0))
     }
 
     #[inline]
     fn peer(&self, u: NodeIndex, p: Port) -> Option<Endpoint> {
-        self.fwd.get(&key(u.0, p.0)).map(|&enc| Endpoint {
+        self.fwd.get(key(u.0, p.0)).map(|enc| Endpoint {
             node: NodeIndex((enc >> 32) as usize),
             port: Port((enc & 0xFFFF_FFFF) as usize),
         })
@@ -308,7 +557,7 @@ impl PortStore for SparseStore {
 
     #[inline]
     fn port_to(&self, u: NodeIndex, v: NodeIndex) -> Option<Port> {
-        self.by_peer.get(&key(u.0, v.0)).map(|&p| Port(p as usize))
+        self.by_peer.get(key(u.0, v.0)).map(|p| Port(p as usize))
     }
 
     #[inline]
@@ -348,49 +597,10 @@ impl PortStore for SparseStore {
     fn reset(&mut self) {
         let dirty = std::mem::take(&mut self.dirty);
         for &u in &dirty {
-            let u = u as usize;
-            let d = self.degree[u] as usize;
-            // The connected peers and assigned ports are exactly the first
-            // d entries of the partitioned permutations.
-            for k in 0..d {
-                let v = self.peer_at(u, k);
-                self.by_peer.remove(&key(u, v as usize));
-                let p = self.port_at(u, k);
-                self.fwd.remove(&key(u, p as usize));
-            }
-            self.degree[u] = 0;
-            // Chase displacement cycles from the prefix (see the dense
-            // backend's reset for the argument that this restores the
-            // whole row): each swap returns one value to its base slot,
-            // shrinking the override maps until they are empty for u.
-            for k in 0..d {
-                loop {
-                    let v = self.peer_at(u, k) as usize;
-                    let home = self.base_peer_pos(u, v) as usize;
-                    if home == k {
-                        break;
-                    }
-                    let w = self.peer_at(u, home);
-                    self.set_peer_at(u, k, w);
-                    self.set_peer_at(u, home, v as u32);
-                    self.set_pos_of_peer(u, v, home as u32);
-                    self.set_pos_of_peer(u, w as usize, k as u32);
-                }
-                loop {
-                    let p = self.port_at(u, k) as usize;
-                    let home = self.base_port_pos(u, p) as usize;
-                    if home == k {
-                        break;
-                    }
-                    let q = self.port_at(u, home);
-                    self.set_port_at(u, k, q);
-                    self.set_port_at(u, home, p as u32);
-                    self.set_pos_of_port(u, p, home as u32);
-                    self.set_pos_of_port(u, q as usize, k as u32);
-                }
-            }
+            self.reset_node(u as usize);
         }
         self.links = 0;
+        self.end_trial();
     }
 
     fn validate(&self) -> Result<(), ModelError> {
@@ -402,52 +612,8 @@ impl PortStore for SparseStore {
             })
         };
         let ports = self.n - 1;
-        // Hashed-table bookkeeping: one entry per half-link in each table.
-        if self.fwd.len() != 2 * self.links || self.by_peer.len() != 2 * self.links {
-            return fail(0, 0, "link count out of sync");
-        }
-        for (&k, &e) in &self.fwd {
-            let (u, i) = ((k >> 32) as usize, (k & 0xFFFF_FFFF) as usize);
-            let (v, j) = ((e >> 32) as usize, (e & 0xFFFF_FFFF) as usize);
-            if u >= self.n || v >= self.n || i >= ports || j >= ports {
-                return fail(u, i, "forward entry out of range");
-            }
-            if v == u {
-                return fail(u, i, "self-link");
-            }
-            if self.fwd.get(&key(v, j)) != Some(&enc(u, i)) {
-                return fail(u, i, "asymmetric link");
-            }
-            if self.by_peer.get(&key(u, v)) != Some(&(i as u32)) {
-                return fail(u, i, "peer index out of sync");
-            }
-        }
-        // Overrides must be genuine deviations with exact inverses; the
-        // remove-on-return-to-base discipline keeps "untouched" == absent.
-        for (&k, &v) in &self.peer_val {
-            let (u, pos) = ((k >> 32) as usize, (k & 0xFFFF_FFFF) as usize);
-            if self.base_peer(u, pos) == v {
-                return fail(u, 0, "redundant peer override");
-            }
-        }
-        for (&k, &pos) in &self.peer_pos {
-            let (u, v) = ((k >> 32) as usize, (k & 0xFFFF_FFFF) as usize);
-            if self.base_peer_pos(u, v) == pos {
-                return fail(u, 0, "redundant peer position override");
-            }
-        }
-        for (&k, &p) in &self.port_val {
-            let (u, pos) = ((k >> 32) as usize, (k & 0xFFFF_FFFF) as usize);
-            if self.base_port(u, pos) == p {
-                return fail(u, 0, "redundant port override");
-            }
-        }
-        for (&k, &pos) in &self.port_pos {
-            let (u, p) = ((k >> 32) as usize, (k & 0xFFFF_FFFF) as usize);
-            if self.base_port_pos(u, p) == pos {
-                return fail(u, 0, "redundant port position override");
-            }
-        }
+        self.validate_link_tables()?;
+        self.validate_overrides(|_| true)?;
         // Exhaustive per-node partition and inverse checks — mirrors the
         // dense validate (O(n²); intended for tests, like the facade docs
         // say).
@@ -455,7 +621,7 @@ impl PortStore for SparseStore {
             let d = self.degree[u] as usize;
             let mut assigned = 0usize;
             for i in 0..ports {
-                if self.fwd.contains_key(&key(u, i)) {
+                if self.fwd.contains_key(key(u, i)) {
                     assigned += 1;
                 }
             }
@@ -467,7 +633,7 @@ impl PortStore for SparseStore {
                 if self.pos_of_peer(u, v as usize) != k as u32 {
                     return fail(u, 0, "peer permutation/position out of sync");
                 }
-                let connected = self.by_peer.contains_key(&key(u, v as usize));
+                let connected = self.by_peer.contains_key(key(u, v as usize));
                 if connected != (k < d) {
                     return fail(u, 0, "peer permutation partition broken");
                 }
@@ -475,7 +641,7 @@ impl PortStore for SparseStore {
                 if self.pos_of_port(u, p as usize) != k as u32 {
                     return fail(u, 0, "port permutation/position out of sync");
                 }
-                let taken = self.fwd.contains_key(&key(u, p as usize));
+                let taken = self.fwd.contains_key(key(u, p as usize));
                 if taken != (k < d) {
                     return fail(u, 0, "port permutation partition broken");
                 }
@@ -488,18 +654,16 @@ impl PortStore for SparseStore {
     }
 
     fn resident_bytes(&self) -> u64 {
-        // Hash-map entries cost key + value + ~1 control byte per usable
-        // slot; capacity() already reflects the usable slot count, so
-        // this is an estimate, not an exact allocator sum.
-        fn map_bytes<V>(m: &KeyMap<V>) -> u64 {
-            (m.capacity() * (8 + std::mem::size_of::<V>() + 1)) as u64
-        }
+        // Each OpenTable reports its allocated slot slab exactly, so
+        // recycled trials see *retained* capacity, not live entries. The
+        // memo caches are real fixed allocations and count too.
         (self.degree.capacity() * 4 + self.dirty.capacity() * 4) as u64
-            + map_bytes(&self.fwd)
-            + map_bytes(&self.by_peer)
-            + map_bytes(&self.peer_val)
-            + map_bytes(&self.peer_pos)
-            + map_bytes(&self.port_val)
-            + map_bytes(&self.port_pos)
+            + self.fwd.resident_bytes()
+            + self.by_peer.resident_bytes()
+            + self.peer_val.resident_bytes()
+            + self.peer_pos.resident_bytes()
+            + self.port_val.resident_bytes()
+            + self.port_pos.resident_bytes()
+            + self.cache.resident_bytes()
     }
 }

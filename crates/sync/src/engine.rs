@@ -1018,32 +1018,35 @@ mod tests {
             )
         };
         assert_eq!(run(PortBackend::Dense), run(PortBackend::Sparse));
+        assert_eq!(run(PortBackend::Dense), run(PortBackend::Chunked));
     }
 
     #[test]
     fn sparse_backend_arena_trials_match_fresh_sparse_trials() {
-        let mut arena = SyncArena::new();
-        for seed in 0..8u64 {
-            let fresh = SyncSimBuilder::new(16)
-                .seed(seed)
-                .backend(PortBackend::Sparse)
-                .build(max_broadcast)
-                .unwrap()
-                .run()
-                .unwrap();
-            let reused = SyncSimBuilder::new(16)
-                .seed(seed)
-                .backend(PortBackend::Sparse)
-                .build_in(&mut arena, max_broadcast)
-                .unwrap()
-                .run_reusing(&mut arena)
-                .unwrap();
-            assert_eq!(
-                (fresh.rounds, fresh.stats.total(), fresh.unique_leader()),
-                (reused.rounds, reused.stats.total(), reused.unique_leader()),
-            );
+        for backend in [PortBackend::Sparse, PortBackend::Chunked] {
+            let mut arena = SyncArena::new();
+            for seed in 0..8u64 {
+                let fresh = SyncSimBuilder::new(16)
+                    .seed(seed)
+                    .backend(backend)
+                    .build(max_broadcast)
+                    .unwrap()
+                    .run()
+                    .unwrap();
+                let reused = SyncSimBuilder::new(16)
+                    .seed(seed)
+                    .backend(backend)
+                    .build_in(&mut arena, max_broadcast)
+                    .unwrap()
+                    .run_reusing(&mut arena)
+                    .unwrap();
+                assert_eq!(
+                    (fresh.rounds, fresh.stats.total(), fresh.unique_leader()),
+                    (reused.rounds, reused.stats.total(), reused.unique_leader()),
+                );
+            }
+            assert!(arena.resident_bytes() > 0);
         }
-        assert!(arena.resident_bytes() > 0);
     }
 
     #[test]
@@ -1052,6 +1055,7 @@ mod tests {
         for backend in [
             PortBackend::Dense,
             PortBackend::Sparse,
+            PortBackend::Chunked,
             PortBackend::Dense,
             PortBackend::Auto, // resolves to Dense at this n — map recycled
         ] {
