@@ -5,6 +5,9 @@ use std::rc::Rc;
 
 use rand::rngs::SmallRng;
 
+use clique_model::rng::coin;
+use clique_model::NodeIndex;
+
 use super::{Adversary, Capability, MessageClass, Observation};
 
 /// The *rushing* adversary: races every message of one chosen class ahead
@@ -143,20 +146,174 @@ impl Adversary for PartitionAdversary {
     }
 }
 
-/// Shared handle to a delay trace being captured by a [`Recorder`].
+/// The *targeted loss* adversary: destroys the current frontrunner's
+/// outgoing transmission attempts with probability `p` while delegating
+/// delays (and any further faults) to an inner adversary.
+///
+/// This is the queue-targeting composition the faulty network layer was
+/// built for — against the o(n)-message algorithms, losing a handful of
+/// the heaviest candidate's messages is fatal without retransmission, so
+/// this adversary measures exactly what the reliability layer buys.
+pub struct TargetedLoss {
+    inner: Box<dyn Adversary>,
+    p: f64,
+}
+
+impl TargetedLoss {
+    /// Drops the frontrunner's attempts with probability `p`; everything
+    /// else (delays included) is delegated to `inner`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= p < 1` (certain loss would livelock even an
+    /// unbounded retry budget).
+    pub fn new(inner: Box<dyn Adversary>, p: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&p),
+            "loss probability must be in [0, 1), got {p}"
+        );
+        TargetedLoss { inner, p }
+    }
+}
+
+impl Adversary for TargetedLoss {
+    fn delay(&mut self, obs: &Observation<'_>, rng: &mut SmallRng) -> f64 {
+        self.inner.delay(obs, rng)
+    }
+
+    fn induces_loss(&mut self, obs: &Observation<'_>, rng: &mut SmallRng) -> bool {
+        if self.inner.induces_loss(obs, rng) {
+            return true;
+        }
+        obs.src == obs.transcript.top_sender() && coin(rng, self.p)
+    }
+
+    fn crash_directive(&mut self, obs: &Observation<'_>) -> Option<NodeIndex> {
+        self.inner.crash_directive(obs)
+    }
+
+    fn name(&self) -> String {
+        format!("targeted-loss({}, {})", self.p, self.inner.name())
+    }
+
+    fn capability(&self) -> Capability {
+        Capability::Adaptive
+    }
+}
+
+/// The *crash-top-sender* adversary: watches the [`Transcript`] and, the
+/// first time any node's sent count reaches `trigger`, directs the engine
+/// to crash that node — killing the protocol's most active participant at
+/// its busiest moment. Fires at most once per execution; delays and other
+/// faults are delegated to an inner adversary.
+///
+/// The engine consults [`Adversary::crash_directive`] only while the
+/// [`FaultPlan`](crate::network::FaultPlan)'s `adaptive_crashes` budget
+/// lasts, so composing this adversary with a zero-budget plan is a no-op.
+///
+/// [`Transcript`]: super::Transcript
+pub struct CrashTopSender {
+    inner: Box<dyn Adversary>,
+    trigger: u64,
+    fired: bool,
+}
+
+impl CrashTopSender {
+    /// Crashes the top sender once its sent count reaches `trigger`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `trigger` is 0 (the directive would fire before the
+    /// first message and trivially kill node 0).
+    pub fn new(inner: Box<dyn Adversary>, trigger: u64) -> Self {
+        assert!(trigger > 0, "crash trigger must be positive");
+        CrashTopSender {
+            inner,
+            trigger,
+            fired: false,
+        }
+    }
+}
+
+impl Adversary for CrashTopSender {
+    fn delay(&mut self, obs: &Observation<'_>, rng: &mut SmallRng) -> f64 {
+        self.inner.delay(obs, rng)
+    }
+
+    fn induces_loss(&mut self, obs: &Observation<'_>, rng: &mut SmallRng) -> bool {
+        self.inner.induces_loss(obs, rng)
+    }
+
+    fn crash_directive(&mut self, obs: &Observation<'_>) -> Option<NodeIndex> {
+        if let Some(v) = self.inner.crash_directive(obs) {
+            return Some(v);
+        }
+        if self.fired {
+            return None;
+        }
+        let top = obs.transcript.top_sender();
+        if obs.transcript.sent(top) >= self.trigger {
+            self.fired = true;
+            return Some(top);
+        }
+        None
+    }
+
+    fn name(&self) -> String {
+        format!("crash-top-sender({}, {})", self.trigger, self.inner.name())
+    }
+
+    fn capability(&self) -> Capability {
+        Capability::Adaptive
+    }
+}
+
+/// One recorded scheduling decision: the adversary hooks are consulted in
+/// a deterministic interleaving (loss verdicts, crash directives, and
+/// delays, in engine dispatch order), and a trace stores that interleaving
+/// verbatim so [`RecordedSchedule`] can replay drop/crash schedules
+/// byte-identically — not just delays.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TraceStep {
+    /// A delay assigned by [`Adversary::delay`].
+    Delay(f64),
+    /// A loss verdict returned by [`Adversary::induces_loss`].
+    Loss(bool),
+    /// A crash directive returned by [`Adversary::crash_directive`].
+    Crash(Option<NodeIndex>),
+}
+
+/// Shared handle to a schedule trace being captured by a [`Recorder`].
 ///
 /// Cloning shares the underlying buffer; read it after the recording run
-/// finished with [`TraceHandle::snapshot`].
+/// finished with [`TraceHandle::steps`] (the full interleaved trace) or
+/// [`TraceHandle::snapshot`] (delays only, for delay-only schedules).
 #[derive(Debug, Clone, Default)]
-pub struct TraceHandle(Rc<RefCell<Vec<f64>>>);
+pub struct TraceHandle(Rc<RefCell<Vec<TraceStep>>>);
 
 impl TraceHandle {
-    /// A copy of the delays recorded so far, in dispatch order.
+    /// A copy of the delays recorded so far, in dispatch order (loss and
+    /// crash steps are skipped — pair with [`RecordedSchedule::from_trace`]
+    /// only when the recording ran without a faulty network layer).
     pub fn snapshot(&self) -> Vec<f64> {
+        self.0
+            .borrow()
+            .iter()
+            .filter_map(|s| match s {
+                TraceStep::Delay(d) => Some(*d),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// A copy of the full interleaved trace recorded so far — the input
+    /// for [`RecordedSchedule::from_steps`].
+    pub fn steps(&self) -> Vec<TraceStep> {
         self.0.borrow().clone()
     }
 
-    /// Number of delays recorded so far.
+    /// Number of steps recorded so far (delays, loss verdicts, and crash
+    /// directives alike).
     pub fn len(&self) -> usize {
         self.0.borrow().len()
     }
@@ -167,16 +324,16 @@ impl TraceHandle {
     }
 }
 
-/// Wraps any adversary and records every delay it assigns, in dispatch
-/// order, into a [`TraceHandle`] — the capture side of
-/// [`RecordedSchedule`].
+/// Wraps any adversary and records every scheduling decision it makes —
+/// delays, loss verdicts, and crash directives, in dispatch order — into a
+/// [`TraceHandle`]: the capture side of [`RecordedSchedule`].
 pub struct Recorder {
     inner: Box<dyn Adversary>,
     trace: TraceHandle,
 }
 
 impl Recorder {
-    /// Starts recording `inner`'s delays; the returned handle stays
+    /// Starts recording `inner`'s decisions; the returned handle stays
     /// readable after the recorder has been consumed by a builder.
     pub fn new(inner: Box<dyn Adversary>) -> (Self, TraceHandle) {
         let trace = TraceHandle::default();
@@ -193,8 +350,20 @@ impl Recorder {
 impl Adversary for Recorder {
     fn delay(&mut self, obs: &Observation<'_>, rng: &mut SmallRng) -> f64 {
         let d = self.inner.delay(obs, rng);
-        self.trace.0.borrow_mut().push(d);
+        self.trace.0.borrow_mut().push(TraceStep::Delay(d));
         d
+    }
+
+    fn induces_loss(&mut self, obs: &Observation<'_>, rng: &mut SmallRng) -> bool {
+        let lost = self.inner.induces_loss(obs, rng);
+        self.trace.0.borrow_mut().push(TraceStep::Loss(lost));
+        lost
+    }
+
+    fn crash_directive(&mut self, obs: &Observation<'_>) -> Option<NodeIndex> {
+        let victim = self.inner.crash_directive(obs);
+        self.trace.0.borrow_mut().push(TraceStep::Crash(victim));
+        victim
     }
 
     fn name(&self) -> String {
@@ -206,53 +375,101 @@ impl Adversary for Recorder {
     }
 }
 
-/// Replays a captured delay trace verbatim, one delay per dispatched
-/// message in order — the mechanism for *replayable worst-case
+/// Replays a captured schedule trace verbatim, one step per adversary
+/// consultation in order — the mechanism for *replayable worst-case
 /// schedules*: capture the trace of the worst observed execution with a
 /// [`Recorder`], persist it, and replay it against the same configuration
-/// (or a modified algorithm) to a byte-identical schedule.
+/// (or a modified algorithm) to a byte-identical schedule, drop and crash
+/// decisions included.
 ///
-/// Node and resolver RNG streams are independent of the delay stream, so
-/// replaying the recorded delays against the recording run's seed
-/// reproduces the recorded execution exactly.
+/// Node, resolver, and fault RNG streams are independent of the delay
+/// stream, so replaying the recorded steps against the recording run's
+/// seed and network configuration reproduces the recorded execution
+/// exactly.
 #[derive(Debug, Clone)]
 pub struct RecordedSchedule {
-    trace: Vec<f64>,
+    steps: Vec<TraceStep>,
     next: usize,
 }
 
 impl RecordedSchedule {
-    /// Replays `trace` from the beginning.
+    /// Replays a delay-only `trace` from the beginning (the historical
+    /// capture format; equivalent to [`RecordedSchedule::from_steps`] with
+    /// every step a [`TraceStep::Delay`]).
     pub fn from_trace(trace: Vec<f64>) -> Self {
-        RecordedSchedule { trace, next: 0 }
+        RecordedSchedule {
+            steps: trace.into_iter().map(TraceStep::Delay).collect(),
+            next: 0,
+        }
     }
 
-    /// Remaining (unreplayed) delays.
+    /// Replays a full interleaved trace (from [`TraceHandle::steps`]) from
+    /// the beginning.
+    pub fn from_steps(steps: Vec<TraceStep>) -> Self {
+        RecordedSchedule { steps, next: 0 }
+    }
+
+    /// Remaining (unreplayed) steps.
     pub fn remaining(&self) -> usize {
-        self.trace.len() - self.next
+        self.steps.len() - self.next
+    }
+
+    /// # Panics
+    ///
+    /// Panics when the trace is exhausted or the next recorded step is of
+    /// a different kind than `want`: the execution consulted the adversary
+    /// differently than the recorded one, i.e. the schedule diverged from
+    /// the recording (different seed, algorithm, or configuration).
+    fn take(&mut self, want: &'static str) -> TraceStep {
+        assert!(
+            self.next < self.steps.len(),
+            "recorded schedule exhausted after {} steps — this execution \
+             diverged from the recorded one",
+            self.steps.len()
+        );
+        let step = self.steps[self.next];
+        let got = match step {
+            TraceStep::Delay(_) => "delay",
+            TraceStep::Loss(_) => "loss",
+            TraceStep::Crash(_) => "crash",
+        };
+        assert!(
+            got == want,
+            "recorded schedule expected a {got} step at position {} but the \
+             engine asked for a {want} — this execution diverged from the \
+             recorded one (different seed, algorithm, or network \
+             configuration)",
+            self.next
+        );
+        self.next += 1;
+        step
     }
 }
 
 impl Adversary for RecordedSchedule {
-    /// # Panics
-    ///
-    /// Panics when the trace is exhausted: the execution dispatched more
-    /// messages than the recorded one, i.e. the schedule diverged from the
-    /// recording (different seed, algorithm, or configuration).
     fn delay(&mut self, _obs: &Observation<'_>, _rng: &mut SmallRng) -> f64 {
-        assert!(
-            self.next < self.trace.len(),
-            "recorded schedule exhausted after {} delays — this execution \
-             diverged from the recorded one",
-            self.trace.len()
-        );
-        let d = self.trace[self.next];
-        self.next += 1;
-        d
+        match self.take("delay") {
+            TraceStep::Delay(d) => d,
+            _ => unreachable!(),
+        }
+    }
+
+    fn induces_loss(&mut self, _obs: &Observation<'_>, _rng: &mut SmallRng) -> bool {
+        match self.take("loss") {
+            TraceStep::Loss(lost) => lost,
+            _ => unreachable!(),
+        }
+    }
+
+    fn crash_directive(&mut self, _obs: &Observation<'_>) -> Option<NodeIndex> {
+        match self.take("crash") {
+            TraceStep::Crash(victim) => victim,
+            _ => unreachable!(),
+        }
     }
 
     fn name(&self) -> String {
-        format!("recorded({} delays)", self.trace.len())
+        format!("recorded({} steps)", self.steps.len())
     }
 
     fn capability(&self) -> Capability {
@@ -385,5 +602,115 @@ mod tests {
         let o = obs(0, 1, MessageClass::Probe, &t);
         let _ = replay.delay(&o, &mut rng);
         let _ = replay.delay(&o, &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "asked for a loss")]
+    fn kind_mismatch_replay_panics_with_context() {
+        let mut replay = RecordedSchedule::from_steps(vec![TraceStep::Delay(0.5)]);
+        let t = Transcript::new(2);
+        let mut rng = rng_from_seed(0);
+        let o = obs(0, 1, MessageClass::Probe, &t);
+        let _ = replay.induces_loss(&o, &mut rng);
+    }
+
+    #[test]
+    fn targeted_loss_hits_only_the_frontrunner() {
+        let mut adv = TargetedLoss::new(Box::new(Oblivious::new(UniformDelay::full())), 0.999999);
+        let mut t = Transcript::new(3);
+        t.record_send(NodeIndex(2));
+        t.record_send(NodeIndex(2));
+        let mut rng = rng_from_seed(11);
+        // Non-frontrunner traffic never consults the coin.
+        for _ in 0..50 {
+            assert!(!adv.induces_loss(&obs(0, 1, MessageClass::Probe, &t), &mut rng));
+        }
+        // Frontrunner traffic is (at p ≈ 1) essentially always destroyed.
+        let losses = (0..50)
+            .filter(|_| adv.induces_loss(&obs(2, 0, MessageClass::Probe, &t), &mut rng))
+            .count();
+        assert!(losses >= 45, "expected near-certain loss, got {losses}/50");
+        assert!(adv.name().starts_with("targeted-loss(0.999999"));
+        assert_eq!(adv.capability(), Capability::Adaptive);
+        // No crash directives of its own.
+        assert_eq!(
+            adv.crash_directive(&obs(2, 0, MessageClass::Probe, &t)),
+            None
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "loss probability must be in [0, 1)")]
+    fn targeted_loss_rejects_certain_loss() {
+        let _ = TargetedLoss::new(Box::new(Oblivious::new(UniformDelay::full())), 1.0);
+    }
+
+    #[test]
+    fn crash_top_sender_fires_once_at_the_trigger() {
+        let mut adv = CrashTopSender::new(Box::new(Oblivious::new(UniformDelay::full())), 3);
+        let mut t = Transcript::new(4);
+        let o_probe = MessageClass::Probe;
+        // Below the trigger: no directive.
+        t.record_send(NodeIndex(1));
+        t.record_send(NodeIndex(1));
+        assert_eq!(adv.crash_directive(&obs(1, 0, o_probe, &t)), None);
+        // At the trigger: the frontrunner dies, exactly once.
+        t.record_send(NodeIndex(1));
+        assert_eq!(
+            adv.crash_directive(&obs(1, 0, o_probe, &t)),
+            Some(NodeIndex(1))
+        );
+        t.record_send(NodeIndex(1));
+        assert_eq!(adv.crash_directive(&obs(1, 0, o_probe, &t)), None);
+        assert!(adv.name().starts_with("crash-top-sender(3"));
+        // Loss hook delegates to the (lossless) inner adversary.
+        let mut rng = rng_from_seed(0);
+        assert!(!adv.induces_loss(&obs(0, 1, o_probe, &t), &mut rng));
+    }
+
+    #[test]
+    fn recorder_captures_faults_and_replay_is_strict() {
+        let inner = CrashTopSender::new(
+            Box::new(TargetedLoss::new(
+                Box::new(Oblivious::new(UniformDelay::full())),
+                0.5,
+            )),
+            1,
+        );
+        let (mut rec, handle) = Recorder::new(Box::new(inner));
+        let mut t = Transcript::new(3);
+        t.record_send(NodeIndex(0));
+        let mut rng = rng_from_seed(21);
+        let mut script: Vec<TraceStep> = Vec::new();
+        for i in 0..12 {
+            let o = obs(i % 3, (i + 1) % 3, MessageClass::Probe, &t);
+            script.push(TraceStep::Loss(rec.induces_loss(&o, &mut rng)));
+            script.push(TraceStep::Delay(rec.delay(&o, &mut rng)));
+            script.push(TraceStep::Crash(rec.crash_directive(&o)));
+        }
+        assert_eq!(handle.len(), 36);
+        assert_eq!(handle.steps(), script);
+        // snapshot() keeps its delay-only contract on mixed traces.
+        assert_eq!(handle.snapshot().len(), 12);
+
+        let mut replay = RecordedSchedule::from_steps(handle.steps());
+        assert_eq!(replay.remaining(), 36);
+        let mut other_rng = rng_from_seed(5);
+        let t2 = Transcript::new(3);
+        for step in script {
+            let o = obs(0, 1, MessageClass::Decide, &t2);
+            match step {
+                TraceStep::Loss(want) => {
+                    assert_eq!(replay.induces_loss(&o, &mut other_rng), want);
+                }
+                TraceStep::Delay(want) => {
+                    assert_eq!(replay.delay(&o, &mut other_rng), want);
+                }
+                TraceStep::Crash(want) => {
+                    assert_eq!(replay.crash_directive(&o), want);
+                }
+            }
+        }
+        assert_eq!(replay.remaining(), 0);
     }
 }

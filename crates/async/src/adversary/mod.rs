@@ -32,7 +32,8 @@ pub mod delay;
 mod concrete;
 
 pub use concrete::{
-    PartitionAdversary, RecordedSchedule, Recorder, RushingAdversary, TargetedSlowdown, TraceHandle,
+    CrashTopSender, PartitionAdversary, RecordedSchedule, Recorder, RushingAdversary, TargetedLoss,
+    TargetedSlowdown, TraceHandle, TraceStep,
 };
 pub use delay::{BimodalDelay, ConstDelay, DelayStrategy, UniformDelay};
 
@@ -59,6 +60,10 @@ pub enum MessageClass {
     Reply,
     /// A decision announcement (a leader informing the network, a kill).
     Decide,
+    /// An engine-level delivery acknowledgement of the faulty network
+    /// layer's reliability protocol (never seen by algorithms; adaptive
+    /// adversaries may stall or destroy acks to force retransmissions).
+    Ack,
 }
 
 impl std::fmt::Display for MessageClass {
@@ -68,6 +73,7 @@ impl std::fmt::Display for MessageClass {
             MessageClass::Probe => "probe",
             MessageClass::Reply => "reply",
             MessageClass::Decide => "decide",
+            MessageClass::Ack => "ack",
         })
     }
 }
@@ -209,6 +215,34 @@ pub trait Adversary {
 
     /// The declared observation tier.
     fn capability(&self) -> Capability;
+
+    /// Fault-injection hook of the faulty network layer: whether this
+    /// transmission attempt (payload, retransmission, or ack alike) is
+    /// destroyed in transit. Consulted once per attempt, *only* when a
+    /// [`NetworkConfig`](crate::network::NetworkConfig) is active — so the
+    /// default fault-free engine never calls it and stays byte-identical.
+    /// `rng` is the adversary's own fault stream — independent of the
+    /// delay, node, resolver, and *engine* fault streams, so however much
+    /// an adversary draws here, the engine's configured loss coins are
+    /// unaffected (this is what lets a [`RecordedSchedule`], which draws
+    /// nothing, replay faulty executions byte-identically). The default
+    /// injects no loss and consumes no randomness.
+    fn induces_loss(&mut self, _obs: &Observation<'_>, _rng: &mut SmallRng) -> bool {
+        false
+    }
+
+    /// Adaptive crash directive: a node to crash *right now*, consulted
+    /// after each transmission attempt while the
+    /// [`FaultPlan`](crate::network::FaultPlan)'s `adaptive_crashes`
+    /// budget lasts. Directives naming an already-crashed node are ignored
+    /// and do not consume budget. Strictly nastier than delay-picking: a
+    /// [`Transcript`]-driven adversary can watch for the current top
+    /// sender and kill it mid-protocol (see [`CrashTopSender`]).
+    ///
+    /// [`CrashTopSender`]: crate::adversary::CrashTopSender
+    fn crash_directive(&mut self, _obs: &Observation<'_>) -> Option<NodeIndex> {
+        None
+    }
 }
 
 /// Adapter lifting a [`DelayStrategy`] to the [`Adversary`] trait at the

@@ -6,14 +6,17 @@ use std::collections::BinaryHeap;
 
 use clique_model::ids::{Id, IdAssignment, IdSpace};
 use clique_model::metrics::MessageStats;
-use clique_model::ports::{OpenTable, Port, PortBackend, PortMap, PortResolver, RandomResolver};
-use clique_model::rng::{derive_seed, rng_from_seed};
+use clique_model::ports::{Port, PortBackend, PortMap, PortResolver, RandomResolver};
+use clique_model::rng::{coin, derive_seed, rng_from_seed, sample_distinct};
 use clique_model::{Decision, ModelError, NodeIndex, WakeCause};
 use rand::rngs::SmallRng;
+use rand::Rng;
 
 use crate::adversary::{
-    Adversary, DelayStrategy, Oblivious, Observation, Transcript, UniformDelay,
+    Adversary, DelayStrategy, MessageClass, Oblivious, Observation, Transcript, UniformDelay,
 };
+use crate::network::reliability::{Outstanding, RelState};
+use crate::network::{LinkTable, NetworkConfig, Reliability};
 use crate::node::{AsyncContext, AsyncNode, Received};
 use crate::outcome::{AsyncHaltReason, AsyncOutcome};
 use crate::wakeup::AsyncWakeSchedule;
@@ -23,87 +26,64 @@ use crate::wakeup::AsyncWakeSchedule;
 const STREAM_RESOLVER: u64 = u64::MAX;
 const STREAM_IDS: u64 = u64::MAX - 1;
 const STREAM_DELAYS: u64 = u64::MAX - 2;
+const STREAM_FAULTS: u64 = u64::MAX - 3;
+const STREAM_ADV_FAULTS: u64 = u64::MAX - 4;
 const STREAM_NODE_BASE: u64 = 0;
+
+/// The flat index of directed link `src → dst`.
+#[inline]
+fn link_key(src: NodeIndex, dst: NodeIndex, n: usize) -> usize {
+    src.0 * n + dst.0
+}
 
 /// What happens at a scheduled point in time.
 enum EventKind<M> {
     /// The adversary wakes a node.
     Wake(NodeIndex),
-    /// A message is delivered.
+    /// A message is delivered (fault-free engine, or an active network
+    /// without the reliability protocol).
     Deliver {
         dst: NodeIndex,
         dst_port: Port,
         msg: M,
     },
+    /// A sequence-numbered data copy of the reliability protocol arrives.
+    DeliverData {
+        src: NodeIndex,
+        dst: NodeIndex,
+        dst_port: Port,
+        data_seq: u32,
+        msg: M,
+    },
+    /// A delivery acknowledgement arrives back at the data sender `to`.
+    DeliverAck {
+        to: NodeIndex,
+        from: NodeIndex,
+        data_seq: u32,
+    },
+    /// A retransmission timer fires for the payload `data_seq` on link
+    /// `src → dst`, armed after that payload's `attempt`-th transmission
+    /// (stale once the attempt count moved on).
+    Retry {
+        src: NodeIndex,
+        dst: NodeIndex,
+        data_seq: u32,
+        attempt: u32,
+    },
+    /// A scheduled crash fault fells a node.
+    Crash(NodeIndex),
+    /// A crashed node recovers (resuming its pre-crash state).
+    Recover(NodeIndex),
 }
 
-/// Per-directed-link FIFO delivery floors (the latest delivery time
-/// already scheduled on each link), stored to match the port-map backend:
-/// a flat `Θ(n²)` array under the dense backend (one random access per
-/// dispatch), an open-addressing touched-links table under the sparse and
-/// chunked ones (O(active links) entries — the piece that would otherwise
-/// keep the asynchronous engine quadratic at `n = 65536+` after the port
-/// map goes sparse).
-enum FifoFloors {
-    /// Flat `src·n + dst`-indexed array.
-    Dense(Vec<f64>),
-    /// Open-addressing table over touched directed links only.
-    Hashed(OpenTable<f64>),
-}
-
-impl Default for FifoFloors {
-    fn default() -> Self {
-        FifoFloors::Dense(Vec::new())
-    }
-}
-
-impl FifoFloors {
-    /// Returns floors for an `n`-node trial on the (resolved, concrete)
-    /// `backend`, recycling the previous trial's storage when the variant
-    /// matches.
-    fn recycle(self, backend: PortBackend, n: usize) -> FifoFloors {
-        match (self, backend) {
-            (FifoFloors::Dense(mut floors), PortBackend::Dense) => {
-                floors.clear();
-                // Checked even though the port map allocates first: at
-                // n ≥ 2³² the flat index arithmetic itself would wrap, so
-                // fail loudly rather than corrupt FIFO order.
-                floors.resize(n.checked_mul(n).expect("dense floor index overflow"), 0.0);
-                FifoFloors::Dense(floors)
-            }
-            (FifoFloors::Hashed(mut floors), PortBackend::Sparse | PortBackend::Chunked) => {
-                floors.clear();
-                floors.end_trial();
-                FifoFloors::Hashed(floors)
-            }
-            (_, PortBackend::Dense) => {
-                FifoFloors::Dense(vec![
-                    0.0;
-                    n.checked_mul(n).expect("dense floor index overflow")
-                ])
-            }
-            (_, PortBackend::Sparse | PortBackend::Chunked) => FifoFloors::Hashed(OpenTable::new()),
-            (_, PortBackend::Auto) => unreachable!("backend is resolved before recycling"),
-        }
-    }
-
-    /// Mutable access to the floor of directed link `key = src·n + dst`
-    /// (0 when the link has not been used yet).
-    #[inline]
-    fn floor_mut(&mut self, key: usize) -> &mut f64 {
-        match self {
-            FifoFloors::Dense(floors) => &mut floors[key],
-            FifoFloors::Hashed(floors) => floors.get_or_insert_mut(key as u64, 0.0),
-        }
-    }
-
-    /// Estimated resident bytes of the floor storage.
-    fn resident_bytes(&self) -> u64 {
-        match self {
-            FifoFloors::Dense(floors) => (floors.capacity() * 8) as u64,
-            FifoFloors::Hashed(floors) => floors.resident_bytes(),
-        }
-    }
+/// How a wire transmission attempt fared against the faulty network.
+enum WireFate {
+    /// Admitted and survived: delivery is scheduled for this time.
+    At(f64),
+    /// Dropped on the tail of a full link queue (never occupied the link).
+    QueueDrop,
+    /// Destroyed in transit (after occupying the link).
+    Lost,
 }
 
 /// A scheduled event. Ordered by `(time, seq)`; `seq` is the global push
@@ -161,7 +141,14 @@ impl<M> Ord for Event<M> {
 #[derive(Default)]
 pub struct AsyncArena {
     ports: Option<PortMap>,
-    fifo_front: FifoFloors,
+    fifo_front: LinkTable,
+    /// Per-link busy horizons of the capacity model (empty until a trial
+    /// with a finite link rate runs).
+    link_busy: LinkTable,
+    /// Resident-byte estimate of the typed reliability-protocol state
+    /// inside `buffers`, captured at stash time (the type-erased box
+    /// cannot be measured from here).
+    rel_bytes: u64,
     // `+ Send` keeps the whole arena `Send`, so sweep worker threads can
     // own recycled arenas (message types are `Send` by trait bound).
     buffers: Option<Box<dyn Any + Send>>,
@@ -194,12 +181,17 @@ impl AsyncArena {
     }
 
     /// Backend-reported estimate of the bytes resident in the recycled
-    /// engine tables: the port map plus the FIFO-floor storage (the two
-    /// structures whose size depends on the storage backend). The sweep
-    /// harness records this per cell so dense-vs-sparse footprints appear
-    /// in every experiment CSV.
+    /// engine tables: the port map, the FIFO-floor storage, and — when a
+    /// faulty network has run — the per-link busy horizons and the
+    /// reliability protocol's queue/retransmit buffers (honest
+    /// accounting: retained capacity counts). The sweep harness records
+    /// this per cell so dense-vs-sparse footprints appear in every
+    /// experiment CSV.
     pub fn resident_bytes(&self) -> u64 {
-        self.ports.as_ref().map_or(0, PortMap::resident_bytes) + self.fifo_front.resident_bytes()
+        self.ports.as_ref().map_or(0, PortMap::resident_bytes)
+            + self.fifo_front.resident_bytes()
+            + self.link_busy.resident_bytes()
+            + self.rel_bytes
     }
 }
 
@@ -208,6 +200,8 @@ impl std::fmt::Debug for AsyncArena {
         f.debug_struct("AsyncArena")
             .field("ports", &self.ports.as_ref().map(|p| p.n()))
             .field("fifo_bytes", &self.fifo_front.resident_bytes())
+            .field("link_busy_bytes", &self.link_busy.resident_bytes())
+            .field("rel_bytes", &self.rel_bytes)
             .field("has_buffers", &self.buffers.is_some())
             .finish()
     }
@@ -218,6 +212,7 @@ impl std::fmt::Debug for AsyncArena {
 struct AsyncBuffers<M> {
     queue: BinaryHeap<Event<M>>,
     outbox: Vec<(Port, M)>,
+    rel: RelState<M>,
 }
 
 impl<M> Default for AsyncBuffers<M> {
@@ -225,6 +220,7 @@ impl<M> Default for AsyncBuffers<M> {
         AsyncBuffers {
             queue: BinaryHeap::new(),
             outbox: Vec::new(),
+            rel: RelState::default(),
         }
     }
 }
@@ -245,6 +241,7 @@ pub struct AsyncSimBuilder {
     adversary: Option<Box<dyn Adversary>>,
     backend: Option<PortBackend>,
     max_events: Option<u64>,
+    network: Option<NetworkConfig>,
 }
 
 impl std::fmt::Debug for AsyncSimBuilder {
@@ -271,6 +268,7 @@ impl AsyncSimBuilder {
             adversary: None,
             backend: None,
             max_events: None,
+            network: None,
         }
     }
 
@@ -342,6 +340,21 @@ impl AsyncSimBuilder {
         self
     }
 
+    /// Sets the faulty-network configuration — link capacity, message
+    /// loss, crash faults, and the reliability protocol (see
+    /// [`NetworkConfig`]).
+    ///
+    /// Default: the `LE_LOSS`/`LE_LINK_RATE`/`LE_QUEUE_CAP`/`LE_CRASH`
+    /// environment selection, and the transparent fault-free network when
+    /// all four are unset. The transparent default
+    /// ([`NetworkConfig::default`]) routes dispatch through the exact
+    /// fault-free code path, so executions reproduce pre-fault-layer runs
+    /// byte-identically.
+    pub fn network(mut self, network: NetworkConfig) -> Self {
+        self.network = Some(network);
+        self
+    }
+
     /// Instantiates the simulation, creating one node per network position
     /// via `factory(id, n)`.
     ///
@@ -402,6 +415,22 @@ impl AsyncSimBuilder {
             .resolve(n);
         let ports = arena.take_ports(n, backend)?;
         let fifo_front = std::mem::take(&mut arena.fifo_front).recycle(backend, n);
+        let net = self
+            .network
+            .or_else(NetworkConfig::from_env)
+            .unwrap_or_default();
+        let net_active = net.is_active();
+        let net_service = net.service();
+        // The busy-horizon table is only materialized when the capacity
+        // model is on — a fault-free (or capacity-free) dense trial must
+        // not pay a second Θ(n²) allocation. A stale table from an
+        // earlier capacity trial is carried through untouched (never read
+        // while `net_service == 0`).
+        let link_busy = if net_service > 0.0 {
+            std::mem::take(&mut arena.link_busy).recycle(backend, n)
+        } else {
+            std::mem::take(&mut arena.link_busy)
+        };
         let mut bufs: AsyncBuffers<N::Message> = arena
             .buffers
             .take()
@@ -409,6 +438,7 @@ impl AsyncSimBuilder {
             .map_or_else(AsyncBuffers::default, |b| *b);
         bufs.queue.clear();
         bufs.outbox.clear();
+        bufs.rel.reset();
         let nodes: Vec<N> = ids.as_slice().iter().map(|&id| factory(id, n)).collect();
         let node_rngs: Vec<SmallRng> = (0..n)
             .map(|u| rng_from_seed(derive_seed(self.seed, STREAM_NODE_BASE + u as u64)))
@@ -428,6 +458,48 @@ impl AsyncSimBuilder {
             });
             seq += 1;
             last_scheduled_wake = last_scheduled_wake.max(t);
+        }
+
+        let mut fault_rng = rng_from_seed(derive_seed(self.seed, STREAM_FAULTS));
+        if net_active {
+            for cf in net.fault_plan().scheduled() {
+                assert!(
+                    cf.node.0 < n,
+                    "crash fault targets {} outside the {n}-node network",
+                    cf.node
+                );
+                queue.push(Event {
+                    time: cf.at,
+                    seq,
+                    kind: EventKind::Crash(cf.node),
+                });
+                seq += 1;
+                if let Some(back) = cf.recover_at {
+                    queue.push(Event {
+                        time: back,
+                        seq,
+                        kind: EventKind::Recover(cf.node),
+                    });
+                    seq += 1;
+                }
+            }
+            if let Some(rc) = net.fault_plan().random() {
+                // Never crash everyone: cap victims at n - 1 so the
+                // execution retains at least one live node.
+                let k = ((rc.frac * n as f64).round() as usize).min(n.saturating_sub(1));
+                let victims = sample_distinct(&mut fault_rng, n, k);
+                for v in victims {
+                    // Uniform over (0, window]: a crash at exactly 0 would
+                    // be indistinguishable from never scheduling the node.
+                    let t = rc.window * (1.0 - fault_rng.gen::<f64>());
+                    queue.push(Event {
+                        time: t,
+                        seq,
+                        kind: EventKind::Crash(NodeIndex(v)),
+                    });
+                    seq += 1;
+                }
+            }
         }
 
         Ok(AsyncSim {
@@ -455,8 +527,21 @@ impl AsyncSimBuilder {
             last_decisions: vec![Decision::Undecided; n],
             messages_to_terminated: 0,
             now: 0.0,
+            busy_now: 0.0,
             wake_all_time: None,
             last_scheduled_wake,
+            net_active,
+            net_service,
+            net_queue_cap: net.queue_capacity(),
+            net_loss: net.loss_probability(),
+            rel_cfg: net.reliability(),
+            adaptive_crashes: net.fault_plan().adaptive(),
+            fault_rng,
+            adv_fault_rng: rng_from_seed(derive_seed(self.seed, STREAM_ADV_FAULTS)),
+            link_busy,
+            rel: bufs.rel,
+            crashed: vec![false; n],
+            crashed_count: 0,
         })
     }
 }
@@ -483,7 +568,7 @@ pub struct AsyncSim<N: AsyncNode> {
     /// scheduled, enforcing FIFO order. Flat under the dense backend
     /// (this sits on the per-message dispatch path), hashed under the
     /// sparse backend (memory over raw speed at very large `n`).
-    fifo_front: FifoFloors,
+    fifo_front: LinkTable,
     max_events: u64,
     awake: Vec<bool>,
     stats: MessageStats,
@@ -491,8 +576,44 @@ pub struct AsyncSim<N: AsyncNode> {
     last_decisions: Vec<Decision>,
     messages_to_terminated: u64,
     now: f64,
+    /// Time of the last *effective* event — everything except a stale
+    /// retransmission-timer pop. This is the reported time complexity:
+    /// an uncancellable timer whose payload was already acknowledged
+    /// must not inflate it. Identical to `now` on the fault-free path.
+    busy_now: f64,
     wake_all_time: Option<f64>,
     last_scheduled_wake: f64,
+    /// Whether any fault/capacity feature is on; `false` routes dispatch
+    /// through the exact legacy code path (byte-identical executions).
+    net_active: bool,
+    /// Per-message link service time (`1/rate`; 0 = infinite capacity).
+    net_service: f64,
+    /// Bounded link queue length (`usize::MAX` = unbounded).
+    net_queue_cap: usize,
+    /// Probability a transmission is destroyed in transit.
+    net_loss: f64,
+    /// The reliability protocol's timers, if enabled.
+    rel_cfg: Option<Reliability>,
+    /// Remaining adaptive crash budget ([`FaultPlan::adaptive_crashes`]).
+    ///
+    /// [`FaultPlan::adaptive_crashes`]: crate::network::FaultPlan::adaptive_crashes
+    adaptive_crashes: u32,
+    /// The dedicated fault stream (loss coins, random crash times),
+    /// independent of delay/node/resolver randomness so enabling faults
+    /// never perturbs the rest of the execution.
+    fault_rng: SmallRng,
+    /// The *adversary's* fault stream, fed to
+    /// [`Adversary::induces_loss`]. Separate from `fault_rng` so a
+    /// recorded trace replays exactly: replay consumes no adversary
+    /// randomness, which must not shift the engine's own loss coins.
+    adv_fault_rng: SmallRng,
+    /// Per-link busy horizons of the capacity model (unused storage when
+    /// `net_service == 0`).
+    link_busy: LinkTable,
+    /// Per-link stop-and-wait protocol state.
+    rel: RelState<N::Message>,
+    crashed: Vec<bool>,
+    crashed_count: usize,
 }
 
 impl<N: AsyncNode> std::fmt::Debug for AsyncSim<N> {
@@ -568,6 +689,14 @@ impl<N: AsyncNode> AsyncSim<N> {
             self.step()?;
             processed += 1;
         }
+        // Quiescence with permanently lost payloads (or a fully crashed
+        // network) is a fault-induced livelock, not a clean drain. This is
+        // checked only here — MaxEvents above always wins when the cap
+        // fires first, so the two halts are never conflated.
+        if self.net_active && (self.stats.faults.lost_payloads > 0 || self.crashed_count == self.n)
+        {
+            return Ok(AsyncHaltReason::FaultLivelock);
+        }
         Ok(AsyncHaltReason::QueueDrained)
     }
 
@@ -603,34 +732,199 @@ impl<N: AsyncNode> AsyncSim<N> {
         };
         debug_assert!(ev.time >= self.now, "events must be processed in order");
         self.now = self.now.max(ev.time);
+        let mut effective = true;
         match ev.kind {
             EventKind::Wake(u) => {
-                if !self.awake[u.0] && !self.nodes[u.0].is_terminated() {
+                if !self.crashed[u.0] && !self.awake[u.0] && !self.nodes[u.0].is_terminated() {
                     self.activate(u, Some(WakeCause::Adversary), None)?;
                 }
             }
             EventKind::Deliver { dst, dst_port, msg } => {
-                self.transcript.record_delivery(dst);
-                if self.nodes[dst.0].is_terminated() {
-                    self.messages_to_terminated += 1;
+                if self.net_active && self.crashed[dst.0] {
+                    // A crashed node swallows the message silently; with
+                    // no reliability layer the payload is gone for good.
+                    self.stats.faults.crash_drops += 1;
+                    self.stats.faults.lost_payloads += 1;
                 } else {
-                    let wake = if self.awake[dst.0] {
-                        None
+                    if self.net_active {
+                        self.stats.faults.goodput += 1;
+                    }
+                    self.transcript.record_delivery(dst);
+                    if self.nodes[dst.0].is_terminated() {
+                        self.messages_to_terminated += 1;
                     } else {
-                        Some(WakeCause::Message)
-                    };
-                    self.activate(
-                        dst,
-                        wake,
-                        Some(Received {
-                            port: dst_port,
-                            msg,
-                        }),
-                    )?;
+                        let wake = if self.awake[dst.0] {
+                            None
+                        } else {
+                            Some(WakeCause::Message)
+                        };
+                        self.activate(
+                            dst,
+                            wake,
+                            Some(Received {
+                                port: dst_port,
+                                msg,
+                            }),
+                        )?;
+                    }
                 }
             }
+            EventKind::DeliverData {
+                src,
+                dst,
+                dst_port,
+                data_seq,
+                msg,
+            } => {
+                if self.crashed[dst.0] {
+                    // Crashed receivers neither deliver nor acknowledge;
+                    // the sender's retransmission timer keeps trying.
+                    self.stats.faults.crash_drops += 1;
+                } else {
+                    let key = link_key(src, dst, self.n) as u64;
+                    let link = self.rel.entry(key);
+                    let fresh = data_seq > link.delivered_hi;
+                    if fresh {
+                        link.delivered_hi = data_seq;
+                    } else {
+                        self.stats.faults.duplicates += 1;
+                    }
+                    // Always (re-)acknowledge: a duplicate means the
+                    // previous ack was lost or late.
+                    self.send_ack(dst, src, data_seq)?;
+                    if fresh {
+                        self.stats.faults.goodput += 1;
+                        self.transcript.record_delivery(dst);
+                        if self.nodes[dst.0].is_terminated() {
+                            self.messages_to_terminated += 1;
+                        } else {
+                            let wake = if self.awake[dst.0] {
+                                None
+                            } else {
+                                Some(WakeCause::Message)
+                            };
+                            self.activate(
+                                dst,
+                                wake,
+                                Some(Received {
+                                    port: dst_port,
+                                    msg,
+                                }),
+                            )?;
+                        }
+                    }
+                }
+            }
+            EventKind::DeliverAck { to, from, data_seq } => {
+                if self.crashed[to.0] {
+                    self.stats.faults.crash_drops += 1;
+                } else {
+                    let key = link_key(to, from, self.n) as u64;
+                    let acked = self
+                        .rel
+                        .get_mut(key)
+                        .and_then(|l| l.inflight.as_ref())
+                        .is_some_and(|o| o.seq == data_seq);
+                    if acked {
+                        self.begin_next_payload(to, from)?;
+                    }
+                    // A stale ack (duplicate, or for an abandoned payload)
+                    // is ignored; it still consumed wire time above.
+                }
+            }
+            EventKind::Retry {
+                src,
+                dst,
+                data_seq,
+                attempt,
+            } => {
+                // Timers are uncancellable heap entries; one is live only
+                // if the exact (payload, attempt) it was armed for is
+                // still in flight. Stale pops are non-events and must not
+                // advance the reported time complexity.
+                effective = false;
+                if !self.crashed[src.0] {
+                    let key = link_key(src, dst, self.n) as u64;
+                    let live = self
+                        .rel
+                        .get_mut(key)
+                        .and_then(|l| l.inflight.as_ref())
+                        .is_some_and(|o| o.seq == data_seq && o.attempts == attempt);
+                    if live {
+                        effective = true;
+                        let budget = self.rel_cfg.as_ref().map_or(0, |r| r.budget);
+                        if attempt > budget {
+                            // Retry budget exhausted: abandon the payload
+                            // and move on to the backlog.
+                            self.stats.faults.abandoned += 1;
+                            self.stats.faults.lost_payloads += 1;
+                            self.begin_next_payload(src, dst)?;
+                        } else {
+                            self.send_reliable_copy(src, dst)?;
+                        }
+                    }
+                }
+            }
+            EventKind::Crash(v) => {
+                self.crash_now(v);
+            }
+            EventKind::Recover(v) => {
+                self.recover_now(v);
+            }
+        }
+        if effective {
+            self.busy_now = self.now;
         }
         Ok(true)
+    }
+
+    /// Fells `v`: from now on it neither wakes, nor receives, nor sends
+    /// (its retransmission timers are ignored while down).
+    fn crash_now(&mut self, v: NodeIndex) {
+        if !self.crashed[v.0] {
+            self.crashed[v.0] = true;
+            self.crashed_count += 1;
+        }
+    }
+
+    /// Revives `v` and re-arms a retransmission timer for every payload
+    /// it still has in flight as a sender. Links are visited in
+    /// [`RelState`] insertion order — a deterministic function of the
+    /// execution history, so fresh and arena-recycled trials re-arm in
+    /// the same order.
+    fn recover_now(&mut self, v: NodeIndex) {
+        if !self.crashed[v.0] {
+            return;
+        }
+        self.crashed[v.0] = false;
+        self.crashed_count -= 1;
+        let Some(rel_cfg) = self.rel_cfg else {
+            return;
+        };
+        let n = self.n as u64;
+        let rearm: Vec<(NodeIndex, u32, u32)> = self
+            .rel
+            .iter()
+            .filter(|l| l.key / n == v.0 as u64)
+            .filter_map(|l| {
+                l.inflight
+                    .as_ref()
+                    .map(|o| (NodeIndex((l.key % n) as usize), o.seq, o.attempts))
+            })
+            .collect();
+        for (dst, data_seq, attempt) in rearm {
+            self.queue.push(Event {
+                time: self.now + rel_cfg.timeout_after(attempt),
+                seq: self.seq,
+                kind: EventKind::Retry {
+                    src: v,
+                    dst,
+                    data_seq,
+                    attempt,
+                },
+            });
+            self.seq += 1;
+        }
     }
 
     /// Runs a node's hooks and dispatches whatever it sent.
@@ -679,44 +973,290 @@ impl<N: AsyncNode> AsyncSim<N> {
         Ok(())
     }
 
-    /// Resolves the port, asks the adversary for a delay, and enqueues the
-    /// delivery (respecting per-link FIFO order).
+    /// Resolves the port and hands the message to the network: on the
+    /// fault-free path the adversary picks a delay and the delivery is
+    /// enqueued directly (respecting per-link FIFO order); on the faulty
+    /// path the message runs the capacity/loss/crash gauntlet, optionally
+    /// under the reliability protocol.
     fn dispatch(&mut self, src: NodeIndex, port: Port, msg: N::Message) -> Result<(), ModelError> {
         let dst = self
             .ports
             .resolve(src, port, self.resolver.as_mut(), &mut self.resolver_rng)?;
-        let obs = Observation {
-            src,
-            dst: dst.node,
-            now: self.now,
-            class: N::classify(&msg),
-            transcript: &self.transcript,
-        };
-        let delay = self.adversary.delay(&obs, &mut self.delay_rng);
-        // Enforced in every build profile: a NaN here would survive any
-        // clamp, poison `deliver_at` and the FIFO floor, and break the
-        // event heap's ordering (which requires finite times).
-        if !(delay > 0.0 && delay <= 1.0) {
-            return Err(ModelError::InvalidDelay {
-                adversary: self.adversary.name(),
-                delay: format!("{delay}"),
-            });
-        }
-        self.transcript.record_send(src);
-        let floor = self.fifo_front.floor_mut(src.0 * self.n + dst.node.0);
-        let deliver_at = (self.now + delay).max(*floor);
-        *floor = deliver_at;
-        self.stats.record(self.now.floor() as usize + 1, src);
-        self.queue.push(Event {
-            time: deliver_at,
-            seq: self.seq,
-            kind: EventKind::Deliver {
+        if !self.net_active {
+            // The pre-fault-layer dispatch path, verbatim: the transparent
+            // default network must reproduce executions byte-identically.
+            let obs = Observation {
+                src,
                 dst: dst.node,
-                dst_port: dst.port,
-                msg,
+                now: self.now,
+                class: N::classify(&msg),
+                transcript: &self.transcript,
+            };
+            let delay = self.adversary.delay(&obs, &mut self.delay_rng);
+            // Enforced in every build profile: a NaN here would survive any
+            // clamp, poison `deliver_at` and the FIFO floor, and break the
+            // event heap's ordering (which requires finite times).
+            if !(delay > 0.0 && delay <= 1.0) {
+                return Err(ModelError::InvalidDelay {
+                    adversary: self.adversary.name(),
+                    delay: format!("{delay}"),
+                });
+            }
+            self.transcript.record_send(src);
+            let floor = self.fifo_front.slot_mut(link_key(src, dst.node, self.n));
+            let deliver_at = (self.now + delay).max(*floor);
+            *floor = deliver_at;
+            self.stats.record(self.now.floor() as usize + 1, src);
+            self.queue.push(Event {
+                time: deliver_at,
+                seq: self.seq,
+                kind: EventKind::Deliver {
+                    dst: dst.node,
+                    dst_port: dst.port,
+                    msg,
+                },
+            });
+            self.seq += 1;
+            return Ok(());
+        }
+
+        // Faulty path. The algorithm-facing accounting (transcript,
+        // MessageStats histogram) happens here, at payload level — wire
+        // retransmissions and acks below are protocol overhead, counted
+        // only in the fault counters.
+        self.transcript.record_send(src);
+        self.stats.record(self.now.floor() as usize + 1, src);
+        self.stats.faults.payloads += 1;
+        if self.rel_cfg.is_some() {
+            let key = link_key(src, dst.node, self.n) as u64;
+            let link = self.rel.entry(key);
+            if link.inflight.is_some() {
+                // Stop-and-wait: one unacknowledged payload per link; the
+                // rest wait in the backlog.
+                link.backlog.push_back((dst.port, msg));
+            } else {
+                link.next_seq += 1;
+                link.inflight = Some(Outstanding {
+                    seq: link.next_seq,
+                    dst_port: dst.port,
+                    msg,
+                    attempts: 0,
+                });
+                self.send_reliable_copy(src, dst.node)?;
+            }
+        } else {
+            // Unreliable: one shot on the wire; a drop is a permanently
+            // lost payload.
+            match self.transmit_raw(src, dst.node, N::classify(&msg))? {
+                WireFate::At(t) => {
+                    self.queue.push(Event {
+                        time: t,
+                        seq: self.seq,
+                        kind: EventKind::Deliver {
+                            dst: dst.node,
+                            dst_port: dst.port,
+                            msg,
+                        },
+                    });
+                    self.seq += 1;
+                }
+                WireFate::QueueDrop | WireFate::Lost => {
+                    self.stats.faults.lost_payloads += 1;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// One wire transmission attempt on the faulty network: link-queue
+    /// admission, loss (configured and adversarial), delay, the adaptive
+    /// crash directive, and the FIFO floor. The consultation order is
+    /// fixed — admission, loss coin, adversary loss, adversary delay,
+    /// crash directive — so recorded fault traces replay exactly.
+    fn transmit_raw(
+        &mut self,
+        src: NodeIndex,
+        dst: NodeIndex,
+        class: MessageClass,
+    ) -> Result<WireFate, ModelError> {
+        let key = link_key(src, dst, self.n);
+        // Capacity model: the message occupies the link for the service
+        // time; a backlog beyond the queue capacity is drop-tail.
+        let mut depart = self.now;
+        let mut queue_dropped = false;
+        if self.net_service > 0.0 {
+            let busy = self.link_busy.slot_mut(key);
+            let backlog = ((*busy - self.now).max(0.0) / self.net_service).ceil();
+            if self.net_queue_cap != usize::MAX && backlog >= self.net_queue_cap as f64 {
+                queue_dropped = true;
+            } else {
+                depart = self.now.max(*busy) + self.net_service;
+                *busy = depart;
+            }
+        }
+        let fate = if queue_dropped {
+            WireFate::QueueDrop
+        } else {
+            let obs = Observation {
+                src,
+                dst,
+                now: self.now,
+                class,
+                transcript: &self.transcript,
+            };
+            let mut lost = self.net_loss > 0.0 && coin(&mut self.fault_rng, self.net_loss);
+            if !lost {
+                lost = self.adversary.induces_loss(&obs, &mut self.adv_fault_rng);
+            }
+            if lost {
+                WireFate::Lost
+            } else {
+                let delay = self.adversary.delay(&obs, &mut self.delay_rng);
+                if !(delay > 0.0 && delay <= 1.0) {
+                    return Err(ModelError::InvalidDelay {
+                        adversary: self.adversary.name(),
+                        delay: format!("{delay}"),
+                    });
+                }
+                WireFate::At(depart + delay)
+            }
+        };
+        // Adaptive crash directive: consulted on every transmission
+        // attempt while budget remains, after the loss/delay draws.
+        if self.adaptive_crashes > 0 {
+            let obs = Observation {
+                src,
+                dst,
+                now: self.now,
+                class,
+                transcript: &self.transcript,
+            };
+            if let Some(v) = self.adversary.crash_directive(&obs) {
+                assert!(
+                    v.0 < self.n,
+                    "crash directive targets {v} outside the {}-node network",
+                    self.n
+                );
+                if !self.crashed[v.0] {
+                    self.crash_now(v);
+                    self.adaptive_crashes -= 1;
+                }
+            }
+        }
+        Ok(match fate {
+            WireFate::At(t) => {
+                let floor = self.fifo_front.slot_mut(key);
+                let at = t.max(*floor);
+                *floor = at;
+                WireFate::At(at)
+            }
+            WireFate::QueueDrop => {
+                self.stats.faults.queue_drops += 1;
+                WireFate::QueueDrop
+            }
+            WireFate::Lost => {
+                self.stats.faults.loss_drops += 1;
+                WireFate::Lost
+            }
+        })
+    }
+
+    /// Transmits the current in-flight payload of link `src → dst` (first
+    /// attempt or retransmission) and arms its retransmission timer.
+    fn send_reliable_copy(&mut self, src: NodeIndex, dst: NodeIndex) -> Result<(), ModelError> {
+        let key = link_key(src, dst, self.n) as u64;
+        let (data_seq, attempts, dst_port, msg) = {
+            let o = self
+                .rel
+                .get_mut(key)
+                .and_then(|l| l.inflight.as_ref())
+                .expect("send_reliable_copy requires an in-flight payload");
+            (o.seq, o.attempts, o.dst_port, o.msg.clone())
+        };
+        if attempts > 0 {
+            self.stats.faults.retransmits += 1;
+        }
+        let class = N::classify(&msg);
+        if let WireFate::At(t) = self.transmit_raw(src, dst, class)? {
+            self.queue.push(Event {
+                time: t,
+                seq: self.seq,
+                kind: EventKind::DeliverData {
+                    src,
+                    dst,
+                    dst_port,
+                    data_seq,
+                    msg,
+                },
+            });
+            self.seq += 1;
+        }
+        // Count the attempt and arm the timer whether or not the copy
+        // survived the wire — the sender cannot know.
+        let o = self
+            .rel
+            .get_mut(key)
+            .and_then(|l| l.inflight.as_mut())
+            .expect("in-flight payload persists across its own transmission");
+        o.attempts += 1;
+        let attempt = o.attempts;
+        let rel_cfg = self.rel_cfg.expect("reliable send requires a config");
+        self.queue.push(Event {
+            time: self.now + rel_cfg.timeout_after(attempt),
+            seq: self.seq,
+            kind: EventKind::Retry {
+                src,
+                dst,
+                data_seq,
+                attempt,
             },
         });
         self.seq += 1;
+        Ok(())
+    }
+
+    /// Sends a delivery acknowledgement for `data_seq` from `from` back to
+    /// `to` (the data sender). Acks are real wire messages: they occupy
+    /// the reverse link, queue, and can be lost — but are never
+    /// retransmitted themselves (a lost ack is repaired by the data
+    /// retransmission provoking a fresh one).
+    fn send_ack(
+        &mut self,
+        from: NodeIndex,
+        to: NodeIndex,
+        data_seq: u32,
+    ) -> Result<(), ModelError> {
+        self.stats.faults.acks += 1;
+        if let WireFate::At(t) = self.transmit_raw(from, to, MessageClass::Ack)? {
+            self.queue.push(Event {
+                time: t,
+                seq: self.seq,
+                kind: EventKind::DeliverAck { to, from, data_seq },
+            });
+            self.seq += 1;
+        }
+        Ok(())
+    }
+
+    /// Clears link `src → dst`'s in-flight slot and starts the next
+    /// backlog payload, if any.
+    fn begin_next_payload(&mut self, src: NodeIndex, dst: NodeIndex) -> Result<(), ModelError> {
+        let key = link_key(src, dst, self.n) as u64;
+        let link = self
+            .rel
+            .get_mut(key)
+            .expect("begin_next_payload requires a touched link");
+        link.inflight = None;
+        if let Some((dst_port, msg)) = link.backlog.pop_front() {
+            link.next_seq += 1;
+            link.inflight = Some(Outstanding {
+                seq: link.next_seq,
+                dst_port,
+                msg,
+                attempts: 0,
+            });
+            self.send_reliable_copy(src, dst)?;
+        }
         Ok(())
     }
 
@@ -724,7 +1264,7 @@ impl<N: AsyncNode> AsyncSim<N> {
     pub fn into_outcome(self, halt: AsyncHaltReason) -> AsyncOutcome {
         AsyncOutcome {
             n: self.n,
-            time: self.now,
+            time: self.busy_now,
             last_adversarial_wake: self.last_scheduled_wake,
             wake_all_time: self.wake_all_time,
             stats: self.stats,
@@ -732,6 +1272,7 @@ impl<N: AsyncNode> AsyncSim<N> {
             awake: self.awake,
             ids: self.ids,
             messages_to_terminated: self.messages_to_terminated,
+            crashed: self.crashed,
             halt,
         }
     }
@@ -748,24 +1289,29 @@ impl<N: AsyncNode> AsyncSim<N> {
             ports,
             mut queue,
             fifo_front,
+            link_busy,
+            rel,
             mut outbox,
             stats,
             last_decisions,
             awake,
             messages_to_terminated,
-            now,
+            busy_now,
             wake_all_time,
             last_scheduled_wake,
+            crashed,
             ..
         } = self;
         queue.clear();
         outbox.clear();
         arena.ports = Some(ports);
         arena.fifo_front = fifo_front;
-        arena.buffers = Some(Box::new(AsyncBuffers { queue, outbox }));
+        arena.link_busy = link_busy;
+        arena.rel_bytes = rel.resident_bytes();
+        arena.buffers = Some(Box::new(AsyncBuffers { queue, outbox, rel }));
         AsyncOutcome {
             n,
-            time: now,
+            time: busy_now,
             last_adversarial_wake: last_scheduled_wake,
             wake_all_time,
             stats,
@@ -773,6 +1319,7 @@ impl<N: AsyncNode> AsyncSim<N> {
             awake,
             ids,
             messages_to_terminated,
+            crashed,
             halt,
         }
     }
@@ -1344,5 +1891,353 @@ mod tests {
             .unwrap();
         assert_eq!(outcome.stats.total(), 2);
         assert_eq!(outcome.messages_to_terminated, 1);
+    }
+
+    // ----- faulty network layer -----
+
+    use crate::network::{FaultPlan, NetworkConfig, Reliability};
+
+    fn full_fingerprint(o: &AsyncOutcome) -> impl PartialEq + std::fmt::Debug {
+        (
+            o.time.to_bits(),
+            o.stats.total(),
+            o.stats.rounds().to_vec(),
+            o.stats.faults,
+            o.unique_leader(),
+            o.decisions.clone(),
+            o.awake.clone(),
+            o.crashed.clone(),
+            o.halt,
+        )
+    }
+
+    #[test]
+    fn transparent_network_is_byte_identical_to_legacy() {
+        for seed in 0..8u64 {
+            let legacy = AsyncSimBuilder::new(10)
+                .seed(seed)
+                .wake(AsyncWakeSchedule::single(NodeIndex(2)))
+                .build(Flood::new)
+                .unwrap()
+                .run()
+                .unwrap();
+            let transparent = AsyncSimBuilder::new(10)
+                .seed(seed)
+                .wake(AsyncWakeSchedule::single(NodeIndex(2)))
+                .network(NetworkConfig::default())
+                .build(Flood::new)
+                .unwrap()
+                .run()
+                .unwrap();
+            assert_eq!(full_fingerprint(&legacy), full_fingerprint(&transparent));
+            assert_eq!(legacy.stats.faults, Default::default());
+        }
+    }
+
+    #[test]
+    fn finite_link_rate_serializes_deliveries() {
+        // FifoProbe sends 3 messages on one link at time 0. With rate 2
+        // (service 0.5) and delay pinned to 1, the wire departures are
+        // 0.5, 1.0, 1.5 and the deliveries land exactly at 1.5, 2.0, 2.5.
+        let outcome = AsyncSimBuilder::new(4)
+            .seed(1)
+            .wake(AsyncWakeSchedule::single(NodeIndex(1)))
+            .delays(Box::new(ConstDelay::max()))
+            .network(NetworkConfig::new().link_rate(2.0))
+            .build(|_, _| FifoProbe {
+                is_sender: false,
+                received: Vec::new(),
+                decision: Decision::Undecided,
+            })
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(outcome.halt, AsyncHaltReason::QueueDrained);
+        assert_eq!(outcome.time, 2.5);
+        assert_eq!(outcome.stats.faults.payloads, 3);
+        assert_eq!(outcome.stats.faults.goodput, 3);
+        assert_eq!(outcome.stats.faults.drops(), 0);
+    }
+
+    #[test]
+    fn bounded_queue_drops_the_tail_and_reports_livelock() {
+        // Same burst, but the link admits one pending message at a time:
+        // the second and third are dropped on the tail, and with no
+        // reliability layer the quiesced run is a fault livelock.
+        let outcome = AsyncSimBuilder::new(4)
+            .seed(1)
+            .wake(AsyncWakeSchedule::single(NodeIndex(1)))
+            .delays(Box::new(ConstDelay::max()))
+            .network(NetworkConfig::new().link_rate(1.0).queue_cap(1))
+            .build(|_, _| FifoProbe {
+                is_sender: false,
+                received: Vec::new(),
+                decision: Decision::Undecided,
+            })
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(outcome.halt, AsyncHaltReason::FaultLivelock);
+        assert_eq!(outcome.stats.faults.queue_drops, 2);
+        assert_eq!(outcome.stats.faults.lost_payloads, 2);
+        assert_eq!(outcome.stats.faults.goodput, 1);
+    }
+
+    #[test]
+    fn reliability_protocol_survives_heavy_loss() {
+        // 40% of every wire transmission (payloads, retransmissions, and
+        // acks alike) is destroyed, yet stop-and-wait must deliver every
+        // payload exactly once and the election must stay correct.
+        let outcome = AsyncSimBuilder::new(6)
+            .seed(3)
+            .network(
+                NetworkConfig::new()
+                    .loss(0.4)
+                    .reliable(Reliability::default()),
+            )
+            .build(Flood::new)
+            .unwrap()
+            .run()
+            .unwrap();
+        outcome.validate_explicit().unwrap();
+        assert_eq!(outcome.halt, AsyncHaltReason::QueueDrained);
+        let f = &outcome.stats.faults;
+        assert_eq!(f.goodput, f.payloads, "every payload delivered");
+        assert_eq!(f.payloads, outcome.stats.total());
+        assert!(f.loss_drops > 0, "the loss coin must have fired at 40%");
+        assert!(f.retransmits > 0, "losses must have forced retransmission");
+        assert_eq!(
+            f.duplicates + f.goodput + f.abandoned,
+            f.duplicates + f.payloads
+        );
+        assert_eq!(f.abandoned, 0);
+    }
+
+    #[test]
+    fn unreliable_loss_is_permanent_and_livelocks() {
+        let outcome = AsyncSimBuilder::new(6)
+            .seed(3)
+            .network(NetworkConfig::new().loss(0.5))
+            .build(Flood::new)
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(outcome.halt, AsyncHaltReason::FaultLivelock);
+        let f = &outcome.stats.faults;
+        assert!(f.lost_payloads > 0);
+        assert_eq!(f.lost_payloads, f.loss_drops);
+        assert_eq!(f.goodput + f.lost_payloads, f.payloads);
+        assert_eq!(f.retransmits, 0, "no reliability layer, no retries");
+    }
+
+    #[test]
+    fn fault_livelock_is_never_conflated_with_max_events() {
+        // Satellite regression: the same faulty configuration must report
+        // MaxEvents when the cap fires mid-flight and FaultLivelock only
+        // at quiescence.
+        let build = |cap: Option<u64>| {
+            let mut b = AsyncSimBuilder::new(6)
+                .seed(3)
+                .network(NetworkConfig::new().loss(0.5));
+            if let Some(c) = cap {
+                b = b.max_events(c);
+            }
+            b.build(Flood::new).unwrap().run().unwrap()
+        };
+        assert_eq!(build(None).halt, AsyncHaltReason::FaultLivelock);
+        let capped = build(Some(3));
+        assert_eq!(capped.halt, AsyncHaltReason::MaxEvents);
+    }
+
+    #[test]
+    fn crashed_node_swallows_traffic_until_recovery() {
+        // Node 2 crashes before any message reaches it and recovers
+        // shortly after; the reliability layer retransmits into the void
+        // until then, so the election still completes cleanly.
+        let recovered = AsyncSimBuilder::new(4)
+            .seed(5)
+            .network(
+                NetworkConfig::new()
+                    .reliable(Reliability::default())
+                    .faults(FaultPlan::new().crash_recovering(NodeIndex(2), 0.05, 1.5)),
+            )
+            .build(Flood::new)
+            .unwrap()
+            .run()
+            .unwrap();
+        recovered.validate_explicit().unwrap();
+        assert_eq!(recovered.halt, AsyncHaltReason::QueueDrained);
+        assert_eq!(recovered.crashed_count(), 0);
+        assert!(recovered.stats.faults.crash_drops > 0);
+        assert!(recovered.stats.faults.retransmits > 0);
+
+        // Without recovery the retry budget eventually runs dry: the
+        // payloads to node 2 are abandoned and the run livelocks — but
+        // the crash-aware success criterion still recognizes a clean
+        // election among the survivors.
+        let permanent = AsyncSimBuilder::new(4)
+            .seed(5)
+            .network(
+                NetworkConfig::new()
+                    .reliable(Reliability::default())
+                    .faults(FaultPlan::new().crash(NodeIndex(2), 0.05)),
+            )
+            .build(Flood::new)
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(permanent.halt, AsyncHaltReason::FaultLivelock);
+        assert_eq!(permanent.crashed_count(), 1);
+        assert!(permanent.crashed[2]);
+        assert!(permanent.stats.faults.abandoned > 0);
+    }
+
+    #[test]
+    fn random_crashes_never_fell_the_whole_network() {
+        // frac 0.9 at n=4 rounds to 4 victims, but the engine caps at
+        // n - 1 so at least one node survives.
+        let outcome = AsyncSimBuilder::new(4)
+            .seed(9)
+            .network(NetworkConfig::new().faults(FaultPlan::new().random_crashes(0.9, 1.0)))
+            .build(Flood::new)
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(outcome.crashed_count(), 3);
+        assert!(!outcome.crashed.iter().all(|&c| c));
+    }
+
+    #[test]
+    fn adaptive_crash_budget_is_engine_enforced() {
+        use crate::adversary::{CrashTopSender, Oblivious, UniformDelay};
+        let run = |budget: u32| {
+            AsyncSimBuilder::new(6)
+                .seed(2)
+                .adversary(Box::new(CrashTopSender::new(
+                    Box::new(Oblivious::new(UniformDelay::full())),
+                    1,
+                )))
+                .network(
+                    NetworkConfig::new()
+                        .reliable(Reliability::default())
+                        .faults(FaultPlan::new().adaptive_crashes(budget)),
+                )
+                .build(Flood::new)
+                .unwrap()
+                .run()
+                .unwrap()
+        };
+        // Without budget the directive is never even consulted.
+        assert_eq!(run(0).crashed_count(), 0);
+        // With one, the adversary fells the current top sender once.
+        assert_eq!(run(1).crashed_count(), 1);
+    }
+
+    #[test]
+    fn faulty_arena_trials_match_fresh_trials() {
+        // The full gauntlet — loss + capacity + queue bound + crash with
+        // recovery + reliability — must be byte-identical between fresh
+        // and arena-recycled trials, including every fault counter.
+        let cfg = || {
+            NetworkConfig::new()
+                .loss(0.2)
+                .link_rate(16.0)
+                .queue_cap(16)
+                .reliable(Reliability::default())
+                .faults(FaultPlan::new().crash_recovering(NodeIndex(1), 0.3, 2.0))
+        };
+        let mut arena = AsyncArena::new();
+        for seed in 0..6u64 {
+            let fresh = AsyncSimBuilder::new(8)
+                .seed(seed)
+                .network(cfg())
+                .build(Flood::new)
+                .unwrap()
+                .run()
+                .unwrap();
+            let reused = AsyncSimBuilder::new(8)
+                .seed(seed)
+                .network(cfg())
+                .build_in(&mut arena, Flood::new)
+                .unwrap()
+                .run_reusing(&mut arena)
+                .unwrap();
+            assert_eq!(full_fingerprint(&fresh), full_fingerprint(&reused));
+        }
+        // The stashed reliability state and busy horizons are accounted.
+        assert!(arena.resident_bytes() > 0);
+        let dbg = format!("{arena:?}");
+        assert!(dbg.contains("rel_bytes"), "{dbg}");
+    }
+
+    #[test]
+    fn fault_buffers_recycle_without_reallocation() {
+        // After a warm-up trial, recycled trials must not grow the
+        // resident footprint: same n, same config, same touched links.
+        let cfg = || {
+            NetworkConfig::new()
+                .loss(0.1)
+                .link_rate(8.0)
+                .queue_cap(8)
+                .reliable(Reliability::default())
+        };
+        let mut arena = AsyncArena::new();
+        let run = |arena: &mut AsyncArena| {
+            AsyncSimBuilder::new(8)
+                .seed(7)
+                .network(cfg())
+                .build_in(arena, Flood::new)
+                .unwrap()
+                .run_reusing(arena)
+                .unwrap()
+        };
+        let first = run(&mut arena);
+        // The second trial's reset parks the first trial's entries in the
+        // recycling pool, which gains its spine capacity exactly once;
+        // from there the footprint must be a fixed point.
+        let warm = run(&mut arena);
+        assert_eq!(full_fingerprint(&first), full_fingerprint(&warm));
+        let settled = arena.resident_bytes();
+        for _ in 0..3 {
+            let again = run(&mut arena);
+            assert_eq!(full_fingerprint(&first), full_fingerprint(&again));
+            assert_eq!(
+                arena.resident_bytes(),
+                settled,
+                "identical trials must reuse identical storage"
+            );
+        }
+    }
+
+    #[test]
+    fn stale_retry_timers_do_not_inflate_time() {
+        // A clean reliable run still arms one timer per transmission; the
+        // timers fire long after quiescence of useful work and must not
+        // count toward the reported time complexity.
+        let reliable = AsyncSimBuilder::new(6)
+            .seed(4)
+            .network(NetworkConfig::new().reliable(Reliability::default()))
+            .build(Flood::new)
+            .unwrap()
+            .run()
+            .unwrap();
+        let legacy = AsyncSimBuilder::new(6)
+            .seed(4)
+            .build(Flood::new)
+            .unwrap()
+            .run()
+            .unwrap();
+        reliable.validate_explicit().unwrap();
+        assert_eq!(reliable.halt, AsyncHaltReason::QueueDrained);
+        assert_eq!(reliable.stats.faults.retransmits, 0);
+        // The fault-free RTO (2.5) exceeds the longest possible round
+        // trip, so a loss-free reliable run matches the legacy time up to
+        // the ack round trips — certainly far below the first timeout.
+        assert!(
+            reliable.time < legacy.time + 2.5,
+            "stale timers leaked into the time complexity: {} vs {}",
+            reliable.time,
+            legacy.time
+        );
     }
 }

@@ -63,6 +63,7 @@
 
 pub mod adversary;
 pub mod engine;
+pub mod network;
 pub mod node;
 pub mod outcome;
 pub mod wakeup;
@@ -72,10 +73,12 @@ pub use adversary::delay::{BimodalDelay, ConstDelay, DelayStrategy, UniformDelay
 // subsystem and were importable as `clique_async::delay::*`.
 pub use adversary::delay;
 pub use adversary::{
-    Adversary, Capability, MessageClass, Oblivious, Observation, PartitionAdversary,
-    RecordedSchedule, Recorder, RushingAdversary, TargetedSlowdown, TraceHandle, Transcript,
+    Adversary, Capability, CrashTopSender, MessageClass, Oblivious, Observation,
+    PartitionAdversary, RecordedSchedule, Recorder, RushingAdversary, TargetedLoss,
+    TargetedSlowdown, TraceHandle, TraceStep, Transcript,
 };
 pub use engine::{AsyncArena, AsyncSim, AsyncSimBuilder};
+pub use network::{CrashFault, FaultPlan, NetworkConfig, RandomCrash, Reliability};
 pub use node::{AsyncContext, AsyncNode, Received};
 pub use outcome::{AsyncHaltReason, AsyncOutcome};
 pub use wakeup::AsyncWakeSchedule;

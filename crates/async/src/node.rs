@@ -103,8 +103,10 @@ pub trait AsyncNode {
     ///
     /// `Send` so that a recycled [`AsyncArena`](crate::AsyncArena) (which
     /// retains the event queue between trials) can migrate between sweep
-    /// worker threads; message payloads are plain data in every algorithm.
-    type Message: Send;
+    /// worker threads, and `Clone` so the faulty network layer's
+    /// reliability protocol can retransmit an in-flight copy after a
+    /// timeout; message payloads are plain data in every algorithm.
+    type Message: Send + Clone;
 
     /// Called exactly once when the node wakes: either the adversary woke it
     /// (at its scheduled time) or its first message arrived (in which case

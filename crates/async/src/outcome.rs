@@ -15,6 +15,14 @@ pub enum AsyncHaltReason {
     QueueDrained,
     /// The configured event cap was reached (usually an algorithm bug).
     MaxEvents,
+    /// Fault-induced livelock: the queue drained, but only because the
+    /// faulty network layer gave up — at least one payload was permanently
+    /// lost (retransmission budget exhausted, dropped with no reliability
+    /// layer, or swallowed by a crashed receiver), or every node crashed.
+    /// Never conflated with [`AsyncHaltReason::MaxEvents`], which fires
+    /// *before* quiescence; this variant fires only *at* quiescence and
+    /// only when a network configuration is active.
+    FaultLivelock,
 }
 
 /// Everything measurable about one asynchronous execution.
@@ -44,6 +52,10 @@ pub struct AsyncOutcome {
     pub ids: IdAssignment,
     /// Messages dropped because their destination had terminated.
     pub messages_to_terminated: u64,
+    /// Which nodes were crashed when the engine halted (all `false`
+    /// without a fault plan; a node that crashed and recovered is
+    /// `false`).
+    pub crashed: Vec<bool>,
     /// Why the engine stopped.
     pub halt: AsyncHaltReason,
 }
@@ -73,6 +85,23 @@ impl AsyncOutcome {
     /// Whether every node woke up.
     pub fn all_awake(&self) -> bool {
         self.awake.iter().all(|&a| a)
+    }
+
+    /// Number of nodes crashed at halt.
+    pub fn crashed_count(&self) -> usize {
+        self.crashed.iter().filter(|&&c| c).count()
+    }
+
+    /// Graceful-degradation success under crash faults: exactly one node
+    /// decided `Leader`, and every node that is *alive and awake* at halt
+    /// reached a decision. Crashed and never-woken nodes are excused —
+    /// a dead node cannot decide, and the fault-free validators would
+    /// (correctly) flag it.
+    pub fn elects_despite_faults(&self) -> bool {
+        self.leaders().len() == 1
+            && self.decisions.iter().enumerate().all(|(u, d)| {
+                self.crashed.get(u).copied().unwrap_or(false) || !self.awake[u] || d.is_decided()
+            })
     }
 
     /// Number of nodes that woke up.
@@ -122,6 +151,7 @@ mod tests {
             awake: vec![true, true],
             ids,
             messages_to_terminated: 0,
+            crashed: vec![false, false],
             halt: AsyncHaltReason::QueueDrained,
         };
         o.validate_implicit().unwrap();
@@ -130,5 +160,39 @@ mod tests {
         assert!(o.all_awake());
         assert_eq!(o.awake_count(), 2);
         assert_eq!(o.time_since_last_spontaneous_wake(), 3.0);
+        assert_eq!(o.crashed_count(), 0);
+        assert!(o.elects_despite_faults());
+    }
+
+    #[test]
+    fn elects_despite_faults_excuses_the_dead_and_sleeping() {
+        let ids = IdAssignment::new(vec![Id(1), Id(2), Id(3), Id(4)]).unwrap();
+        let mut o = AsyncOutcome {
+            n: 4,
+            time: 1.0,
+            last_adversarial_wake: 0.0,
+            wake_all_time: None,
+            stats: MessageStats::new(4),
+            decisions: vec![
+                Decision::Leader,
+                Decision::Undecided, // crashed: excused
+                Decision::Undecided, // asleep: excused
+                Decision::non_leader(),
+            ],
+            awake: vec![true, true, false, true],
+            ids,
+            messages_to_terminated: 0,
+            crashed: vec![false, true, false, false],
+            halt: AsyncHaltReason::FaultLivelock,
+        };
+        assert_eq!(o.crashed_count(), 1);
+        assert!(o.elects_despite_faults());
+        // An alive, awake, undecided node is a genuine failure.
+        o.crashed[1] = false;
+        assert!(!o.elects_despite_faults());
+        // As are two leaders.
+        o.crashed[1] = true;
+        o.decisions[3] = Decision::Leader;
+        assert!(!o.elects_despite_faults());
     }
 }

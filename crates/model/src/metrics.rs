@@ -8,12 +8,65 @@
 
 use crate::NodeIndex;
 
+/// Fault-and-overhead accounting of an execution under a faulty network
+/// layer: how many distinct application payloads were handed to the
+/// network (`payloads`), how many of them actually reached a live node
+/// (`goodput`), and where the difference went (queue overflow, in-transit
+/// loss, crashed receivers, exhausted retry budgets). The retransmission
+/// and acknowledgement counters measure the *overhead* a reliability layer
+/// paid to keep goodput up — the central goodput-vs-overhead tradeoff the
+/// congestion experiments report.
+///
+/// All counters stay zero on a fault-free engine (synchronous runs, and
+/// asynchronous runs without a network configuration), so existing
+/// fingerprints are unaffected.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCounters {
+    /// Distinct application payloads handed to the network layer.
+    pub payloads: u64,
+    /// Payloads delivered to a live (non-crashed) node, first copy only.
+    pub goodput: u64,
+    /// Data retransmissions performed by the reliability layer.
+    pub retransmits: u64,
+    /// Acknowledgements sent by the reliability layer.
+    pub acks: u64,
+    /// Transmission attempts dropped at a full link queue (drop-tail).
+    pub queue_drops: u64,
+    /// Transmission attempts destroyed in transit (probabilistic,
+    /// targeted, or adversary-induced loss).
+    pub loss_drops: u64,
+    /// Deliveries swallowed because the receiving node had crashed.
+    pub crash_drops: u64,
+    /// Duplicate data copies discarded by the receiver's sequence check.
+    pub duplicates: u64,
+    /// Payloads abandoned after the retransmission budget ran out.
+    pub abandoned: u64,
+    /// Payloads that are permanently lost: abandoned after the retry
+    /// budget, or (without a reliability layer) dropped/crashed-swallowed
+    /// with no retransmission coming. Drives the fault-livelock halt.
+    pub lost_payloads: u64,
+}
+
+impl FaultCounters {
+    /// Total reliability-layer overhead messages (retransmits + acks).
+    pub fn overhead(&self) -> u64 {
+        self.retransmits + self.acks
+    }
+
+    /// Total dropped transmission attempts, over every drop cause.
+    pub fn drops(&self) -> u64 {
+        self.queue_drops + self.loss_drops + self.crash_drops
+    }
+}
+
 /// Message counters for one execution.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MessageStats {
     total: u64,
     per_round: Vec<u64>,
     per_node: Vec<u64>,
+    /// Fault/overhead accounting (all-zero without a faulty network layer).
+    pub faults: FaultCounters,
 }
 
 impl MessageStats {
@@ -23,6 +76,7 @@ impl MessageStats {
             total: 0,
             per_round: Vec::new(),
             per_node: vec![0; n],
+            faults: FaultCounters::default(),
         }
     }
 

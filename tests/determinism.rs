@@ -238,6 +238,61 @@ fn golden_fingerprint_async_seed0() {
     }
 }
 
+/// The transparent (all-defaults) [`NetworkConfig`] must reproduce the
+/// async goldens above **byte-identically** — the fault layer's
+/// acceptance bar: merely installing the network plumbing, with every
+/// feature off, may not move a single bit of any recorded execution.
+#[test]
+fn golden_fingerprint_async_seed0_with_transparent_network() {
+    use improved_le::asynchronous::NetworkConfig;
+    for (n, golden_time_bits, golden_msgs, golden_leader) in [
+        (64usize, 4616551870472006621u64, 2013u64, 15usize),
+        (256, 4618253587610216838, 14799, 70),
+    ] {
+        let o = AsyncSimBuilder::new(n)
+            .seed(0)
+            .wake(AsyncWakeSchedule::single(NodeIndex(0)))
+            .network(NetworkConfig::default())
+            .build(|_, _| a_tr::Node::new(a_tr::Config::new(2)))
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(
+            (o.time.to_bits(), o.stats.total(), o.unique_leader()),
+            (
+                golden_time_bits,
+                golden_msgs,
+                Some(NodeIndex(golden_leader))
+            ),
+            "the transparent network broke byte-identity at n = {n}"
+        );
+        assert_eq!(o.stats.faults, Default::default());
+        assert_eq!(o.crashed_count(), 0);
+    }
+    for (n, golden_time_bits, golden_msgs, golden_leader) in [
+        (64usize, 4625275065130365182u64, 544u64, 51usize),
+        (256, 4626122797709239310, 2400, 26),
+    ] {
+        let o = AsyncSimBuilder::new(n)
+            .seed(0)
+            .wake(AsyncWakeSchedule::simultaneous(n))
+            .network(NetworkConfig::default())
+            .build(a_ag::Node::new)
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(
+            (o.time.to_bits(), o.stats.total(), o.unique_leader()),
+            (
+                golden_time_bits,
+                golden_msgs,
+                Some(NodeIndex(golden_leader))
+            ),
+            "the transparent network broke byte-identity at n = {n}"
+        );
+    }
+}
+
 #[test]
 fn seed_isolation_between_components() {
     // Changing only the wake schedule must not change the ID assignment
