@@ -12,7 +12,9 @@
 //!   form "messages grow as `n^{1+1/k}`": the exponent is the reproducible
 //!   quantity, not the constant),
 //! * [`table`] — ASCII tables shaped like the paper's Table 1,
-//! * [`csv`] — plain CSV export for plotting.
+//! * [`csv`] — plain CSV export for plotting,
+//! * [`trace`] — parser/validator for the engines' JSONL execution traces
+//!   plus rollups and message-causality critical-path analysis.
 //!
 //! # Example
 //!
@@ -34,6 +36,7 @@ pub mod csv;
 pub mod regression;
 pub mod stats;
 pub mod table;
+pub mod trace;
 
 pub use csv::{parse_csv, read_csv, CsvWriter};
 pub use regression::{fit_linear, fit_power_law, LinearFit, PowerLawFit};

@@ -66,15 +66,22 @@ pub enum MessageClass {
     Ack,
 }
 
-impl std::fmt::Display for MessageClass {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(match self {
+impl MessageClass {
+    /// The class's stable name (also its trace wire-format `cls` value).
+    pub fn name(self) -> &'static str {
+        match self {
             MessageClass::WakeUp => "wake-up",
             MessageClass::Probe => "probe",
             MessageClass::Reply => "reply",
             MessageClass::Decide => "decide",
             MessageClass::Ack => "ack",
-        })
+        }
+    }
+}
+
+impl std::fmt::Display for MessageClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
     }
 }
 

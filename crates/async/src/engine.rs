@@ -7,7 +7,9 @@ use std::collections::BinaryHeap;
 use clique_model::ids::{Id, IdAssignment, IdSpace};
 use clique_model::metrics::MessageStats;
 use clique_model::ports::{Port, PortBackend, PortMap, PortResolver, RandomResolver};
+use clique_model::prof::{self, Phase};
 use clique_model::rng::{coin, derive_seed, rng_from_seed, sample_distinct};
+use clique_model::trace::{At, FaultKind, TraceEvent, TraceSink, Tracer, ALL_CLASSES};
 use clique_model::{Decision, ModelError, NodeIndex, WakeCause};
 use rand::rngs::SmallRng;
 use rand::Rng;
@@ -43,6 +45,7 @@ enum EventKind<M> {
     /// A message is delivered (fault-free engine, or an active network
     /// without the reliability protocol).
     Deliver {
+        src: NodeIndex,
         dst: NodeIndex,
         dst_port: Port,
         msg: M,
@@ -242,6 +245,8 @@ pub struct AsyncSimBuilder {
     backend: Option<PortBackend>,
     max_events: Option<u64>,
     network: Option<NetworkConfig>,
+    trace: Option<Box<dyn TraceSink>>,
+    lean_stats: bool,
 }
 
 impl std::fmt::Debug for AsyncSimBuilder {
@@ -269,6 +274,8 @@ impl AsyncSimBuilder {
             backend: None,
             max_events: None,
             network: None,
+            trace: None,
+            lean_stats: false,
         }
     }
 
@@ -355,6 +362,23 @@ impl AsyncSimBuilder {
         self
     }
 
+    /// Streams every trace event class into an explicit sink, overriding
+    /// the `LE_TRACE` environment selection. The tracer observes without
+    /// influencing: it draws no randomness and touches no schedule, so the
+    /// execution is bit-identical to an untraced one.
+    pub fn trace(mut self, sink: Box<dyn TraceSink>) -> Self {
+        self.trace = Some(sink);
+        self
+    }
+
+    /// Skips the `Θ(n)` per-node message histogram (see
+    /// [`MessageStats::new_lean`]) — for sweeps at scales where per-trial
+    /// collection cost matters more than per-node distribution shape.
+    pub fn lean_stats(mut self, lean: bool) -> Self {
+        self.lean_stats = lean;
+        self
+    }
+
     /// Instantiates the simulation, creating one node per network position
     /// via `factory(id, n)`.
     ///
@@ -392,6 +416,7 @@ impl AsyncSimBuilder {
         N::Message: 'static,
         F: FnMut(Id, usize) -> N,
     {
+        let _build = prof::span(Phase::Build);
         let n = self.n;
         if n < 2 {
             return Err(ModelError::NetworkTooSmall { n });
@@ -502,6 +527,15 @@ impl AsyncSimBuilder {
             }
         }
 
+        let tracer = match self.trace {
+            Some(sink) => Tracer::with_sink(sink, ALL_CLASSES),
+            None => Tracer::from_env(),
+        };
+        let stats = if self.lean_stats {
+            MessageStats::new_lean(n)
+        } else {
+            MessageStats::new(n)
+        };
         Ok(AsyncSim {
             n,
             ids,
@@ -522,7 +556,8 @@ impl AsyncSimBuilder {
                 .max_events
                 .unwrap_or(64 * (n as u64) * (n as u64) + 4096),
             awake: vec![false; n],
-            stats: MessageStats::new(n),
+            stats,
+            tracer,
             outbox: bufs.outbox,
             last_decisions: vec![Decision::Undecided; n],
             messages_to_terminated: 0,
@@ -572,6 +607,8 @@ pub struct AsyncSim<N: AsyncNode> {
     max_events: u64,
     awake: Vec<bool>,
     stats: MessageStats,
+    /// Structured event tracing (disabled path: one `bool` load per site).
+    tracer: Tracer,
     outbox: Vec<(Port, N::Message)>,
     last_decisions: Vec<Decision>,
     messages_to_terminated: u64,
@@ -681,6 +718,7 @@ impl<N: AsyncNode> AsyncSim<N> {
     /// [`AsyncSim::run_reusing`]: processes events until the queue drains
     /// or the event cap fires and reports which one halted the run.
     fn drive(&mut self) -> Result<AsyncHaltReason, ModelError> {
+        let _run = prof::span(Phase::Run);
         let mut processed = 0u64;
         while !self.queue.is_empty() {
             if processed >= self.max_events {
@@ -739,17 +777,38 @@ impl<N: AsyncNode> AsyncSim<N> {
                     self.activate(u, Some(WakeCause::Adversary), None)?;
                 }
             }
-            EventKind::Deliver { dst, dst_port, msg } => {
+            EventKind::Deliver {
+                src,
+                dst,
+                dst_port,
+                msg,
+            } => {
                 if self.net_active && self.crashed[dst.0] {
                     // A crashed node swallows the message silently; with
                     // no reliability layer the payload is gone for good.
                     self.stats.faults.crash_drops += 1;
                     self.stats.faults.lost_payloads += 1;
+                    if self.tracer.enabled() {
+                        self.tracer.emit(TraceEvent::Fault {
+                            at: At::Time(self.now),
+                            kind: FaultKind::CrashDrop,
+                            src: src.0 as u32,
+                            dst: dst.0 as u32,
+                        });
+                    }
                 } else {
                     if self.net_active {
                         self.stats.faults.goodput += 1;
                     }
                     self.transcript.record_delivery(dst);
+                    if self.tracer.enabled() {
+                        self.tracer.emit(TraceEvent::Deliver {
+                            at: At::Time(self.now),
+                            src: src.0 as u32,
+                            dst: dst.0 as u32,
+                            cls: Some(N::classify(&msg).name()),
+                        });
+                    }
                     if self.nodes[dst.0].is_terminated() {
                         self.messages_to_terminated += 1;
                     } else {
@@ -780,6 +839,14 @@ impl<N: AsyncNode> AsyncSim<N> {
                     // Crashed receivers neither deliver nor acknowledge;
                     // the sender's retransmission timer keeps trying.
                     self.stats.faults.crash_drops += 1;
+                    if self.tracer.enabled() {
+                        self.tracer.emit(TraceEvent::Fault {
+                            at: At::Time(self.now),
+                            kind: FaultKind::CrashDrop,
+                            src: src.0 as u32,
+                            dst: dst.0 as u32,
+                        });
+                    }
                 } else {
                     let key = link_key(src, dst, self.n) as u64;
                     let link = self.rel.entry(key);
@@ -795,6 +862,14 @@ impl<N: AsyncNode> AsyncSim<N> {
                     if fresh {
                         self.stats.faults.goodput += 1;
                         self.transcript.record_delivery(dst);
+                        if self.tracer.enabled() {
+                            self.tracer.emit(TraceEvent::Deliver {
+                                at: At::Time(self.now),
+                                src: src.0 as u32,
+                                dst: dst.0 as u32,
+                                cls: Some(N::classify(&msg).name()),
+                            });
+                        }
                         if self.nodes[dst.0].is_terminated() {
                             self.messages_to_terminated += 1;
                         } else {
@@ -858,6 +933,14 @@ impl<N: AsyncNode> AsyncSim<N> {
                             // and move on to the backlog.
                             self.stats.faults.abandoned += 1;
                             self.stats.faults.lost_payloads += 1;
+                            if self.tracer.enabled() {
+                                self.tracer.emit(TraceEvent::Fault {
+                                    at: At::Time(self.now),
+                                    kind: FaultKind::Abandon,
+                                    src: src.0 as u32,
+                                    dst: dst.0 as u32,
+                                });
+                            }
                             self.begin_next_payload(src, dst)?;
                         } else {
                             self.send_reliable_copy(src, dst)?;
@@ -884,6 +967,14 @@ impl<N: AsyncNode> AsyncSim<N> {
         if !self.crashed[v.0] {
             self.crashed[v.0] = true;
             self.crashed_count += 1;
+            if self.tracer.enabled() {
+                self.tracer.emit(TraceEvent::Fault {
+                    at: At::Time(self.now),
+                    kind: FaultKind::Crash,
+                    src: v.0 as u32,
+                    dst: v.0 as u32,
+                });
+            }
         }
     }
 
@@ -898,6 +989,14 @@ impl<N: AsyncNode> AsyncSim<N> {
         }
         self.crashed[v.0] = false;
         self.crashed_count -= 1;
+        if self.tracer.enabled() {
+            self.tracer.emit(TraceEvent::Fault {
+                at: At::Time(self.now),
+                kind: FaultKind::Recover,
+                src: v.0 as u32,
+                dst: v.0 as u32,
+            });
+        }
         let Some(rel_cfg) = self.rel_cfg else {
             return;
         };
@@ -934,6 +1033,15 @@ impl<N: AsyncNode> AsyncSim<N> {
         wake: Option<WakeCause>,
         msg: Option<Received<N::Message>>,
     ) -> Result<(), ModelError> {
+        if self.tracer.enabled() {
+            if let Some(cause) = wake {
+                self.tracer.emit(TraceEvent::Wake {
+                    at: At::Time(self.now),
+                    node: u.0 as u32,
+                    cause,
+                });
+            }
+        }
         let mut outbox = std::mem::take(&mut self.outbox);
         outbox.clear();
         {
@@ -969,6 +1077,13 @@ impl<N: AsyncNode> AsyncSim<N> {
                 self.last_decisions[u.0]
             );
             self.last_decisions[u.0] = d;
+            if self.tracer.enabled() {
+                self.tracer.emit(TraceEvent::Decide {
+                    at: At::Time(self.now),
+                    node: u.0 as u32,
+                    leader: d == Decision::Leader,
+                });
+            }
         }
         Ok(())
     }
@@ -982,6 +1097,16 @@ impl<N: AsyncNode> AsyncSim<N> {
         let dst = self
             .ports
             .resolve(src, port, self.resolver.as_mut(), &mut self.resolver_rng)?;
+        let class = N::classify(&msg);
+        if self.tracer.enabled() {
+            self.tracer.emit(TraceEvent::Send {
+                at: At::Time(self.now),
+                src: src.0 as u32,
+                port: port.0 as u32,
+                dst: dst.node.0 as u32,
+                cls: Some(class.name()),
+            });
+        }
         if !self.net_active {
             // The pre-fault-layer dispatch path, verbatim: the transparent
             // default network must reproduce executions byte-identically.
@@ -989,7 +1114,7 @@ impl<N: AsyncNode> AsyncSim<N> {
                 src,
                 dst: dst.node,
                 now: self.now,
-                class: N::classify(&msg),
+                class,
                 transcript: &self.transcript,
             };
             let delay = self.adversary.delay(&obs, &mut self.delay_rng);
@@ -1011,6 +1136,7 @@ impl<N: AsyncNode> AsyncSim<N> {
                 time: deliver_at,
                 seq: self.seq,
                 kind: EventKind::Deliver {
+                    src,
                     dst: dst.node,
                     dst_port: dst.port,
                     msg,
@@ -1047,12 +1173,13 @@ impl<N: AsyncNode> AsyncSim<N> {
         } else {
             // Unreliable: one shot on the wire; a drop is a permanently
             // lost payload.
-            match self.transmit_raw(src, dst.node, N::classify(&msg))? {
+            match self.transmit_raw(src, dst.node, class)? {
                 WireFate::At(t) => {
                     self.queue.push(Event {
                         time: t,
                         seq: self.seq,
                         kind: EventKind::Deliver {
+                            src,
                             dst: dst.node,
                             dst_port: dst.port,
                             msg,
@@ -1152,10 +1279,26 @@ impl<N: AsyncNode> AsyncSim<N> {
             }
             WireFate::QueueDrop => {
                 self.stats.faults.queue_drops += 1;
+                if self.tracer.enabled() {
+                    self.tracer.emit(TraceEvent::Fault {
+                        at: At::Time(self.now),
+                        kind: FaultKind::Queue,
+                        src: src.0 as u32,
+                        dst: dst.0 as u32,
+                    });
+                }
                 WireFate::QueueDrop
             }
             WireFate::Lost => {
                 self.stats.faults.loss_drops += 1;
+                if self.tracer.enabled() {
+                    self.tracer.emit(TraceEvent::Fault {
+                        at: At::Time(self.now),
+                        kind: FaultKind::Loss,
+                        src: src.0 as u32,
+                        dst: dst.0 as u32,
+                    });
+                }
                 WireFate::Lost
             }
         })
@@ -1175,6 +1318,14 @@ impl<N: AsyncNode> AsyncSim<N> {
         };
         if attempts > 0 {
             self.stats.faults.retransmits += 1;
+            if self.tracer.enabled() {
+                self.tracer.emit(TraceEvent::Fault {
+                    at: At::Time(self.now),
+                    kind: FaultKind::Retransmit,
+                    src: src.0 as u32,
+                    dst: dst.0 as u32,
+                });
+            }
         }
         let class = N::classify(&msg);
         if let WireFate::At(t) = self.transmit_raw(src, dst, class)? {
@@ -1227,6 +1378,14 @@ impl<N: AsyncNode> AsyncSim<N> {
         data_seq: u32,
     ) -> Result<(), ModelError> {
         self.stats.faults.acks += 1;
+        if self.tracer.enabled() {
+            self.tracer.emit(TraceEvent::Fault {
+                at: At::Time(self.now),
+                kind: FaultKind::Ack,
+                src: from.0 as u32,
+                dst: to.0 as u32,
+            });
+        }
         if let WireFate::At(t) = self.transmit_raw(from, to, MessageClass::Ack)? {
             self.queue.push(Event {
                 time: t,
@@ -1260,8 +1419,31 @@ impl<N: AsyncNode> AsyncSim<N> {
         Ok(())
     }
 
+    /// Emits the end-of-run trace events — the backend counter snapshot and
+    /// the halt record — and finishes the tracer (flushing a boxed sink or
+    /// submitting the buffered env-trace block to the collector).
+    fn finish_trace(&mut self, halt: AsyncHaltReason) {
+        if self.tracer.enabled() {
+            self.tracer.emit(TraceEvent::Backend {
+                backend: self.ports.backend().name(),
+                counters: self.ports.backend_counters(),
+            });
+            self.tracer.emit(TraceEvent::Halt {
+                at: At::Time(self.busy_now),
+                msgs: self.stats.total(),
+                reason: match halt {
+                    AsyncHaltReason::QueueDrained => "drained",
+                    AsyncHaltReason::MaxEvents => "max_events",
+                    AsyncHaltReason::FaultLivelock => "livelock",
+                },
+            });
+        }
+        self.tracer.finish();
+    }
+
     /// Consumes the simulation into its measurable [`AsyncOutcome`].
-    pub fn into_outcome(self, halt: AsyncHaltReason) -> AsyncOutcome {
+    pub fn into_outcome(mut self, halt: AsyncHaltReason) -> AsyncOutcome {
+        self.finish_trace(halt);
         AsyncOutcome {
             n: self.n,
             time: self.busy_now,
@@ -1279,10 +1461,16 @@ impl<N: AsyncNode> AsyncSim<N> {
 
     /// [`AsyncSim::into_outcome`], stashing the recyclable state into
     /// `arena` on the way out.
-    pub fn into_outcome_reusing(self, halt: AsyncHaltReason, arena: &mut AsyncArena) -> AsyncOutcome
+    pub fn into_outcome_reusing(
+        mut self,
+        halt: AsyncHaltReason,
+        arena: &mut AsyncArena,
+    ) -> AsyncOutcome
     where
         N::Message: 'static,
     {
+        let _reset = prof::span(Phase::Reset);
+        self.finish_trace(halt);
         let AsyncSim {
             n,
             ids,

@@ -37,6 +37,7 @@
 
 use std::any::Any;
 use std::collections::{HashMap, VecDeque};
+use std::io::Write;
 use std::marker::PhantomData;
 use std::path::{Path, PathBuf};
 use std::sync::mpsc::{Receiver, Sender};
@@ -44,8 +45,11 @@ use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::Instant;
 
 use clique_async::AsyncArena;
+use clique_model::prof::{self, Phase, TrialProfile};
 use clique_model::rng::{derive_seed, splitmix64};
+use clique_model::trace;
 use clique_sync::SyncArena;
+use le_analysis::stats::quantile;
 use le_analysis::CsvWriter;
 
 fn env_flag(var: &str) -> bool {
@@ -178,6 +182,9 @@ struct CellTiming {
     label: String,
     trials: u64,
     secs: f64,
+    /// Phase-span totals over the cell's trials (all-zero when the
+    /// profiler is off).
+    profile: TrialProfile,
 }
 
 /// The per-worker execution context handed to every [`SweepRunner::task`]
@@ -191,6 +198,9 @@ pub struct Workspace {
     cells: u64,
     trials: u64,
     peak_resident_bytes: u64,
+    /// Per-trial phase profiles collected since the previous
+    /// [`Workspace::emit`] (empty while the profiler is off).
+    profiles: Vec<TrialProfile>,
 }
 
 impl std::fmt::Debug for Workspace {
@@ -211,6 +221,7 @@ impl Workspace {
             cells: 0,
             trials: 0,
             peak_resident_bytes: 0,
+            profiles: Vec::new(),
         }
     }
 
@@ -229,10 +240,22 @@ impl Workspace {
     ) -> Vec<T> {
         let label = label.as_ref();
         let stream = cell_stream(label);
+        let profiling = prof::enabled();
         let t0 = Instant::now();
+        let arenas = &mut self.arenas;
+        let profiles = &mut self.profiles;
         let results: Vec<T> = seeds
             .iter()
-            .map(|&s| trial(derive_seed(stream, s), &mut self.arenas))
+            .map(|&s| {
+                if profiling {
+                    prof::begin_trial();
+                }
+                let r = trial(derive_seed(stream, s), arenas);
+                if profiling {
+                    profiles.push(prof::take_trial());
+                }
+                r
+            })
             .collect();
         self.note_cell(label, t0, seeds.len() as u64);
         results
@@ -241,8 +264,15 @@ impl Workspace {
     /// Runs a single-trial cell (for deterministic experiments with no
     /// seed dimension), timing it like [`Workspace::cell`].
     pub fn cell_once<T>(&mut self, label: impl AsRef<str>, f: impl FnOnce(&mut Arenas) -> T) -> T {
+        let profiling = prof::enabled();
         let t0 = Instant::now();
+        if profiling {
+            prof::begin_trial();
+        }
         let result = f(&mut self.arenas);
+        if profiling {
+            self.profiles.push(prof::take_trial());
+        }
         self.note_cell(label.as_ref(), t0, 1);
         result
     }
@@ -251,10 +281,18 @@ impl Workspace {
         self.cells += 1;
         self.trials += trials;
         self.record_resident_bytes(self.arenas.resident_bytes());
+        // The cell's span totals are the tail of `profiles` — the entries
+        // this cell just pushed (one per trial when the profiler is on).
+        let mut profile = TrialProfile::default();
+        let tail = self.profiles.len().saturating_sub(trials as usize);
+        for p in &self.profiles[tail..] {
+            profile.add(p);
+        }
         self.timings.push(CellTiming {
             label: label.to_string(),
             trials,
             secs: t0.elapsed().as_secs_f64(),
+            profile,
         });
     }
 
@@ -270,13 +308,29 @@ impl Workspace {
 
     /// Queues one data row of the task's CSV output, appending the peak
     /// resident bytes observed since the previous row (the implicit
-    /// `peak_resident_bytes` column) and resetting the peak.
+    /// `peak_resident_bytes` column) and resetting the peak. When the
+    /// phase profiler is on (`LE_PROF=1` / `LE_TIMING=1`) the implicit
+    /// profiler columns — total build seconds, per-trial run-phase
+    /// p50/p99, total reset seconds over the trials since the previous
+    /// row — are appended too (and the collected profiles reset).
     ///
     /// Rows from all tasks are merged into the experiment CSV **in unit
     /// submission order** by the runner, whatever the thread count.
     pub fn emit<S: AsRef<str>>(&mut self, row: &[S]) {
         let mut full: Vec<String> = row.iter().map(|c| c.as_ref().to_string()).collect();
         full.push(std::mem::take(&mut self.peak_resident_bytes).to_string());
+        if prof::enabled() {
+            let runs: Vec<f64> = self.profiles.iter().map(|p| p.phase(Phase::Run)).collect();
+            let mut totals = TrialProfile::default();
+            for p in &self.profiles {
+                totals.add(p);
+            }
+            full.push(format!("{:.6}", totals.phase(Phase::Build)));
+            full.push(format!("{:.6}", quantile(&runs, 0.50).unwrap_or(0.0)));
+            full.push(format!("{:.6}", quantile(&runs, 0.99).unwrap_or(0.0)));
+            full.push(format!("{:.6}", totals.phase(Phase::Reset)));
+            self.profiles.clear();
+        }
         self.rows.push(full);
     }
 
@@ -286,6 +340,7 @@ impl Workspace {
         self.cells = 0;
         self.trials = 0;
         self.peak_resident_bytes = 0;
+        self.profiles.clear();
     }
 }
 
@@ -296,6 +351,9 @@ struct UnitOutput {
     timings: Vec<CellTiming>,
     cells: u64,
     trials: u64,
+    /// The unit's buffered `LE_TRACE` JSONL block (empty when tracing is
+    /// off), appended to `results/{exp}.trace.jsonl` in submission order.
+    trace: String,
 }
 
 impl UnitOutput {
@@ -306,6 +364,7 @@ impl UnitOutput {
             timings: Vec::new(),
             cells: 0,
             trials: 0,
+            trace: String::new(),
         }
     }
 }
@@ -420,15 +479,17 @@ pub struct Task<R> {
     _result: PhantomData<fn() -> R>,
 }
 
-const CKPT_VERSION: &str = "le-sweep-ckpt v1";
+const CKPT_VERSION: &str = "le-sweep-ckpt v2";
 
 struct Checkpoint {
     mode: String,
     backend: String,
+    trace: String,
     columns: String,
     units: u64,
     rows: u64,
     bytes: u64,
+    trace_bytes: u64,
 }
 
 impl Checkpoint {
@@ -445,10 +506,12 @@ impl Checkpoint {
         Some(Checkpoint {
             mode: (*fields.get("mode")?).to_string(),
             backend: (*fields.get("backend")?).to_string(),
+            trace: (*fields.get("trace")?).to_string(),
             columns: (*fields.get("columns")?).to_string(),
             units: fields.get("units")?.parse().ok()?,
             rows: fields.get("rows")?.parse().ok()?,
             bytes: fields.get("bytes")?.parse().ok()?,
+            trace_bytes: fields.get("trace_bytes")?.parse().ok()?,
         })
     }
 }
@@ -463,6 +526,17 @@ fn sweep_mode() -> &'static str {
 
 fn backend_mode() -> String {
     std::env::var("LE_BACKEND").unwrap_or_else(|_| "auto".to_string())
+}
+
+/// The latched `LE_TRACE` selection as a checkpoint-compatibility token:
+/// an interrupted traced sweep must not be resumed by an untraced one
+/// (or vice versa, or with a different class mask) — the merged trace
+/// file would be missing the restored units' blocks.
+fn trace_mode() -> String {
+    match trace::env_spec() {
+        Some(spec) => format!("mask={:#04x}", spec.mask),
+        None => "off".to_string(),
+    }
 }
 
 /// The shared sweep harness every `exp_*` binary runs on: a deterministic
@@ -529,6 +603,11 @@ pub struct SweepRunner {
     csv: Option<CsvWriter>,
     csv_path: PathBuf,
     ckpt_path: PathBuf,
+    /// The merged `LE_TRACE` sink (`results/{exp}.trace.jsonl`), open only
+    /// while tracing is latched on; blocks land in submission order.
+    trace_file: Option<std::fs::File>,
+    trace_path: PathBuf,
+    trace_bytes: u64,
     started: Instant,
     cells: u64,
     trials: u64,
@@ -584,8 +663,17 @@ impl SweepRunner {
     pub fn with_threads(exp: &str, columns: &[&str], thread_count: usize) -> SweepRunner {
         let csv_path = results_path(&format!("{exp}.csv"));
         let ckpt_path = results_path(&format!("{exp}.ckpt"));
+        let trace_path = results_path(&format!("{exp}.trace.jsonl"));
         let mut columns = columns.to_vec();
         columns.push("peak_resident_bytes");
+        if prof::enabled() {
+            columns.extend_from_slice(&[
+                "prof_build_s",
+                "prof_run_p50_s",
+                "prof_run_p99_s",
+                "prof_reset_s",
+            ]);
+        }
         let columns_joined = columns.join(",");
         let (tx, rx) = std::sync::mpsc::channel();
         let mut runner = SweepRunner {
@@ -594,6 +682,9 @@ impl SweepRunner {
             csv: None,
             csv_path,
             ckpt_path,
+            trace_file: None,
+            trace_path,
+            trace_bytes: 0,
             started: Instant::now(),
             cells: 0,
             trials: 0,
@@ -615,6 +706,10 @@ impl SweepRunner {
             // A stale checkpoint (e.g. from an incompatible sweep shape)
             // must not shadow the fresh run we are about to record.
             let _ = std::fs::remove_file(&runner.ckpt_path);
+            if trace::env_spec().is_some() {
+                let tf = std::fs::File::create(&runner.trace_path).expect("results is writable");
+                runner.trace_file = Some(tf);
+            }
         }
         runner
     }
@@ -632,6 +727,7 @@ impl SweepRunner {
         };
         if ckpt.mode != sweep_mode()
             || ckpt.backend != backend_mode()
+            || ckpt.trace != trace_mode()
             || ckpt.columns != self.columns_joined
         {
             return false;
@@ -649,6 +745,32 @@ impl SweepRunner {
             return false;
         }
         drop(file);
+        if trace::env_spec().is_some() {
+            // The trace file resumes the same way the CSV does: keep the
+            // durable prefix, drop any partial tail, append from there.
+            let Ok(tf) = std::fs::OpenOptions::new()
+                .write(true)
+                .open(&self.trace_path)
+            else {
+                return false;
+            };
+            match tf.metadata() {
+                Ok(meta) if meta.len() >= ckpt.trace_bytes => {}
+                _ => return false,
+            }
+            if tf.set_len(ckpt.trace_bytes).is_err() {
+                return false;
+            }
+            drop(tf);
+            let Ok(tf) = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&self.trace_path)
+            else {
+                return false;
+            };
+            self.trace_file = Some(tf);
+            self.trace_bytes = ckpt.trace_bytes;
+        }
         let Ok(csv) = CsvWriter::append(&self.csv_path, columns) else {
             return false;
         };
@@ -680,13 +802,27 @@ impl SweepRunner {
             self.labels.insert(unit, label.into());
             let job: Box<dyn FnOnce(&mut Workspace) -> UnitOutput + Send> = Box::new(move |ws| {
                 ws.begin_unit();
+                // Route this unit's env-latched trace output into a
+                // per-unit buffer so the runner can merge blocks in
+                // submission order (trace files byte-identical at every
+                // thread count, like the CSV).
+                let tracing = trace::env_spec().is_some();
+                if tracing {
+                    trace::install_collector();
+                }
                 let value = f(ws);
+                let trace = if tracing {
+                    trace::take_collected().unwrap_or_default()
+                } else {
+                    String::new()
+                };
                 UnitOutput {
                     rows: std::mem::take(&mut ws.rows),
                     value: Some(Box::new(value)),
                     timings: std::mem::take(&mut ws.timings),
                     cells: ws.cells,
                     trials: ws.trials,
+                    trace,
                 }
             });
             if self.pool.is_none() {
@@ -715,6 +851,13 @@ impl SweepRunner {
         if unit >= self.restored {
             let mut full: Vec<String> = row.iter().map(|c| c.as_ref().to_string()).collect();
             full.push("0".to_string());
+            if prof::enabled() {
+                // Literal rows do no trial work; keep the profiler
+                // columns aligned with zeros.
+                for _ in 0..4 {
+                    full.push("0.000000".to_string());
+                }
+            }
             self.pending.insert(unit, UnitOutput::literal(full));
         }
         self.drain_channel_nonblocking();
@@ -788,14 +931,30 @@ impl SweepRunner {
                 csv.write_row(row).expect("results is writable");
             }
             let bytes = csv.flush().expect("results is writable");
+            // The trace block must be durable before the checkpoint
+            // claims this unit, or a crash between the two would resume
+            // with the block missing.
+            if let Some(tf) = &mut self.trace_file {
+                tf.write_all(out.trace.as_bytes())
+                    .expect("results is writable");
+                tf.flush().expect("results is writable");
+                self.trace_bytes += out.trace.len() as u64;
+            }
             self.rows_written += out.rows.len() as u64;
             self.cells += out.cells;
             self.trials += out.trials;
             if timing() {
                 for t in &out.timings {
+                    let p = &t.profile;
                     println!(
-                        "LE_TIMING {} cell={} trials={} secs={:.3}",
-                        self.exp, t.label, t.trials, t.secs
+                        "LE_TIMING {} cell={} trials={} secs={:.3} build={:.3} run={:.3} reset={:.3}",
+                        self.exp,
+                        t.label,
+                        t.trials,
+                        t.secs,
+                        p.phase(Phase::Build),
+                        p.phase(Phase::Run),
+                        p.phase(Phase::Reset),
                     );
                 }
             }
@@ -810,12 +969,14 @@ impl SweepRunner {
 
     fn write_ckpt(&self, bytes: u64) {
         let text = format!(
-            "{CKPT_VERSION}\nmode={}\nbackend={}\ncolumns={}\nunits={}\nrows={}\nbytes={bytes}\n",
+            "{CKPT_VERSION}\nmode={}\nbackend={}\ntrace={}\ncolumns={}\nunits={}\nrows={}\nbytes={bytes}\ntrace_bytes={}\n",
             sweep_mode(),
             backend_mode(),
+            trace_mode(),
             self.columns_joined,
             self.merged,
             self.rows_written,
+            self.trace_bytes,
         );
         let tmp = self.ckpt_path.with_extension("ckpt.tmp");
         std::fs::write(&tmp, text).expect("results is writable");
@@ -864,6 +1025,15 @@ impl SweepRunner {
             .expect("csv open until finish")
             .finish()
             .expect("results is writable");
+        if let Some(mut tf) = self.trace_file.take() {
+            tf.flush().expect("results is writable");
+            drop(tf);
+            println!(
+                "{}: LE_TRACE written to {}",
+                self.exp,
+                self.trace_path.display()
+            );
+        }
         let _ = std::fs::remove_file(&self.ckpt_path);
         let resumed = if self.restored > 0 {
             format!(

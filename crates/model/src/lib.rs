@@ -23,6 +23,10 @@
 //! * [`rng`] — deterministic seed derivation and sampling helpers,
 //! * [`decision`] — the tri-state leader/non-leader output of a node,
 //! * [`metrics`] — message accounting histograms,
+//! * [`trace`] — structured execution tracing (typed events, sinks, the
+//!   latched `LE_TRACE` knob) shared by both engines,
+//! * [`prof`] — the `LE_PROF`/`LE_TIMING` phase profiler (span timers
+//!   folded into per-cell timing columns by the sweep runner),
 //! * [`error`] — shared error types.
 //!
 //! # Example
@@ -61,7 +65,9 @@ pub mod error;
 pub mod ids;
 pub mod metrics;
 pub mod ports;
+pub mod prof;
 pub mod rng;
+pub mod trace;
 
 pub use decision::Decision;
 pub use election::ElectionViolation;

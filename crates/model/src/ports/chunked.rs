@@ -610,6 +610,13 @@ impl PortStore for ChunkedStore {
             + (self.materialized.capacity() * 4) as u64
             + self.materialized.len() as u64 * row_bytes
     }
+
+    fn counters(&self) -> crate::trace::BackendCounters {
+        crate::trace::BackendCounters {
+            rows_materialized: self.materialized.len() as u64,
+            ..self.sparse.counters()
+        }
+    }
 }
 
 #[cfg(test)]

@@ -159,6 +159,11 @@ trait PortStore {
     fn validate(&self) -> Result<(), ModelError>;
     /// Estimated bytes of resident storage currently held.
     fn resident_bytes(&self) -> u64;
+    /// Backend-observability counter snapshot (all zero for dense, whose
+    /// flat tables have no caches to hit nor tables to grow).
+    fn counters(&self) -> crate::trace::BackendCounters {
+        crate::trace::BackendCounters::default()
+    }
 }
 
 /// Shared `validate` helper: the dirty list must hold exactly the nodes
@@ -308,14 +313,22 @@ impl PortBackend {
     }
 }
 
-impl std::fmt::Display for PortBackend {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(match self {
+impl PortBackend {
+    /// The backend's lowercase name (also its `LE_BACKEND` spelling and
+    /// the `backend` trace event's tag).
+    pub fn name(self) -> &'static str {
+        match self {
             PortBackend::Dense => "dense",
             PortBackend::Sparse => "sparse",
             PortBackend::Chunked => "chunked",
             PortBackend::Auto => "auto",
-        })
+        }
+    }
+}
+
+impl std::fmt::Display for PortBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
     }
 }
 
@@ -621,6 +634,15 @@ impl PortMap {
     /// footprints are visible in every experiment CSV.
     pub fn resident_bytes(&self) -> u64 {
         with_store!(self, s => s.resident_bytes())
+    }
+
+    /// Backend storage milestone counters: Feistel memo hits/misses,
+    /// open-table growths, and chunked-row materializations. All zero on
+    /// the dense backend. The engines snapshot this into the
+    /// [`backend`](crate::trace::TraceClass::Backend) trace event at the
+    /// end of a run.
+    pub fn backend_counters(&self) -> crate::trace::BackendCounters {
+        with_store!(self, s => s.counters())
     }
 
     /// Number of nodes.

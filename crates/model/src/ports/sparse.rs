@@ -83,6 +83,11 @@ struct PermCache {
     slots: Vec<Cell<(u64, u32)>>,
     /// `64 − log2(slots.len())`, for Fibonacci indexing by high bits.
     shift: u32,
+    /// Lifetime hits — a backend-observability counter (interior-mutable
+    /// so hits stay `&self`, like the slots themselves).
+    hits: Cell<u64>,
+    /// Lifetime misses (including stale-slot overwrites).
+    misses: Cell<u64>,
 }
 
 /// Unused-key marker: real keys pack a node index `< u32::MAX` in the
@@ -95,6 +100,8 @@ impl PermCache {
         PermCache {
             slots: vec![Cell::new((NO_KEY, 0)); slots],
             shift: 64 - slots.trailing_zeros(),
+            hits: Cell::new(0),
+            misses: Cell::new(0),
         }
     }
 
@@ -103,8 +110,10 @@ impl PermCache {
         let idx = (key.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> self.shift) as usize;
         let (k, v) = self.slots[idx].get();
         if k == key {
+            self.hits.set(self.hits.get() + 1);
             return v;
         }
+        self.misses.set(self.misses.get() + 1);
         let v = compute();
         self.slots[idx].set((key, v));
         v
@@ -145,6 +154,20 @@ impl RowCaches {
             + self.peer_inv.resident_bytes()
             + self.port_fwd.resident_bytes()
             + self.port_inv.resident_bytes()
+    }
+
+    /// Lifetime `(hits, misses)` summed over the four directions.
+    fn counter_totals(&self) -> (u64, u64) {
+        let caches = [
+            &self.peer_fwd,
+            &self.peer_inv,
+            &self.port_fwd,
+            &self.port_inv,
+        ];
+        (
+            caches.iter().map(|c| c.hits.get()).sum(),
+            caches.iter().map(|c| c.misses.get()).sum(),
+        )
     }
 }
 
@@ -665,5 +688,20 @@ impl PortStore for SparseStore {
             + self.port_val.resident_bytes()
             + self.port_pos.resident_bytes()
             + self.cache.resident_bytes()
+    }
+
+    fn counters(&self) -> crate::trace::BackendCounters {
+        let (memo_hits, memo_misses) = self.cache.counter_totals();
+        crate::trace::BackendCounters {
+            memo_hits,
+            memo_misses,
+            table_grows: self.fwd.growth_count()
+                + self.by_peer.growth_count()
+                + self.peer_val.growth_count()
+                + self.peer_pos.growth_count()
+                + self.port_val.growth_count()
+                + self.port_pos.growth_count(),
+            rows_materialized: 0,
+        }
     }
 }

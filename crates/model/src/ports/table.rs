@@ -63,6 +63,9 @@ pub struct OpenTable<V> {
     /// Largest `len` seen since the last [`OpenTable::end_trial`] — the
     /// shrink policy's measure of what the current trial actually needed.
     high_water: usize,
+    /// Lifetime growths (rehashes) — a backend-observability counter,
+    /// excluded from equality like every other representation detail.
+    grows: u64,
 }
 
 impl<V: Copy + Default> OpenTable<V> {
@@ -72,7 +75,14 @@ impl<V: Copy + Default> OpenTable<V> {
             slots: Vec::new(),
             len: 0,
             high_water: 0,
+            grows: 0,
         }
+    }
+
+    /// How many times this table has grown (rehashed) over its lifetime.
+    #[inline]
+    pub fn growth_count(&self) -> u64 {
+        self.grows
     }
 
     /// Number of live entries.
@@ -247,6 +257,7 @@ impl<V: Copy + Default> OpenTable<V> {
     /// Doubles the slab (first allocation: [`MIN_CAP`]) and rehashes.
     #[cold]
     fn grow(&mut self) {
+        self.grows += 1;
         let new_cap = (self.slots.len() * 2).max(MIN_CAP);
         let old = std::mem::replace(&mut self.slots, Self::fresh_slab(new_cap));
         let mask = new_cap - 1;

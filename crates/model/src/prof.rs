@@ -1,0 +1,172 @@
+//! The phase profiler: monotonic span timers for engine phases.
+//!
+//! `LE_PROF=1` (or `LE_TIMING=1`, which implies it) latches profiling on
+//! for the process. Both engine builders and run loops bracket their
+//! phases with [`span`]; the spans accumulate into a per-thread,
+//! per-trial [`TrialProfile`] that `le_bench::Workspace::cell` drains
+//! around every trial and folds into per-cell `p50`/`p99` timing columns
+//! of the experiment CSVs (merged deterministically in submission order
+//! by the sweep runner).
+//!
+//! When profiling is off, [`span`] takes no clock reading at all — the
+//! guard holds `None` and its `Drop` is a single branch — so the
+//! fingerprinted hot paths are untouched.
+
+use std::cell::RefCell;
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// The engine phases the profiler distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Building a simulation: ID assignment, node construction, arena
+    /// recycling / port-map reset.
+    Build,
+    /// The run loop: rounds (sync) or event dispatch (async).
+    Run,
+    /// Outcome assembly and buffer stash-back at the end of a run.
+    Reset,
+}
+
+/// Number of [`Phase`] variants.
+pub const PHASES: usize = 3;
+
+impl Phase {
+    /// Dense index of this phase, in `0..PHASES`.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            Phase::Build => 0,
+            Phase::Run => 1,
+            Phase::Reset => 2,
+        }
+    }
+
+    /// The phase's display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Build => "build",
+            Phase::Run => "run",
+            Phase::Reset => "reset",
+        }
+    }
+}
+
+/// Per-trial phase wall-clocks, in seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct TrialProfile {
+    /// Seconds spent in each phase, indexed by [`Phase::index`].
+    pub secs: [f64; PHASES],
+}
+
+impl TrialProfile {
+    /// Seconds spent in `phase`.
+    pub fn phase(&self, phase: Phase) -> f64 {
+        self.secs[phase.index()]
+    }
+
+    /// Accumulates another profile into this one.
+    pub fn add(&mut self, other: &TrialProfile) {
+        for (a, b) in self.secs.iter_mut().zip(other.secs) {
+            *a += b;
+        }
+    }
+}
+
+/// Whether the profiler is latched on for this process
+/// (`LE_PROF=1` or `LE_TIMING=1`).
+pub fn enabled() -> bool {
+    static ON: OnceLock<bool> = OnceLock::new();
+    *ON.get_or_init(|| {
+        let set = |var: &str| std::env::var(var).is_ok_and(|v| !v.is_empty() && v != "0");
+        set("LE_PROF") || set("LE_TIMING")
+    })
+}
+
+thread_local! {
+    static CURRENT: RefCell<TrialProfile> = const {
+        RefCell::new(TrialProfile { secs: [0.0; PHASES] })
+    };
+}
+
+/// A live span: accumulates its elapsed time into the current trial's
+/// profile when dropped. Inert (no clock reading) when profiling is off.
+#[derive(Debug)]
+pub struct Span {
+    phase: Phase,
+    start: Option<Instant>,
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            let secs = start.elapsed().as_secs_f64();
+            CURRENT.with(|c| c.borrow_mut().secs[self.phase.index()] += secs);
+        }
+    }
+}
+
+/// Opens a span over `phase` on this thread.
+#[inline]
+pub fn span(phase: Phase) -> Span {
+    Span {
+        phase,
+        start: enabled().then(Instant::now),
+    }
+}
+
+/// Clears this thread's trial accumulator (call before a trial).
+pub fn begin_trial() {
+    CURRENT.with(|c| *c.borrow_mut() = TrialProfile::default());
+}
+
+/// Takes this thread's trial accumulator (call after a trial), leaving
+/// it cleared.
+pub fn take_trial() -> TrialProfile {
+    CURRENT.with(|c| std::mem::take(&mut *c.borrow_mut()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phases_index_densely() {
+        for (i, p) in [Phase::Build, Phase::Run, Phase::Reset]
+            .into_iter()
+            .enumerate()
+        {
+            assert_eq!(p.index(), i);
+        }
+    }
+
+    #[test]
+    fn trial_profile_accumulates() {
+        let mut a = TrialProfile {
+            secs: [1.0, 2.0, 3.0],
+        };
+        let b = TrialProfile {
+            secs: [0.5, 0.0, 1.0],
+        };
+        a.add(&b);
+        assert_eq!(a.secs, [1.5, 2.0, 4.0]);
+        assert_eq!(a.phase(Phase::Reset), 4.0);
+    }
+
+    #[test]
+    fn spans_are_inert_or_accumulate_per_latch() {
+        // The latch is process-wide; exercise whichever branch it took.
+        begin_trial();
+        {
+            let _s = span(Phase::Run);
+        }
+        let trial = take_trial();
+        if enabled() {
+            assert!(trial.phase(Phase::Run) >= 0.0);
+        } else {
+            assert_eq!(trial, TrialProfile::default());
+        }
+        // A fresh trial starts from zero either way.
+        assert_eq!(take_trial(), TrialProfile::default());
+    }
+}

@@ -5,7 +5,9 @@ use std::any::Any;
 use clique_model::ids::{Id, IdAssignment, IdSpace};
 use clique_model::metrics::MessageStats;
 use clique_model::ports::{Endpoint, PortBackend, PortMap, PortResolver, RandomResolver};
+use clique_model::prof::{self, Phase};
 use clique_model::rng::{derive_seed, rng_from_seed};
+use clique_model::trace::{At, TraceEvent, TraceSink, Tracer, ALL_CLASSES};
 use clique_model::{Decision, ModelError, NodeIndex};
 use rand::rngs::SmallRng;
 
@@ -145,6 +147,8 @@ pub struct SyncSimBuilder {
     resolver: Option<Box<dyn PortResolver>>,
     backend: Option<PortBackend>,
     max_rounds: Option<usize>,
+    trace: Option<Box<dyn TraceSink>>,
+    lean_stats: bool,
 }
 
 impl std::fmt::Debug for SyncSimBuilder {
@@ -170,6 +174,8 @@ impl SyncSimBuilder {
             resolver: None,
             backend: None,
             max_rounds: None,
+            trace: None,
+            lean_stats: false,
         }
     }
 
@@ -218,6 +224,23 @@ impl SyncSimBuilder {
         self
     }
 
+    /// Streams every trace event class into an explicit sink, overriding
+    /// the `LE_TRACE` environment selection. The tracer observes without
+    /// influencing: it draws no randomness and touches no schedule, so the
+    /// execution is bit-identical to an untraced one.
+    pub fn trace(mut self, sink: Box<dyn TraceSink>) -> Self {
+        self.trace = Some(sink);
+        self
+    }
+
+    /// Skips the `Θ(n)` per-node message histogram (see
+    /// [`MessageStats::new_lean`]) — for sweeps at scales where per-trial
+    /// collection cost matters more than per-node distribution shape.
+    pub fn lean_stats(mut self, lean: bool) -> Self {
+        self.lean_stats = lean;
+        self
+    }
+
     /// Instantiates the simulation, creating one node per network position
     /// via `factory(id, n)`.
     ///
@@ -255,6 +278,7 @@ impl SyncSimBuilder {
         N::Message: 'static,
         F: FnMut(Id, usize) -> N,
     {
+        let _build = prof::span(Phase::Build);
         let n = self.n;
         if n < 2 {
             return Err(ModelError::NetworkTooSmall { n });
@@ -308,6 +332,15 @@ impl SyncSimBuilder {
             stages += 1;
         }
         wake_plan.truncate(stages);
+        let tracer = match self.trace {
+            Some(sink) => Tracer::with_sink(sink, ALL_CLASSES),
+            None => Tracer::from_env(),
+        };
+        let stats = if self.lean_stats {
+            MessageStats::new_lean(n)
+        } else {
+            MessageStats::new(n)
+        };
         Ok(SyncSim {
             n,
             round: 0,
@@ -321,7 +354,8 @@ impl SyncSimBuilder {
             wake_cursor: 0,
             max_rounds: self.max_rounds.unwrap_or(4 * n + 64),
             awake: vec![false; n],
-            stats: MessageStats::new(n),
+            stats,
+            tracer,
             pending: bufs.pending,
             inbox: bufs.inbox,
             outbox: bufs.outbox,
@@ -352,6 +386,8 @@ pub struct SyncSim<N: SyncNode> {
     max_rounds: usize,
     awake: Vec<bool>,
     stats: MessageStats,
+    /// Structured event tracing (disabled path: one `bool` load per site).
+    tracer: Tracer,
     /// Per-node arena inboxes, filled during the send phase. Allocated once
     /// at build; each buffer is recycled (cleared, never dropped) every
     /// round via a swap with `inbox`.
@@ -432,6 +468,7 @@ impl<N: SyncNode> SyncSim<N> {
     /// [`SyncSim::run_observed_reusing`]: steps until quiescence or the
     /// round cap and reports which one halted the run.
     fn drive(&mut self, observer: &mut dyn Observer) -> Result<HaltReason, ModelError> {
+        let _run = prof::span(Phase::Run);
         while self.round < self.max_rounds {
             if !self.step(observer)? {
                 return Ok(HaltReason::Quiescent);
@@ -509,7 +546,14 @@ impl<N: SyncNode> SyncSim<N> {
                     };
                     self.nodes[u.0].on_wake(&mut ctx, WakeCause::Adversary);
                     self.outbox = outbox;
-                    observer.on_wake(round, u);
+                    observer.on_wake(round, u, WakeCause::Adversary);
+                    if self.tracer.enabled() {
+                        self.tracer.emit(TraceEvent::Wake {
+                            at: At::Round(round as u32),
+                            node: u.0 as u32,
+                            cause: WakeCause::Adversary,
+                        });
+                    }
                     self.last_activity_round = round;
                 }
             }
@@ -551,6 +595,26 @@ impl<N: SyncNode> SyncSim<N> {
                     },
                     dst,
                 );
+                if self.tracer.enabled() {
+                    let at = At::Round(round as u32);
+                    self.tracer.emit(TraceEvent::Send {
+                        at,
+                        src: u as u32,
+                        port: port.0 as u32,
+                        dst: dst.node.0 as u32,
+                        cls: None,
+                    });
+                    // Synchronous delivery lands in the same round; mail to
+                    // a terminated node is swallowed, not delivered.
+                    if !self.nodes[dst.node.0].is_terminated() {
+                        self.tracer.emit(TraceEvent::Deliver {
+                            at,
+                            src: u as u32,
+                            dst: dst.node.0 as u32,
+                            cls: None,
+                        });
+                    }
+                }
                 if self.nodes[dst.node.0].is_terminated() {
                     self.messages_to_terminated += 1;
                 } else {
@@ -597,7 +661,14 @@ impl<N: SyncNode> SyncSim<N> {
                 if woke_by_message {
                     self.awake[v] = true;
                     self.nodes[v].on_wake(&mut ctx, WakeCause::Message);
-                    observer.on_wake(round, NodeIndex(v));
+                    observer.on_wake(round, NodeIndex(v), WakeCause::Message);
+                    if self.tracer.enabled() {
+                        self.tracer.emit(TraceEvent::Wake {
+                            at: At::Round(round as u32),
+                            node: v as u32,
+                            cause: WakeCause::Message,
+                        });
+                    }
                     self.last_activity_round = round;
                 }
                 self.nodes[v].receive_phase(&mut ctx, &self.inbox);
@@ -618,19 +689,54 @@ impl<N: SyncNode> SyncSim<N> {
                 );
                 self.last_decisions[u] = d;
                 observer.on_decision(round, NodeIndex(u), d);
+                if self.tracer.enabled() {
+                    self.tracer.emit(TraceEvent::Decide {
+                        at: At::Round(round as u32),
+                        node: u as u32,
+                        leader: d == Decision::Leader,
+                    });
+                }
                 self.last_activity_round = round;
             }
         }
 
         observer.on_round_end(round);
+        if self.tracer.enabled() {
+            self.tracer.emit(TraceEvent::Round {
+                round: round as u32,
+                msgs: self.stats.total(),
+            });
+        }
 
         let pending_wakes = self.wake_cursor < self.wake_plan.len();
         let any_active = (0..self.n).any(|u| self.awake[u] && !self.nodes[u].is_terminated());
         Ok(pending_wakes || any_active)
     }
 
+    /// Emits the end-of-run trace events — the backend counter snapshot and
+    /// the halt record — and finishes the tracer (flushing a boxed sink or
+    /// submitting the buffered env-trace block to the collector).
+    fn finish_trace(&mut self, halt: HaltReason) {
+        if self.tracer.enabled() {
+            self.tracer.emit(TraceEvent::Backend {
+                backend: self.ports.backend().name(),
+                counters: self.ports.backend_counters(),
+            });
+            self.tracer.emit(TraceEvent::Halt {
+                at: At::Round(self.round as u32),
+                msgs: self.stats.total(),
+                reason: match halt {
+                    HaltReason::Quiescent => "quiescent",
+                    HaltReason::MaxRounds => "max_rounds",
+                },
+            });
+        }
+        self.tracer.finish();
+    }
+
     /// Consumes the simulation into its measurable [`Outcome`].
-    pub fn into_outcome(self, halt: HaltReason) -> Outcome {
+    pub fn into_outcome(mut self, halt: HaltReason) -> Outcome {
+        self.finish_trace(halt);
         Outcome {
             n: self.n,
             rounds: self.last_activity_round,
@@ -645,10 +751,12 @@ impl<N: SyncNode> SyncSim<N> {
 
     /// [`SyncSim::into_outcome`], stashing the recyclable state into
     /// `arena` on the way out.
-    pub fn into_outcome_reusing(self, halt: HaltReason, arena: &mut SyncArena) -> Outcome
+    pub fn into_outcome_reusing(mut self, halt: HaltReason, arena: &mut SyncArena) -> Outcome
     where
         N::Message: 'static,
     {
+        let _reset = prof::span(Phase::Reset);
+        self.finish_trace(halt);
         let SyncSim {
             n,
             ids,

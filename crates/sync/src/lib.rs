@@ -90,6 +90,6 @@ pub mod wakeup;
 
 pub use engine::{SyncArena, SyncSim, SyncSimBuilder};
 pub use node::{Context, Received, SyncNode, WakeCause};
-pub use observer::{NullObserver, Observer};
+pub use observer::{NullObserver, Observer, TraceBridge};
 pub use outcome::{ElectionViolation, HaltReason, Outcome};
 pub use wakeup::WakeSchedule;

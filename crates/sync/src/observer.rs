@@ -5,7 +5,8 @@
 //! communication graphs of Definition 3.1; experiments use them for tracing.
 
 use clique_model::ports::Endpoint;
-use clique_model::{Decision, NodeIndex};
+use clique_model::trace::{At, TraceEvent, TraceSink};
+use clique_model::{Decision, NodeIndex, WakeCause};
 
 /// Callbacks fired by the engine as the execution unfolds.
 ///
@@ -17,10 +18,10 @@ pub trait Observer {
         let _ = (round, src, dst);
     }
 
-    /// `node` woke up (adversarially at the start of `round`, or by message
-    /// at the end of `round`).
-    fn on_wake(&mut self, round: usize, node: NodeIndex) {
-        let _ = (round, node);
+    /// `node` woke up — `cause` says whether the adversary did it at the
+    /// start of `round` or an incoming message did at the end of `round`.
+    fn on_wake(&mut self, round: usize, node: NodeIndex, cause: WakeCause) {
+        let _ = (round, node, cause);
     }
 
     /// `node`'s decision changed to `decision` during `round`.
@@ -45,8 +46,8 @@ impl Observer for NullObserver {}
 pub struct RecordingObserver {
     /// `(round, src, dst)` per message.
     pub messages: Vec<(usize, Endpoint, Endpoint)>,
-    /// `(round, node)` per wake-up.
-    pub wakes: Vec<(usize, NodeIndex)>,
+    /// `(round, node, cause)` per wake-up.
+    pub wakes: Vec<(usize, NodeIndex, WakeCause)>,
     /// `(round, node, decision)` per decision change.
     pub decisions: Vec<(usize, NodeIndex, Decision)>,
     /// Completed rounds.
@@ -58,8 +59,8 @@ impl Observer for RecordingObserver {
         self.messages.push((round, src, dst));
     }
 
-    fn on_wake(&mut self, round: usize, node: NodeIndex) {
-        self.wakes.push((round, node));
+    fn on_wake(&mut self, round: usize, node: NodeIndex, cause: WakeCause) {
+        self.wakes.push((round, node, cause));
     }
 
     fn on_decision(&mut self, round: usize, node: NodeIndex, decision: Decision) {
@@ -68,6 +69,76 @@ impl Observer for RecordingObserver {
 
     fn on_round_end(&mut self, round: usize) {
         self.rounds.push(round);
+    }
+}
+
+/// An [`Observer`] that re-expresses the callbacks as [`TraceEvent`]s into
+/// any [`TraceSink`] — one visibility story for both engines: code written
+/// against the trace vocabulary (rollups, `exp_trace_audit`) consumes
+/// synchronous observer traffic unchanged.
+///
+/// Synchronous message delivery happens in the same round as the send, so
+/// each `on_message` yields a [`TraceEvent::Send`] immediately followed by
+/// the matching [`TraceEvent::Deliver`]. Decisions are reported with
+/// `leader` = whether the node elected itself.
+#[derive(Debug)]
+pub struct TraceBridge<S: TraceSink> {
+    sink: S,
+    msgs: u64,
+}
+
+impl<S: TraceSink> TraceBridge<S> {
+    /// Bridges observer callbacks into `sink`.
+    pub fn new(sink: S) -> TraceBridge<S> {
+        TraceBridge { sink, msgs: 0 }
+    }
+
+    /// Consumes the bridge, returning the sink.
+    pub fn into_sink(self) -> S {
+        self.sink
+    }
+}
+
+impl<S: TraceSink> Observer for TraceBridge<S> {
+    fn on_message(&mut self, round: usize, src: Endpoint, dst: Endpoint) {
+        self.msgs += 1;
+        let at = At::Round(round as u32);
+        self.sink.event(&TraceEvent::Send {
+            at,
+            src: src.node.0 as u32,
+            port: src.port.0 as u32,
+            dst: dst.node.0 as u32,
+            cls: None,
+        });
+        self.sink.event(&TraceEvent::Deliver {
+            at,
+            src: src.node.0 as u32,
+            dst: dst.node.0 as u32,
+            cls: None,
+        });
+    }
+
+    fn on_wake(&mut self, round: usize, node: NodeIndex, cause: WakeCause) {
+        self.sink.event(&TraceEvent::Wake {
+            at: At::Round(round as u32),
+            node: node.0 as u32,
+            cause,
+        });
+    }
+
+    fn on_decision(&mut self, round: usize, node: NodeIndex, decision: Decision) {
+        self.sink.event(&TraceEvent::Decide {
+            at: At::Round(round as u32),
+            node: node.0 as u32,
+            leader: decision == Decision::Leader,
+        });
+    }
+
+    fn on_round_end(&mut self, round: usize) {
+        self.sink.event(&TraceEvent::Round {
+            round: round as u32,
+            msgs: self.msgs,
+        });
     }
 }
 
@@ -84,7 +155,7 @@ mod tests {
             port: Port(0),
         };
         o.on_message(1, e, e);
-        o.on_wake(1, NodeIndex(0));
+        o.on_wake(1, NodeIndex(0), WakeCause::Adversary);
         o.on_decision(1, NodeIndex(0), Decision::Leader);
         o.on_round_end(1);
     }
@@ -101,13 +172,62 @@ mod tests {
             port: Port(0),
         };
         o.on_message(1, a, b);
-        o.on_wake(1, NodeIndex(2));
+        o.on_wake(1, NodeIndex(2), WakeCause::Message);
         o.on_decision(2, NodeIndex(0), Decision::Leader);
         o.on_round_end(1);
         o.on_round_end(2);
         assert_eq!(o.messages, vec![(1, a, b)]);
-        assert_eq!(o.wakes, vec![(1, NodeIndex(2))]);
+        assert_eq!(o.wakes, vec![(1, NodeIndex(2), WakeCause::Message)]);
         assert_eq!(o.decisions, vec![(2, NodeIndex(0), Decision::Leader)]);
         assert_eq!(o.rounds, vec![1, 2]);
+    }
+
+    #[test]
+    fn trace_bridge_re_expresses_callbacks_as_trace_events() {
+        use clique_model::trace::SharedSink;
+        let shared = SharedSink::new();
+        let mut bridge = TraceBridge::new(shared.clone());
+        let a = Endpoint {
+            node: NodeIndex(0),
+            port: Port(1),
+        };
+        let b = Endpoint {
+            node: NodeIndex(2),
+            port: Port(0),
+        };
+        bridge.on_wake(1, NodeIndex(0), WakeCause::Adversary);
+        bridge.on_message(1, a, b);
+        bridge.on_decision(1, NodeIndex(0), Decision::Leader);
+        bridge.on_round_end(1);
+        let evs = shared.take();
+        assert_eq!(
+            evs,
+            vec![
+                TraceEvent::Wake {
+                    at: At::Round(1),
+                    node: 0,
+                    cause: WakeCause::Adversary,
+                },
+                TraceEvent::Send {
+                    at: At::Round(1),
+                    src: 0,
+                    port: 1,
+                    dst: 2,
+                    cls: None,
+                },
+                TraceEvent::Deliver {
+                    at: At::Round(1),
+                    src: 0,
+                    dst: 2,
+                    cls: None,
+                },
+                TraceEvent::Decide {
+                    at: At::Round(1),
+                    node: 0,
+                    leader: true,
+                },
+                TraceEvent::Round { round: 1, msgs: 1 },
+            ]
+        );
     }
 }

@@ -309,3 +309,67 @@ fn seed_isolation_between_components() {
         .unwrap();
     assert_eq!(a.ids(), b.ids());
 }
+
+/// Tracing is purely observational: with a full-class sink installed via
+/// the builder, every golden fingerprint above must reproduce
+/// bit-for-bit. The tracer draws from no RNG stream and never touches the
+/// event schedule, so "tracing enabled" and "tracing disabled" are the
+/// *same execution* — this test pins that contract at the golden anchors.
+#[test]
+fn golden_fingerprints_unchanged_with_tracing_enabled() {
+    use improved_le::model::trace::SharedSink;
+
+    for (n, golden) in [
+        (64, (5, 469, Some(NodeIndex(26)))),
+        (256, (5, 2819, Some(NodeIndex(136)))),
+    ] {
+        let sink = SharedSink::new();
+        let cfg = improved_tradeoff::Config::with_rounds(5);
+        let o = SyncSimBuilder::new(n)
+            .seed(0)
+            .trace(Box::new(sink.clone()))
+            .build(|id, n| improved_tradeoff::Node::new(id, n, cfg))
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(
+            (o.rounds, o.stats.total(), o.unique_leader()),
+            golden,
+            "tracing perturbed the sync golden at n = {n}"
+        );
+        let events = sink.take();
+        assert!(
+            events.len() > golden.1 as usize,
+            "the sink saw every send plus the other classes at n = {n}"
+        );
+    }
+
+    for (n, golden_time_bits, golden_msgs, golden_leader) in [
+        (64usize, 4616551870472006621u64, 2013u64, 15usize),
+        (256, 4618253587610216838, 14799, 70),
+    ] {
+        let sink = SharedSink::new();
+        let o = AsyncSimBuilder::new(n)
+            .seed(0)
+            .wake(AsyncWakeSchedule::single(NodeIndex(0)))
+            .trace(Box::new(sink.clone()))
+            .build(|_, _| a_tr::Node::new(a_tr::Config::new(2)))
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(
+            (o.time.to_bits(), o.stats.total(), o.unique_leader()),
+            (
+                golden_time_bits,
+                golden_msgs,
+                Some(NodeIndex(golden_leader))
+            ),
+            "tracing perturbed the async golden at n = {n} (time = {})",
+            o.time
+        );
+        assert!(
+            sink.take().len() > golden_msgs as usize,
+            "the sink saw every send plus the other classes at n = {n}"
+        );
+    }
+}

@@ -2,6 +2,11 @@
 //! two-algorithm sweep (Las Vegas + the ℓ-round tradeoff algorithm) must
 //! produce byte-identical CSVs at every `LE_THREADS` setting, and an
 //! interrupted run must resume from its checkpoint to the same bytes.
+//!
+//! The whole binary runs with `LE_TRACE=all` latched (see
+//! [`private_results_dir`]), so every sweep here also writes a merged
+//! `*.trace.jsonl` — which must obey the same thread-count-invariance and
+//! resume contracts as the CSV.
 
 use std::path::PathBuf;
 use std::sync::OnceLock;
@@ -21,8 +26,17 @@ fn private_results_dir() -> &'static PathBuf {
     DIR.get_or_init(|| {
         let dir = std::env::temp_dir().join(format!("le_parallel_det_{}", std::process::id()));
         std::env::set_var("LE_RESULTS_DIR", &dir);
+        // Latch full tracing before the first SweepRunner touches the
+        // spec: every sweep in this binary then writes a merged trace
+        // file, which the tests below hold to the same byte-identity
+        // contracts as the CSV.
+        std::env::set_var("LE_TRACE", "all");
         dir
     })
+}
+
+fn trace_text(exp: &str) -> String {
+    std::fs::read_to_string(results_path(&format!("{exp}.trace.jsonl"))).unwrap()
 }
 
 fn run_las_vegas(n: usize, seed: u64, arenas: &mut Arenas) -> u64 {
@@ -97,6 +111,26 @@ fn csv_bytes_are_thread_count_invariant() {
 }
 
 #[test]
+fn trace_bytes_are_thread_count_invariant() {
+    run_sweep("par_tr_t1", 1);
+    let baseline = trace_text("par_tr_t1");
+    assert!(!baseline.is_empty(), "traced sweep captured events");
+    // The merged trace must also be a valid JSONL document end to end.
+    let events = improved_le::analysis::trace::parse_trace(&baseline)
+        .expect("merged trace passes the strict schema validator");
+    assert!(!events.is_empty());
+    for threads in [2usize, 4] {
+        let exp = format!("par_tr_t{threads}");
+        run_sweep(&exp, threads);
+        assert_eq!(
+            baseline,
+            trace_text(&exp),
+            "trace bytes drifted at LE_THREADS={threads}"
+        );
+    }
+}
+
+#[test]
 fn killed_sweep_resumes_to_identical_bytes() {
     let exp = "par_det_resume";
     let uninterrupted = run_sweep("par_det_full", 2);
@@ -138,5 +172,11 @@ fn killed_sweep_resumes_to_identical_bytes() {
     assert_eq!(
         uninterrupted, resumed,
         "resumed CSV differs from an uninterrupted run"
+    );
+    // The merged trace resumed from its durable prefix to the same bytes.
+    assert_eq!(
+        trace_text("par_det_full"),
+        trace_text(exp),
+        "resumed trace differs from an uninterrupted run"
     );
 }
