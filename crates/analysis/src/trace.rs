@@ -113,6 +113,18 @@ pub enum Event {
         /// Destination node (equals `src` for crash/recover).
         dst: u32,
     },
+    /// End-of-run communication-graph metadata.
+    Topology {
+        /// Generator tag (`clique` / `ring` / `torus` / `regular` /
+        /// `edges`).
+        generator: String,
+        /// Node count.
+        n: u32,
+        /// Undirected edge count.
+        m: u64,
+        /// Maximum degree over all nodes.
+        maxdeg: u32,
+    },
     /// End-of-run backend storage counters.
     Backend {
         /// Backend name (`dense` / `sparse` / `chunked`).
@@ -138,8 +150,8 @@ pub enum Event {
 }
 
 impl Event {
-    /// When the event happened, if it is stamped at all (`Round` and
-    /// `Backend` events are not).
+    /// When the event happened, if it is stamped at all (`Round`,
+    /// `Topology`, and `Backend` events are not).
     pub fn at(&self) -> Option<At> {
         match self {
             Event::Wake { at, .. }
@@ -148,7 +160,7 @@ impl Event {
             | Event::Decide { at, .. }
             | Event::Fault { at, .. }
             | Event::Halt { at, .. } => Some(*at),
-            Event::Round { .. } | Event::Backend { .. } => None,
+            Event::Round { .. } | Event::Topology { .. } | Event::Backend { .. } => None,
         }
     }
 }
@@ -430,6 +442,46 @@ pub fn parse_line(line: &str) -> Result<Event, String> {
                 dst: f.u32("dst")?,
             }
         }
+        "topo" => {
+            let generator = f.str("gen")?;
+            const GENERATORS: [&str; 5] = ["clique", "ring", "torus", "regular", "edges"];
+            if !GENERATORS.contains(&generator.as_str()) {
+                return Err(format!("field \"gen\": unknown generator {generator:?}"));
+            }
+            let n = f.u32("n")?;
+            let m = f.u64("m")?;
+            let maxdeg = f.u32("maxdeg")?;
+            // Graph-metadata sanity: degrees fit in an n-node simple
+            // graph, and the degree sum bounds the edge count both ways.
+            if u64::from(maxdeg) >= u64::from(n).max(1) {
+                return Err(format!(
+                    "field \"maxdeg\": degree {maxdeg} impossible with n = {n}"
+                ));
+            }
+            if 2 * m > u64::from(n) * u64::from(maxdeg) {
+                return Err(format!(
+                    "field \"m\": {m} edge(s) exceed the degree-sum bound \
+                     n·maxdeg/2 = {}",
+                    u64::from(n) * u64::from(maxdeg) / 2
+                ));
+            }
+            if generator == "clique" {
+                let expect = u64::from(n) * u64::from(n.saturating_sub(1)) / 2;
+                if m != expect || u64::from(maxdeg) != u64::from(n.saturating_sub(1)) {
+                    return Err(format!(
+                        "clique metadata mismatch: n = {n} implies m = {expect}, \
+                         maxdeg = {}, got m = {m}, maxdeg = {maxdeg}",
+                        n.saturating_sub(1)
+                    ));
+                }
+            }
+            Event::Topology {
+                generator,
+                n,
+                m,
+                maxdeg,
+            }
+        }
         "backend" => Event::Backend {
             backend: f.str("backend")?,
             memo_hits: f.u64("memo_hits")?,
@@ -501,6 +553,11 @@ pub struct Rollup {
     pub faults_by_kind: Vec<(String, u64)>,
     /// Halt counts by reason, sorted by reason.
     pub halts_by_reason: Vec<(String, u64)>,
+    /// `topo` metadata events (= runs with graph metadata in a merged
+    /// trace).
+    pub topologies: u64,
+    /// Topology counts by generator tag, sorted by tag.
+    pub topologies_by_gen: Vec<(String, u64)>,
     /// Largest round stamp seen (synchronous traces).
     pub max_round: u32,
     /// Largest time stamp seen (asynchronous traces).
@@ -515,6 +572,7 @@ pub fn rollup(events: &[Event]) -> Rollup {
     let mut by_class: BTreeMap<String, u64> = BTreeMap::new();
     let mut by_kind: BTreeMap<String, u64> = BTreeMap::new();
     let mut by_reason: BTreeMap<String, u64> = BTreeMap::new();
+    let mut by_gen: BTreeMap<String, u64> = BTreeMap::new();
     for ev in events {
         r.events += 1;
         if let Some(at) = ev.at() {
@@ -545,6 +603,10 @@ pub fn rollup(events: &[Event]) -> Rollup {
                 r.faults += 1;
                 *by_kind.entry(kind.clone()).or_insert(0) += 1;
             }
+            Event::Topology { generator, .. } => {
+                r.topologies += 1;
+                *by_gen.entry(generator.clone()).or_insert(0) += 1;
+            }
             Event::Backend { .. } => {}
             Event::Halt { msgs, reason, .. } => {
                 r.halts += 1;
@@ -556,6 +618,7 @@ pub fn rollup(events: &[Event]) -> Rollup {
     r.sends_by_class = by_class.into_iter().collect();
     r.faults_by_kind = by_kind.into_iter().collect();
     r.halts_by_reason = by_reason.into_iter().collect();
+    r.topologies_by_gen = by_gen.into_iter().collect();
     r
 }
 
@@ -662,10 +725,20 @@ mod tests {
 {\"ev\":\"decide\",\"round\":5,\"node\":26,\"d\":\"leader\"}\n\
 {\"ev\":\"round\",\"round\":5,\"msgs\":469}\n\
 {\"ev\":\"fault\",\"t\":1.25,\"kind\":\"loss\",\"src\":1,\"dst\":2}\n\
+{\"ev\":\"topo\",\"gen\":\"ring\",\"n\":64,\"m\":64,\"maxdeg\":2}\n\
 {\"ev\":\"backend\",\"backend\":\"sparse\",\"memo_hits\":10,\"memo_misses\":2,\"table_grows\":1,\"rows_materialized\":0}\n\
 {\"ev\":\"halt\",\"t\":9.75,\"msgs\":469,\"reason\":\"drained\"}\n";
         let events = parse_trace(text).expect("valid trace");
-        assert_eq!(events.len(), 8);
+        assert_eq!(events.len(), 9);
+        assert_eq!(
+            events[6],
+            Event::Topology {
+                generator: "ring".to_string(),
+                n: 64,
+                m: 64,
+                maxdeg: 2
+            }
+        );
         assert_eq!(
             events[0],
             Event::Wake {
@@ -683,7 +756,7 @@ mod tests {
             }
         );
         assert_eq!(
-            events[7],
+            events[8],
             Event::Halt {
                 at: At::Time(9.75),
                 msgs: 469,
@@ -722,6 +795,22 @@ mod tests {
                 "{\"ev\":\"fault\",\"t\":0.0,\"kind\":\"meteor\",\"src\":0,\"dst\":0}",
                 "bad kind",
             ),
+            (
+                "{\"ev\":\"topo\",\"gen\":\"hypercube\",\"n\":8,\"m\":12,\"maxdeg\":3}",
+                "unknown generator",
+            ),
+            (
+                "{\"ev\":\"topo\",\"gen\":\"ring\",\"n\":8,\"m\":8,\"maxdeg\":9}",
+                "degree ≥ n",
+            ),
+            (
+                "{\"ev\":\"topo\",\"gen\":\"ring\",\"n\":8,\"m\":99,\"maxdeg\":2}",
+                "edges above the degree-sum bound",
+            ),
+            (
+                "{\"ev\":\"topo\",\"gen\":\"clique\",\"n\":8,\"m\":20,\"maxdeg\":7}",
+                "clique edge-count mismatch",
+            ),
         ];
         for (line, why) in bad {
             assert!(parse_line(line).is_err(), "accepted {why}: {line}");
@@ -748,9 +837,12 @@ mod tests {
 {\"ev\":\"send\",\"t\":0.0,\"src\":0,\"port\":1,\"dst\":2,\"cls\":\"probe\"}\n\
 {\"ev\":\"send\",\"round\":1,\"src\":0,\"port\":2,\"dst\":3}\n\
 {\"ev\":\"fault\",\"t\":0.5,\"kind\":\"loss\",\"src\":0,\"dst\":1}\n\
+{\"ev\":\"topo\",\"gen\":\"torus\",\"n\":16,\"m\":32,\"maxdeg\":4}\n\
 {\"ev\":\"halt\",\"t\":2.0,\"msgs\":3,\"reason\":\"drained\"}\n";
         let r = rollup(&parse_trace(text).expect("valid trace"));
         assert_eq!(r.sends, 3);
+        assert_eq!(r.topologies, 1);
+        assert_eq!(r.topologies_by_gen, vec![("torus".to_string(), 1)]);
         assert_eq!(
             r.sends_by_class,
             vec![("(sync)".to_string(), 1), ("probe".to_string(), 2)]

@@ -10,7 +10,7 @@ use clique_model::ports::{Port, PortBackend, PortMap, PortResolver, RandomResolv
 use clique_model::prof::{self, Phase};
 use clique_model::rng::{coin, derive_seed, rng_from_seed, sample_distinct};
 use clique_model::trace::{At, FaultKind, TraceEvent, TraceSink, Tracer, ALL_CLASSES};
-use clique_model::{Decision, ModelError, NodeIndex, WakeCause};
+use clique_model::{Decision, ModelError, NodeIndex, Topology, WakeCause};
 use rand::rngs::SmallRng;
 use rand::Rng;
 
@@ -169,17 +169,19 @@ impl AsyncArena {
         *self = AsyncArena::default();
     }
 
-    /// Takes a map for an `n`-node trial on `backend`: the recycled one
-    /// (reset in O(touched-state)) when both the size and the resolved
-    /// backend match, a fresh one otherwise.
-    fn take_ports(&mut self, n: usize, backend: PortBackend) -> Result<PortMap, ModelError> {
-        let backend = backend.resolve(n);
+    /// Takes a map for a trial on `topo` and `backend`: the recycled one
+    /// (reset in O(touched-state)) when both the topology fingerprint and
+    /// the resolved backend match, a fresh one otherwise.
+    fn take_ports(&mut self, topo: &Topology, backend: PortBackend) -> Result<PortMap, ModelError> {
+        let backend = backend.resolve_for(topo.n(), topo.m());
         match self.ports.take() {
-            Some(mut map) if map.n() == n && map.backend() == backend => {
+            Some(mut map)
+                if map.topology_fingerprint() == topo.fingerprint() && map.backend() == backend =>
+            {
                 map.reset();
                 Ok(map)
             }
-            _ => PortMap::with_backend(n, backend),
+            _ => PortMap::for_topology(topo, backend),
         }
     }
 
@@ -243,6 +245,7 @@ pub struct AsyncSimBuilder {
     resolver: Option<Box<dyn PortResolver>>,
     adversary: Option<Box<dyn Adversary>>,
     backend: Option<PortBackend>,
+    topology: Option<Topology>,
     max_events: Option<u64>,
     network: Option<NetworkConfig>,
     trace: Option<Box<dyn TraceSink>>,
@@ -272,6 +275,7 @@ impl AsyncSimBuilder {
             resolver: None,
             adversary: None,
             backend: None,
+            topology: None,
             max_events: None,
             network: None,
             trace: None,
@@ -337,6 +341,15 @@ impl AsyncSimBuilder {
     /// sparse-backend asynchronous trial holds no `Θ(n²)` state at all.
     pub fn backend(mut self, backend: PortBackend) -> Self {
         self.backend = Some(backend);
+        self
+    }
+
+    /// Pins the communication graph (default: the `LE_TOPOLOGY`
+    /// environment selection, which is the clique when unset). The
+    /// topology's node count must equal the builder's `n`; ports become
+    /// degree-indexed (`0..deg(v)` per node) on any non-clique graph.
+    pub fn topology(mut self, topology: Topology) -> Self {
+        self.topology = Some(topology);
         self
     }
 
@@ -434,11 +447,20 @@ impl AsyncSimBuilder {
                 n,
             });
         }
+        let topo = match self.topology {
+            Some(t) => t,
+            None => Topology::from_env(n),
+        };
+        if topo.n() != n {
+            return Err(ModelError::InvalidTopology {
+                reason: "topology node count does not match the builder's n",
+            });
+        }
         let backend = self
             .backend
             .unwrap_or_else(PortBackend::from_env)
-            .resolve(n);
-        let ports = arena.take_ports(n, backend)?;
+            .resolve_for(n, topo.m());
+        let ports = arena.take_ports(&topo, backend)?;
         let fifo_front = std::mem::take(&mut arena.fifo_front).recycle(backend, n);
         let net = self
             .network
@@ -1048,6 +1070,7 @@ impl<N: AsyncNode> AsyncSim<N> {
             let mut ctx = AsyncContext {
                 id: self.ids.id_of(u),
                 n: self.n,
+                ports: self.ports.ports_of(u),
                 time: self.now,
                 rng: &mut self.node_rngs[u.0],
                 outbox: &mut outbox,
@@ -1419,11 +1442,19 @@ impl<N: AsyncNode> AsyncSim<N> {
         Ok(())
     }
 
-    /// Emits the end-of-run trace events — the backend counter snapshot and
-    /// the halt record — and finishes the tracer (flushing a boxed sink or
+    /// Emits the end-of-run trace events — the topology metadata record,
+    /// the backend counter snapshot, and the halt record — and finishes the
+    /// tracer (flushing a boxed sink or
     /// submitting the buffered env-trace block to the collector).
     fn finish_trace(&mut self, halt: AsyncHaltReason) {
         if self.tracer.enabled() {
+            let (generator, topo_n, m, maxdeg) = self.ports.topology_summary();
+            self.tracer.emit(TraceEvent::Topology {
+                generator,
+                n: topo_n as u32,
+                m,
+                maxdeg: maxdeg as u32,
+            });
             self.tracer.emit(TraceEvent::Backend {
                 backend: self.ports.backend().name(),
                 counters: self.ports.backend_counters(),

@@ -27,6 +27,9 @@ pub struct Received<M> {
 pub struct AsyncContext<'a, M> {
     pub(crate) id: Id,
     pub(crate) n: usize,
+    /// Size of this node's port space: `n - 1` on the clique, `deg(v)`
+    /// on an explicit topology.
+    pub(crate) ports: usize,
     pub(crate) time: f64,
     pub(crate) rng: &'a mut SmallRng,
     pub(crate) outbox: &'a mut Vec<(Port, M)>,
@@ -43,9 +46,10 @@ impl<'a, M> AsyncContext<'a, M> {
         self.n
     }
 
-    /// Number of ports this node owns (`n - 1`).
+    /// Number of ports this node owns: `n - 1` on the clique, `deg(v)`
+    /// on an explicit topology.
     pub fn port_count(&self) -> usize {
-        self.n - 1
+        self.ports
     }
 
     /// The global time of the current activation.
@@ -69,8 +73,9 @@ impl<'a, M> AsyncContext<'a, M> {
     /// Panics if `port` is out of range — an algorithm bug.
     pub fn send(&mut self, port: Port, msg: M) {
         assert!(
-            port.0 < self.n - 1,
-            "port {port} out of range for n = {}",
+            port.0 < self.ports,
+            "port {port} out of range ({} ports, n = {})",
+            self.ports,
             self.n
         );
         self.outbox.push((port, msg));
@@ -78,7 +83,7 @@ impl<'a, M> AsyncContext<'a, M> {
 
     /// Iterator over all of this node's ports.
     pub fn all_ports(&self) -> impl Iterator<Item = Port> {
-        (0..self.n - 1).map(Port)
+        (0..self.ports).map(Port)
     }
 
     /// Samples `k` distinct ports uniformly at random (without
@@ -87,9 +92,9 @@ impl<'a, M> AsyncContext<'a, M> {
     ///
     /// # Panics
     ///
-    /// Panics if `k > n - 1`.
+    /// Panics if `k > port_count()`.
     pub fn sample_ports(&mut self, k: usize) -> Vec<Port> {
-        sample_distinct(self.rng, self.n - 1, k)
+        sample_distinct(self.rng, self.ports, k)
             .into_iter()
             .map(Port)
             .collect()
@@ -156,6 +161,7 @@ mod tests {
         let mut ctx = AsyncContext {
             id: Id(3),
             n: 6,
+            ports: 5,
             time: 2.5,
             rng: &mut rng,
             outbox: &mut outbox,
@@ -177,6 +183,7 @@ mod tests {
         let mut ctx = AsyncContext {
             id: Id(3),
             n: 6,
+            ports: 5,
             time: 0.0,
             rng: &mut rng,
             outbox: &mut outbox,
@@ -191,6 +198,7 @@ mod tests {
         let mut ctx = AsyncContext {
             id: Id(1),
             n: 10,
+            ports: 9,
             time: 0.0,
             rng: &mut rng,
             outbox: &mut outbox,

@@ -86,6 +86,15 @@ fn roundtrip(shared: &SharedSink, label: &str) -> (Rollup, CriticalPath, u64) {
         "{label}: a delivery had no matching send"
     );
     assert_eq!(r.halts, 1, "{label}: expected exactly one halt event");
+    assert_eq!(
+        r.topologies, 1,
+        "{label}: expected exactly one topology-metadata event"
+    );
+    assert_eq!(
+        r.topologies_by_gen,
+        vec![("clique".to_string(), 1)],
+        "{label}: audits run on the default clique topology"
+    );
     (r, cp, parsed.len() as u64)
 }
 
@@ -174,9 +183,22 @@ fn check(files: &[String]) -> ! {
                 }
                 Ok(events) => {
                     let r = trace::rollup(&events);
+                    // The parser already validated each topo event's graph
+                    // metadata (generator tag, degree bound, edge count);
+                    // here we only summarize what the file declared.
+                    let graphs = if r.topologies_by_gen.is_empty() {
+                        String::new()
+                    } else {
+                        let list: Vec<String> = r
+                            .topologies_by_gen
+                            .iter()
+                            .map(|(g, c)| format!("{g} ×{c}"))
+                            .collect();
+                        format!("; graphs: {}", list.join(", "))
+                    };
                     println!(
                         "{path}: {} event(s) valid — {} send(s), {} deliver(s), \
-                         {} wake(s), {} decide(s), {} fault(s), {} run(s)",
+                         {} wake(s), {} decide(s), {} fault(s), {} run(s){graphs}",
                         r.events, r.sends, r.delivers, r.wakes, r.decides, r.faults, r.halts
                     );
                 }

@@ -8,15 +8,21 @@
 //! have correlated states, nodes in different components provably behave
 //! independently.
 
+use clique_model::topology::{Dsu, TimedArc};
 use clique_model::NodeIndex;
 use clique_sync::Observer;
 
 /// A time-stamped directed communication graph over `n` nodes.
+///
+/// Edge records and the union–find machinery are the shared
+/// [`clique_model::topology`] types, so the lower-bound layer and the
+/// topology generators agree on one vocabulary for graphs over node
+/// indices.
 #[derive(Debug, Clone)]
 pub struct CommGraph {
     n: usize,
-    /// `(round, src, dst)` per message, in send order.
-    edges: Vec<(usize, u32, u32)>,
+    /// One arc per message, in send order.
+    edges: Vec<TimedArc>,
 }
 
 impl CommGraph {
@@ -40,7 +46,11 @@ impl CommGraph {
     /// Panics if either endpoint is out of range.
     pub fn record(&mut self, round: usize, src: NodeIndex, dst: NodeIndex) {
         assert!(src.0 < self.n && dst.0 < self.n, "endpoint out of range");
-        self.edges.push((round, src.0 as u32, dst.0 as u32));
+        self.edges.push(TimedArc {
+            round: round as u32,
+            src: src.0 as u32,
+            dst: dst.0 as u32,
+        });
     }
 
     /// Total messages recorded.
@@ -53,12 +63,15 @@ impl CommGraph {
     /// result is sorted by each component's smallest node.
     pub fn components_at(&self, round: usize) -> Vec<Vec<NodeIndex>> {
         let mut dsu = Dsu::new(self.n);
-        for &(r, u, v) in &self.edges {
-            if r < round {
-                dsu.union(u as usize, v as usize);
+        for arc in &self.edges {
+            if (arc.round as usize) < round {
+                dsu.union(arc.src as usize, arc.dst as usize);
             }
         }
-        dsu.components()
+        dsu.groups()
+            .into_iter()
+            .map(|c| c.into_iter().map(NodeIndex).collect())
+            .collect()
     }
 
     /// Size of the largest component of the round-`r` graph.
@@ -81,10 +94,13 @@ impl CommGraph {
         // Count, per member, how many *other* members it touches.
         let mut touched: std::collections::HashMap<u32, std::collections::HashSet<u32>> =
             std::collections::HashMap::new();
-        for &(r, u, v) in &self.edges {
-            if r < round && in_set.contains(&u) && in_set.contains(&v) {
-                touched.entry(u).or_default().insert(v);
-                touched.entry(v).or_default().insert(u);
+        for arc in &self.edges {
+            if (arc.round as usize) < round
+                && in_set.contains(&arc.src)
+                && in_set.contains(&arc.dst)
+            {
+                touched.entry(arc.src).or_default().insert(arc.dst);
+                touched.entry(arc.dst).or_default().insert(arc.src);
             }
         }
         members
@@ -101,70 +117,18 @@ impl CommGraph {
     /// connects a member to a non-member (in either direction).
     pub fn is_isolated_at(&self, round: usize, members: &[NodeIndex]) -> bool {
         let in_set: std::collections::HashSet<u32> = members.iter().map(|u| u.0 as u32).collect();
-        self.edges
-            .iter()
-            .all(|&(r, u, v)| r >= round || in_set.contains(&u) == in_set.contains(&v))
+        self.edges.iter().all(|arc| {
+            (arc.round as usize) >= round || in_set.contains(&arc.src) == in_set.contains(&arc.dst)
+        })
     }
 
     /// The last round with a recorded message (0 if none).
     pub fn last_round(&self) -> usize {
-        self.edges.iter().map(|&(r, _, _)| r).max().unwrap_or(0)
-    }
-}
-
-/// Union–find over `0..n`.
-#[derive(Debug)]
-struct Dsu {
-    parent: Vec<u32>,
-    size: Vec<u32>,
-}
-
-impl Dsu {
-    fn new(n: usize) -> Self {
-        Dsu {
-            parent: (0..n as u32).collect(),
-            size: vec![1; n],
-        }
-    }
-
-    fn find(&mut self, x: usize) -> usize {
-        let mut root = x;
-        while self.parent[root] as usize != root {
-            root = self.parent[root] as usize;
-        }
-        // Path compression.
-        let mut cur = x;
-        while cur != root {
-            let next = self.parent[cur] as usize;
-            self.parent[cur] = root as u32;
-            cur = next;
-        }
-        root
-    }
-
-    fn union(&mut self, a: usize, b: usize) {
-        let (mut ra, mut rb) = (self.find(a), self.find(b));
-        if ra == rb {
-            return;
-        }
-        if self.size[ra] < self.size[rb] {
-            std::mem::swap(&mut ra, &mut rb);
-        }
-        self.parent[rb] = ra as u32;
-        self.size[ra] += self.size[rb];
-    }
-
-    fn components(&mut self) -> Vec<Vec<NodeIndex>> {
-        let n = self.parent.len();
-        let mut groups: std::collections::BTreeMap<usize, Vec<NodeIndex>> =
-            std::collections::BTreeMap::new();
-        for x in 0..n {
-            let root = self.find(x);
-            groups.entry(root).or_default().push(NodeIndex(x));
-        }
-        let mut out: Vec<Vec<NodeIndex>> = groups.into_values().collect();
-        out.sort_by_key(|c| c[0]);
-        out
+        self.edges
+            .iter()
+            .map(|arc| arc.round as usize)
+            .max()
+            .unwrap_or(0)
     }
 }
 

@@ -121,7 +121,10 @@ impl SyncNode for Node {
                 if coin(ctx.rng(), self.cfg.candidate_probability(n)) {
                     let rank = ctx.rng().gen_range(0..rank_universe(n));
                     self.rank = Some(rank);
-                    let referees = self.cfg.referee_count(n);
+                    // On the clique `port_count() = n - 1` and the clamp is
+                    // a no-op; on a bounded-degree topology a candidate can
+                    // only referee over its own incident edges.
+                    let referees = self.cfg.referee_count(n).min(ctx.port_count());
                     self.contacted = referees;
                     for port in ctx.sample_ports(referees) {
                         ctx.send(port, Msg::Bid(rank));

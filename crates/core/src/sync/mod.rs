@@ -4,6 +4,7 @@ pub mod afek_gafni;
 pub mod gossip_baseline;
 pub mod improved_tradeoff;
 pub mod las_vegas;
+pub mod singular;
 pub mod small_id;
 pub mod sublinear_mc;
 pub mod two_round_adversarial;

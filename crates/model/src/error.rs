@@ -45,6 +45,12 @@ pub enum ModelError {
         /// Human-readable description of the violation.
         reason: &'static str,
     },
+    /// A topology generator was asked for an unrepresentable graph
+    /// (bad dimensions, degree/parity constraints, malformed edge list).
+    InvalidTopology {
+        /// Human-readable description of the violated constraint.
+        reason: &'static str,
+    },
     /// An ID assignment contained a duplicate identifier.
     DuplicateId {
         /// The duplicated identifier value.
@@ -84,6 +90,9 @@ impl std::fmt::Display for ModelError {
             ),
             ModelError::InvalidResolution { node, port, reason } => {
                 write!(f, "invalid resolution for {node} port {port}: {reason}")
+            }
+            ModelError::InvalidTopology { reason } => {
+                write!(f, "invalid topology: {reason}")
             }
             ModelError::DuplicateId { id } => write!(f, "duplicate ID {id} in assignment"),
             ModelError::InvalidDelay { adversary, delay } => write!(

@@ -25,6 +25,10 @@
 //! * [`metrics`] — message accounting histograms,
 //! * [`trace`] — structured execution tracing (typed events, sinks, the
 //!   latched `LE_TRACE` knob) shared by both engines,
+//! * [`topology`] — general communication graphs (clique, ring, torus,
+//!   random-regular, explicit edge lists; the latched `LE_TOPOLOGY`
+//!   knob) whose per-node port spaces the engines and port backends
+//!   draw from,
 //! * [`prof`] — the `LE_PROF`/`LE_TIMING` phase profiler (span timers
 //!   folded into per-cell timing columns by the sweep runner),
 //! * [`error`] — shared error types.
@@ -67,6 +71,7 @@ pub mod metrics;
 pub mod ports;
 pub mod prof;
 pub mod rng;
+pub mod topology;
 pub mod trace;
 
 pub use decision::Decision;
@@ -77,6 +82,7 @@ pub use ports::{
     CirculantResolver, Endpoint, Port, PortBackend, PortMap, PortResolver, RandomResolver,
     RoundRobinResolver,
 };
+pub use topology::{Topology, TopologyKind, TopologySpec};
 
 /// Index of a node inside the simulated network, in `0..n`.
 ///

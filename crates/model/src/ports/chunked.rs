@@ -379,6 +379,18 @@ impl PortStore for ChunkedStore {
         self.sparse.n
     }
 
+    // The implicit clique's port space: every node owns `n − 1` ports
+    // and any `v ≠ u` is a potential peer.
+    #[inline]
+    fn ports_of(&self, _u: NodeIndex) -> usize {
+        self.sparse.n - 1
+    }
+
+    #[inline]
+    fn topo_adjacent(&self, u: NodeIndex, v: NodeIndex) -> bool {
+        u != v
+    }
+
     #[inline]
     fn link_count(&self) -> usize {
         self.sparse.links

@@ -84,17 +84,22 @@ use crate::NodeIndex;
 
 mod chunked;
 mod dense;
+mod graph;
 mod perm;
 mod sparse;
 mod table;
 
 use chunked::ChunkedStore;
 use dense::DenseStore;
+use graph::GraphStore;
 use sparse::SparseStore;
+
+use crate::topology::Topology;
 
 pub use table::OpenTable;
 
-/// A port number local to one node, in `0 .. n-1`.
+/// A port number local to one node: `0 .. n-1` on the clique of the
+/// original model, `0 .. deg(node)` on an explicit [`Topology`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Port(pub usize);
 
@@ -137,6 +142,12 @@ impl std::fmt::Display for Endpoint {
 trait PortStore {
     /// Number of nodes.
     fn n(&self) -> usize;
+    /// Size of `u`'s port space: `n − 1` on the implicit clique,
+    /// `deg(u)` on an explicit topology.
+    fn ports_of(&self, u: NodeIndex) -> usize;
+    /// Whether `v` lies in `u`'s topology neighborhood (any `v ≠ u` on
+    /// the implicit clique).
+    fn topo_adjacent(&self, u: NodeIndex, v: NodeIndex) -> bool;
     /// Number of links fixed so far.
     fn link_count(&self) -> usize;
     /// Number of links incident to `u`.
@@ -194,6 +205,7 @@ macro_rules! with_store {
             Store::Dense($s) => $e,
             Store::Sparse($s) => $e,
             Store::Chunked($s) => $e,
+            Store::Graph($s) => $e,
         }
     };
 }
@@ -204,6 +216,7 @@ macro_rules! with_store_mut {
             Store::Dense($s) => $e,
             Store::Sparse($s) => $e,
             Store::Chunked($s) => $e,
+            Store::Graph($s) => $e,
         }
     };
 }
@@ -295,6 +308,41 @@ impl PortBackend {
         }
     }
 
+    /// Resolves `Auto` against the *edge count* of an explicit topology:
+    /// dense while [`PortBackend::edge_table_bytes`] fits the same
+    /// 8 GiB budget, chunked beyond. On the clique
+    /// (`m = n(n−1)/2`) the edge formula equals
+    /// [`PortBackend::dense_table_bytes`] exactly, so this is a strict
+    /// generalization of [`PortBackend::resolve`] — the clique boundary
+    /// stays at `n = 16384` — while sparse graphs at large `n` stop
+    /// being budgeted as if they carried the clique's implicit `n²`
+    /// pairs.
+    pub fn resolve_for(self, n: usize, m: u64) -> PortBackend {
+        match self {
+            PortBackend::Auto => {
+                if PortBackend::edge_table_bytes(n, m) <= PortBackend::AUTO_DENSE_CAP_BYTES {
+                    PortBackend::Dense
+                } else {
+                    PortBackend::Chunked
+                }
+            }
+            concrete => concrete,
+        }
+    }
+
+    /// Bytes of flat per-port tables at `n` nodes and `m` undirected
+    /// edges: `56m + 12n`. Each of the `2m` directed slots costs one
+    /// `u64` forward entry plus five `u32` peer/port permutation,
+    /// position, and index entries (28 bytes per slot), plus one `u32`
+    /// degree and two words of amortized row bookkeeping per node.
+    /// Chosen so that at the clique's `m = n(n−1)/2` this is *exactly*
+    /// [`PortBackend::dense_table_bytes`]`(n)` = `28n² − 16n`: one
+    /// budget formula, parameterized by the real edge count.
+    pub fn edge_table_bytes(n: usize, m: u64) -> u64 {
+        let bytes = 56 * m as u128 + 12 * n as u128;
+        u64::try_from(bytes).unwrap_or(u64::MAX)
+    }
+
     /// Bytes the dense backend's tables occupy at size `n` (the quantity
     /// the `auto` heuristic budgets): one `u64` forward entry plus three
     /// `u32` permutation/position entries per port, two `u32` peer-indexed
@@ -369,12 +417,24 @@ impl<'a> PortView<'a> {
         (0..map.degree(u)).map(move |k| map.peer_at_pos(u, k))
     }
 
-    /// Number of nodes not yet connected to `u` (excluding `u` itself).
+    /// Size of `u`'s port space (`n − 1` on the implicit clique,
+    /// `deg(u)` on an explicit topology).
+    pub fn ports_of(&self, u: NodeIndex) -> usize {
+        self.map.ports_of(u)
+    }
+
+    /// Whether `{u, v}` is a topology edge — i.e. whether a link
+    /// between them could ever be fixed (any `v ≠ u` on the clique).
+    pub fn is_neighbor(&self, u: NodeIndex, v: NodeIndex) -> bool {
+        self.map.topo_adjacent(u, v)
+    }
+
+    /// Number of `u`'s topology neighbors not yet connected to it.
     ///
     /// Equals the number of `u`'s free ports: every fixed link consumes
     /// exactly one port on each side.
     pub fn unconnected_count(&self, u: NodeIndex) -> usize {
-        self.map.n() - 1 - self.map.degree(u)
+        self.map.ports_of(u) - self.map.degree(u)
     }
 
     /// The `k`-th node not yet connected to `u`, for `k` in
@@ -497,12 +557,15 @@ impl PortResolver for RoundRobinResolver {
         let n = view.n();
         let mut v = (src.0 + src_port.0 + 1) % n;
         for _ in 0..n {
-            if v != src.0 && !view.is_connected(src, NodeIndex(v)) {
+            // On an explicit topology only neighbors qualify; on the
+            // clique `is_neighbor` is just `v != src`, preserving the
+            // canonical clique scan verbatim.
+            if view.is_neighbor(src, NodeIndex(v)) && !view.is_connected(src, NodeIndex(v)) {
                 return NodeIndex(v);
             }
             v = (v + 1) % n;
         }
-        unreachable!("{src} is already connected to everyone");
+        unreachable!("{src} is already connected to its whole neighborhood");
     }
 
     fn choose_peer_port(
@@ -513,7 +576,7 @@ impl PortResolver for RoundRobinResolver {
         peer: NodeIndex,
         _rng: &mut SmallRng,
     ) -> Port {
-        (0..view.n() - 1)
+        (0..view.ports_of(peer))
             .map(Port)
             .find(|&p| !view.is_port_assigned(peer, p))
             .expect("peer has no free ports left")
@@ -533,6 +596,11 @@ impl PortResolver for RoundRobinResolver {
 /// The mapping is a valid port mapping: symmetric
 /// (`p(p(u, i)) = (u, i)`), self-loop-free (a self-loop would need
 /// `i = n − 1`, which is not a port), and port-bijective.
+///
+/// Clique-only: the closed form assumes every node owns `n − 1` ports,
+/// so on an explicit non-clique topology its resolutions fail
+/// validation (use [`RoundRobinResolver`] for a deterministic mapping
+/// there).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct CirculantResolver;
 
@@ -569,6 +637,10 @@ enum Store {
     /// Sparse tables with lazily materialized dense rows (see
     /// [`chunked`]).
     Chunked(ChunkedStore),
+    /// CSR-ragged flat tables over an explicit topology (see
+    /// [`graph`]); serves every requested backend on non-clique
+    /// topologies.
+    Graph(GraphStore),
 }
 
 /// A partial, lazily-extended, bijective port mapping over `n` nodes.
@@ -620,12 +692,80 @@ impl PortMap {
         Ok(PortMap { store })
     }
 
+    /// Creates an empty partial mapping over an explicit [`Topology`].
+    ///
+    /// The implicit clique routes to the existing clique backends
+    /// verbatim (identical tables, identical draw schedules — nothing
+    /// re-rolls), with `Auto` resolved through the edge-aware
+    /// [`PortBackend::resolve_for`]. Every other topology uses the
+    /// CSR-ragged graph store, whose per-node port space is
+    /// `0..deg(v)`; the requested backend is resolved the same way and
+    /// recorded for reporting, but the representation is shared — which
+    /// is what makes draw schedules backend-independent on non-clique
+    /// topologies.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::NetworkTooSmall`] if the topology has
+    /// fewer than 2 nodes.
+    pub fn for_topology(topo: &Topology, backend: PortBackend) -> Result<Self, ModelError> {
+        if topo.is_clique() {
+            return PortMap::with_backend(topo.n(), backend.resolve_for(topo.n(), topo.m()));
+        }
+        let stand_in = backend.resolve_for(topo.n(), topo.m());
+        Ok(PortMap {
+            store: Store::Graph(GraphStore::new(topo.clone(), stand_in)),
+        })
+    }
+
     /// The concrete backend this map stores its state in (never `Auto`).
+    ///
+    /// A topology map reports the backend it was asked to stand in for
+    /// (its CSR representation is the same for all three).
     pub fn backend(&self) -> PortBackend {
         match &self.store {
             Store::Dense(_) => PortBackend::Dense,
             Store::Sparse(_) => PortBackend::Sparse,
             Store::Chunked(_) => PortBackend::Chunked,
+            Store::Graph(s) => s.stand_in(),
+        }
+    }
+
+    /// The explicit topology behind this map, if any (`None` means the
+    /// implicit clique of the original model).
+    pub fn topology(&self) -> Option<&Topology> {
+        match &self.store {
+            Store::Graph(s) => Some(s.topology()),
+            _ => None,
+        }
+    }
+
+    /// The structural fingerprint of this map's topology — the key
+    /// arenas compare when deciding whether a recycled map matches a
+    /// request (the implicit clique hashes as `Topology::clique(n)`).
+    pub fn topology_fingerprint(&self) -> u64 {
+        match self.topology() {
+            Some(t) => t.fingerprint(),
+            None => Topology::clique(self.n())
+                .expect("maps always have n >= 2")
+                .fingerprint(),
+        }
+    }
+
+    /// Graph metadata for the `topo` trace event: generator tag, `n`,
+    /// undirected edge count, and maximum degree.
+    pub fn topology_summary(&self) -> (&'static str, usize, u64, usize) {
+        match self.topology() {
+            Some(t) => (t.kind().name(), t.n(), t.m(), t.max_degree()),
+            None => {
+                let n = self.n();
+                (
+                    crate::topology::TopologyKind::Clique.name(),
+                    n,
+                    (n as u64) * (n as u64 - 1) / 2,
+                    n - 1,
+                )
+            }
         }
     }
 
@@ -650,9 +790,30 @@ impl PortMap {
         with_store!(self, s => s.n())
     }
 
-    /// Number of ports per node (`n - 1`).
+    /// The largest port space any node owns: `n − 1` on the implicit
+    /// clique, the maximum degree on an explicit topology. Per-node
+    /// bounds come from [`PortMap::ports_of`].
     pub fn ports_per_node(&self) -> usize {
-        self.n() - 1
+        match self.topology() {
+            Some(t) => t.max_degree(),
+            None => self.n() - 1,
+        }
+    }
+
+    /// Size of `u`'s port space: `u`'s ports are `0..ports_of(u)`.
+    /// `n − 1` on the implicit clique, `deg(u)` on an explicit
+    /// topology.
+    #[inline]
+    pub fn ports_of(&self, u: NodeIndex) -> usize {
+        with_store!(self, s => s.ports_of(u))
+    }
+
+    /// Whether `{u, v}` is an edge of the underlying topology (any
+    /// `v ≠ u` on the implicit clique) — i.e. whether a link between
+    /// them *could* ever be fixed.
+    #[inline]
+    pub fn topo_adjacent(&self, u: NodeIndex, v: NodeIndex) -> bool {
+        with_store!(self, s => s.topo_adjacent(u, v))
     }
 
     /// Number of links fixed so far.
@@ -723,11 +884,11 @@ impl PortMap {
         if u.0 >= n {
             return Err(ModelError::NodeOutOfRange { node: u, n });
         }
-        if port.0 >= n - 1 {
+        if port.0 >= self.ports_of(u) {
             return Err(ModelError::PortOutOfRange {
                 node: u,
                 port,
-                ports_per_node: n - 1,
+                ports_per_node: self.ports_of(u),
             });
         }
         if let Some(dest) = self.peer(u, port) {
@@ -748,6 +909,13 @@ impl PortMap {
                 reason: "resolver chose the sender itself",
             });
         }
+        if !self.topo_adjacent(u, v) {
+            return Err(ModelError::InvalidResolution {
+                node: u,
+                port,
+                reason: "resolver chose a peer outside the topology",
+            });
+        }
         if self.connected(u, v) {
             return Err(ModelError::InvalidResolution {
                 node: u,
@@ -756,7 +924,7 @@ impl PortMap {
             });
         }
         let j = resolver.choose_peer_port(self.view(), u, port, v, rng);
-        if j.0 >= n - 1 {
+        if j.0 >= self.ports_of(v) {
             return Err(ModelError::InvalidResolution {
                 node: u,
                 port,
@@ -794,11 +962,11 @@ impl PortMap {
             return Err(ModelError::NodeOutOfRange { node, n });
         }
         for (node, port) in [(u, pu), (v, pv)] {
-            if port.0 >= n - 1 {
+            if port.0 >= self.ports_of(node) {
                 return Err(ModelError::PortOutOfRange {
                     node,
                     port,
-                    ports_per_node: n - 1,
+                    ports_per_node: self.ports_of(node),
                 });
             }
         }
@@ -807,6 +975,13 @@ impl PortMap {
                 node: u,
                 port: pu,
                 reason: "cannot connect a node to itself",
+            });
+        }
+        if !self.topo_adjacent(u, v) {
+            return Err(ModelError::InvalidResolution {
+                node: u,
+                port: pu,
+                reason: "cannot connect nodes outside the topology",
             });
         }
         if self.connected(u, v) {
@@ -1394,6 +1569,171 @@ mod tests {
             })
             .collect();
         assert_eq!(again, EXPECTED, "recycled chunked schedule drifted");
+    }
+
+    #[test]
+    fn edge_table_bytes_matches_dense_on_the_clique() {
+        // One budget formula: at m = n(n−1)/2 the edge-aware bytes must
+        // equal the clique formula exactly, keeping the auto boundary
+        // untouched for every clique size.
+        for n in [2usize, 16, 64, 4096, 16384, 32768, 1 << 20] {
+            let m = (n as u64) * (n as u64 - 1) / 2;
+            assert_eq!(
+                PortBackend::edge_table_bytes(n, m),
+                PortBackend::dense_table_bytes(n),
+                "edge formula diverged from dense at n = {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn auto_is_edge_aware_on_sparse_topologies() {
+        // A ring at n = 10⁶ has a million edges — trivially inside the
+        // budget — while the clique formula at the same n is ~28 TB.
+        // The edge-aware resolution must stop over-provisioning.
+        let n = 1_000_000;
+        assert_eq!(PortBackend::Auto.resolve(n), PortBackend::Chunked);
+        assert_eq!(
+            PortBackend::Auto.resolve_for(n, n as u64),
+            PortBackend::Dense,
+            "auto must budget sparse graphs by their real edge count"
+        );
+        // And the clique boundary is unchanged via resolve_for.
+        let m = |n: u64| n * (n - 1) / 2;
+        assert_eq!(
+            PortBackend::Auto.resolve_for(16384, m(16384)),
+            PortBackend::Dense
+        );
+        assert_eq!(
+            PortBackend::Auto.resolve_for(32768, m(32768)),
+            PortBackend::Chunked
+        );
+        // Explicit backends are never overridden.
+        assert_eq!(PortBackend::Sparse.resolve_for(64, 64), PortBackend::Sparse);
+    }
+
+    #[test]
+    fn topology_map_routes_cliques_to_clique_backends() {
+        let topo = crate::topology::Topology::clique(16).unwrap();
+        let map = PortMap::for_topology(&topo, PortBackend::Dense).unwrap();
+        assert_eq!(map.backend(), PortBackend::Dense);
+        assert!(map.topology().is_none(), "clique adjacency stays implicit");
+        // Identical to the pre-topology constructor: nothing re-rolls.
+        assert_eq!(map, PortMap::with_backend(16, PortBackend::Dense).unwrap());
+        assert_eq!(map.topology_summary(), ("clique", 16, 120, 15));
+        assert_eq!(
+            map.topology_fingerprint(),
+            crate::topology::Topology::clique(16).unwrap().fingerprint()
+        );
+    }
+
+    #[test]
+    fn graph_map_exposes_degree_port_spaces() {
+        let topo = crate::topology::Topology::ring(8).unwrap();
+        for backend in BACKENDS {
+            let map = PortMap::for_topology(&topo, backend).unwrap();
+            assert_eq!(map.backend(), backend, "stand-in backend mislabeled");
+            assert_eq!(map.n(), 8);
+            assert_eq!(map.ports_per_node(), 2);
+            for u in 0..8 {
+                assert_eq!(map.ports_of(NodeIndex(u)), 2);
+            }
+            assert!(map.topo_adjacent(NodeIndex(0), NodeIndex(7)));
+            assert!(!map.topo_adjacent(NodeIndex(0), NodeIndex(3)));
+            assert_eq!(map.topology_summary(), ("ring", 8, 8, 2));
+        }
+    }
+
+    #[test]
+    fn graph_map_resolution_respects_the_topology() {
+        let topo = crate::topology::Topology::ring(8).unwrap();
+        let mut map = PortMap::for_topology(&topo, PortBackend::Auto).unwrap();
+        let mut r = RandomResolver;
+        let mut rng = rng_from_seed(3);
+        for u in 0..8 {
+            for p in 0..2 {
+                let d = map
+                    .resolve(NodeIndex(u), Port(p), &mut r, &mut rng)
+                    .unwrap();
+                assert!(
+                    topo.has_edge(NodeIndex(u), d.node),
+                    "resolved to non-neighbor {} from {u}",
+                    d.node
+                );
+                assert!(d.port.0 < 2);
+            }
+        }
+        assert_eq!(map.link_count(), 8, "ring fully resolved");
+        map.validate().unwrap();
+        // Out-of-space ports and non-edges are rejected.
+        assert!(matches!(
+            map.resolve(NodeIndex(0), Port(2), &mut r, &mut rng),
+            Err(ModelError::PortOutOfRange { .. })
+        ));
+        map.reset();
+        assert!(map
+            .connect(NodeIndex(0), Port(0), NodeIndex(3), Port(0))
+            .is_err());
+        map.connect(NodeIndex(0), Port(1), NodeIndex(1), Port(0))
+            .unwrap();
+        map.validate().unwrap();
+    }
+
+    #[test]
+    fn graph_map_draw_schedule_is_backend_independent() {
+        // On non-clique topologies all three backends share one store,
+        // so RNG-driven schedules are identical by construction.
+        let topo = crate::topology::Topology::random_regular(16, 4, 5).unwrap();
+        let schedule = |backend| {
+            let mut map = PortMap::for_topology(&topo, backend).unwrap();
+            let mut r = RandomResolver;
+            let mut rng = rng_from_seed(9);
+            let mut out = Vec::new();
+            for u in 0..16 {
+                for p in 0..4 {
+                    out.push(
+                        map.resolve(NodeIndex(u), Port(p), &mut r, &mut rng)
+                            .unwrap(),
+                    );
+                }
+            }
+            map.validate().unwrap();
+            out
+        };
+        let dense = schedule(PortBackend::Dense);
+        assert_eq!(dense, schedule(PortBackend::Sparse));
+        assert_eq!(dense, schedule(PortBackend::Chunked));
+    }
+
+    #[test]
+    fn graph_map_reset_preserves_draw_schedule() {
+        let topo = crate::topology::Topology::torus(4, 4).unwrap();
+        let mut recycled = PortMap::for_topology(&topo, PortBackend::Auto).unwrap();
+        let mut r = RandomResolver;
+        let mut warmup = rng_from_seed(77);
+        for u in 0..16 {
+            recycled
+                .resolve(NodeIndex(u), Port(0), &mut r, &mut warmup)
+                .unwrap();
+        }
+        recycled.reset();
+        recycled.validate().unwrap();
+        let mut fresh = PortMap::for_topology(&topo, PortBackend::Auto).unwrap();
+        assert_eq!(recycled, fresh);
+        let mut rng_a = rng_from_seed(42);
+        let mut rng_b = rng_from_seed(42);
+        for u in 0..16 {
+            for p in 0..4 {
+                let da = recycled
+                    .resolve(NodeIndex(u), Port(p), &mut r, &mut rng_a)
+                    .unwrap();
+                let db = fresh
+                    .resolve(NodeIndex(u), Port(p), &mut r, &mut rng_b)
+                    .unwrap();
+                assert_eq!(da, db);
+            }
+        }
+        assert_eq!(recycled, fresh);
     }
 
     #[test]

@@ -63,6 +63,8 @@ pub enum TraceClass {
     Fault,
     /// Backend storage milestone counters ([`TraceEvent::Backend`]).
     Backend,
+    /// Communication-graph metadata ([`TraceEvent::Topology`]).
+    Topology,
 }
 
 impl TraceClass {
@@ -77,6 +79,7 @@ impl TraceClass {
             TraceClass::Decide => 1 << 4,
             TraceClass::Fault => 1 << 5,
             TraceClass::Backend => 1 << 6,
+            TraceClass::Topology => 1 << 7,
         }
     }
 
@@ -90,12 +93,13 @@ impl TraceClass {
             TraceClass::Decide => "decide",
             TraceClass::Fault => "fault",
             TraceClass::Backend => "backend",
+            TraceClass::Topology => "topo",
         }
     }
 }
 
 /// Mask covering every event class.
-pub const ALL_CLASSES: u8 = 0x7f;
+pub const ALL_CLASSES: u8 = 0xff;
 
 /// A parsed `LE_TRACE` specification: which event classes to record.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -132,6 +136,7 @@ impl TraceSpec {
                 TraceClass::Decide,
                 TraceClass::Fault,
                 TraceClass::Backend,
+                TraceClass::Topology,
             ]
             .into_iter()
             .find(|c| c.keyword() == token)
@@ -161,7 +166,7 @@ pub fn env_spec() -> Option<TraceSpec> {
             Ok(spec) => Some(spec),
             Err(tok) => panic!(
                 "LE_TRACE: unknown event class {tok:?} (expected `all` or a \
-                 comma-list of round,send,deliver,wake,decide,fault,backend)"
+                 comma-list of round,send,deliver,wake,decide,fault,backend,topo)"
             ),
         }
     })
@@ -306,6 +311,17 @@ pub enum TraceEvent {
         /// Engine-specific halt reason.
         reason: &'static str,
     },
+    /// The communication graph the run executed on, emitted once per run.
+    Topology {
+        /// Generator name (`clique`, `ring`, `torus`, `regular`, `edges`).
+        generator: &'static str,
+        /// Number of nodes.
+        n: u32,
+        /// Number of undirected edges.
+        m: u64,
+        /// Maximum degree over all nodes.
+        maxdeg: u32,
+    },
 }
 
 impl TraceEvent {
@@ -319,6 +335,7 @@ impl TraceEvent {
             TraceEvent::Round { .. } | TraceEvent::Halt { .. } => TraceClass::Round,
             TraceEvent::Fault { .. } => TraceClass::Fault,
             TraceEvent::Backend { .. } => TraceClass::Backend,
+            TraceEvent::Topology { .. } => TraceClass::Topology,
         }
     }
 
@@ -418,6 +435,19 @@ impl TraceEvent {
                 out.push_str("\"ev\":\"halt\",");
                 at(out, a);
                 write!(out, ",\"msgs\":{msgs},\"reason\":\"{reason}\"").expect("infallible");
+            }
+            TraceEvent::Topology {
+                generator,
+                n,
+                m,
+                maxdeg,
+            } => {
+                write!(
+                    out,
+                    "\"ev\":\"topo\",\"gen\":\"{generator}\",\"n\":{n},\"m\":{m},\
+                     \"maxdeg\":{maxdeg}",
+                )
+                .expect("infallible");
             }
         }
         out.push_str("}\n");

@@ -12,6 +12,7 @@ use clique_model::ports::{
     Port, PortBackend, PortMap, PortResolver, RandomResolver, RoundRobinResolver,
 };
 use clique_model::rng::rng_from_seed;
+use clique_model::topology::Topology;
 use clique_model::NodeIndex;
 use proptest::prelude::*;
 
@@ -233,6 +234,106 @@ proptest! {
             prop_assert_eq!(free, unassigned);
         }
         }
+    }
+
+    /// Topology × backend draw-schedule identity: on a non-clique
+    /// topology every backend serves the same CSR graph tables, so any
+    /// resolution sequence under `RandomResolver` must produce identical
+    /// endpoints (and consume the RNG identically) on all of them.
+    #[test]
+    fn topology_resolution_is_backend_invariant(
+        kind in 0usize..3,
+        size in 0usize..25,
+        gseed in 0u64..100,
+        seed in 0u64..1000,
+        ops in prop::collection::vec((0usize..64, 0usize..64), 1..120),
+    ) {
+        let topo = arbitrary_topology(kind, size, gseed);
+        let n = topo.n();
+        let mut reference: Option<Vec<(usize, usize)>> = None;
+        for backend in BACKENDS {
+            let mut map = PortMap::for_topology(&topo, backend).unwrap();
+            prop_assert_eq!(map.backend(), backend);
+            let mut resolver = RandomResolver;
+            let mut rng = rng_from_seed(seed);
+            let mut drawn = Vec::new();
+            for &(u, p) in &ops {
+                let u = NodeIndex(u % n);
+                let deg = map.ports_of(u);
+                let e = map
+                    .resolve(u, Port(p % deg), &mut resolver, &mut rng)
+                    .unwrap();
+                drawn.push((e.node.0, e.port.0));
+            }
+            map.validate().unwrap();
+            prop_assert!(map.link_count() as u64 <= topo.m());
+            match &reference {
+                None => reference = Some(drawn),
+                Some(expect) => prop_assert_eq!(
+                    &drawn,
+                    expect,
+                    "{} diverged from the dense draw schedule on {}",
+                    backend,
+                    &topo
+                ),
+            }
+        }
+    }
+
+    /// `reset()` on a topology-backed map is observationally fresh —
+    /// the graph-arena recycling guarantee: replaying a sequence on a
+    /// reset map and on a newly built map (same RNG state) coincides
+    /// endpoint for endpoint.
+    #[test]
+    fn topology_reset_is_observationally_fresh(
+        kind in 0usize..3,
+        size in 0usize..25,
+        gseed in 0u64..100,
+        seed in 0u64..1000,
+        warm_ops in prop::collection::vec((0usize..64, 0usize..64), 1..80),
+        ops in prop::collection::vec((0usize..64, 0usize..64), 1..80),
+    ) {
+        let topo = arbitrary_topology(kind, size, gseed);
+        let n = topo.n();
+        for backend in BACKENDS {
+            let mut recycled = PortMap::for_topology(&topo, backend).unwrap();
+            let mut resolver = RandomResolver;
+            let mut rng = rng_from_seed(seed ^ 0xD15C);
+            for &(u, p) in &warm_ops {
+                let u = NodeIndex(u % n);
+                let deg = recycled.ports_of(u);
+                recycled.resolve(u, Port(p % deg), &mut resolver, &mut rng).unwrap();
+            }
+            recycled.reset();
+            recycled.validate().unwrap();
+            prop_assert_eq!(recycled.link_count(), 0);
+
+            let mut fresh = PortMap::for_topology(&topo, backend).unwrap();
+            let mut rng_recycled = rng_from_seed(seed);
+            let mut rng_fresh = rng_from_seed(seed);
+            for &(u, p) in &ops {
+                let u = NodeIndex(u % n);
+                let deg = fresh.ports_of(u);
+                let a = recycled
+                    .resolve(u, Port(p % deg), &mut resolver, &mut rng_recycled)
+                    .unwrap();
+                let b = fresh
+                    .resolve(u, Port(p % deg), &mut resolver, &mut rng_fresh)
+                    .unwrap();
+                prop_assert_eq!(a, b, "resolution diverged after reset at ({}, {})", u, p);
+            }
+            prop_assert_eq!(&recycled, &fresh);
+        }
+    }
+}
+
+/// Deterministically maps proptest draws onto the three non-clique
+/// generator families at small sizes.
+fn arbitrary_topology(kind: usize, size: usize, gseed: u64) -> Topology {
+    match kind {
+        0 => Topology::ring(4 + size).unwrap(),
+        1 => Topology::torus(3 + size % 4, 3 + size / 8).unwrap(),
+        _ => Topology::random_regular(6 + 2 * (size % 10), 4, gseed).unwrap(),
     }
 }
 

@@ -8,7 +8,7 @@ use clique_model::ports::{Endpoint, PortBackend, PortMap, PortResolver, RandomRe
 use clique_model::prof::{self, Phase};
 use clique_model::rng::{derive_seed, rng_from_seed};
 use clique_model::trace::{At, TraceEvent, TraceSink, Tracer, ALL_CLASSES};
-use clique_model::{Decision, ModelError, NodeIndex};
+use clique_model::{Decision, ModelError, NodeIndex, Topology};
 use rand::rngs::SmallRng;
 
 use crate::node::{Context, Received, SyncNode, WakeCause};
@@ -84,17 +84,19 @@ impl SyncArena {
         *self = SyncArena::default();
     }
 
-    /// Takes a map for an `n`-node trial on `backend`: the recycled one
-    /// (reset in O(touched-state)) when both the size and the resolved
-    /// backend match, a fresh one otherwise.
-    fn take_ports(&mut self, n: usize, backend: PortBackend) -> Result<PortMap, ModelError> {
-        let backend = backend.resolve(n);
+    /// Takes a map for a trial on `topo` and `backend`: the recycled one
+    /// (reset in O(touched-state)) when both the topology fingerprint and
+    /// the resolved backend match, a fresh one otherwise.
+    fn take_ports(&mut self, topo: &Topology, backend: PortBackend) -> Result<PortMap, ModelError> {
+        let backend = backend.resolve_for(topo.n(), topo.m());
         match self.ports.take() {
-            Some(mut map) if map.n() == n && map.backend() == backend => {
+            Some(mut map)
+                if map.topology_fingerprint() == topo.fingerprint() && map.backend() == backend =>
+            {
                 map.reset();
                 Ok(map)
             }
-            _ => PortMap::with_backend(n, backend),
+            _ => PortMap::for_topology(topo, backend),
         }
     }
 
@@ -146,6 +148,7 @@ pub struct SyncSimBuilder {
     wake: Option<WakeSchedule>,
     resolver: Option<Box<dyn PortResolver>>,
     backend: Option<PortBackend>,
+    topology: Option<Topology>,
     max_rounds: Option<usize>,
     trace: Option<Box<dyn TraceSink>>,
     lean_stats: bool,
@@ -173,6 +176,7 @@ impl SyncSimBuilder {
             wake: None,
             resolver: None,
             backend: None,
+            topology: None,
             max_rounds: None,
             trace: None,
             lean_stats: false,
@@ -214,6 +218,18 @@ impl SyncSimBuilder {
     /// distributed mappings per seed.
     pub fn backend(mut self, backend: PortBackend) -> Self {
         self.backend = Some(backend);
+        self
+    }
+
+    /// Pins the communication graph (default: the `LE_TOPOLOGY`
+    /// environment selection, which is the clique when unset). The
+    /// topology's node count must equal the builder's `n`.
+    ///
+    /// On the clique the port map keeps its flat dense/sparse/chunked
+    /// tables; on any other topology ports are degree-indexed
+    /// (`0..deg(v)` per node) and served by the graph store.
+    pub fn topology(mut self, topology: Topology) -> Self {
+        self.topology = Some(topology);
         self
     }
 
@@ -296,7 +312,16 @@ impl SyncSimBuilder {
                 n,
             });
         }
-        let ports = arena.take_ports(n, self.backend.unwrap_or_else(PortBackend::from_env))?;
+        let topo = match self.topology {
+            Some(t) => t,
+            None => Topology::from_env(n),
+        };
+        if topo.n() != n {
+            return Err(ModelError::InvalidTopology {
+                reason: "topology node count does not match the builder's n",
+            });
+        }
+        let ports = arena.take_ports(&topo, self.backend.unwrap_or_else(PortBackend::from_env))?;
         let mut bufs: SyncBuffers<N::Message> = arena
             .buffers
             .take()
@@ -539,6 +564,7 @@ impl<N: SyncNode> SyncSim<N> {
                     let mut ctx = Context {
                         id: self.ids.id_of(u),
                         n: self.n,
+                        ports: self.ports.ports_of(u),
                         round,
                         rng: &mut self.node_rngs[u.0],
                         outbox: &mut outbox,
@@ -571,6 +597,7 @@ impl<N: SyncNode> SyncSim<N> {
                 let mut ctx = Context {
                     id: self.ids.id_of(NodeIndex(u)),
                     n: self.n,
+                    ports: self.ports.ports_of(NodeIndex(u)),
                     round,
                     rng: &mut self.node_rngs[u],
                     outbox: &mut outbox,
@@ -633,13 +660,10 @@ impl<N: SyncNode> SyncSim<N> {
         // buffer is ever dropped or re-allocated.
         for v in 0..self.n {
             if self.nodes[v].is_terminated() {
-                debug_assert!(
-                    self.pending[v].is_empty(),
-                    "terminated nodes receive nothing"
-                );
                 // A node that terminated during this round's send phase may
                 // still have mail queued from earlier senders; swallow it
                 // (legacy behavior: the taken buffer was dropped).
+                self.messages_to_terminated += self.pending[v].len() as u64;
                 self.pending[v].clear();
                 continue;
             }
@@ -653,6 +677,7 @@ impl<N: SyncNode> SyncSim<N> {
                 let mut ctx = Context {
                     id: self.ids.id_of(NodeIndex(v)),
                     n: self.n,
+                    ports: self.ports.ports_of(NodeIndex(v)),
                     round,
                     rng: &mut self.node_rngs[v],
                     outbox: &mut outbox,
@@ -713,11 +738,19 @@ impl<N: SyncNode> SyncSim<N> {
         Ok(pending_wakes || any_active)
     }
 
-    /// Emits the end-of-run trace events — the backend counter snapshot and
-    /// the halt record — and finishes the tracer (flushing a boxed sink or
+    /// Emits the end-of-run trace events — the topology metadata record,
+    /// the backend counter snapshot, and the halt record — and finishes the
+    /// tracer (flushing a boxed sink or
     /// submitting the buffered env-trace block to the collector).
     fn finish_trace(&mut self, halt: HaltReason) {
         if self.tracer.enabled() {
+            let (generator, topo_n, m, maxdeg) = self.ports.topology_summary();
+            self.tracer.emit(TraceEvent::Topology {
+                generator,
+                n: topo_n as u32,
+                m,
+                maxdeg: maxdeg as u32,
+            });
             self.tracer.emit(TraceEvent::Backend {
                 backend: self.ports.backend().name(),
                 counters: self.ports.backend_counters(),

@@ -27,6 +27,9 @@ pub struct Received<M> {
 pub struct Context<'a, M> {
     pub(crate) id: Id,
     pub(crate) n: usize,
+    /// Size of this node's port space: `n - 1` on the clique, `deg(v)`
+    /// on an explicit topology.
+    pub(crate) ports: usize,
     pub(crate) round: usize,
     pub(crate) rng: &'a mut SmallRng,
     pub(crate) outbox: &'a mut Vec<(Port, M)>,
@@ -52,6 +55,7 @@ impl<'a, M> Context<'a, M> {
         Context {
             id,
             n,
+            ports: n - 1,
             round,
             rng,
             outbox,
@@ -69,9 +73,11 @@ impl<'a, M> Context<'a, M> {
         self.n
     }
 
-    /// Number of ports this node owns (`n - 1`).
+    /// Number of ports this node owns: `n - 1` on the clique (every
+    /// other node sits behind some port), `deg(v)` on an explicit
+    /// topology.
     pub fn port_count(&self) -> usize {
-        self.n - 1
+        self.ports
     }
 
     /// The current round (1-based).
@@ -97,16 +103,17 @@ impl<'a, M> Context<'a, M> {
             "synchronous nodes may only send during the send phase"
         );
         assert!(
-            port.0 < self.n - 1,
-            "port {port} out of range for n = {}",
+            port.0 < self.ports,
+            "port {port} out of range ({} ports, n = {})",
+            self.ports,
             self.n
         );
         self.outbox.push((port, msg));
     }
 
-    /// Iterator over all of this node's ports, `p0 .. p(n-2)`.
+    /// Iterator over all of this node's ports, `p0 .. p(port_count-1)`.
     pub fn all_ports(&self) -> impl Iterator<Item = Port> {
-        (0..self.n - 1).map(Port)
+        (0..self.ports).map(Port)
     }
 
     /// The first `k` ports (a canonical deterministic choice used by the
@@ -114,9 +121,9 @@ impl<'a, M> Context<'a, M> {
     ///
     /// # Panics
     ///
-    /// Panics if `k > n - 1`.
+    /// Panics if `k > port_count()`.
     pub fn first_ports(&self, k: usize) -> impl Iterator<Item = Port> {
-        assert!(k < self.n, "cannot take {k} of {} ports", self.n - 1);
+        assert!(k <= self.ports, "cannot take {k} of {} ports", self.ports);
         (0..k).map(Port)
     }
 
@@ -125,9 +132,9 @@ impl<'a, M> Context<'a, M> {
     ///
     /// # Panics
     ///
-    /// Panics if `k > n - 1`.
+    /// Panics if `k > port_count()`.
     pub fn sample_ports(&mut self, k: usize) -> Vec<Port> {
-        sample_distinct(self.rng, self.n - 1, k)
+        sample_distinct(self.rng, self.ports, k)
             .into_iter()
             .map(Port)
             .collect()
@@ -202,6 +209,7 @@ mod tests {
         Context {
             id: Id(7),
             n: 5,
+            ports: 4,
             round: 2,
             rng,
             outbox,

@@ -322,6 +322,99 @@ fn chunked_backend_matches_sparse_draw_for_draw_across_the_threshold() {
     assert_eq!(chunked.link_count(), n * (n - 1) / 2);
 }
 
+/// Endpoint-level topology × backend differential: on a non-clique
+/// topology every backend serves the CSR graph tables (the requested
+/// backend survives only as the reported stand-in), so the draw schedule
+/// under `RandomResolver` must be identical across backends *by
+/// construction* — same endpoints, same RNG consumption, draw for draw.
+#[test]
+fn topology_draw_schedule_is_backend_invariant() {
+    use improved_le::model::topology::Topology;
+    let topologies = [
+        Topology::ring(64).unwrap(),
+        Topology::torus(8, 8).unwrap(),
+        Topology::random_regular(64, 6, 5).unwrap(),
+    ];
+    for topo in topologies {
+        let n = topo.n();
+        let mut reference: Option<Vec<(usize, usize)>> = None;
+        for backend in [
+            PortBackend::Dense,
+            PortBackend::Sparse,
+            PortBackend::Chunked,
+        ] {
+            let mut map = PortMap::for_topology(&topo, backend).unwrap();
+            assert_eq!(
+                map.backend(),
+                backend,
+                "{topo}: the requested backend must survive as the stand-in"
+            );
+            let mut resolver = RandomResolver;
+            let mut rng = rng_from_seed(11);
+            // Forward then reverse over every (node, port) half-link, so
+            // later resolutions hit already-connected entries too.
+            let mut drawn = Vec::new();
+            let forward: Vec<(usize, usize)> = (0..n)
+                .flat_map(|u| (0..map.ports_of(NodeIndex(u))).map(move |p| (u, p)))
+                .collect();
+            let reverse = forward.iter().rev().copied().collect::<Vec<_>>();
+            for (u, p) in forward.into_iter().chain(reverse) {
+                let e = map
+                    .resolve(NodeIndex(u), Port(p), &mut resolver, &mut rng)
+                    .unwrap();
+                drawn.push((e.node.0, e.port.0));
+            }
+            map.validate().unwrap();
+            assert_eq!(map.link_count() as u64, topo.m());
+            match &reference {
+                None => reference = Some(drawn),
+                Some(expect) => assert_eq!(
+                    &drawn, expect,
+                    "{topo}: {backend} backend diverged from the dense draw schedule"
+                ),
+            }
+        }
+    }
+}
+
+/// Execution-level topology × backend differential: the singularly-
+/// optimal algorithm produces byte-identical `(rounds, messages, leader)`
+/// outcomes on every backend for every topology — the general-graph
+/// extension of the dense-vs-sparse outcome cross-check above.
+#[test]
+fn topology_outcomes_are_backend_invariant() {
+    use improved_le::algorithms::sync::singular;
+    use improved_le::model::topology::Topology;
+    let topologies = [
+        Topology::clique(48).unwrap(),
+        Topology::ring(48).unwrap(),
+        Topology::torus(8, 6).unwrap(),
+        Topology::random_regular(48, 6, 5).unwrap(),
+    ];
+    for topo in topologies {
+        let run = |backend: PortBackend| {
+            let o = SyncSimBuilder::new(topo.n())
+                .seed(3)
+                .backend(backend)
+                .topology(topo.clone())
+                .build(|id, _| singular::Node::new(id, singular::Config::default()))
+                .unwrap()
+                .run()
+                .unwrap();
+            (o.rounds, o.stats.total(), o.unique_leader().map(|l| l.0))
+        };
+        let dense = run(PortBackend::Dense);
+        assert!(dense.2.is_some(), "{topo}: no leader elected");
+        for backend in [PortBackend::Sparse, PortBackend::Chunked, PortBackend::Auto] {
+            assert_eq!(
+                run(backend),
+                dense,
+                "{topo}: {backend} outcome diverged from dense"
+            );
+        }
+    }
+}
+
 /// The legacy `PortMap`: per-node `HashMap` forward/peer tables, exactly
 /// as shipped before the flat rewrite. Kept here (and only here) as the
 /// reference model for the endpoint-level differential test.
